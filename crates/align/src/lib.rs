@@ -1,0 +1,56 @@
+//! Pairwise sequence alignment substrate.
+//!
+//! MrMC-MinH itself avoids alignment (that is the point of minwise
+//! hashing), but the *evaluation* depends on it everywhere:
+//!
+//! * the **W.Sim** metric is "average global sequence alignment
+//!   similarity" within clusters (paper §IV-B);
+//! * the CD-HIT-like and UCLUST-like baselines verify candidate matches
+//!   with (banded) global alignment identity;
+//! * the DOTUR-like / Mothur-like baselines build a full pairwise
+//!   alignment distance matrix;
+//! * the ESPRIT-like baseline replaces alignment with a k-mer distance,
+//!   implemented here alongside for comparison.
+//!
+//! Provided algorithms: Needleman–Wunsch global alignment with linear
+//! gaps ([`global`]), Gotoh affine-gap global alignment, Smith–Waterman
+//! local alignment ([`local`]), a banded global variant for
+//! high-identity pairs ([`banded`]), and k-mer profile distances
+//! ([`kmerdist`]).
+
+pub mod banded;
+pub mod global;
+pub mod kmerdist;
+pub mod local;
+pub mod scoring;
+
+pub use banded::banded_global;
+pub use global::{global_affine, global_align, Alignment, AlignmentOp};
+pub use kmerdist::{kmer_distance, KmerProfile};
+pub use local::local_align;
+pub use scoring::Scoring;
+
+/// Global-alignment identity between two sequences as a fraction in
+/// `[0, 1]`: matched positions divided by alignment length. This is the
+/// quantity averaged by the paper's W.Sim metric.
+pub fn global_identity(a: &[u8], b: &[u8], scoring: &Scoring) -> f64 {
+    global_align(a, b, scoring).identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_identity_one() {
+        let s = Scoring::dna_default();
+        assert!((global_identity(b"ACGTACGT", b"ACGTACGT", &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_low_identity() {
+        let s = Scoring::dna_default();
+        let id = global_identity(b"AAAAAAAA", b"CCCCCCCC", &s);
+        assert!(id < 0.2, "identity {id}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Smith–Waterman local alignment.
+//!
+//! The paper's metric section mentions local alignments as the
+//! alternative to global ("local alignments find the best sub-regions
+//! of similar characters"); we provide it for completeness and use it
+//! in the UCLUST-like baseline's seed extension step.
+
+use crate::global::{Alignment, AlignmentOp};
+use crate::scoring::Scoring;
+
+/// Result of a local alignment: the alignment plus where the aligned
+/// region starts in each input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// The aligned segment (ops never include leading/trailing gaps).
+    pub alignment: Alignment,
+    /// Start offset of the aligned region in the first sequence.
+    pub start_a: usize,
+    /// Start offset of the aligned region in the second sequence.
+    pub start_b: usize,
+}
+
+/// Smith–Waterman with linear gaps and traceback of the best segment.
+pub fn local_align(a: &[u8], b: &[u8], scoring: &Scoring) -> LocalAlignment {
+    let (n, m) = (a.len(), b.len());
+    let gap = scoring.gap_extend;
+    let width = m + 1;
+
+    const TB_STOP: u8 = 3;
+    const TB_DIAG: u8 = 0;
+    const TB_UP: u8 = 1;
+    const TB_LEFT: u8 = 2;
+
+    let mut prev = vec![0i32; width];
+    let mut curr = vec![0i32; width];
+    let mut tb = vec![TB_STOP; (n + 1) * width];
+
+    let mut best = 0i32;
+    let mut best_at = (0usize, 0usize);
+
+    for i in 1..=n {
+        let ai = a[i - 1];
+        curr[0] = 0;
+        for j in 1..=m {
+            let diag = prev[j - 1] + scoring.substitution(ai, b[j - 1]);
+            let up = prev[j] - gap;
+            let left = curr[j - 1] - gap;
+            let (mut val, mut dir) = if diag >= up && diag >= left {
+                (diag, TB_DIAG)
+            } else if up >= left {
+                (up, TB_UP)
+            } else {
+                (left, TB_LEFT)
+            };
+            if val <= 0 {
+                val = 0;
+                dir = TB_STOP;
+            }
+            curr[j] = val;
+            tb[i * width + j] = dir;
+            if val > best {
+                best = val;
+                best_at = (i, j);
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    // Traceback from the best cell until a STOP.
+    let (mut i, mut j) = best_at;
+    let mut ops = Vec::new();
+    while i > 0 && j > 0 {
+        match tb[i * width + j] {
+            TB_DIAG => {
+                ops.push(if a[i - 1].eq_ignore_ascii_case(&b[j - 1]) {
+                    AlignmentOp::Match
+                } else {
+                    AlignmentOp::Mismatch
+                });
+                i -= 1;
+                j -= 1;
+            }
+            TB_UP => {
+                ops.push(AlignmentOp::Delete);
+                i -= 1;
+            }
+            TB_LEFT => {
+                ops.push(AlignmentOp::Insert);
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    ops.reverse();
+    LocalAlignment {
+        alignment: Alignment { score: best, ops },
+        start_a: i,
+        start_b: j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scoring {
+        Scoring::dna_default()
+    }
+
+    #[test]
+    fn finds_embedded_exact_match() {
+        //          0123456789
+        let a = b"TTTTACGTTT";
+        let b = b"GGACGTGG";
+        let res = local_align(a, b, &s());
+        assert_eq!(res.alignment.score, 4);
+        assert_eq!(res.alignment.matches(), 4);
+        assert_eq!(res.start_a, 4); // "ACGT" begins at a[4]
+        assert_eq!(res.start_b, 2); // and at b[2]
+    }
+
+    #[test]
+    fn no_similarity_gives_short_or_empty_alignment() {
+        let res = local_align(b"AAAA", b"CCCC", &s());
+        assert_eq!(res.alignment.score, 0);
+        assert!(res.alignment.is_empty());
+    }
+
+    #[test]
+    fn local_never_negative() {
+        let res = local_align(b"ACGT", b"TGCA", &s());
+        assert!(res.alignment.score >= 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let res = local_align(b"", b"ACGT", &s());
+        assert_eq!(res.alignment.score, 0);
+        assert!(res.alignment.is_empty());
+    }
+
+    #[test]
+    fn local_score_at_least_best_common_run() {
+        // Common substring "GGGG" of length 4 → score ≥ 4.
+        let res = local_align(b"TTGGGGTT", b"AAGGGGAA", &s());
+        assert!(res.alignment.score >= 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! MC-LSH: the authors' earlier LSH-based greedy clusterer
+//! (Rasheed, Rangwala & Barbará 2012).
+//!
+//! Minhash sketches are split into `b` bands of `r` rows; sequences
+//! colliding in any band bucket become cluster candidates (the classic
+//! LSH banding scheme, tuned so the collision probability curve has
+//! its S-bend near θ). A greedy pass then assigns each sequence to the
+//! first candidate cluster whose representative verifies at sketch
+//! similarity ≥ θ, else it starts a new cluster.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use mrmc_cluster::ClusterAssignment;
+use mrmc_minhash::{positional_similarity, MinHasher, Sketch};
+use mrmc_seqio::SeqRecord;
+
+use crate::Clusterer;
+
+/// MC-LSH configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McLsh {
+    /// Similarity threshold θ.
+    pub theta: f64,
+    /// k-mer size.
+    pub kmer: usize,
+    /// Number of hash functions (sketch length) = `bands × rows`.
+    pub bands: usize,
+    /// Rows per band.
+    pub rows: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for McLsh {
+    fn default() -> Self {
+        McLsh {
+            theta: 0.95,
+            kmer: 15,
+            bands: 10,
+            rows: 5,
+            seed: 0x3c15,
+        }
+    }
+}
+
+impl McLsh {
+    fn band_key(&self, sketch: &Sketch, band: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        band.hash(&mut h);
+        let start = band * self.rows;
+        sketch.values()[start..start + self.rows].hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Clusterer for McLsh {
+    fn name(&self) -> &'static str {
+        "MC-LSH"
+    }
+
+    fn cluster(&self, reads: &[SeqRecord]) -> ClusterAssignment {
+        let n_hashes = self.bands * self.rows;
+        let hasher = MinHasher::for_kmer_size(self.kmer, n_hashes, self.seed);
+        let sketches: Vec<Sketch> = reads
+            .iter()
+            .map(|r| hasher.sketch_sequence(&r.seq).expect("valid k"))
+            .collect();
+
+        // Buckets: (band, band hash) → cluster representatives seen.
+        let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut labels = vec![0usize; reads.len()];
+        let mut cluster_reps: Vec<usize> = Vec::new();
+
+        for i in 0..reads.len() {
+            // Collect candidate clusters from colliding bands.
+            let mut candidates: Vec<usize> = Vec::new();
+            for band in 0..self.bands {
+                let key = self.band_key(&sketches[i], band);
+                if let Some(cs) = buckets.get(&key) {
+                    for &c in cs {
+                        if !candidates.contains(&c) {
+                            candidates.push(c);
+                        }
+                    }
+                }
+            }
+            let mut assigned = None;
+            for c in candidates {
+                let rep = cluster_reps[c];
+                if positional_similarity(&sketches[i], &sketches[rep]) >= self.theta {
+                    assigned = Some(c);
+                    break;
+                }
+            }
+            match assigned {
+                Some(c) => labels[i] = c,
+                None => {
+                    let c = cluster_reps.len();
+                    cluster_reps.push(i);
+                    labels[i] = c;
+                    for band in 0..self.bands {
+                        let key = self.band_key(&sketches[i], band);
+                        buckets.entry(key).or_default().push(c);
+                    }
+                }
+            }
+        }
+        ClusterAssignment::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{rand_index, three_species};
+
+    fn small() -> McLsh {
+        McLsh {
+            theta: 0.5,
+            kmer: 6,
+            bands: 8,
+            rows: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn identical_reads_one_cluster() {
+        let reads: Vec<SeqRecord> = (0..5)
+            .map(|i| {
+                SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGTTGCAGGTTACAC".to_vec())
+            })
+            .collect();
+        let a = small().cluster(&reads);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn dissimilar_reads_separate() {
+        let reads = vec![
+            SeqRecord::new("a", b"AAAAAAAAAAAAAAAAAAAAAAAA".to_vec()),
+            SeqRecord::new("b", b"CCCCCCCCCCCCCCCCCCCCCCCC".to_vec()),
+        ];
+        let a = small().cluster(&reads);
+        assert_eq!(a.num_clusters(), 2);
+    }
+
+    #[test]
+    fn recovers_well_separated_species() {
+        let (reads, truth) = three_species(20, 8);
+        let a = McLsh {
+            theta: 0.3,
+            kmer: 8,
+            bands: 16,
+            rows: 2,
+            seed: 3,
+        }
+        .cluster(&reads);
+        let ri = rand_index(a.labels(), &truth);
+        assert!(ri > 0.9, "rand index {ri}");
+    }
+
+    #[test]
+    fn banding_never_misses_identical_sketches() {
+        // Identical sequences collide in every band, so they always
+        // become candidates of each other.
+        let reads: Vec<SeqRecord> = (0..3)
+            .map(|i| SeqRecord::new(format!("r{i}"), b"ACGTACGTACGTACGTTTGG".to_vec()))
+            .collect();
+        let a = McLsh {
+            theta: 1.0,
+            ..small()
+        }
+        .cluster(&reads);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(small().cluster(&[]).is_empty());
+    }
+}

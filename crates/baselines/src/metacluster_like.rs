@@ -1,0 +1,224 @@
+//! MetaCluster-like clustering (Yang et al. 2010).
+//!
+//! MetaCluster's published design (paper §II): represent reads by
+//! **k-mer frequency vectors** (composition, not identity — reads of
+//! one genome share codon/oligonucleotide usage even without overlap),
+//! measure **Spearman distance**, and run a **two-phase** procedure:
+//! top-down separation (recursively split incohesive groups) followed
+//! by bottom-up merging of group medoids.
+
+use rayon::prelude::*;
+
+use mrmc_align::kmerdist::{rank_vector, spearman_from_ranks, KmerProfile};
+use mrmc_cluster::ClusterAssignment;
+use mrmc_seqio::encode::KmerIter;
+use mrmc_seqio::SeqRecord;
+
+use crate::Clusterer;
+
+/// MetaCluster-like configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaClusterLike {
+    /// Composition word size (MetaCluster uses 4-mers).
+    pub kmer: usize,
+    /// Split a group while its mean medoid distance exceeds this.
+    pub split_threshold: f64,
+    /// Merge two groups when their medoid distance is below this.
+    pub merge_threshold: f64,
+    /// Groups at or below this size are never split further.
+    pub min_group: usize,
+}
+
+impl Default for MetaClusterLike {
+    fn default() -> Self {
+        MetaClusterLike {
+            kmer: 4,
+            split_threshold: 0.12,
+            merge_threshold: 0.08,
+            min_group: 8,
+        }
+    }
+}
+
+impl Clusterer for MetaClusterLike {
+    fn name(&self) -> &'static str {
+        "MetaCluster"
+    }
+
+    fn cluster(&self, reads: &[SeqRecord]) -> ClusterAssignment {
+        if reads.is_empty() {
+            return ClusterAssignment::from_labels(Vec::new());
+        }
+        // Precompute z-scored rank vectors once per read: every
+        // Spearman evaluation then costs one dot product instead of
+        // two O(4^k log 4^k) rankings.
+        let ranks: Vec<Vec<f64>> = reads
+            .par_iter()
+            .map(|r| {
+                let profile = KmerProfile::from_kmers(
+                    self.kmer,
+                    KmerIter::new(&r.seq, self.kmer)
+                        .map(|it| it.collect::<Vec<_>>())
+                        .unwrap_or_default(),
+                );
+                rank_vector(&profile)
+            })
+            .collect();
+        let dist = |i: usize, j: usize| spearman_from_ranks(&ranks[i], &ranks[j]);
+
+        // ---- Phase 1: top-down separation ----
+        let mut groups: Vec<Vec<usize>> = vec![(0..reads.len()).collect()];
+        let mut done: Vec<Vec<usize>> = Vec::new();
+        while let Some(group) = groups.pop() {
+            if group.len() <= self.min_group {
+                done.push(group);
+                continue;
+            }
+            let medoid = medoid_of(&group, &dist);
+            let mean_d = group
+                .iter()
+                .filter(|&&m| m != medoid)
+                .map(|&m| dist(medoid, m))
+                .sum::<f64>()
+                / (group.len() - 1) as f64;
+            if mean_d <= self.split_threshold {
+                done.push(group);
+                continue;
+            }
+            // 2-medoid split: the group medoid and its furthest member
+            // seed two halves; members go to the closer seed.
+            let far = group
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    dist(medoid, a)
+                        .partial_cmp(&dist(medoid, b))
+                        .expect("no NaN")
+                })
+                .expect("non-empty group");
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &m in &group {
+                if dist(medoid, m) <= dist(far, m) {
+                    left.push(m);
+                } else {
+                    right.push(m);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                done.push(group); // degenerate split — stop here
+            } else {
+                groups.push(left);
+                groups.push(right);
+            }
+        }
+
+        // ---- Phase 2: bottom-up merging of group medoids ----
+        let medoids: Vec<usize> = done.iter().map(|g| medoid_of(g, &dist)).collect();
+        let mut group_label: Vec<usize> = (0..done.len()).collect();
+        // Union groups whose medoids are within the merge threshold
+        // (transitively, single-linkage style, as MetaCluster's merge
+        // phase does).
+        for a in 0..done.len() {
+            for b in (a + 1)..done.len() {
+                if dist(medoids[a], medoids[b]) <= self.merge_threshold {
+                    let (la, lb) = (group_label[a], group_label[b]);
+                    if la != lb {
+                        for l in group_label.iter_mut() {
+                            if *l == lb {
+                                *l = la;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut labels = vec![0usize; reads.len()];
+        for (g, group) in done.iter().enumerate() {
+            for &m in group {
+                labels[m] = group_label[g];
+            }
+        }
+        ClusterAssignment::from_labels(labels).compact()
+    }
+}
+
+/// The member minimizing total distance to the rest.
+fn medoid_of<F: Fn(usize, usize) -> f64>(group: &[usize], dist: &F) -> usize {
+    assert!(!group.is_empty(), "medoid of empty group");
+    if group.len() == 1 {
+        return group[0];
+    }
+    *group
+        .iter()
+        .min_by(|&&a, &&b| {
+            let da: f64 = group.iter().filter(|&&m| m != a).map(|&m| dist(a, m)).sum();
+            let db: f64 = group.iter().filter(|&&m| m != b).map(|&m| dist(b, m)).sum();
+            da.partial_cmp(&db).expect("no NaN")
+        })
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{rand_index, three_species};
+
+    #[test]
+    fn composition_separates_distant_genomes() {
+        // Composition methods need longer reads; use the generator's
+        // phylum-level species with GC spread 0.35→0.65.
+        let (reads, truth) = three_species(15, 9);
+        let a = MetaClusterLike::default().cluster(&reads);
+        let ri = rand_index(a.labels(), &truth);
+        assert!(ri > 0.7, "rand index {ri}");
+    }
+
+    #[test]
+    fn identical_reads_one_cluster() {
+        let reads: Vec<SeqRecord> = (0..6)
+            .map(|i| {
+                SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGGTACACGTTGCAACGGTACA".to_vec())
+            })
+            .collect();
+        let a = MetaClusterLike::default().cluster(&reads);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn min_group_stops_splitting() {
+        let (reads, _) = three_species(2, 10); // 6 reads total
+        let a = MetaClusterLike {
+            min_group: 100,
+            merge_threshold: 0.0,
+            ..Default::default()
+        }
+        .cluster(&reads);
+        // One group, never split.
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn merge_threshold_reunites_split_groups() {
+        let (reads, _) = three_species(10, 11);
+        let aggressive_split = MetaClusterLike {
+            split_threshold: 0.0,
+            min_group: 2,
+            merge_threshold: 1.0, // merge everything back
+            ..Default::default()
+        };
+        let a = aggressive_split.cluster(&reads);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn medoid_of_singleton() {
+        let d = |_: usize, _: usize| 0.0;
+        assert_eq!(medoid_of(&[7], &d), 7);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(MetaClusterLike::default().cluster(&[]).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Hierarchical-clustering kernels: SLINK vs NN-chain, per linkage
+//! policy, plus matrix construction (sequential vs row-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrmc_cluster::{agglomerative, CondensedMatrix, Linkage};
+
+fn synthetic_matrix(n: usize) -> CondensedMatrix {
+    CondensedMatrix::build(n, |i, j| {
+        let x = ((i * 2654435761 + j * 40503) % 1000) as f64 / 1000.0;
+        0.2 + 0.6 * x
+    })
+}
+
+fn bench_linkage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linkage");
+    for n in [200usize, 500] {
+        let m = synthetic_matrix(n);
+        for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+            group.bench_function(
+                BenchmarkId::new(format!("{linkage:?}"), n),
+                |b| b.iter(|| agglomerative(std::hint::black_box(&m), linkage, 0.6)),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matrix-build");
+    let sim = |i: usize, j: usize| ((i * 31 + j * 17) % 97) as f64 / 97.0;
+    for n in [500usize, 1000] {
+        group.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| CondensedMatrix::build(n, sim))
+        });
+        group.bench_function(BenchmarkId::new("row-parallel", n), |b| {
+            b.iter(|| CondensedMatrix::build_parallel(n, sim))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_linkage
+}
+criterion_main!(benches);

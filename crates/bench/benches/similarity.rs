@@ -1,0 +1,48 @@
+//! Pairwise-similarity kernel throughput: the positional estimator
+//! (Eq. 3) vs the set-based estimator (Algorithm 1 line 9) vs exact
+//! Jaccard on the underlying k-mer sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrmc_minhash::{exact_jaccard, positional_similarity, set_similarity, MinHasher};
+use mrmc_seqio::encode::kmer_set;
+
+fn synthetic_read(len: usize, salt: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| b"ACGT"[(i * 131 + salt * 7919 + i / 3) % 4])
+        .collect()
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    let a = synthetic_read(1000, 1);
+    let b = synthetic_read(1000, 2);
+
+    for n in [50usize, 100, 200] {
+        let hasher = MinHasher::for_kmer_size(5, n, 7);
+        let sa = hasher.sketch_sequence(&a).unwrap();
+        let sb = hasher.sketch_sequence(&b).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("positional", n), |bch| {
+            bch.iter(|| positional_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb)))
+        });
+        group.bench_function(BenchmarkId::new("set-based", n), |bch| {
+            bch.iter(|| set_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb)))
+        });
+    }
+
+    // The quantity both approximate: exact Jaccard on full k-mer sets
+    // (what MrMC-MinH avoids computing per pair).
+    let ka = kmer_set(&a, 5).unwrap();
+    let kb = kmer_set(&b, 5).unwrap();
+    group.bench_function("exact-jaccard-k5-1000bp", |bch| {
+        bch.iter(|| exact_jaccard(std::hint::black_box(&ka), std::hint::black_box(&kb)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_similarity
+}
+criterion_main!(benches);

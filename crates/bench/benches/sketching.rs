@@ -1,0 +1,43 @@
+//! Sketching throughput: the `CalculateMinwiseHash` kernel at the
+//! paper's two operating points (k = 5/n = 100 whole-metagenome,
+//! k = 15/n = 50 16S) and a sweep over sketch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrmc_minhash::MinHasher;
+
+fn synthetic_read(len: usize, salt: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| b"ACGT"[(i * 131 + salt * 7919 + i * i) % 4])
+        .collect()
+}
+
+fn bench_sketching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketching");
+    for (k, n, read_len, label) in [
+        (5usize, 100usize, 1000usize, "whole-metagenome(k5,n100,1000bp)"),
+        (15, 50, 60, "16S(k15,n50,60bp)"),
+    ] {
+        let hasher = MinHasher::for_kmer_size(k, n, 1);
+        let read = synthetic_read(read_len, 3);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("paper-setting", label), |b| {
+            b.iter(|| hasher.sketch_sequence(std::hint::black_box(&read)).unwrap())
+        });
+    }
+    // Sketch-size sweep at fixed k: cost is linear in n.
+    for n in [25usize, 50, 100, 200] {
+        let hasher = MinHasher::for_kmer_size(5, n, 1);
+        let read = synthetic_read(1000, 5);
+        group.bench_function(BenchmarkId::new("num-hashes", n), |b| {
+            b.iter(|| hasher.sketch_sequence(std::hint::black_box(&read)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sketching
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation (DESIGN.md §4): sketch size `n` vs estimation error, for
+//! the positional (Eq. 3) and set-based (Algorithm 1 line 9) Jaccard
+//! estimators. Ground truth is the exact Jaccard of the k-mer sets.
+//!
+//! ```sh
+//! cargo run -p mrmc-bench --release --bin ablation_estimator
+//! ```
+
+use mrmc_minhash::{exact_jaccard, positional_similarity, set_similarity, MinHasher};
+use mrmc_seqio::encode::kmer_set;
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+fn main() {
+    // Read pairs spanning the similarity range: same species (high J),
+    // related (mid), unrelated (low).
+    let spec = CommunitySpec {
+        species: (0..4)
+            .map(|i| SpeciesSpec {
+                name: format!("sp{i}"),
+                gc: 0.40 + 0.06 * i as f64,
+                abundance: 1.0,
+            })
+            .collect(),
+        rank: TaxRank::Genus,
+        genome_len: 60_000,
+    };
+    let sim = ReadSimulator::new(1000, ErrorModel::with_total_rate(0.002));
+    let dataset = spec.generate("ablate", 80, &sim, 11);
+    let k = 5;
+    let sets: Vec<Vec<u64>> = dataset
+        .reads
+        .iter()
+        .map(|r| kmer_set(&r.seq, k).expect("valid k"))
+        .collect();
+
+    println!("estimator error vs sketch size (k = {k}, {} read pairs)\n", 80 * 79 / 2);
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16}",
+        "n", "positional RMSE", "pos. RMSE(Eq.5)", "pos. bias(Eq.5)", "set-based RMSE"
+    );
+    for n in [10usize, 25, 50, 100, 200, 400] {
+        let hasher = MinHasher::for_kmer_size(k, n, 3);
+        // The paper-literal Eq. 5 family hashes into m = 4^k = 1024 —
+        // smaller than the ~600-element feature sets, so minima
+        // collide and the estimator acquires a positive bias.
+        let literal = MinHasher::with_family(
+            k,
+            mrmc_minhash::UniversalHashFamily::for_kmer_size_paper_literal(k, n, 3),
+        );
+        let sketch_all = |h: &MinHasher| -> Vec<_> {
+            dataset
+                .reads
+                .iter()
+                .map(|r| h.sketch_sequence(&r.seq).expect("valid k"))
+                .collect()
+        };
+        let sketches = sketch_all(&hasher);
+        let lit_sketches = sketch_all(&literal);
+        let mut pos_se = 0.0f64;
+        let mut lit_se = 0.0f64;
+        let mut lit_bias = 0.0f64;
+        let mut set_se = 0.0f64;
+        let mut pairs = 0usize;
+        for i in 0..sketches.len() {
+            for j in (i + 1)..sketches.len() {
+                let truth = exact_jaccard(&sets[i], &sets[j]);
+                let p = positional_similarity(&sketches[i], &sketches[j]);
+                let l = positional_similarity(&lit_sketches[i], &lit_sketches[j]);
+                let s = set_similarity(&sketches[i], &sketches[j]);
+                pos_se += (p - truth) * (p - truth);
+                lit_se += (l - truth) * (l - truth);
+                lit_bias += l - truth;
+                set_se += (s - truth) * (s - truth);
+                pairs += 1;
+            }
+        }
+        println!(
+            "{:>6} {:>16.4} {:>16.4} {:>+16.4} {:>16.4}",
+            n,
+            (pos_se / pairs as f64).sqrt(),
+            (lit_se / pairs as f64).sqrt(),
+            lit_bias / pairs as f64,
+            (set_se / pairs as f64).sqrt(),
+        );
+    }
+    println!(
+        "\nExpected: the default positional estimator's RMSE shrinks ~1/sqrt(n) (unbiased MinHash);\n\
+         the paper-literal Eq. 5 range (m = 4^k) plateaus at its min-collision bias; the set-based\n\
+         form of Algorithm 1 line 9 carries its own bias. This is the DESIGN.md estimator ablation."
+    );
+}

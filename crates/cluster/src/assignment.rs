@@ -1,0 +1,140 @@
+//! Cluster label vectors.
+
+use std::collections::HashMap;
+
+/// A flat clustering: `labels[i]` is the cluster id of item `i`.
+/// Ids are compact (`0..num_clusters`) after [`Self::compact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAssignment {
+    labels: Vec<usize>,
+}
+
+impl ClusterAssignment {
+    /// Wrap raw labels.
+    pub fn from_labels(labels: Vec<usize>) -> ClusterAssignment {
+        ClusterAssignment { labels }
+    }
+
+    /// The trivial clustering: every item its own cluster.
+    pub fn singletons(n: usize) -> ClusterAssignment {
+        ClusterAssignment {
+            labels: (0..n).collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of one item.
+    pub fn label(&self, item: usize) -> usize {
+        self.labels[item]
+    }
+
+    /// Raw labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of distinct clusters.
+    pub fn num_clusters(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Renumber labels to `0..num_clusters` in first-appearance order.
+    pub fn compact(&self) -> ClusterAssignment {
+        let mut map: HashMap<usize, usize> = HashMap::new();
+        let mut next = 0usize;
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| {
+                *map.entry(l).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        ClusterAssignment { labels }
+    }
+
+    /// Members of each cluster, keyed by label.
+    pub fn members(&self) -> HashMap<usize, Vec<usize>> {
+        let mut m: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (item, &label) in self.labels.iter().enumerate() {
+            m.entry(label).or_default().push(item);
+        }
+        m
+    }
+
+    /// Cluster sizes, largest first.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.members().values().map(|m| m.len()).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Number of clusters with at least `min_size` members — the
+    /// paper's "# Cluster" reporting applies such a floor ("clusters
+    /// having number of sequences greater than 50").
+    pub fn num_clusters_at_least(&self, min_size: usize) -> usize {
+        self.members()
+            .values()
+            .filter(|m| m.len() >= min_size)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let a = ClusterAssignment::from_labels(vec![5, 5, 9, 5]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.num_clusters(), 2);
+        assert_eq!(a.label(2), 9);
+        assert_eq!(a.sizes(), vec![3, 1]);
+    }
+
+    #[test]
+    fn compact_renumbers_in_first_appearance_order() {
+        let a = ClusterAssignment::from_labels(vec![7, 7, 2, 7, 2, 40]).compact();
+        assert_eq!(a.labels(), &[0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn singletons() {
+        let a = ClusterAssignment::singletons(3);
+        assert_eq!(a.num_clusters(), 3);
+        assert_eq!(a.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn members_and_min_size_filter() {
+        let a = ClusterAssignment::from_labels(vec![0, 0, 0, 1, 1, 2]);
+        let m = a.members();
+        assert_eq!(m[&0], vec![0, 1, 2]);
+        assert_eq!(a.num_clusters_at_least(2), 2);
+        assert_eq!(a.num_clusters_at_least(3), 1);
+        assert_eq!(a.num_clusters_at_least(1), 3);
+    }
+
+    #[test]
+    fn empty() {
+        let a = ClusterAssignment::from_labels(vec![]);
+        assert!(a.is_empty());
+        assert_eq!(a.num_clusters(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Greedy incremental clustering — the paper's Algorithm 1.
+//!
+//! Repeat until every item is assigned: pick the first unassigned item
+//! as a new cluster's representative, then sweep all remaining
+//! unassigned items, absorbing those whose similarity to the
+//! representative is ≥ θ. Each comparison is against the cluster
+//! *representative* (the seed), not against all members — that is what
+//! makes the algorithm fast and order-dependent, exactly like the
+//! paper (and like CD-HIT/UCLUST's centroid rule).
+
+use crate::assignment::ClusterAssignment;
+
+/// Cluster `n` items with threshold `theta` using a similarity oracle
+/// `sim(i, j) ∈ [0, 1]`. Items are seeded in index order (the paper:
+/// "choosing the first sequence (or any one in the set)").
+///
+/// Complexity: O(n · c) similarity evaluations where `c` is the number
+/// of clusters produced.
+pub fn greedy_cluster<F>(n: usize, theta: f64, mut sim: F) -> ClusterAssignment
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    const UNASSIGNED: usize = usize::MAX;
+    let mut labels = vec![UNASSIGNED; n];
+    let mut next_label = 0usize;
+    let mut unassigned: Vec<usize> = (0..n).collect();
+
+    while let Some(&seed) = unassigned.first() {
+        labels[seed] = next_label;
+        // Sweep the remaining unassigned items (Algorithm 1 lines 8–14),
+        // keeping the ones that do not join for the next round.
+        let mut rest = Vec::with_capacity(unassigned.len().saturating_sub(1));
+        for &j in unassigned.iter().skip(1) {
+            if sim(seed, j) >= theta {
+                labels[j] = next_label;
+            } else {
+                rest.push(j);
+            }
+        }
+        unassigned = rest;
+        next_label += 1;
+    }
+    ClusterAssignment::from_labels(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block-diagonal similarity: items share a cluster iff same block.
+    fn block_sim(blocks: &[usize]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            if blocks[i] == blocks[j] {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_blocks() {
+        let blocks = [0, 0, 1, 1, 0, 2];
+        let a = greedy_cluster(6, 0.5, block_sim(&blocks)).compact();
+        assert_eq!(a.labels(), &[0, 0, 1, 1, 0, 2]);
+    }
+
+    #[test]
+    fn theta_one_requires_identity() {
+        // sim < 1 everywhere except self: all singletons.
+        let a = greedy_cluster(4, 1.0, |i, j| if i == j { 1.0 } else { 0.99 });
+        assert_eq!(a.num_clusters(), 4);
+    }
+
+    #[test]
+    fn theta_zero_lumps_everything() {
+        let a = greedy_cluster(5, 0.0, |_, _| 0.0);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn lower_theta_fewer_clusters_on_this_oracle() {
+        // Regression characterization on a fixed oracle. (Greedy is
+        // order-dependent, so θ-monotonicity is NOT a general theorem;
+        // it happens to hold for this similarity function.)
+        let sim = |i: usize, j: usize| {
+            let x = (i * 31 + j * 17) % 100;
+            x as f64 / 100.0
+        };
+        let mut prev = usize::MAX;
+        for theta in [0.9, 0.6, 0.3, 0.0] {
+            let c = greedy_cluster(20, theta, sim).num_clusters();
+            assert!(c <= prev, "theta {theta}: {c} > {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(greedy_cluster(0, 0.5, |_, _| 0.0).len(), 0);
+        let a = greedy_cluster(1, 0.5, |_, _| 0.0);
+        assert_eq!(a.num_clusters(), 1);
+    }
+
+    #[test]
+    fn comparisons_are_against_seed_only() {
+        // Chain a-b similar, b-c similar, a-c dissimilar: greedy seeded
+        // at a puts b with a, c alone (no transitive closure).
+        let sim = |i: usize, j: usize| {
+            let (i, j) = (i.min(j), i.max(j));
+            match (i, j) {
+                (0, 1) | (1, 2) => 0.9,
+                _ => 0.1,
+            }
+        };
+        let a = greedy_cluster(3, 0.5, sim).compact();
+        assert_eq!(a.labels(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn every_item_assigned() {
+        let a = greedy_cluster(50, 0.7, |i, j| {
+            if i % 5 == j % 5 {
+                0.8
+            } else {
+                0.2
+            }
+        });
+        assert!(a.labels().iter().all(|&l| l != usize::MAX));
+        assert_eq!(a.num_clusters(), 5);
+    }
+}

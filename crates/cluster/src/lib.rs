@@ -1,0 +1,27 @@
+//! Clustering substrate: the paper's Algorithm 1 (greedy) and
+//! Algorithm 2 (agglomerative hierarchical).
+//!
+//! * [`assignment`] — cluster label vectors and summaries;
+//! * [`greedy`] — the step-wise incremental clustering of Algorithm 1:
+//!   pick an unassigned seed, sweep every remaining item into its
+//!   cluster when similarity ≥ θ, repeat;
+//! * [`matrix`] — condensed (upper-triangle) all-pairs similarity
+//!   matrices, built in parallel by row partitioning (paper Fig. 1);
+//! * [`linkage`] — dendrogram construction: SLINK for single linkage
+//!   (O(N²) time, O(N) memory) and the nearest-neighbour chain
+//!   algorithm with Lance–Williams updates for complete and average
+//!   linkage; θ-cutoff extraction of flat clusters.
+//!
+//! All algorithms are generic over a similarity oracle so they work
+//! identically on minhash sketches, alignment identities, or k-mer
+//! distances (the baselines reuse them).
+
+pub mod assignment;
+pub mod greedy;
+pub mod linkage;
+pub mod matrix;
+
+pub use assignment::ClusterAssignment;
+pub use greedy::greedy_cluster;
+pub use linkage::{agglomerative, cut_dendrogram, cut_levels, Dendrogram, Linkage, Merge};
+pub use matrix::CondensedMatrix;

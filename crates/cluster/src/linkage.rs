@@ -1,0 +1,556 @@
+//! Agglomerative hierarchical clustering — the paper's Algorithm 2.
+//!
+//! The dendrogram is "a series of merge steps for the rows of the
+//! similarity matrix, where each row is initially assigned to its own
+//! cluster"; the similarity threshold θ decides the cutoff level
+//! (paper §III-B2). Linkage policies: single, average, complete.
+//!
+//! Algorithms: **SLINK** (Sibson 1973) for single linkage — O(N²)
+//! time, O(N) working memory — and the **nearest-neighbour chain**
+//! algorithm with Lance–Williams updates for complete and average
+//! linkage. Both produce the same dendrogram a naive O(N³)
+//! agglomeration would (NN-chain requires reducible linkages, which
+//! all three are).
+
+use crate::assignment::ClusterAssignment;
+use crate::matrix::CondensedMatrix;
+
+/// Linkage policy (the Pig parameter `$LINK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Nearest member distance.
+    Single,
+    /// Furthest member distance.
+    Complete,
+    /// Unweighted average member distance (UPGMA).
+    Average,
+}
+
+impl std::str::FromStr for Linkage {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Linkage, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Ok(Linkage::Single),
+            "complete" => Ok(Linkage::Complete),
+            "average" => Ok(Linkage::Average),
+            other => Err(format!("unknown linkage {other:?}")),
+        }
+    }
+}
+
+/// One dendrogram merge: the clusters containing items `a` and `b`
+/// fuse at similarity level `similarity`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// An item in the first cluster.
+    pub a: usize,
+    /// An item in the second cluster.
+    pub b: usize,
+    /// Similarity (1 − linkage distance) of the merge.
+    pub similarity: f64,
+}
+
+/// The full merge history, sorted by decreasing similarity
+/// (increasing linkage distance) — the bottom-up merge order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// `n − 1` merges (fewer if the matrix had infinite distances —
+    /// never the case for similarity inputs in `[0, 1]`).
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Merge similarities, in merge order.
+    pub fn heights(&self) -> Vec<f64> {
+        self.merges.iter().map(|m| m.similarity).collect()
+    }
+
+    /// Serialize to Newick format (the standard tree-exchange format
+    /// of phylogenetics tooling), with branch lengths derived from
+    /// merge distances (`1 − similarity`). `names[i]` labels leaf `i`;
+    /// pass fewer names than leaves and the rest fall back to their
+    /// index. Disconnected forests (possible only for dendrograms
+    /// built from partial merge lists) serialize each tree joined
+    /// under a zero-length root.
+    pub fn to_newick(&self, names: &[&str]) -> String {
+        // Rebuild the tree bottom-up with a union-find whose
+        // representative carries the current Newick fragment and the
+        // height (distance from leaves) of that subtree's root.
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        let mut fragment: Vec<Option<(String, f64)>> = (0..self.n)
+            .map(|i| {
+                let label = names
+                    .get(i)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("leaf{i}"));
+                Some((label, 0.0))
+            })
+            .collect();
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+
+        // Apply merges from most similar (lowest) to least similar so
+        // subtree heights grow monotonically.
+        let mut merges = self.merges.clone();
+        merges.sort_by(|a, b| b.similarity.partial_cmp(&a.similarity).expect("no NaN"));
+        for m in &merges {
+            let (ra, rb) = (find(&mut parent, m.a), find(&mut parent, m.b));
+            if ra == rb {
+                continue;
+            }
+            let (fa, ha) = fragment[ra].take().expect("live root");
+            let (fb, hb) = fragment[rb].take().expect("live root");
+            let height = 1.0 - m.similarity;
+            // Branch lengths from the children's roots up to this node.
+            let node = format!(
+                "({}:{:.6},{}:{:.6})",
+                fa,
+                (height - ha).max(0.0),
+                fb,
+                (height - hb).max(0.0)
+            );
+            parent[rb] = ra;
+            fragment[ra] = Some((node, height));
+        }
+
+        // Collect remaining roots (1 for a full dendrogram).
+        let mut roots: Vec<(String, f64)> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // i is both index and UF element
+        for i in 0..self.n {
+            if find(&mut parent, i) == i {
+                if let Some(frag) = fragment[i].take() {
+                    roots.push(frag);
+                }
+            }
+        }
+        match roots.len() {
+            0 => ";".to_string(),
+            1 => format!("{};", roots[0].0),
+            _ => {
+                let parts: Vec<String> = roots
+                    .into_iter()
+                    .map(|(f, _)| format!("{f}:0.0"))
+                    .collect();
+                format!("({});", parts.join(","))
+            }
+        }
+    }
+}
+
+/// Build the dendrogram for a *similarity* matrix under a linkage.
+pub fn build_dendrogram(matrix: &CondensedMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    if n <= 1 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+    let mut merges = match linkage {
+        Linkage::Single => slink(matrix),
+        Linkage::Complete | Linkage::Average => nn_chain(matrix, linkage),
+    };
+    // Bottom-up order: most similar first.
+    merges.sort_by(|x, y| y.similarity.partial_cmp(&x.similarity).expect("no NaN"));
+    Dendrogram { n, merges }
+}
+
+/// Cut a dendrogram at similarity threshold `theta`: apply every merge
+/// with `similarity ≥ theta`; remaining components are the clusters.
+pub fn cut_dendrogram(dendrogram: &Dendrogram, theta: f64) -> ClusterAssignment {
+    let mut uf = UnionFind::new(dendrogram.n);
+    for m in &dendrogram.merges {
+        if m.similarity >= theta {
+            uf.union(m.a, m.b);
+        }
+    }
+    let labels = (0..dendrogram.n).map(|i| uf.find(i)).collect();
+    ClusterAssignment::from_labels(labels).compact()
+}
+
+/// Cut one dendrogram at several thresholds at once — the paper's
+/// "clustering results at different hierarchical taxonomic levels are
+/// also produced by setting similarity threshold within a cluster".
+/// Returns one assignment per θ, in the given order. Because all cuts
+/// come from the same merge tree, the θ₁ ≥ θ₂ cut is always a
+/// *refinement* of the θ₂ cut (each fine cluster lies inside one
+/// coarse cluster) — the property that makes the levels a taxonomy.
+pub fn cut_levels(dendrogram: &Dendrogram, thetas: &[f64]) -> Vec<ClusterAssignment> {
+    thetas
+        .iter()
+        .map(|&t| cut_dendrogram(dendrogram, t))
+        .collect()
+}
+
+/// Algorithm 2 in one call: build + cut.
+pub fn agglomerative(
+    matrix: &CondensedMatrix,
+    linkage: Linkage,
+    theta: f64,
+) -> (ClusterAssignment, Dendrogram) {
+    let dendro = build_dendrogram(matrix, linkage);
+    let assignment = cut_dendrogram(&dendro, theta);
+    (assignment, dendro)
+}
+
+/// SLINK: pointer-representation single-linkage in O(N²)/O(N).
+/// Distances are `1 − similarity`.
+// Index-based loops mirror Sibson's published pseudocode; iterator
+// forms obscure the pointer-machine updates.
+#[allow(clippy::needless_range_loop)]
+fn slink(matrix: &CondensedMatrix) -> Vec<Merge> {
+    let n = matrix.len();
+    let mut pi = vec![0usize; n];
+    let mut lambda = vec![f64::INFINITY; n];
+    let mut m = vec![0f64; n];
+
+    for i in 0..n {
+        pi[i] = i;
+        lambda[i] = f64::INFINITY;
+        for j in 0..i {
+            m[j] = 1.0 - matrix.get(i, j);
+        }
+        for j in 0..i {
+            if lambda[j] >= m[j] {
+                let t = m[pi[j]];
+                m[pi[j]] = t.min(lambda[j]);
+                lambda[j] = m[j];
+                pi[j] = i;
+            } else {
+                let t = m[pi[j]];
+                m[pi[j]] = t.min(m[j]);
+            }
+        }
+        for j in 0..i {
+            if lambda[j] >= lambda[pi[j]] {
+                pi[j] = i;
+            }
+        }
+    }
+
+    (0..n)
+        .filter(|&j| pi[j] != j)
+        .map(|j| Merge {
+            a: j,
+            b: pi[j],
+            similarity: 1.0 - lambda[j],
+        })
+        .collect()
+}
+
+/// Nearest-neighbour chain with Lance–Williams updates, on a mutable
+/// condensed *distance* copy. O(N²) time, O(N²) memory.
+#[allow(clippy::needless_range_loop)] // scans skip inactive clusters by index
+fn nn_chain(matrix: &CondensedMatrix, linkage: Linkage) -> Vec<Merge> {
+    let n = matrix.len();
+    // Distance copy.
+    let mut dist = CondensedMatrix::build(n, |i, j| 1.0 - matrix.get(i, j));
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<usize> = vec![1; n];
+    // Representative item of each live cluster id (min item works for
+    // reporting merges).
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&c| active[c]).expect("remaining > 1");
+            chain.push(start);
+        }
+        loop {
+            let a = *chain.last().expect("chain nonempty");
+            // Nearest active neighbour of a (smallest index on ties).
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for c in 0..n {
+                if c != a && active[c] {
+                    let d = dist.get(a, c);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+            }
+            // Reciprocal pair check: prefer the chain predecessor on
+            // equal distance (guarantees termination).
+            if chain.len() >= 2 {
+                let prev = chain[chain.len() - 2];
+                if best == prev || dist.get(a, prev) <= best_d {
+                    // Merge a and prev.
+                    chain.pop();
+                    chain.pop();
+                    let d_ab = dist.get(a, prev);
+                    let (keep, drop) = (a.min(prev), a.max(prev));
+                    merges.push(Merge {
+                        a: keep,
+                        b: drop,
+                        similarity: 1.0 - d_ab,
+                    });
+                    // Lance–Williams update of keep = a ∪ prev.
+                    for c in 0..n {
+                        if c != keep && c != drop && active[c] {
+                            let dk = dist.get(c, keep);
+                            let dd = dist.get(c, drop);
+                            let updated = match linkage {
+                                Linkage::Single => dk.min(dd),
+                                Linkage::Complete => dk.max(dd),
+                                Linkage::Average => {
+                                    let (sk, sd) = (size[keep] as f64, size[drop] as f64);
+                                    (sk * dk + sd * dd) / (sk + sd)
+                                }
+                            };
+                            dist.set(c, keep, updated);
+                        }
+                    }
+                    size[keep] += size[drop];
+                    active[drop] = false;
+                    remaining -= 1;
+                    break;
+                }
+            }
+            chain.push(best);
+        }
+    }
+    merges
+}
+
+/// Path-compressed, union-by-size union-find.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blocks {0,1,2} and {3,4} with weak cross links.
+    fn two_blocks() -> CondensedMatrix {
+        CondensedMatrix::build(5, |i, j| {
+            let block = |x: usize| usize::from(x >= 3);
+            if block(i) == block(j) {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn all_linkages_recover_blocks() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let (assign, dendro) = agglomerative(&two_blocks(), linkage, 0.5);
+            assert_eq!(assign.num_clusters(), 2, "{linkage:?}");
+            assert_eq!(dendro.merges.len(), 4, "{linkage:?}");
+            assert_eq!(assign.label(0), assign.label(1));
+            assert_eq!(assign.label(0), assign.label(2));
+            assert_eq!(assign.label(3), assign.label(4));
+            assert_ne!(assign.label(0), assign.label(3));
+        }
+    }
+
+    #[test]
+    fn cut_at_one_gives_singletons_unless_identical() {
+        let m = CondensedMatrix::build(4, |_, _| 0.99);
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let (assign, _) = agglomerative(&m, linkage, 1.0);
+            assert_eq!(assign.num_clusters(), 4);
+            let (assign, _) = agglomerative(&m, linkage, 0.9);
+            assert_eq!(assign.num_clusters(), 1);
+        }
+    }
+
+    #[test]
+    fn merge_heights_monotone_nonincreasing() {
+        // After sorting, similarities must be non-increasing; monotone
+        // linkages have no inversions so sorting is faithful.
+        let m = CondensedMatrix::build(8, |i, j| {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        });
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = build_dendrogram(&m, linkage);
+            let h = d.heights();
+            for w in h.windows(2) {
+                assert!(w[0] >= w[1] - 1e-9, "{linkage:?}: {h:?}");
+            }
+            assert_eq!(d.merges.len(), 7);
+        }
+    }
+
+    #[test]
+    fn single_linkage_chains_complete_does_not() {
+        // Path graph: consecutive items similar (0.8), others dissimilar.
+        let m = CondensedMatrix::build(5, |i, j| {
+            if i.abs_diff(j) == 1 {
+                0.8
+            } else {
+                0.0
+            }
+        });
+        // Single linkage at θ=0.7 chains everything into one cluster.
+        let (single, _) = agglomerative(&m, Linkage::Single, 0.7);
+        assert_eq!(single.num_clusters(), 1);
+        // Complete linkage requires *all* pairs ≥ θ: no 5-chain cluster.
+        let (complete, _) = agglomerative(&m, Linkage::Complete, 0.7);
+        assert!(complete.num_clusters() > 1);
+    }
+
+    #[test]
+    fn average_between_single_and_complete() {
+        let m = CondensedMatrix::build(6, |i, j| {
+            let x = ((i * 7 + j * 13) % 10) as f64 / 10.0;
+            0.3 + x * 0.5
+        });
+        for theta in [0.4, 0.55, 0.7] {
+            let ns = agglomerative(&m, Linkage::Single, theta).0.num_clusters();
+            let na = agglomerative(&m, Linkage::Average, theta).0.num_clusters();
+            let nc = agglomerative(&m, Linkage::Complete, theta).0.num_clusters();
+            assert!(ns <= na && na <= nc, "θ={theta}: {ns} {na} {nc}");
+        }
+    }
+
+    #[test]
+    fn slink_matches_nn_chain_single() {
+        let m = CondensedMatrix::build(10, |i, j| ((i * 31 + j * 17) % 89) as f64 / 89.0);
+        let s = build_dendrogram(&m, Linkage::Single);
+        let via_chain = {
+            let mut merges = nn_chain(&m, Linkage::Single);
+            merges.sort_by(|x, y| y.similarity.partial_cmp(&x.similarity).unwrap());
+            merges
+        };
+        // Same merge heights (the trees may differ in representatives).
+        let hs: Vec<f64> = s.heights();
+        let hc: Vec<f64> = via_chain.iter().map(|m| m.similarity).collect();
+        for (a, b) in hs.iter().zip(&hc) {
+            assert!((a - b).abs() < 1e-9, "{hs:?} vs {hc:?}");
+        }
+        // And identical flat clusterings at several thresholds.
+        for theta in [0.2, 0.5, 0.8] {
+            let ca = cut_dendrogram(&s, theta);
+            let cb = cut_dendrogram(
+                &Dendrogram {
+                    n: m.len(),
+                    merges: via_chain.clone(),
+                },
+                theta,
+            );
+            assert_eq!(ca.num_clusters(), cb.num_clusters(), "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let m = CondensedMatrix::build(0, |_, _| 0.0);
+        let d = build_dendrogram(&m, Linkage::Average);
+        assert!(d.merges.is_empty());
+        let m = CondensedMatrix::build(1, |_, _| 0.0);
+        let (a, d) = agglomerative(&m, Linkage::Complete, 0.5);
+        assert_eq!(a.num_clusters(), 1);
+        assert!(d.merges.is_empty());
+    }
+
+    #[test]
+    fn newick_structure() {
+        let (_, dendro) = agglomerative(&two_blocks(), Linkage::Average, 0.5);
+        let newick = dendro.to_newick(&["a", "b", "c", "d", "e"]);
+        // Well-formed: ends with ';', balanced parens, all leaves named.
+        assert!(newick.ends_with(';'), "{newick}");
+        let opens = newick.matches('(').count();
+        let closes = newick.matches(')').count();
+        assert_eq!(opens, closes, "{newick}");
+        assert_eq!(opens, 4, "4 merges → 4 internal nodes: {newick}");
+        for leaf in ["a", "b", "c", "d", "e"] {
+            assert!(newick.contains(leaf), "{newick}");
+        }
+        // The two blocks merge internally (short branches ~0.1) before
+        // the cross merge (long branch ~0.9): the root join carries the
+        // bigger distance.
+        assert!(newick.contains("0.8"), "{newick}");
+    }
+
+    #[test]
+    fn newick_degenerate_sizes() {
+        let d = Dendrogram { n: 0, merges: Vec::new() };
+        assert_eq!(d.to_newick(&[]), ";");
+        let d = Dendrogram { n: 1, merges: Vec::new() };
+        assert_eq!(d.to_newick(&["only"]), "only;");
+        // Two disconnected leaves (no merges): forest under a root.
+        let d = Dendrogram { n: 2, merges: Vec::new() };
+        let s = d.to_newick(&[]);
+        assert!(s.contains("leaf0") && s.contains("leaf1"), "{s}");
+    }
+
+    #[test]
+    fn newick_default_names() {
+        let m = CondensedMatrix::build(3, |_, _| 0.9);
+        let d = build_dendrogram(&m, Linkage::Single);
+        let s = d.to_newick(&["x"]); // only one name given
+        assert!(s.contains('x') && s.contains("leaf1") && s.contains("leaf2"), "{s}");
+    }
+
+    #[test]
+    fn linkage_from_str() {
+        assert_eq!("single".parse::<Linkage>().unwrap(), Linkage::Single);
+        assert_eq!("AVERAGE".parse::<Linkage>().unwrap(), Linkage::Average);
+        assert_eq!("Complete".parse::<Linkage>().unwrap(), Linkage::Complete);
+        assert!("ward".parse::<Linkage>().is_err());
+    }
+
+    #[test]
+    fn cluster_invariant_no_pair_below_theta_complete() {
+        // Complete linkage guarantee from the paper: "no pair of
+        // sequences within a cluster have less than θ similarity".
+        let m = CondensedMatrix::build(12, |i, j| ((i * 13 + j * 29) % 50) as f64 / 50.0);
+        let theta = 0.5;
+        let (assign, _) = agglomerative(&m, Linkage::Complete, theta);
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                if assign.label(i) == assign.label(j) {
+                    assert!(
+                        m.get(i, j) >= theta - 1e-9,
+                        "pair ({i},{j}) sim {} in same cluster",
+                        m.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+}

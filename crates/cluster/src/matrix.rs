@@ -1,0 +1,156 @@
+//! Condensed all-pairs similarity matrices.
+//!
+//! Stores only the strict upper triangle (`n·(n−1)/2` entries, `f32`)
+//! — at 50 000 sequences that is ~5 GB as `f64` but 2.5 GB as `f32`,
+//! and sketch-estimated similarities carry far less than 24 bits of
+//! signal anyway. Construction is parallelized by *row partitioning*,
+//! matching the paper's "calculation of all pairwise similarity is
+//! performed in parallel by performing a row-wise partition".
+
+use rayon::prelude::*;
+
+/// Upper-triangle condensed matrix of pairwise values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondensedMatrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl CondensedMatrix {
+    /// Build from a similarity oracle, in parallel over rows.
+    pub fn build_parallel<F>(n: usize, sim: F) -> CondensedMatrix
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let mut data = vec![0f32; n * n.saturating_sub(1) / 2];
+        // Row i owns entries (i, i+1..n): a contiguous slice of the
+        // condensed layout, so rows can be filled independently.
+        let mut slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.saturating_sub(1));
+        let mut rest: &mut [f32] = &mut data;
+        for i in 0..n.saturating_sub(1) {
+            let row_len = n - i - 1;
+            let (row, tail) = rest.split_at_mut(row_len);
+            slices.push((i, row));
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|(i, row)| {
+            for (k, slot) in row.iter_mut().enumerate() {
+                let j = i + 1 + k;
+                *slot = sim(i, j) as f32;
+            }
+        });
+        CondensedMatrix { n, data }
+    }
+
+    /// Build sequentially (for small inputs and tests).
+    pub fn build<F>(n: usize, mut sim: F) -> CondensedMatrix
+    where
+        F: FnMut(usize, usize) -> f64,
+    {
+        let mut data = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data.push(sim(i, j) as f32);
+            }
+        }
+        CondensedMatrix { n, data }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the 0-item matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Condensed index of `(i, j)`, `i != j`.
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i != j, "diagonal not stored");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row i = sum_{r<i} (n-1-r) = i·n − i·(i+1)/2.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Value at `(i, j)`; panics on the diagonal or out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        f64::from(self.data[self.index(i, j)])
+    }
+
+    /// Set the value at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        let idx = self.index(i, j);
+        self.data[idx] = value as f32;
+    }
+
+    /// Raw condensed data (row-major upper triangle).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get_symmetric() {
+        let m = CondensedMatrix::build(4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0); // symmetric access
+        assert_eq!(m.get(2, 3), 23.0);
+        assert_eq!(m.get(0, 3), 3.0);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let sim = |i: usize, j: usize| ((i * 31 + j * 7) % 97) as f64 / 97.0;
+        let a = CondensedMatrix::build(23, sim);
+        let b = CondensedMatrix::build_parallel(23, sim);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let mut m = CondensedMatrix::build(3, |_, _| 0.0);
+        m.set(0, 2, 0.5);
+        assert_eq!(m.get(2, 0), 0.5);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let m = CondensedMatrix::build(0, |_, _| 0.0);
+        assert!(m.is_empty());
+        let m = CondensedMatrix::build(1, |_, _| 0.0);
+        assert_eq!(m.len(), 1);
+        assert!(m.as_slice().is_empty());
+        let m = CondensedMatrix::build_parallel(2, |_, _| 0.25);
+        assert_eq!(m.get(0, 1), 0.25);
+    }
+
+    // The diagonal check is a debug_assert (get/set are the hottest
+    // loops in NN-chain), so it only fires in debug builds.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn diagonal_access_panics() {
+        let m = CondensedMatrix::build(3, |_, _| 0.0);
+        m.get(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = CondensedMatrix::build(3, |_, _| 0.0);
+        m.get(0, 3);
+    }
+}

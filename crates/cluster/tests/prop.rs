@@ -1,0 +1,207 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use mrmc_cluster::{
+    agglomerative, cut_dendrogram, cut_levels, greedy_cluster, linkage::build_dendrogram,
+    ClusterAssignment, CondensedMatrix, Linkage,
+};
+
+/// Strategy: a random symmetric similarity oracle over n items, as a
+/// seeded deterministic function.
+fn sim_fn(seed: u64) -> impl Fn(usize, usize) -> f64 + Copy {
+    move |i: usize, j: usize| {
+        let (i, j) = (i.min(j) as u64, i.max(j) as u64);
+        let mut h = seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)) ^ (j.wrapping_mul(0xC2B2AE3D27D4EB4F));
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        (h % 1000) as f64 / 1000.0
+    }
+}
+
+proptest! {
+    /// Greedy assigns every item exactly one in-range label.
+    #[test]
+    fn greedy_total_assignment(n in 0usize..60, theta in 0.0f64..1.0, seed in any::<u64>()) {
+        let a = greedy_cluster(n, theta, sim_fn(seed));
+        prop_assert_eq!(a.len(), n);
+        for i in 0..n {
+            prop_assert!(a.label(i) < n.max(1));
+        }
+        let sizes: usize = a.sizes().iter().sum();
+        prop_assert_eq!(sizes, n);
+    }
+
+    /// Greedy extremes: θ = 0 lumps everything into the first seed's
+    /// cluster; θ above every similarity yields all singletons.
+    /// (Interior θ is *not* monotone for greedy — it is order-dependent,
+    /// which is exactly why the paper's hierarchical variant exists.)
+    #[test]
+    fn greedy_extremes(n in 1usize..50, seed in any::<u64>()) {
+        let f = sim_fn(seed);
+        prop_assert_eq!(greedy_cluster(n, 0.0, f).num_clusters(), 1);
+        // sim_fn yields values < 1.0, so θ = 1.0 isolates everything.
+        prop_assert_eq!(greedy_cluster(n, 1.0, f).num_clusters(), n);
+    }
+
+    /// Every greedy member clears θ against its cluster's seed (the
+    /// Algorithm 1 line-9 guarantee). Seeds are the lowest-indexed
+    /// member of their cluster.
+    #[test]
+    fn greedy_members_clear_theta_vs_seed(n in 1usize..40, theta in 0.1f64..0.9, seed in any::<u64>()) {
+        let f = sim_fn(seed);
+        let a = greedy_cluster(n, theta, f);
+        let members = a.members();
+        for cluster in members.values() {
+            let seed_item = *cluster.iter().min().unwrap();
+            for &m in cluster {
+                if m != seed_item {
+                    prop_assert!(f(seed_item, m) >= theta);
+                }
+            }
+        }
+    }
+
+    /// A connected dendrogram has exactly n−1 merges and cutting it at
+    /// θ = 0 gives one cluster, θ > max-similarity gives singletons.
+    #[test]
+    fn dendrogram_structure(n in 2usize..40, seed in any::<u64>(), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Average, Linkage::Complete][linkage_idx];
+        let m = CondensedMatrix::build(n, sim_fn(seed));
+        let d = build_dendrogram(&m, linkage);
+        prop_assert_eq!(d.merges.len(), n - 1);
+        prop_assert_eq!(cut_dendrogram(&d, 0.0).num_clusters(), 1);
+        prop_assert_eq!(cut_dendrogram(&d, 1.01).num_clusters(), n);
+    }
+
+    /// Cutting is monotone in θ for every linkage.
+    #[test]
+    fn cut_monotone_in_theta(n in 2usize..35, seed in any::<u64>(), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Average, Linkage::Complete][linkage_idx];
+        let m = CondensedMatrix::build(n, sim_fn(seed));
+        let d = build_dendrogram(&m, linkage);
+        let mut prev = 0usize;
+        for theta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let c = cut_dendrogram(&d, theta).num_clusters();
+            prop_assert!(c >= prev, "θ={theta}: {c} < {prev}");
+            prev = c;
+        }
+    }
+
+    /// Single linkage at θ equals the connected components of the
+    /// θ-threshold similarity graph — the defining invariant.
+    #[test]
+    fn single_linkage_is_connected_components(n in 2usize..30, seed in any::<u64>(), theta in 0.1f64..0.9) {
+        let f = sim_fn(seed);
+        let m = CondensedMatrix::build(n, f);
+        let (assign, _) = agglomerative(&m, Linkage::Single, theta);
+        // Reference components by union-find over threshold edges.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x { p[x] = p[p[x]]; x = p[x]; }
+            x
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if f(i, j) >= theta {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj { parent[ri] = rj; }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_cc = find(&mut parent, i) == find(&mut parent, j);
+                prop_assert_eq!(assign.label(i) == assign.label(j), same_cc, "pair ({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Complete linkage guarantee: every within-cluster pair clears θ
+    /// ("no pair of sequences within a cluster have less than θ
+    /// percent similarity" — paper §III-B2). Consequently complete
+    /// never yields fewer clusters than single.
+    #[test]
+    fn complete_linkage_clique_guarantee(n in 2usize..30, seed in any::<u64>(), theta in 0.1f64..0.9) {
+        let f = sim_fn(seed);
+        let m = CondensedMatrix::build(n, f);
+        let (complete, _) = agglomerative(&m, Linkage::Complete, theta);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if complete.label(i) == complete.label(j) {
+                    prop_assert!(f(i, j) >= theta - 1e-9);
+                }
+            }
+        }
+        let (single, _) = agglomerative(&m, Linkage::Single, theta);
+        prop_assert!(single.num_clusters() <= complete.num_clusters());
+    }
+
+    /// Merge heights are monotone non-increasing for every linkage
+    /// (monotone linkages have no inversions).
+    #[test]
+    fn heights_monotone(n in 2usize..35, seed in any::<u64>(), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Average, Linkage::Complete][linkage_idx];
+        let m = CondensedMatrix::build(n, sim_fn(seed));
+        let d = build_dendrogram(&m, linkage);
+        let h = d.heights();
+        for w in h.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9, "{h:?}");
+        }
+    }
+
+    /// The condensed matrix stores what was built, symmetrically.
+    #[test]
+    fn matrix_symmetric_storage(n in 2usize..40, seed in any::<u64>()) {
+        let f = sim_fn(seed);
+        let m = CondensedMatrix::build_parallel(n, f);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!((m.get(i, j) - f(i, j)).abs() < 1e-6);
+                    prop_assert_eq!(m.get(i, j), m.get(j, i));
+                }
+            }
+        }
+    }
+
+    /// Multi-level cuts from one dendrogram form a taxonomy: a cut at
+    /// higher θ *refines* the cut at lower θ (every fine cluster lies
+    /// wholly inside one coarse cluster).
+    #[test]
+    fn cut_levels_nested_refinement(n in 2usize..30, seed in any::<u64>(), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Average, Linkage::Complete][linkage_idx];
+        let m = CondensedMatrix::build(n, sim_fn(seed));
+        let d = build_dendrogram(&m, linkage);
+        let levels = cut_levels(&d, &[0.9, 0.6, 0.3]); // fine → coarse
+        for w in levels.windows(2) {
+            let (fine, coarse) = (&w[0], &w[1]);
+            // Same fine cluster → same coarse cluster.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if fine.label(i) == fine.label(j) {
+                        prop_assert_eq!(coarse.label(i), coarse.label(j));
+                    }
+                }
+            }
+            prop_assert!(coarse.num_clusters() <= fine.num_clusters());
+        }
+    }
+
+    /// compact() preserves the partition structure.
+    #[test]
+    fn compact_preserves_partition(labels in proptest::collection::vec(0usize..20, 1..50)) {
+        let a = ClusterAssignment::from_labels(labels.clone());
+        let c = a.compact();
+        prop_assert_eq!(a.num_clusters(), c.num_clusters());
+        for i in 0..labels.len() {
+            for j in 0..labels.len() {
+                prop_assert_eq!(
+                    a.label(i) == a.label(j),
+                    c.label(i) == c.label(j)
+                );
+            }
+        }
+    }
+}

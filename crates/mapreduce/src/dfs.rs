@@ -1,0 +1,532 @@
+//! An in-memory distributed filesystem modelling HDFS.
+//!
+//! Files are stored once (cheaply shareable [`Bytes`]) and *described*
+//! as a sequence of fixed-size blocks, each with a replica set placed
+//! on simulated datanodes. The namenode role — path → block metadata,
+//! replica tracking, split computation — is what the Map-Reduce engine
+//! consumes: an [`InputSplit`] per block with locality hints.
+//!
+//! Fault injection (losing replicas, killing datanodes) is first-class
+//! so tests can exercise the under-replication and data-loss paths.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::MrError;
+
+/// DFS tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsConfig {
+    /// Block size in bytes (HDFS default is 64–128 MiB; tests use small
+    /// values so multi-block paths are exercised).
+    pub block_size: usize,
+    /// Replication factor (HDFS default 3).
+    pub replication: usize,
+    /// Number of simulated datanodes.
+    pub nodes: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            block_size: 64 * 1024 * 1024,
+            replication: 3,
+            nodes: 8,
+        }
+    }
+}
+
+/// Globally unique block id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    /// Byte range of this block within its file.
+    range: std::ops::Range<usize>,
+    /// Datanode ids currently holding a replica.
+    replicas: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    content: Bytes,
+    blocks: Vec<BlockId>,
+}
+
+/// One unit of map input: a block-aligned byte range of a file, with
+/// the nodes that hold it locally.
+#[derive(Debug, Clone)]
+pub struct InputSplit {
+    /// Path of the file this split belongs to.
+    pub path: String,
+    /// Index of the split within the file.
+    pub index: usize,
+    /// The *whole* file contents (cheap refcounted handle); readers use
+    /// `range` plus record-boundary rules, exactly like an HDFS reader
+    /// that can read past its block for a record tail.
+    pub file: Bytes,
+    /// The byte range this split owns.
+    pub range: std::ops::Range<usize>,
+    /// Datanodes holding the underlying block (locality hints).
+    pub preferred_nodes: Vec<usize>,
+}
+
+/// The in-memory DFS.
+pub struct Dfs {
+    config: DfsConfig,
+    files: RwLock<HashMap<String, FileMeta>>,
+    blocks: RwLock<HashMap<BlockId, BlockMeta>>,
+    next_block: AtomicU64,
+    /// Datanodes marked dead by fault injection.
+    dead_nodes: RwLock<Vec<bool>>,
+}
+
+impl Dfs {
+    /// Create a DFS with the given configuration.
+    pub fn new(config: DfsConfig) -> Result<Dfs, MrError> {
+        if config.nodes == 0 {
+            return Err(MrError::BadConfig("DFS needs at least one node".into()));
+        }
+        if config.block_size == 0 {
+            return Err(MrError::BadConfig("block size must be positive".into()));
+        }
+        if config.replication == 0 || config.replication > config.nodes {
+            return Err(MrError::BadConfig(format!(
+                "replication {} invalid for {} nodes",
+                config.replication, config.nodes
+            )));
+        }
+        Ok(Dfs {
+            config,
+            files: RwLock::new(HashMap::new()),
+            blocks: RwLock::new(HashMap::new()),
+            next_block: AtomicU64::new(0),
+            dead_nodes: RwLock::new(vec![false; config.nodes]),
+        })
+    }
+
+    /// The configuration this DFS was built with.
+    pub fn config(&self) -> DfsConfig {
+        self.config
+    }
+
+    /// Store a file. Errors if the path exists and `overwrite` is false.
+    pub fn put(
+        &self,
+        path: &str,
+        content: impl Into<Bytes>,
+        overwrite: bool,
+    ) -> Result<(), MrError> {
+        let content: Bytes = content.into();
+        let mut files = self.files.write();
+        if files.contains_key(path) && !overwrite {
+            return Err(MrError::FileExists(path.to_string()));
+        }
+        // Compute block layout and replica placement. Placement is the
+        // classic round-robin-from-hash scheme: replicas of block i go
+        // to consecutive live nodes starting at (hash(path) + i).
+        let mut blocks = self.blocks.write();
+        if let Some(old) = files.remove(path) {
+            for b in old.blocks {
+                blocks.remove(&b);
+            }
+        }
+        let dead = self.dead_nodes.read();
+        let live: Vec<usize> = (0..self.config.nodes).filter(|&n| !dead[n]).collect();
+        if live.len() < self.config.replication {
+            return Err(MrError::BadConfig(format!(
+                "only {} live nodes, replication {} impossible",
+                live.len(),
+                self.config.replication
+            )));
+        }
+        let base = path_hash(path) as usize;
+        let n_blocks = content.len().div_ceil(self.config.block_size).max(1);
+        let mut ids = Vec::with_capacity(n_blocks);
+        for i in 0..n_blocks {
+            let start = i * self.config.block_size;
+            let end = ((i + 1) * self.config.block_size).min(content.len());
+            let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
+            let replicas = (0..self.config.replication)
+                .map(|r| live[(base + i + r) % live.len()])
+                .collect();
+            blocks.insert(
+                id,
+                BlockMeta {
+                    range: start..end,
+                    replicas,
+                },
+            );
+            ids.push(id);
+        }
+        files.insert(
+            path.to_string(),
+            FileMeta {
+                content,
+                blocks: ids,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read a whole file. Fails with [`MrError::MissingBlock`] if any
+    /// block has lost all replicas (fault injection).
+    pub fn read(&self, path: &str) -> Result<Bytes, MrError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let blocks = self.blocks.read();
+        for (i, id) in meta.blocks.iter().enumerate() {
+            let b = blocks.get(id).ok_or(MrError::MissingBlock {
+                path: path.to_string(),
+                block_index: i,
+            })?;
+            if b.replicas.is_empty() {
+                return Err(MrError::MissingBlock {
+                    path: path.to_string(),
+                    block_index: i,
+                });
+            }
+        }
+        Ok(meta.content.clone())
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    /// Remove a file and its blocks.
+    pub fn delete(&self, path: &str) -> Result<(), MrError> {
+        let mut files = self.files.write();
+        let meta = files
+            .remove(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let mut blocks = self.blocks.write();
+        for b in meta.blocks {
+            blocks.remove(&b);
+        }
+        Ok(())
+    }
+
+    /// List paths with a given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .files
+            .read()
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// File length in bytes.
+    pub fn len_of(&self, path: &str) -> Result<usize, MrError> {
+        self.files
+            .read()
+            .get(path)
+            .map(|m| m.content.len())
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))
+    }
+
+    /// Compute the input splits (one per block) for a file.
+    pub fn splits(&self, path: &str) -> Result<Vec<InputSplit>, MrError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let blocks = self.blocks.read();
+        meta.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let b = blocks.get(id).ok_or(MrError::MissingBlock {
+                    path: path.to_string(),
+                    block_index: i,
+                })?;
+                Ok(InputSplit {
+                    path: path.to_string(),
+                    index: i,
+                    file: meta.content.clone(),
+                    range: b.range.clone(),
+                    preferred_nodes: b.replicas.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Fault injection: drop every replica of one block of a file.
+    pub fn drop_block(&self, path: &str, block_index: usize) -> Result<(), MrError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let id = *meta.blocks.get(block_index).ok_or(MrError::MissingBlock {
+            path: path.to_string(),
+            block_index,
+        })?;
+        self.blocks.write().get_mut(&id).expect("meta consistent").replicas.clear();
+        Ok(())
+    }
+
+    /// Fault injection: kill a datanode — its replicas vanish. Files
+    /// stay readable while any replica survives elsewhere.
+    pub fn kill_node(&self, node: usize) {
+        let mut dead = self.dead_nodes.write();
+        if node < dead.len() {
+            dead[node] = true;
+        }
+        drop(dead);
+        let mut blocks = self.blocks.write();
+        for b in blocks.values_mut() {
+            b.replicas.retain(|&r| r != node);
+        }
+    }
+
+    /// Number of blocks whose replica count is below the configured
+    /// replication factor (but nonzero).
+    pub fn under_replicated(&self) -> usize {
+        self.blocks
+            .read()
+            .values()
+            .filter(|b| !b.replicas.is_empty() && b.replicas.len() < self.config.replication)
+            .count()
+    }
+
+    /// Number of blocks with no replicas at all (data loss).
+    pub fn lost_blocks(&self) -> usize {
+        self.blocks
+            .read()
+            .values()
+            .filter(|b| b.replicas.is_empty())
+            .count()
+    }
+
+    /// Total blocks stored.
+    pub fn total_blocks(&self) -> usize {
+        self.blocks.read().len()
+    }
+}
+
+/// FNV-1a hash for placement decisions.
+fn path_hash(path: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Reads the records of a FASTA-like file that *start* inside a split.
+///
+/// Follows the Hadoop `TextInputFormat` convention adapted to FASTA:
+/// a record starts at a `>` that is at offset 0 or preceded by `\n`;
+/// a split owns every record whose start lies in `[range.start,
+/// range.end)` and may read past `range.end` for the tail of its last
+/// record. Every record of the file is therefore owned by exactly one
+/// split.
+pub struct FastaSplitReader;
+
+impl FastaSplitReader {
+    /// Extract the raw record byte-slices owned by `split`.
+    pub fn records(split: &InputSplit) -> Vec<Bytes> {
+        Self::records_in(&split.file, split.range.clone())
+    }
+
+    /// Core boundary logic, testable without a DFS.
+    pub fn records_in(file: &Bytes, range: std::ops::Range<usize>) -> Vec<Bytes> {
+        let data = file.as_ref();
+        let mut out = Vec::new();
+        if range.start >= data.len() {
+            return out;
+        }
+        let is_record_start =
+            |pos: usize| data[pos] == b'>' && (pos == 0 || data[pos - 1] == b'\n');
+        // Find the first record start at or after range.start.
+        let mut pos = range.start;
+        while pos < data.len() && !is_record_start(pos) {
+            pos += 1;
+        }
+        while pos < data.len() && pos < range.end {
+            // Find the start of the next record.
+            let mut next = pos + 1;
+            while next < data.len() && !is_record_start(next) {
+                next += 1;
+            }
+            out.push(file.slice(pos..next));
+            pos = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dfs(block: usize) -> Dfs {
+        Dfs::new(DfsConfig {
+            block_size: block,
+            replication: 2,
+            nodes: 4,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn put_read_round_trip() {
+        let dfs = small_dfs(8);
+        dfs.put("/a.fa", &b">r1\nACGT\n"[..], false).unwrap();
+        assert_eq!(dfs.read("/a.fa").unwrap().as_ref(), b">r1\nACGT\n");
+        assert!(dfs.exists("/a.fa"));
+    }
+
+    #[test]
+    fn overwrite_rules() {
+        let dfs = small_dfs(8);
+        dfs.put("/f", &b"one"[..], false).unwrap();
+        assert!(matches!(
+            dfs.put("/f", &b"two"[..], false),
+            Err(MrError::FileExists(_))
+        ));
+        dfs.put("/f", &b"two"[..], true).unwrap();
+        assert_eq!(dfs.read("/f").unwrap().as_ref(), b"two");
+    }
+
+    #[test]
+    fn blocking_and_splits() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789"[..], false).unwrap(); // 3 blocks: 4+4+2
+        let splits = dfs.splits("/f").unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0].range, 0..4);
+        assert_eq!(splits[2].range, 8..10);
+        for s in &splits {
+            assert_eq!(s.preferred_nodes.len(), 2);
+        }
+    }
+
+    #[test]
+    fn empty_file_has_one_block() {
+        let dfs = small_dfs(4);
+        dfs.put("/e", &b""[..], false).unwrap();
+        assert_eq!(dfs.splits("/e").unwrap().len(), 1);
+        assert_eq!(dfs.read("/e").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn delete_removes_blocks() {
+        let dfs = small_dfs(2);
+        dfs.put("/f", &b"abcdef"[..], false).unwrap();
+        assert_eq!(dfs.total_blocks(), 3);
+        dfs.delete("/f").unwrap();
+        assert_eq!(dfs.total_blocks(), 0);
+        assert!(matches!(dfs.read("/f"), Err(MrError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn list_with_prefix() {
+        let dfs = small_dfs(8);
+        dfs.put("/in/a", &b"x"[..], false).unwrap();
+        dfs.put("/in/b", &b"y"[..], false).unwrap();
+        dfs.put("/out/c", &b"z"[..], false).unwrap();
+        assert_eq!(dfs.list("/in/"), vec!["/in/a".to_string(), "/in/b".into()]);
+    }
+
+    #[test]
+    fn kill_node_degrades_then_loses_data() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789"[..], false).unwrap();
+        // Kill nodes until replicas vanish.
+        dfs.kill_node(0);
+        // Replication 2 on 4 nodes: after one node dies some blocks are
+        // under-replicated but all still readable.
+        assert!(dfs.read("/f").is_ok());
+        dfs.kill_node(1);
+        dfs.kill_node(2);
+        dfs.kill_node(3);
+        assert!(dfs.lost_blocks() > 0);
+        assert!(matches!(
+            dfs.read("/f"),
+            Err(MrError::MissingBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_block_makes_file_unreadable() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789"[..], false).unwrap();
+        dfs.drop_block("/f", 1).unwrap();
+        match dfs.read("/f") {
+            Err(MrError::MissingBlock { block_index, .. }) => assert_eq!(block_index, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(dfs.lost_blocks(), 1);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(Dfs::new(DfsConfig {
+            block_size: 0,
+            replication: 1,
+            nodes: 1
+        })
+        .is_err());
+        assert!(Dfs::new(DfsConfig {
+            block_size: 1,
+            replication: 3,
+            nodes: 2
+        })
+        .is_err());
+        assert!(Dfs::new(DfsConfig {
+            block_size: 1,
+            replication: 1,
+            nodes: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn fasta_split_reader_each_record_owned_once() {
+        let fasta = Bytes::from_static(b">r1\nACGT\n>r2\nTT\n>r3\nGGGG\n");
+        // Split the file at arbitrary byte boundaries; union of records
+        // across splits must be exactly the records of the file.
+        for cut in 1..fasta.len() {
+            let a = FastaSplitReader::records_in(&fasta, 0..cut);
+            let b = FastaSplitReader::records_in(&fasta, cut..fasta.len());
+            let total: Vec<Bytes> = a.into_iter().chain(b).collect();
+            assert_eq!(total.len(), 3, "cut at {cut}");
+            let joined: Vec<u8> = total.iter().flat_map(|b| b.as_ref().to_vec()).collect();
+            assert_eq!(joined, fasta.as_ref(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn fasta_split_reader_via_dfs_splits() {
+        let body = b">a\nAC\n>b\nGT\n>c\nTTTT\n>d\nAAA\n";
+        let dfs = small_dfs(7);
+        dfs.put("/x.fa", &body[..], false).unwrap();
+        let splits = dfs.splits("/x.fa").unwrap();
+        let mut n = 0;
+        for s in &splits {
+            n += FastaSplitReader::records(s).len();
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn fasta_split_reader_greater_inside_sequence_not_a_boundary() {
+        // '>' not preceded by newline must not start a record.
+        let fasta = Bytes::from_static(b">r1 x>y\nACGT\n>r2\nTT\n");
+        let recs = FastaSplitReader::records_in(&fasta, 0..fasta.len());
+        assert_eq!(recs.len(), 2);
+    }
+}

@@ -1,0 +1,640 @@
+//! The multi-threaded job executor.
+//!
+//! Runs map tasks on a bounded worker pool (sized like the simulated
+//! cluster's task slots), performs a hash-partitioned, sort-based
+//! shuffle, then runs reduce tasks per partition. Task wall-times are
+//! recorded so the [`crate::simcluster`] layer can re-schedule the same
+//! work onto a virtual 2–12 node cluster.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::error::MrError;
+use crate::job::{
+    partition_of, Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext,
+    TaskStats,
+};
+
+/// Default worker pool size: the machine's parallelism.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Run `n` tasks on `threads` workers, collecting results in task
+/// order. A task body that panics is retried up to `attempts` times
+/// (Hadoop's task-attempt semantics); exhausted attempts become
+/// [`MrError::TaskFailed`]. Returns the results plus the number of
+/// retries that occurred.
+fn run_parallel<T, F>(
+    phase: &'static str,
+    n: usize,
+    threads: usize,
+    attempts: usize,
+    f: F,
+) -> Result<(Vec<T>, u64), MrError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Ok((Vec::new(), 0));
+    }
+    let attempts = attempts.max(1);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    let retries = std::sync::atomic::AtomicU64::new(0);
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let mut last_msg = String::new();
+                let mut done = false;
+                for attempt in 0..attempts {
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(v) => {
+                            *results[i].lock() = Some(v);
+                            done = true;
+                            break;
+                        }
+                        Err(payload) => {
+                            last_msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "task panicked".to_string());
+                            if attempt + 1 < attempts {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                if !done {
+                    let mut slot = failure.lock();
+                    if slot.is_none() {
+                        *slot = Some((i, last_msg));
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((task, message)) = failure.into_inner() {
+        return Err(MrError::TaskFailed {
+            phase,
+            task,
+            message,
+        });
+    }
+    let out = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("task completed"))
+        .collect();
+    Ok((out, retries.into_inner()))
+}
+
+/// Split `input` into `n` contiguous chunks of near-equal length.
+fn chunk_input<T>(mut input: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let n = n.max(1);
+    let total = input.len();
+    let base = total / n;
+    let extra = total % n;
+    let mut chunks = Vec::with_capacity(n);
+    // Pop from the back to avoid O(n²) moves, then reverse.
+    let mut sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    for size in sizes {
+        let tail = input.split_off(input.len() - size);
+        chunks.push(tail);
+    }
+    chunks.reverse();
+    chunks
+}
+
+/// Pairs emitted by one map task plus its stats/counters.
+type MapPhaseResult<K, V> = (Vec<MapTaskOutput<K, V>>, u64);
+
+struct MapTaskOutput<K, V> {
+    partitions: Vec<Vec<(K, V)>>,
+    stats: TaskStats,
+    counters: Counters,
+}
+
+/// Run the map phase only; returns the concatenated mapper output in
+/// task order (no shuffle, no reduce). Useful for `FOREACH`-style
+/// record-parallel transforms that Pig lowers to map-only jobs.
+pub fn run_map_only<M>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    config: &JobConfig,
+) -> Result<JobResult<M::OutKey, M::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+{
+    let workers = config.worker_threads.unwrap_or_else(default_workers);
+    // Chunks stay intact so a retried attempt can re-read its input.
+    let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
+
+    let (outputs, retries) = run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
+        let chunk = chunks[i].clone();
+        let start = Instant::now();
+        let records_in = chunk.len() as u64;
+        let mut ctx = TaskContext::new();
+        for (k, v) in chunk {
+            mapper.map(k, v, &mut ctx);
+        }
+        let (pairs, counters) = ctx.into_parts();
+        let stats = TaskStats {
+            task: i,
+            duration: start.elapsed(),
+            records_in,
+            records_out: pairs.len() as u64,
+        };
+        (pairs, stats, counters)
+    })?;
+
+    let counters = Counters::new();
+    counters.add("TASK_RETRIES", retries);
+    let mut all = Vec::new();
+    let mut map_stats = Vec::new();
+    for (pairs, stats, task_counters) in outputs {
+        counters.merge(&task_counters);
+        counters.add("MAP_INPUT_RECORDS", stats.records_in);
+        counters.add("MAP_OUTPUT_RECORDS", stats.records_out);
+        map_stats.push(stats);
+        all.extend(pairs);
+    }
+    Ok(JobResult {
+        output: all,
+        counters,
+        map_stats,
+        reduce_stats: Vec::new(),
+        shuffled_pairs: 0,
+    })
+}
+
+/// Run a full map → shuffle → reduce job without a combiner.
+pub fn run_job<M, R>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    reducer: &R,
+    config: &JobConfig,
+) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    run_job_impl(
+        input,
+        num_map_tasks,
+        mapper,
+        None::<&NoCombiner<M::OutKey, M::OutValue>>,
+        reducer,
+        config,
+    )
+}
+
+/// Run a full job with a combiner applied to each map task's local
+/// output before the shuffle.
+pub fn run_job_with_combiner<M, C, R>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    config: &JobConfig,
+) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    run_job_impl(input, num_map_tasks, mapper, Some(combiner), reducer, config)
+}
+
+/// A never-instantiated combiner standing in for `None`. The
+/// `fn() -> _` phantom keeps it `Send + Sync` regardless of `K`/`V`.
+struct NoCombiner<K, V>(std::marker::PhantomData<fn() -> (K, V)>);
+impl<K: crate::job::MrKey, V: crate::job::MrValue> Combiner for NoCombiner<K, V> {
+    type Key = K;
+    type Value = V;
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+// PhantomData<(K,V)> is not Send/Sync-friendly for raw pointers, but
+// K/V here are Send so the auto-impls apply.
+
+fn run_job_impl<M, C, R>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    combiner: Option<&C>,
+    reducer: &R,
+    config: &JobConfig,
+) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    if config.num_reducers == 0 {
+        return Err(MrError::BadConfig("num_reducers must be ≥ 1".into()));
+    }
+    let reducers = config.num_reducers;
+    let workers = config.worker_threads.unwrap_or_else(default_workers);
+
+    // ---- Map phase ----
+    let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
+
+    let (map_outputs, map_retries): MapPhaseResult<M::OutKey, M::OutValue> =
+        run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
+            let chunk = chunks[i].clone();
+            let start = Instant::now();
+            let records_in = chunk.len() as u64;
+            let mut ctx = TaskContext::new();
+            for (k, v) in chunk {
+                mapper.map(k, v, &mut ctx);
+            }
+            let (mut pairs, counters) = ctx.into_parts();
+            // Local combine: sort + group + combine, like Hadoop's
+            // in-memory combiner on spill.
+            if let Some(c) = combiner {
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut combined = Vec::with_capacity(pairs.len());
+                let mut iter = pairs.into_iter().peekable();
+                while let Some((key, first)) = iter.next() {
+                    let mut group = vec![first];
+                    while iter.peek().is_some_and(|(k, _)| *k == key) {
+                        group.push(iter.next().expect("peeked").1);
+                    }
+                    for v in c.combine(&key, group) {
+                        combined.push((key.clone(), v));
+                    }
+                }
+                pairs = combined;
+            }
+            let records_out = pairs.len() as u64;
+            // Partition.
+            let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+                (0..reducers).map(|_| Vec::new()).collect();
+            for (k, v) in pairs {
+                let p = partition_of(&k, reducers);
+                partitions[p].push((k, v));
+            }
+            MapTaskOutput {
+                partitions,
+                stats: TaskStats {
+                    task: i,
+                    duration: start.elapsed(),
+                    records_in,
+                    records_out,
+                },
+                counters,
+            }
+        })?;
+
+    // ---- Shuffle: gather each partition across map tasks ----
+    let counters = Counters::new();
+    counters.add("TASK_RETRIES", map_retries);
+    let mut map_stats = Vec::with_capacity(map_outputs.len());
+    let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+        (0..reducers).map(|_| Vec::new()).collect();
+    let mut shuffled_pairs = 0u64;
+    for out in map_outputs {
+        counters.merge(&out.counters);
+        counters.add("MAP_INPUT_RECORDS", out.stats.records_in);
+        counters.add("MAP_OUTPUT_RECORDS", out.stats.records_out);
+        shuffled_pairs += out.stats.records_out;
+        map_stats.push(out.stats);
+        for (p, pairs) in out.partitions.into_iter().enumerate() {
+            partitions[p].extend(pairs);
+        }
+    }
+    counters.add("SHUFFLED_PAIRS", shuffled_pairs);
+
+    // ---- Reduce phase ----
+    let partition_slots: Vec<Vec<(M::OutKey, M::OutValue)>> = partitions;
+
+    let (reduce_outputs, reduce_retries) =
+        run_parallel("reduce", reducers, workers, config.max_attempts, |p| {
+        let mut pairs = partition_slots[p].clone();
+        let start = Instant::now();
+        let records_in = pairs.len() as u64;
+        // Sort-based grouping (stable so value order is deterministic
+        // given task order).
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ctx = TaskContext::new();
+        let mut iter = pairs.into_iter().peekable();
+        while let Some((key, first)) = iter.next() {
+            let mut group = vec![first];
+            while iter.peek().is_some_and(|(k, _)| *k == key) {
+                group.push(iter.next().expect("peeked").1);
+            }
+            reducer.reduce(key, group, &mut ctx);
+        }
+        let (out, task_counters) = ctx.into_parts();
+        let stats = TaskStats {
+            task: p,
+            duration: start.elapsed(),
+            records_in,
+            records_out: out.len() as u64,
+        };
+        (out, stats, task_counters)
+    })?;
+
+    counters.add("TASK_RETRIES", reduce_retries);
+    let mut output = Vec::new();
+    let mut reduce_stats = Vec::with_capacity(reducers);
+    for (out, stats, task_counters) in reduce_outputs {
+        counters.merge(&task_counters);
+        counters.add("REDUCE_INPUT_RECORDS", stats.records_in);
+        counters.add("REDUCE_OUTPUT_RECORDS", stats.records_out);
+        reduce_stats.push(stats);
+        output.extend(out);
+    }
+
+    Ok(JobResult {
+        output,
+        counters,
+        map_stats,
+        reduce_stats,
+        shuffled_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic word count over (line_no, line) records.
+    struct WcMapper;
+    impl Mapper for WcMapper {
+        type InKey = usize;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _k: usize, line: String, ctx: &mut TaskContext<String, u64>) {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+            ctx.count("lines", 1);
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, key: String, values: Vec<u64>, ctx: &mut TaskContext<String, u64>) {
+            ctx.emit(key, values.iter().sum());
+        }
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = String;
+        type Value = u64;
+        fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    fn wc_input() -> Vec<(usize, String)> {
+        let text = "the quick brown fox\nthe lazy dog\nthe fox";
+        text.lines()
+            .enumerate()
+            .map(|(i, l)| (i, l.to_string()))
+            .collect()
+    }
+
+    fn sorted(output: Vec<(String, u64)>) -> Vec<(String, u64)> {
+        let mut v = output;
+        v.sort();
+        v
+    }
+
+    fn expected_wc() -> Vec<(String, u64)> {
+        vec![
+            ("brown".into(), 1),
+            ("dog".into(), 1),
+            ("fox".into(), 2),
+            ("lazy".into(), 1),
+            ("quick".into(), 1),
+            ("the".into(), 3),
+        ]
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let cfg = JobConfig::named("wc").reducers(3).workers(4);
+        let result = run_job(wc_input(), 2, &WcMapper, &SumReducer, &cfg).unwrap();
+        assert_eq!(sorted(result.output), expected_wc());
+        assert_eq!(result.counters.get("lines"), 3);
+        assert_eq!(result.counters.get("MAP_INPUT_RECORDS"), 3);
+        assert_eq!(result.map_stats.len(), 2);
+        assert_eq!(result.reduce_stats.len(), 3);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_same_answer() {
+        let cfg = JobConfig::named("wc").reducers(2).workers(2);
+        let plain = run_job(wc_input(), 3, &WcMapper, &SumReducer, &cfg).unwrap();
+        let combined =
+            run_job_with_combiner(wc_input(), 3, &WcMapper, &SumCombiner, &SumReducer, &cfg)
+                .unwrap();
+        assert_eq!(sorted(plain.output), sorted(combined.output));
+        assert!(
+            combined.shuffled_pairs <= plain.shuffled_pairs,
+            "combiner must not inflate shuffle: {} vs {}",
+            combined.shuffled_pairs,
+            plain.shuffled_pairs
+        );
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let outs: Vec<Vec<(String, u64)>> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let cfg = JobConfig::named("wc").reducers(4).workers(w);
+                sorted(run_job(wc_input(), 4, &WcMapper, &SumReducer, &cfg).unwrap().output)
+            })
+            .collect();
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let cfg = JobConfig::named("wc").reducers(2);
+        let result = run_job(Vec::new(), 4, &WcMapper, &SumReducer, &cfg).unwrap();
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn more_reducers_than_keys_is_fine() {
+        let cfg = JobConfig::named("wc").reducers(64);
+        let result = run_job(wc_input(), 2, &WcMapper, &SumReducer, &cfg).unwrap();
+        assert_eq!(sorted(result.output), expected_wc());
+    }
+
+    #[test]
+    fn zero_reducers_rejected() {
+        let cfg = JobConfig::named("bad").reducers(0);
+        assert!(matches!(
+            run_job(wc_input(), 1, &WcMapper, &SumReducer, &cfg),
+            Err(MrError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn map_only_preserves_task_order() {
+        let cfg = JobConfig::named("m").workers(4);
+        let input: Vec<(usize, String)> =
+            (0..100).map(|i| (i, format!("w{i}"))).collect();
+        struct Echo;
+        impl Mapper for Echo {
+            type InKey = usize;
+            type InValue = String;
+            type OutKey = usize;
+            type OutValue = String;
+            fn map(&self, k: usize, v: String, ctx: &mut TaskContext<usize, String>) {
+                ctx.emit(k, v);
+            }
+        }
+        let result = run_map_only(input, 7, &Echo, &cfg).unwrap();
+        let keys: Vec<usize> = result.output.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+        assert_eq!(result.map_stats.len(), 7);
+    }
+
+    #[test]
+    fn task_panic_becomes_error() {
+        struct Bomb;
+        impl Mapper for Bomb {
+            type InKey = usize;
+            type InValue = String;
+            type OutKey = String;
+            type OutValue = u64;
+            fn map(&self, k: usize, _v: String, _ctx: &mut TaskContext<String, u64>) {
+                if k == 1 {
+                    panic!("injected fault");
+                }
+            }
+        }
+        let cfg = JobConfig::named("boom").reducers(1).workers(2);
+        match run_job(wc_input(), 3, &Bomb, &SumReducer, &cfg) {
+            Err(MrError::TaskFailed { phase, message, .. }) => {
+                assert_eq!(phase, "map");
+                assert!(message.contains("injected fault"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flaky_task_succeeds_with_retries() {
+        use std::sync::atomic::AtomicU32;
+
+        /// Fails its first two executions, then works — a crashy
+        /// datanode, Hadoop-style.
+        struct Flaky {
+            failures_left: AtomicU32,
+        }
+        impl Mapper for Flaky {
+            type InKey = usize;
+            type InValue = String;
+            type OutKey = String;
+            type OutValue = u64;
+            fn map(&self, _k: usize, line: String, ctx: &mut TaskContext<String, u64>) {
+                let left = self.failures_left.load(Ordering::SeqCst);
+                if left > 0
+                    && self
+                        .failures_left
+                        .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    panic!("transient fault");
+                }
+                for w in line.split_whitespace() {
+                    ctx.emit(w.to_string(), 1);
+                }
+            }
+        }
+
+        // Without retries: the job fails.
+        let flaky = Flaky {
+            failures_left: AtomicU32::new(2),
+        };
+        let cfg = JobConfig::named("flaky").reducers(2).workers(1);
+        assert!(run_job(wc_input(), 2, &flaky, &SumReducer, &cfg).is_err());
+
+        // With an attempt budget: the job recovers and the answer is
+        // exactly the clean run's.
+        let flaky = Flaky {
+            failures_left: AtomicU32::new(2),
+        };
+        let cfg = JobConfig::named("flaky").reducers(2).workers(1).attempts(4);
+        let result = run_job(wc_input(), 2, &flaky, &SumReducer, &cfg).unwrap();
+        assert_eq!(sorted(result.output), expected_wc());
+        assert!(result.counters.get("TASK_RETRIES") >= 1);
+    }
+
+    #[test]
+    fn attempts_builder_floors_at_one() {
+        assert_eq!(JobConfig::named("x").attempts(0).max_attempts, 1);
+        assert_eq!(JobConfig::named("x").attempts(3).max_attempts, 3);
+    }
+
+    #[test]
+    fn chunking_is_balanced_and_complete() {
+        let chunks = chunk_input((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks.len(), 3);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let all: Vec<i32> = chunks.into_iter().flatten().collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunking_more_tasks_than_items() {
+        let chunks = chunk_input(vec![1, 2], 5);
+        assert_eq!(chunks.len(), 5);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn reduce_output_sorted_within_partition() {
+        // With one reducer, all output keys arrive sorted.
+        let cfg = JobConfig::named("sorted").reducers(1);
+        let result = run_job(wc_input(), 2, &WcMapper, &SumReducer, &cfg).unwrap();
+        let keys: Vec<&String> = result.output.iter().map(|(k, _)| k).collect();
+        let mut expect = keys.clone();
+        expect.sort();
+        assert_eq!(keys, expect);
+    }
+}

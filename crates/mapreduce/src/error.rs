@@ -1,0 +1,68 @@
+//! Errors for the Map-Reduce substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the DFS and the job engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// Path does not exist in the DFS namespace.
+    FileNotFound(String),
+    /// Path already exists and overwrite was not requested.
+    FileExists(String),
+    /// A block id was present in file metadata but missing from the
+    /// block store — indicates corruption (or an injected fault).
+    MissingBlock {
+        /// Owning file.
+        path: String,
+        /// Index of the missing block within the file.
+        block_index: usize,
+    },
+    /// Invalid configuration (zero nodes, zero reducers, …).
+    BadConfig(String),
+    /// A map or reduce task panicked.
+    TaskFailed {
+        /// "map" or "reduce".
+        phase: &'static str,
+        /// Task index within the phase.
+        task: usize,
+        /// Panic payload rendered to a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::FileNotFound(p) => write!(f, "DFS file not found: {p}"),
+            MrError::FileExists(p) => write!(f, "DFS file already exists: {p}"),
+            MrError::MissingBlock { path, block_index } => {
+                write!(f, "missing block {block_index} of {path}")
+            }
+            MrError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            MrError::TaskFailed {
+                phase,
+                task,
+                message,
+            } => write!(f, "{phase} task {task} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        assert!(MrError::FileNotFound("/x".into()).to_string().contains("/x"));
+        let e = MrError::TaskFailed {
+            phase: "map",
+            task: 3,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("map") && s.contains('3') && s.contains("boom"));
+    }
+}

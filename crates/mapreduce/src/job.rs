@@ -1,0 +1,299 @@
+//! The Mapper / Reducer / Combiner programming model.
+//!
+//! Typed, in-process analogue of Hadoop's API: a [`Mapper`] turns one
+//! input record into intermediate `(K, V)` pairs via a [`TaskContext`];
+//! the engine shuffles pairs by key; a [`Reducer`] folds each key's
+//! value group into output records. An optional [`Combiner`] runs on
+//! each map task's local output before the shuffle, cutting shuffle
+//! volume exactly like Hadoop's combiner.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Requirements on intermediate keys: hashed for partitioning, ordered
+/// for the sort-based group-by, cloned into combiner runs.
+pub trait MrKey: Clone + Ord + Hash + Send + Sync {}
+impl<T: Clone + Ord + Hash + Send + Sync> MrKey for T {}
+
+/// Requirements on intermediate values.
+pub trait MrValue: Clone + Send + Sync {}
+impl<T: Clone + Send + Sync> MrValue for T {}
+
+/// A map function: `(in_key, in_value) → (out_key, out_value)*`.
+pub trait Mapper: Send + Sync {
+    /// Input key (e.g. record offset or sequence id).
+    type InKey: Send;
+    /// Input value (e.g. a FASTA record).
+    type InValue: Send;
+    /// Intermediate key.
+    type OutKey: MrKey;
+    /// Intermediate value.
+    type OutValue: MrValue;
+
+    /// Process one record, emitting through the context.
+    fn map(
+        &self,
+        key: Self::InKey,
+        value: Self::InValue,
+        ctx: &mut TaskContext<Self::OutKey, Self::OutValue>,
+    );
+}
+
+/// A reduce function: `(key, values) → (out_key, out_value)*`.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key (matches the mapper's `OutKey`).
+    type InKey: MrKey;
+    /// Intermediate value (matches the mapper's `OutValue`).
+    type InValue: MrValue;
+    /// Output key.
+    type OutKey: Send;
+    /// Output value.
+    type OutValue: Send;
+
+    /// Fold one key group, emitting through the context.
+    fn reduce(
+        &self,
+        key: Self::InKey,
+        values: Vec<Self::InValue>,
+        ctx: &mut TaskContext<Self::OutKey, Self::OutValue>,
+    );
+}
+
+/// A combiner pre-aggregates one map task's local pairs for one key.
+/// Must be semantically idempotent with the reducer's aggregation
+/// (same contract as Hadoop).
+pub trait Combiner: Send + Sync {
+    /// Key type (the mapper's `OutKey`).
+    type Key: MrKey;
+    /// Value type (the mapper's `OutValue`).
+    type Value: MrValue;
+
+    /// Collapse a local value group into (usually fewer) values.
+    fn combine(&self, key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value>;
+}
+
+/// Shared job counters (Hadoop-style named counters).
+#[derive(Debug, Default)]
+pub struct Counters {
+    inner: Mutex<HashMap<String, u64>>,
+}
+
+impl Counters {
+    /// New, empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `delta` to a named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.inner.lock().entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Read a counter (0 when never written).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .inner
+            .lock()
+            .iter()
+            .map(|(k, &n)| (k.clone(), n))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&self, other: &Counters) {
+        let other = other.inner.lock();
+        let mut mine = self.inner.lock();
+        for (k, &v) in other.iter() {
+            *mine.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Per-task emit buffer + local counters, handed to map/reduce calls.
+pub struct TaskContext<K, V> {
+    emitted: Vec<(K, V)>,
+    counters: Counters,
+}
+
+impl<K, V> TaskContext<K, V> {
+    /// Fresh context.
+    pub fn new() -> TaskContext<K, V> {
+        TaskContext {
+            emitted: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Emit one pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted.push((key, value));
+    }
+
+    /// Bump a named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        self.counters.add(name, delta);
+    }
+
+    /// Consume the context.
+    pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
+        (self.emitted, self.counters)
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn emitted_len(&self) -> usize {
+        self.emitted.len()
+    }
+}
+
+impl<K, V> Default for TaskContext<K, V> {
+    fn default() -> Self {
+        TaskContext::new()
+    }
+}
+
+/// Job configuration.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Human-readable job name (appears in reports).
+    pub name: String,
+    /// Number of reduce tasks (partitions). Hadoop default heuristics
+    /// don't apply here; callers set it per job.
+    pub num_reducers: usize,
+    /// Worker threads executing tasks. `None` = number of simulated
+    /// node slots decided by the caller/engine.
+    pub worker_threads: Option<usize>,
+    /// Attempts per task before the job fails (Hadoop's
+    /// `mapreduce.map.maxattempts`, default 4 there; 1 here so tests
+    /// fail fast unless retries are requested).
+    pub max_attempts: usize,
+}
+
+impl JobConfig {
+    /// A config with sensible defaults: 4 reducers, engine-chosen
+    /// pool, no retries.
+    pub fn named(name: impl Into<String>) -> JobConfig {
+        JobConfig {
+            name: name.into(),
+            num_reducers: 4,
+            worker_threads: None,
+            max_attempts: 1,
+        }
+    }
+
+    /// Builder-style reducer count.
+    pub fn reducers(mut self, n: usize) -> JobConfig {
+        self.num_reducers = n;
+        self
+    }
+
+    /// Builder-style worker pool size.
+    pub fn workers(mut self, n: usize) -> JobConfig {
+        self.worker_threads = Some(n);
+        self
+    }
+
+    /// Builder-style per-task attempt budget (≥ 1).
+    pub fn attempts(mut self, n: usize) -> JobConfig {
+        self.max_attempts = n.max(1);
+        self
+    }
+}
+
+/// Wall-clock statistics for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskStats {
+    /// Task index within its phase.
+    pub task: usize,
+    /// Wall-clock duration of the task body.
+    pub duration: Duration,
+    /// Input records consumed.
+    pub records_in: u64,
+    /// Pairs/records emitted.
+    pub records_out: u64,
+}
+
+/// The result of running a job.
+#[derive(Debug)]
+pub struct JobResult<K, V> {
+    /// All reducer outputs, concatenated (ordered by partition, then by
+    /// key within the partition — the engine's sort guarantees this).
+    pub output: Vec<(K, V)>,
+    /// Merged job counters.
+    pub counters: Counters,
+    /// Per-map-task stats.
+    pub map_stats: Vec<TaskStats>,
+    /// Per-reduce-task stats.
+    pub reduce_stats: Vec<TaskStats>,
+    /// Total intermediate pairs that crossed the shuffle (post-combine).
+    pub shuffled_pairs: u64,
+}
+
+/// Default Hadoop-style partitioner: `hash(key) % reducers`.
+pub fn partition_of<K: Hash>(key: &K, reducers: usize) -> usize {
+    debug_assert!(reducers > 0);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % reducers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_get_merge() {
+        let c = Counters::new();
+        c.add("x", 2);
+        c.add("x", 3);
+        assert_eq!(c.get("x"), 5);
+        assert_eq!(c.get("missing"), 0);
+
+        let d = Counters::new();
+        d.add("x", 1);
+        d.add("y", 7);
+        c.merge(&d);
+        assert_eq!(c.get("x"), 6);
+        assert_eq!(c.get("y"), 7);
+        assert_eq!(c.snapshot(), vec![("x".into(), 6), ("y".into(), 7)]);
+    }
+
+    #[test]
+    fn context_collects_pairs_and_counts() {
+        let mut ctx: TaskContext<String, u32> = TaskContext::new();
+        ctx.emit("a".into(), 1);
+        ctx.emit("b".into(), 2);
+        ctx.count("records", 2);
+        assert_eq!(ctx.emitted_len(), 2);
+        let (pairs, counters) = ctx.into_parts();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(counters.get("records"), 2);
+    }
+
+    #[test]
+    fn partitioner_stable_and_in_range() {
+        for key in ["a", "b", "sequence_12345", ""] {
+            let p = partition_of(&key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_of(&key, 7));
+        }
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = JobConfig::named("j").reducers(9).workers(3);
+        assert_eq!(c.name, "j");
+        assert_eq!(c.num_reducers, 9);
+        assert_eq!(c.worker_threads, Some(3));
+    }
+}

@@ -1,0 +1,44 @@
+//! A from-scratch, in-process Map-Reduce runtime modelling the Hadoop
+//! stack MrMC-MinH runs on.
+//!
+//! The paper deploys on Amazon Elastic MapReduce: FASTA files on HDFS,
+//! Pig-compiled Map-Reduce jobs, 2–12 M1-Large nodes. We reproduce that
+//! stack in one process:
+//!
+//! * [`dfs`] — an in-memory distributed filesystem: files split into
+//!   fixed-size blocks, blocks placed on simulated nodes with a
+//!   replication factor, record-boundary-aware input splits (the HDFS +
+//!   `InputFormat` contract);
+//! * [`job`] — the Mapper / Reducer / Combiner programming model with
+//!   typed keys and values, per-task contexts and counters;
+//! * [`engine`] — a multi-threaded executor: map tasks run on a worker
+//!   pool sized to the simulated cluster, a hash-partitioned sort-based
+//!   shuffle groups intermediate pairs, reduce tasks run per partition;
+//!   per-task wall-clock timings are recorded;
+//! * [`simcluster`] — the cluster *time* model: measured (or synthetic)
+//!   task durations are list-scheduled onto N node slots with fixed
+//!   per-job overheads, producing the cluster-level makespans that
+//!   Figure 2 of the paper plots for 2–12 nodes. This is the documented
+//!   substitution for the EMR testbed (see DESIGN.md §2);
+//! * [`pipeline`] — chaining of jobs (Pig lowers a script to several).
+//!
+//! The executor really runs in parallel (worker threads, channels); the
+//! simulated cluster adds the *accounting* layer that maps that work
+//! onto a virtual 2–12 node Hadoop deployment.
+
+pub mod dfs;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod pipeline;
+pub mod simcluster;
+
+pub use dfs::{Dfs, DfsConfig, FastaSplitReader, InputSplit};
+pub use engine::{run_job, run_map_only};
+pub use error::MrError;
+pub use job::{
+    Combiner, Counters, JobConfig, JobResult, Mapper, MrKey, MrValue, Reducer, TaskContext,
+    TaskStats,
+};
+pub use pipeline::Pipeline;
+pub use simcluster::{ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask, SimJobReport};

@@ -1,0 +1,269 @@
+//! Multi-job pipelines with accumulated reporting.
+//!
+//! Pig lowers one script to a *chain* of Map-Reduce jobs; a
+//! [`Pipeline`] runs such a chain, keeping per-stage task statistics so
+//! the whole pipeline can afterwards be re-scheduled on a simulated
+//! cluster ([`ClusterSpec`]) for the Figure 2 scaling study.
+
+use std::time::Duration;
+
+use crate::engine::{run_job, run_map_only};
+use crate::error::MrError;
+use crate::job::{JobConfig, Mapper, Reducer, TaskStats};
+use crate::simcluster::{ClusterSpec, JobCostModel, SimJobReport};
+
+/// Statistics for one executed stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage (job) name.
+    pub name: String,
+    /// Map-task statistics.
+    pub map_stats: Vec<TaskStats>,
+    /// Reduce-task statistics (empty for map-only stages).
+    pub reduce_stats: Vec<TaskStats>,
+    /// Intermediate pairs crossing the shuffle.
+    pub shuffled_pairs: u64,
+    /// Real wall-clock spent executing the stage in-process.
+    pub wall: Duration,
+}
+
+impl StageReport {
+    /// Map task durations in seconds (for the simulator).
+    pub fn map_costs(&self) -> Vec<f64> {
+        self.map_stats.iter().map(|s| s.duration.as_secs_f64()).collect()
+    }
+
+    /// Reduce task durations in seconds.
+    pub fn reduce_costs(&self) -> Vec<f64> {
+        self.reduce_stats
+            .iter()
+            .map(|s| s.duration.as_secs_f64())
+            .collect()
+    }
+}
+
+/// Output rows of a stage.
+pub type StageOutput<K, V> = Vec<(K, V)>;
+
+/// A chain of jobs executed in sequence.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    /// Pipeline name.
+    pub name: String,
+    stages: Vec<StageReport>,
+}
+
+impl Pipeline {
+    /// Fresh pipeline.
+    pub fn new(name: impl Into<String>) -> Pipeline {
+        Pipeline {
+            name: name.into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Run a full map/shuffle/reduce stage, recording its report, and
+    /// return its output for the next stage.
+    pub fn run_stage<M, R>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        reducer: &R,
+        config: &JobConfig,
+    ) -> Result<StageOutput<R::OutKey, R::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    {
+        let start = std::time::Instant::now();
+        let result = run_job(input, num_map_tasks, mapper, reducer, config)?;
+        self.stages.push(StageReport {
+            name: config.name.clone(),
+            map_stats: result.map_stats,
+            reduce_stats: result.reduce_stats,
+            shuffled_pairs: result.shuffled_pairs,
+            wall: start.elapsed(),
+        });
+        Ok(result.output)
+    }
+
+    /// Run a map-only stage (Pig `FOREACH` with no grouping).
+    pub fn run_map_stage<M>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        config: &JobConfig,
+    ) -> Result<StageOutput<M::OutKey, M::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
+        let start = std::time::Instant::now();
+        let result = run_map_only(input, num_map_tasks, mapper, config)?;
+        self.stages.push(StageReport {
+            name: config.name.clone(),
+            map_stats: result.map_stats,
+            reduce_stats: Vec::new(),
+            shuffled_pairs: 0,
+            wall: start.elapsed(),
+        });
+        Ok(result.output)
+    }
+
+    /// Reports for all executed stages, in order.
+    pub fn stages(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    /// Total in-process wall-clock across stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Re-schedule every stage's measured task costs onto a virtual
+    /// cluster, returning per-stage simulated reports. The pipeline's
+    /// simulated total is the sum (jobs run sequentially, as Pig does).
+    pub fn simulate_on(&self, cluster: &ClusterSpec, model: &JobCostModel) -> Vec<SimJobReport> {
+        self.stages
+            .iter()
+            .map(|s| {
+                cluster.simulate_job(
+                    model,
+                    &s.map_costs(),
+                    s.shuffled_pairs,
+                    &s.reduce_costs(),
+                )
+            })
+            .collect()
+    }
+
+    /// Simulated total seconds on a virtual cluster.
+    pub fn simulated_total(&self, cluster: &ClusterSpec, model: &JobCostModel) -> f64 {
+        self.simulate_on(cluster, model).iter().map(|r| r.total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TaskContext;
+
+    struct Tokenize;
+    impl Mapper for Tokenize {
+        type InKey = usize;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _k: usize, v: String, ctx: &mut TaskContext<String, u64>) {
+            for w in v.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        }
+    }
+
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, k: String, vs: Vec<u64>, ctx: &mut TaskContext<String, u64>) {
+            ctx.emit(k, vs.iter().sum());
+        }
+    }
+
+    /// Second stage: histogram of counts.
+    struct CountToKey;
+    impl Mapper for CountToKey {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn map(&self, _w: String, c: u64, ctx: &mut TaskContext<u64, u64>) {
+            ctx.emit(c, 1);
+        }
+    }
+
+    struct Sum2;
+    impl Reducer for Sum2 {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut TaskContext<u64, u64>) {
+            ctx.emit(k, vs.iter().sum());
+        }
+    }
+
+    #[test]
+    fn two_stage_pipeline_chains_output() {
+        let mut p = Pipeline::new("wc-then-hist");
+        let input = vec![
+            (0usize, "a b a c".to_string()),
+            (1, "b a".to_string()),
+        ];
+        let counts = p
+            .run_stage(input, 2, &Tokenize, &Sum, &JobConfig::named("wc").reducers(2))
+            .unwrap();
+        // a:3, b:2, c:1
+        let hist = p
+            .run_stage(
+                counts,
+                2,
+                &CountToKey,
+                &Sum2,
+                &JobConfig::named("hist").reducers(2),
+            )
+            .unwrap();
+        let mut hist = hist;
+        hist.sort();
+        assert_eq!(hist, vec![(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(p.stages().len(), 2);
+        assert!(p.total_wall() > Duration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_simulation_sums_stages() {
+        let mut p = Pipeline::new("sim");
+        let input = vec![(0usize, "x y z".to_string())];
+        p.run_stage(input, 1, &Tokenize, &Sum, &JobConfig::named("wc").reducers(1))
+            .unwrap();
+        let cluster = ClusterSpec::m1_large(4);
+        let model = JobCostModel::default();
+        let reports = p.simulate_on(&cluster, &model);
+        assert_eq!(reports.len(), 1);
+        let total = p.simulated_total(&cluster, &model);
+        assert!((total - reports[0].total()).abs() < 1e-12);
+        assert!(total >= model.job_overhead);
+    }
+
+    #[test]
+    fn map_only_stage_recorded() {
+        let mut p = Pipeline::new("m");
+        struct Echo;
+        impl Mapper for Echo {
+            type InKey = usize;
+            type InValue = u64;
+            type OutKey = usize;
+            type OutValue = u64;
+            fn map(&self, k: usize, v: u64, ctx: &mut TaskContext<usize, u64>) {
+                ctx.emit(k, v * 2);
+            }
+        }
+        let out = p
+            .run_map_stage(
+                vec![(0usize, 1u64), (1, 2)],
+                2,
+                &Echo,
+                &JobConfig::named("double"),
+            )
+            .unwrap();
+        assert_eq!(out, vec![(0, 2), (1, 4)]);
+        assert_eq!(p.stages()[0].shuffled_pairs, 0);
+    }
+}

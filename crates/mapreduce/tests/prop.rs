@@ -1,0 +1,151 @@
+//! Property-based tests for the Map-Reduce substrate.
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use mrmc_mapreduce::dfs::{Dfs, DfsConfig, FastaSplitReader};
+use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
+use mrmc_mapreduce::job::{Combiner, JobConfig, Mapper, Reducer, TaskContext};
+use mrmc_mapreduce::simcluster::lpt_makespan;
+use std::collections::HashMap;
+
+struct WcMapper;
+impl Mapper for WcMapper {
+    type InKey = usize;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u64;
+    fn map(&self, _k: usize, line: String, ctx: &mut TaskContext<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct SumReducer;
+impl Reducer for SumReducer {
+    type InKey = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    fn reduce(&self, k: String, vs: Vec<u64>, ctx: &mut TaskContext<String, u64>) {
+        ctx.emit(k, vs.iter().sum());
+    }
+}
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    type Key = String;
+    type Value = u64;
+    fn combine(&self, _k: &String, vs: Vec<u64>) -> Vec<u64> {
+        vec![vs.iter().sum()]
+    }
+}
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-e]{1,3}"
+}
+
+proptest! {
+    /// The distributed word count equals the sequential one, for any
+    /// input, task count, reducer count and worker count — and the
+    /// combiner never changes the answer.
+    #[test]
+    fn wordcount_equals_sequential(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(word(), 0..8).prop_map(|ws| ws.join(" ")),
+            0..20
+        ),
+        map_tasks in 1usize..6,
+        reducers in 1usize..5,
+        workers in 1usize..5,
+    ) {
+        let mut expected: HashMap<String, u64> = HashMap::new();
+        for line in &lines {
+            for w in line.split_whitespace() {
+                *expected.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        let input: Vec<(usize, String)> = lines.into_iter().enumerate().collect();
+        let cfg = JobConfig::named("wc").reducers(reducers).workers(workers);
+
+        let plain = run_job(input.clone(), map_tasks, &WcMapper, &SumReducer, &cfg).unwrap();
+        let got: HashMap<String, u64> = plain.output.into_iter().collect();
+        prop_assert_eq!(&got, &expected);
+
+        let combined =
+            run_job_with_combiner(input, map_tasks, &WcMapper, &SumCombiner, &SumReducer, &cfg)
+                .unwrap();
+        let got2: HashMap<String, u64> = combined.output.into_iter().collect();
+        prop_assert_eq!(&got2, &expected);
+        prop_assert!(combined.shuffled_pairs <= plain.shuffled_pairs);
+    }
+
+    /// DFS round-trips arbitrary content through any block size, and
+    /// split ranges tile the file exactly.
+    #[test]
+    fn dfs_round_trip_and_splits(
+        content in proptest::collection::vec(any::<u8>(), 0..2000),
+        block in 1usize..257,
+    ) {
+        let dfs = Dfs::new(DfsConfig { block_size: block, replication: 1, nodes: 2 }).unwrap();
+        dfs.put("/f", content.clone(), false).unwrap();
+        let read_back = dfs.read("/f").unwrap();
+        prop_assert_eq!(read_back.as_ref(), &content[..]);
+        let splits = dfs.splits("/f").unwrap();
+        let mut cursor = 0usize;
+        for s in &splits {
+            prop_assert_eq!(s.range.start, cursor);
+            cursor = s.range.end;
+        }
+        prop_assert_eq!(cursor, content.len());
+    }
+
+    /// Every FASTA record is owned by exactly one split, for any
+    /// record set and block size.
+    #[test]
+    fn fasta_records_partitioned_once(
+        seqs in proptest::collection::vec("[ACGT]{1,30}", 1..12),
+        block in 4usize..64,
+    ) {
+        let mut fasta = String::new();
+        for (i, s) in seqs.iter().enumerate() {
+            fasta.push_str(&format!(">r{i}\n{s}\n"));
+        }
+        let bytes = Bytes::from(fasta.into_bytes());
+        let mut owned = 0usize;
+        let mut cursor = 0usize;
+        while cursor < bytes.len() {
+            let end = (cursor + block).min(bytes.len());
+            owned += FastaSplitReader::records_in(&bytes, cursor..end).len();
+            cursor = end;
+        }
+        prop_assert_eq!(owned, seqs.len());
+    }
+
+    /// LPT makespan bounds: max(cost) ≤ makespan ≤ total(cost), and
+    /// makespan ≥ total/slots.
+    #[test]
+    fn lpt_bounds(
+        costs in proptest::collection::vec(0.01f64..10.0, 1..40),
+        slots in 1usize..16,
+    ) {
+        let mk = lpt_makespan(&costs, slots);
+        let total: f64 = costs.iter().sum();
+        let max = costs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(mk >= max - 1e-9);
+        prop_assert!(mk <= total + 1e-9);
+        prop_assert!(mk >= total / slots as f64 - 1e-9);
+    }
+
+    /// Makespan never increases with more slots.
+    #[test]
+    fn lpt_monotone_in_slots(costs in proptest::collection::vec(0.01f64..10.0, 1..30)) {
+        let mut prev = f64::INFINITY;
+        for slots in 1..8 {
+            let mk = lpt_makespan(&costs, slots);
+            prop_assert!(mk <= prev + 1e-9);
+            prev = mk;
+        }
+    }
+}

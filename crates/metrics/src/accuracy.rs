@@ -1,0 +1,110 @@
+//! Weighted cluster accuracy (W.Acc).
+
+use std::collections::HashMap;
+
+use mrmc_cluster::ClusterAssignment;
+
+/// The paper's W.Acc: "each cluster is designated by class/genera
+/// based on the most frequent class in the cluster, and then the
+/// accuracy is evaluated by computing the percent of correctly
+/// assigned sequences with respect to the designated class. The
+/// reported accuracy is averaged across all clusters, weighted by the
+/// number of sequences in each cluster."
+///
+/// Clusters smaller than `min_size` are excluded (the paper reports
+/// for clusters with more than 50 sequences; tests pass 1).
+/// Returns a percentage in `[0, 100]`; `None` when no cluster passes
+/// the size floor.
+pub fn weighted_accuracy(
+    assignment: &ClusterAssignment,
+    truth: &[usize],
+    min_size: usize,
+) -> Option<f64> {
+    assert_eq!(
+        assignment.len(),
+        truth.len(),
+        "assignment and truth must cover the same items"
+    );
+    let mut num = 0.0f64;
+    let mut denom = 0.0f64;
+    for members in assignment.members().values() {
+        if members.len() < min_size {
+            continue;
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &item in members {
+            *counts.entry(truth[item]).or_insert(0) += 1;
+        }
+        let majority = *counts.values().max().expect("cluster non-empty");
+        let acc = majority as f64 / members.len() as f64;
+        // Weighted mean: weight = cluster size.
+        num += acc * members.len() as f64;
+        denom += members.len() as f64;
+    }
+    if denom == 0.0 {
+        None
+    } else {
+        Some(100.0 * num / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(labels: &[usize]) -> ClusterAssignment {
+        ClusterAssignment::from_labels(labels.to_vec())
+    }
+
+    #[test]
+    fn perfect_clustering_is_100() {
+        let a = assign(&[0, 0, 1, 1]);
+        let truth = [7, 7, 9, 9];
+        assert_eq!(weighted_accuracy(&a, &truth, 1), Some(100.0));
+    }
+
+    #[test]
+    fn mixed_cluster_scores_majority_fraction() {
+        // One cluster of 4: 3 of class 0, 1 of class 1 → 75 %.
+        let a = assign(&[0, 0, 0, 0]);
+        let truth = [0, 0, 0, 1];
+        assert_eq!(weighted_accuracy(&a, &truth, 1), Some(75.0));
+    }
+
+    #[test]
+    fn weighting_by_cluster_size() {
+        // Cluster A: 4 items at 75 %; cluster B: 1 item at 100 %.
+        // Weighted: (0.75·4 + 1.0·1)/5 = 0.8.
+        let a = assign(&[0, 0, 0, 0, 1]);
+        let truth = [0, 0, 0, 1, 2];
+        let acc = weighted_accuracy(&a, &truth, 1).unwrap();
+        assert!((acc - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_size_filters_small_clusters() {
+        let a = assign(&[0, 0, 0, 0, 1]);
+        let truth = [0, 0, 0, 1, 2];
+        // Only the size-4 cluster counts.
+        let acc = weighted_accuracy(&a, &truth, 2).unwrap();
+        assert!((acc - 75.0).abs() < 1e-9);
+        // Nothing passes a floor of 10.
+        assert_eq!(weighted_accuracy(&a, &truth, 10), None);
+    }
+
+    #[test]
+    fn over_clustering_still_scores_high() {
+        // Splitting one class into two pure clusters keeps W.Acc = 100
+        // — the known blind spot of this metric (the paper pairs it
+        // with cluster counts for that reason).
+        let a = assign(&[0, 0, 1, 1]);
+        let truth = [5, 5, 5, 5];
+        assert_eq!(weighted_accuracy(&a, &truth, 1), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        weighted_accuracy(&assign(&[0, 0]), &[0], 1);
+    }
+}

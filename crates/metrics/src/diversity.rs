@@ -1,0 +1,179 @@
+//! Species-diversity estimators over a clustering.
+//!
+//! One of the paper's stated motivations for binning (§I): "it allows
+//! computation of species diversity metrics". Treating each cluster as
+//! an OTU, these are the standard ecology estimators the 16S
+//! literature (and the authors' LSH-Div) reports: observed richness,
+//! Chao1, Shannon entropy, Simpson's index, and rarefaction.
+
+use mrmc_cluster::ClusterAssignment;
+
+/// Diversity summary of one clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityIndices {
+    /// Observed OTU count (clusters with ≥ 1 member).
+    pub observed: usize,
+    /// Chao1 richness estimate: `S + f1² / (2·f2)` (bias-corrected
+    /// when `f2 = 0`).
+    pub chao1: f64,
+    /// Shannon entropy `−Σ p ln p` (nats).
+    pub shannon: f64,
+    /// Simpson's diversity `1 − Σ p²`.
+    pub simpson: f64,
+    /// Singleton count `f1`.
+    pub singletons: usize,
+    /// Doubleton count `f2`.
+    pub doubletons: usize,
+}
+
+/// Compute the standard indices from a clustering.
+pub fn diversity(assignment: &ClusterAssignment) -> DiversityIndices {
+    let sizes: Vec<usize> = assignment.sizes();
+    let n: usize = sizes.iter().sum();
+    let observed = sizes.len();
+    let f1 = sizes.iter().filter(|&&s| s == 1).count();
+    let f2 = sizes.iter().filter(|&&s| s == 2).count();
+
+    // Chao1 with the bias-corrected form when no doubletons exist.
+    let chao1 = if observed == 0 {
+        0.0
+    } else if f2 > 0 {
+        observed as f64 + (f1 * f1) as f64 / (2.0 * f2 as f64)
+    } else {
+        observed as f64 + (f1 * f1.saturating_sub(1)) as f64 / 2.0
+    };
+
+    let mut shannon = 0.0f64;
+    let mut simpson_sum = 0.0f64;
+    if n > 0 {
+        for &s in &sizes {
+            let p = s as f64 / n as f64;
+            shannon -= p * p.ln();
+            simpson_sum += p * p;
+        }
+    }
+    DiversityIndices {
+        observed,
+        chao1,
+        shannon,
+        simpson: if n == 0 { 0.0 } else { 1.0 - simpson_sum },
+        singletons: f1,
+        doubletons: f2,
+    }
+}
+
+/// Expected OTU count in a random subsample of `m ≤ n` reads
+/// (analytic rarefaction, the Hurlbert formula):
+/// `E[S_m] = Σ_i (1 − C(n − n_i, m) / C(n, m))`.
+///
+/// Computed with log-gamma-free running products to stay in f64 range.
+pub fn rarefaction(assignment: &ClusterAssignment, m: usize) -> f64 {
+    let sizes = assignment.sizes();
+    let n: usize = sizes.iter().sum();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    let m = m.min(n);
+    let mut expected = 0.0f64;
+    for &ni in &sizes {
+        // log [ C(n−ni, m) / C(n, m) ] = Σ_{j=0}^{m−1} ln((n−ni−j)/(n−j))
+        if n - ni < m {
+            expected += 1.0; // the OTU is certainly seen
+            continue;
+        }
+        let mut log_ratio = 0.0f64;
+        for j in 0..m {
+            log_ratio += (((n - ni - j) as f64) / ((n - j) as f64)).ln();
+        }
+        expected += 1.0 - log_ratio.exp();
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(sizes: &[usize]) -> ClusterAssignment {
+        let mut labels = Vec::new();
+        for (cluster, &s) in sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(cluster, s));
+        }
+        ClusterAssignment::from_labels(labels)
+    }
+
+    #[test]
+    fn observed_and_frequency_counts() {
+        let d = diversity(&assignment(&[5, 1, 1, 2, 3]));
+        assert_eq!(d.observed, 5);
+        assert_eq!(d.singletons, 2);
+        assert_eq!(d.doubletons, 1);
+    }
+
+    #[test]
+    fn chao1_formula() {
+        // S=5, f1=2, f2=1 → 5 + 4/2 = 7.
+        let d = diversity(&assignment(&[5, 1, 1, 2, 3]));
+        assert!((d.chao1 - 7.0).abs() < 1e-12);
+        // No doubletons: bias-corrected form 3 + (2·1)/2 = 4.
+        let d = diversity(&assignment(&[5, 1, 1]));
+        assert!((d.chao1 - 4.0).abs() < 1e-12);
+        // No singletons: Chao1 = observed.
+        let d = diversity(&assignment(&[3, 4]));
+        assert!((d.chao1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_and_simpson_known_values() {
+        // Two equal clusters: H = ln 2, Simpson = 0.5.
+        let d = diversity(&assignment(&[10, 10]));
+        assert!((d.shannon - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((d.simpson - 0.5).abs() < 1e-12);
+        // One cluster: H = 0, Simpson = 0.
+        let d = diversity(&assignment(&[7]));
+        assert!(d.shannon.abs() < 1e-12);
+        assert!(d.simpson.abs() < 1e-12);
+    }
+
+    #[test]
+    fn evenness_maximizes_shannon() {
+        let even = diversity(&assignment(&[5, 5, 5, 5])).shannon;
+        let skewed = diversity(&assignment(&[17, 1, 1, 1])).shannon;
+        assert!(even > skewed);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let d = diversity(&assignment(&[]));
+        assert_eq!(d.observed, 0);
+        assert_eq!(d.chao1, 0.0);
+        assert_eq!(d.shannon, 0.0);
+    }
+
+    #[test]
+    fn rarefaction_endpoints() {
+        let a = assignment(&[4, 3, 2, 1]);
+        // Sampling everything sees every OTU.
+        assert!((rarefaction(&a, 10) - 4.0).abs() < 1e-9);
+        // Sampling one read sees exactly one OTU.
+        assert!((rarefaction(&a, 1) - 1.0).abs() < 1e-9);
+        assert_eq!(rarefaction(&a, 0), 0.0);
+    }
+
+    #[test]
+    fn rarefaction_monotone() {
+        let a = assignment(&[8, 4, 2, 1, 1]);
+        let mut prev = 0.0;
+        for m in 1..=16 {
+            let e = rarefaction(&a, m);
+            assert!(e >= prev - 1e-12, "m={m}: {e} < {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn rarefaction_oversample_clamps() {
+        let a = assignment(&[2, 2]);
+        assert!((rarefaction(&a, 100) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation metrics for metagenome clusterings (paper §IV-B).
+//!
+//! * [`accuracy`] — **W.Acc**: each cluster is designated by its most
+//!   frequent ground-truth class; the fraction of members matching the
+//!   designation is averaged over clusters, weighted by cluster size;
+//! * [`similarity`] — **W.Sim**: average within-cluster global
+//!   alignment identity, weighted by cluster size, pair-sampled for
+//!   tractability (the paper reports it for clusters above a size
+//!   floor — 50 sequences at full scale);
+//! * [`agreement`] — supporting external indices (purity, NMI,
+//!   adjusted Rand) for the extended analyses in EXPERIMENTS.md.
+
+pub mod accuracy;
+pub mod agreement;
+pub mod diversity;
+pub mod similarity;
+
+pub use accuracy::weighted_accuracy;
+pub use agreement::{adjusted_rand_index, normalized_mutual_information, purity};
+pub use diversity::{diversity, rarefaction, DiversityIndices};
+pub use similarity::{weighted_similarity, SimilarityOptions};

@@ -1,0 +1,179 @@
+//! The Carter–Wegman universal hash family of Eq. 5.
+//!
+//! `h_i(x) = ((a_i·x + b_i) mod p) mod m` with `p` prime, `p > m`, and
+//! `a_i, b_i` drawn uniformly from `{0, …, p−1}` (`a_i ≠ 0` so the map
+//! is non-degenerate). Storing the `(a_i, b_i)` pairs replaces storing
+//! `n` explicit permutations — the paper's "instead of storing π_i we
+//! only need to store 2n numbers".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::prime::next_prime;
+
+/// Parameters of a single hash function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashParams {
+    /// Multiplier, in `1..p`.
+    pub a: u64,
+    /// Offset, in `0..p`.
+    pub b: u64,
+}
+
+/// A family of `n` universal hash functions sharing `p` and `m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniversalHashFamily {
+    params: Vec<HashParams>,
+    /// Prime modulus, `p > m` (the Pig script's `$DIV`).
+    pub p: u64,
+    /// Output range size (the feature-space size, `4^k`).
+    pub m: u64,
+}
+
+impl UniversalHashFamily {
+    /// Draw `n` hash functions for a feature space of size `m`,
+    /// seeding the parameter draws for reproducibility. `p` is chosen
+    /// as the smallest prime `> m`.
+    pub fn new(n: usize, m: u64, seed: u64) -> UniversalHashFamily {
+        assert!(n > 0, "need at least one hash function");
+        assert!(m > 1, "feature space must have at least 2 values");
+        let p = next_prime(m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = (0..n)
+            .map(|_| HashParams {
+                a: rng.random_range(1..p),
+                b: rng.random_range(0..p),
+            })
+            .collect();
+        UniversalHashFamily { params, p, m }
+    }
+
+    /// Family for k-mer features.
+    ///
+    /// Eq. 5 sets `m = 4^k`, but for small k that range is *smaller
+    /// than the feature sets themselves* (a 1 000 bp read covers ~600
+    /// of the 1 024 possible 5-mers), so independent minima collide
+    /// constantly and the estimator acquires a large positive bias —
+    /// the `ablation_estimator` bench quantifies it. We therefore hash
+    /// into `max(4^k, 2^31)`; for k ≥ 16 this *is* the paper's `4^k`.
+    /// Use [`Self::for_kmer_size_paper_literal`] to reproduce Eq. 5
+    /// exactly.
+    pub fn for_kmer_size(k: usize, n: usize, seed: u64) -> UniversalHashFamily {
+        assert!((1..=31).contains(&k), "k must be 1..=31");
+        UniversalHashFamily::new(n, (1u64 << (2 * k)).max(1u64 << 31), seed)
+    }
+
+    /// The paper-literal Eq. 5 family with `m = 4^k` — biased at small
+    /// k (see [`Self::for_kmer_size`]); kept for the ablation study.
+    pub fn for_kmer_size_paper_literal(k: usize, n: usize, seed: u64) -> UniversalHashFamily {
+        assert!((1..=31).contains(&k), "k must be 1..=31");
+        UniversalHashFamily::new(n, 1u64 << (2 * k), seed)
+    }
+
+    /// Number of hash functions (the sketch length `n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when the family is empty (never happens via constructors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Evaluate the `i`-th hash on feature `x`.
+    #[inline]
+    pub fn hash(&self, i: usize, x: u64) -> u64 {
+        let HashParams { a, b } = self.params[i];
+        let v = (a as u128 * x as u128 + b as u128) % self.p as u128;
+        (v as u64) % self.m
+    }
+
+    /// The raw parameter list (for serialization / the Pig UDF).
+    pub fn params(&self) -> &[HashParams] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let f1 = UniversalHashFamily::new(8, 1 << 10, 7);
+        let f2 = UniversalHashFamily::new(8, 1 << 10, 7);
+        assert_eq!(f1, f2);
+        let f3 = UniversalHashFamily::new(8, 1 << 10, 8);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn outputs_in_range() {
+        let f = UniversalHashFamily::new(16, 1 << 10, 1);
+        for i in 0..f.len() {
+            for x in [0u64, 1, 17, 1023, 9999] {
+                assert!(f.hash(i, x) < f.m);
+            }
+        }
+    }
+
+    #[test]
+    fn p_exceeds_m() {
+        // k = 15: 4^k = 2^30 < 2^31, so the range floor applies.
+        let f = UniversalHashFamily::for_kmer_size(15, 4, 0);
+        assert_eq!(f.m, 1 << 31);
+        assert!(f.p > f.m);
+        // k = 16: 4^k = 2^32 dominates the floor.
+        let f = UniversalHashFamily::for_kmer_size(16, 4, 0);
+        assert_eq!(f.m, 1 << 32);
+        // Paper-literal keeps m = 4^k.
+        let f = UniversalHashFamily::for_kmer_size_paper_literal(5, 4, 0);
+        assert_eq!(f.m, 1 << 10);
+    }
+
+    #[test]
+    fn no_overflow_near_u64_max_range() {
+        // k = 31 → m = 2^62; a·x can exceed u64, must use u128 internally.
+        let f = UniversalHashFamily::for_kmer_size(31, 2, 3);
+        let x = (1u64 << 62) - 1;
+        for i in 0..f.len() {
+            assert!(f.hash(i, x) < f.m);
+        }
+    }
+
+    #[test]
+    fn distinct_functions_disagree_somewhere() {
+        let f = UniversalHashFamily::new(4, 1 << 16, 99);
+        let xs: Vec<u64> = (0..64).collect();
+        let mut all_same = true;
+        for x in xs {
+            if f.hash(0, x) != f.hash(1, x) {
+                all_same = false;
+                break;
+            }
+        }
+        assert!(!all_same, "two independently drawn hashes were identical");
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of h(x) over many x should be near m/2 for a universal family.
+        let m = 1u64 << 16;
+        let f = UniversalHashFamily::new(1, m, 5);
+        let n = 20_000u64;
+        let mean = (0..n).map(|x| f.hash(0, x) as f64).sum::<f64>() / n as f64;
+        let expected = m as f64 / 2.0;
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn zero_hashes_rejected() {
+        UniversalHashFamily::new(0, 16, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic Miller–Rabin primality for `u64` and prime search.
+//!
+//! The universal hash family needs a prime `p > m` where `m = 4^k` is
+//! the feature-space size (paper Eq. 5, the Pig parameter `$DIV`). We
+//! find it with a deterministic Miller–Rabin using the known witness
+//! set that is exact for all 64-bit integers.
+
+/// Deterministic Miller–Rabin witnesses covering all `u64` inputs.
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Modular multiplication without overflow.
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation.
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Deterministic primality test for any `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d·2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &WITNESSES {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Smallest prime strictly greater than `n`. Panics if none fits in
+/// `u64` (unreachable for the feature-space sizes we use, ≤ 4^31).
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.checked_add(1).expect("prime search overflow");
+    if candidate <= 2 {
+        return 2;
+    }
+    if candidate.is_multiple_of(2) {
+        if candidate == 2 {
+            return 2;
+        }
+        candidate += 1;
+    }
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate = candidate.checked_add(2).expect("prime search overflow");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 97];
+        for p in primes {
+            assert!(is_prime(p), "{p}");
+        }
+        for c in [0u64, 1, 4, 6, 8, 9, 15, 21, 25, 91, 100] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(4_611_686_018_427_387_847)); // large 63-bit prime
+        assert!(!is_prime(1_000_000_007u64 * 3));
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert!(!is_prime(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn next_prime_basics() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(1), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(3), 5);
+        assert_eq!(next_prime(10), 11);
+        assert_eq!(next_prime(1 << 20), 1_048_583);
+    }
+
+    #[test]
+    fn next_prime_exceeds_feature_space() {
+        // k = 15 → m = 4^15 = 2^30; the prime must be > m.
+        let m = 1u64 << 30;
+        let p = next_prime(m);
+        assert!(p > m && is_prime(p));
+    }
+}

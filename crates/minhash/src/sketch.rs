@@ -1,0 +1,228 @@
+//! Fixed-size minwise sketches (Eqs. 4 & 6).
+
+use mrmc_seqio::encode::{CanonicalKmerIter, KmerIter};
+use mrmc_seqio::SeqIoError;
+
+use crate::hash::UniversalHashFamily;
+
+/// A fixed-size minwise sketch: `values[i] = min_{x ∈ I} h_i(x)`.
+///
+/// `u64::MAX` marks positions for which the feature set was empty
+/// (sequence shorter than k); two empty positions never "agree".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sketch {
+    values: Vec<u64>,
+}
+
+/// Sentinel for "no feature seen".
+pub const EMPTY_SLOT: u64 = u64::MAX;
+
+impl Sketch {
+    /// Construct from raw minwise values.
+    pub fn from_values(values: Vec<u64>) -> Sketch {
+        Sketch { values }
+    }
+
+    /// Sketch length (the number of hash functions `n`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the sketch has no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the underlying feature set was empty.
+    pub fn is_degenerate(&self) -> bool {
+        self.values.iter().all(|&v| v == EMPTY_SLOT)
+    }
+
+    /// The minwise values.
+    #[inline]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+/// Builds sketches for k-mer feature sets with a shared hash family, so
+/// that sketches are comparable across sequences.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    family: UniversalHashFamily,
+    k: usize,
+    canonical: bool,
+}
+
+impl MinHasher {
+    /// A sketcher with `n` hash functions for k-mers of size `k`.
+    /// `seed` fixes the hash parameter draws (paper: `a_i, b_i` chosen
+    /// uniformly at random once per run).
+    pub fn for_kmer_size(k: usize, n: usize, seed: u64) -> MinHasher {
+        MinHasher {
+            family: UniversalHashFamily::for_kmer_size(k, n, seed),
+            k,
+            canonical: false,
+        }
+    }
+
+    /// Switch to canonical (strand-independent) k-mers: each k-mer is
+    /// replaced by the minimum of itself and its reverse complement
+    /// before hashing, so a read and its reverse complement produce
+    /// identical sketches. The paper's pipeline is strand-sensitive;
+    /// this is the Mash-style extension for randomly-oriented shotgun
+    /// reads.
+    pub fn canonical(mut self) -> MinHasher {
+        self.canonical = true;
+        self
+    }
+
+    /// Whether canonical k-mers are in use.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Wrap an existing family (its range must cover the `4^k`
+    /// feature space — both the default and the paper-literal
+    /// families qualify).
+    pub fn with_family(k: usize, family: UniversalHashFamily) -> MinHasher {
+        assert!(
+            family.m >= 1u64 << (2 * k),
+            "family range {} too small for 4^{k} features — sized for different k",
+            family.m
+        );
+        MinHasher {
+            family,
+            k,
+            canonical: false,
+        }
+    }
+
+    /// k-mer size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Sketch length `n`.
+    #[inline]
+    pub fn num_hashes(&self) -> usize {
+        self.family.len()
+    }
+
+    /// The shared hash family.
+    pub fn family(&self) -> &UniversalHashFamily {
+        &self.family
+    }
+
+    /// Sketch an iterator of packed k-mer features. Duplicates are
+    /// harmless (min is idempotent), so callers may feed raw k-mer
+    /// streams without deduplicating.
+    pub fn sketch_kmers(&self, kmers: impl IntoIterator<Item = u64>) -> Sketch {
+        let n = self.family.len();
+        let mut values = vec![EMPTY_SLOT; n];
+        for x in kmers {
+            for (i, slot) in values.iter_mut().enumerate() {
+                let h = self.family.hash(i, x);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Sketch { values }
+    }
+
+    /// Sketch a DNA sequence directly (k-mer extraction + hashing in
+    /// one pass — what the `CalculateMinwiseHash` UDF does per record).
+    pub fn sketch_sequence(&self, seq: &[u8]) -> Result<Sketch, SeqIoError> {
+        if self.canonical {
+            let iter = CanonicalKmerIter::new(seq, self.k)?;
+            Ok(self.sketch_kmers(iter))
+        } else {
+            let iter = KmerIter::new(seq, self.k)?;
+            Ok(self.sketch_kmers(iter))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hasher() -> MinHasher {
+        MinHasher::for_kmer_size(4, 64, 11)
+    }
+
+    #[test]
+    fn identical_sequences_identical_sketches() {
+        let h = hasher();
+        let a = h.sketch_sequence(b"ACGTACGTTTGGCCAA").unwrap();
+        let b = h.sketch_sequence(b"ACGTACGTTTGGCCAA").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sketch_invariant_to_kmer_multiplicity_and_order() {
+        let h = hasher();
+        // Same k-mer set, different multiplicities/order.
+        let s1 = h.sketch_kmers([1u64, 2, 3, 3, 3, 2]);
+        let s2 = h.sketch_kmers([3u64, 1, 2]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn short_sequence_gives_degenerate_sketch() {
+        let h = hasher();
+        let s = h.sketch_sequence(b"ACG").unwrap(); // len 3 < k=4
+        assert!(s.is_degenerate());
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn sketch_values_below_m() {
+        let h = hasher();
+        let s = h.sketch_sequence(b"ACGTACGTACGTTTTT").unwrap();
+        for &v in s.values() {
+            assert!(v < h.family().m);
+        }
+    }
+
+    #[test]
+    fn superset_never_increases_min() {
+        let h = hasher();
+        let base: Vec<u64> = vec![5, 9, 120];
+        let sup: Vec<u64> = vec![5, 9, 120, 7, 200];
+        let sb = h.sketch_kmers(base.iter().copied());
+        let ss = h.sketch_kmers(sup.iter().copied());
+        for (b, s) in sb.values().iter().zip(ss.values()) {
+            assert!(s <= b);
+        }
+    }
+
+    #[test]
+    fn with_family_checks_k() {
+        let fam = UniversalHashFamily::for_kmer_size(5, 4, 0);
+        let h = MinHasher::with_family(5, fam);
+        assert_eq!(h.k(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different k")]
+    fn with_family_wrong_k_panics() {
+        // A paper-literal k = 5 family (m = 1024) cannot cover k = 16's
+        // 4^16 feature space.
+        let fam = UniversalHashFamily::for_kmer_size_paper_literal(5, 4, 0);
+        MinHasher::with_family(16, fam);
+    }
+
+    #[test]
+    fn bad_k_propagates_error() {
+        let h = MinHasher::for_kmer_size(4, 4, 0);
+        // k is fixed at construction; sequence with only ambiguous bases
+        // still sketches (degenerate), not an error.
+        let s = h.sketch_sequence(b"NNNNNNN").unwrap();
+        assert!(s.is_degenerate());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the minwise-hashing substrate.
+
+use proptest::prelude::*;
+
+use mrmc_minhash::{
+    exact_jaccard, is_prime, next_prime, positional_similarity, set_similarity, MinHasher,
+    UniversalHashFamily,
+};
+
+fn dna(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        min_len..max_len,
+    )
+}
+
+/// Trial-division reference for primality.
+fn is_prime_naive(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+proptest! {
+    /// Miller–Rabin agrees with trial division on small integers.
+    #[test]
+    fn primality_matches_naive(n in 0u64..50_000) {
+        prop_assert_eq!(is_prime(n), is_prime_naive(n));
+    }
+
+    /// next_prime returns a prime strictly above its input with no
+    /// prime in between.
+    #[test]
+    fn next_prime_is_next(n in 0u64..20_000) {
+        let p = next_prime(n);
+        prop_assert!(p > n);
+        prop_assert!(is_prime(p));
+        for q in (n + 1)..p {
+            prop_assert!(!is_prime(q));
+        }
+    }
+
+    /// Hash outputs stay within the configured range.
+    #[test]
+    fn hash_range(m_exp in 2u32..30, x in any::<u64>(), seed in any::<u64>()) {
+        let m = 1u64 << m_exp;
+        let family = UniversalHashFamily::new(4, m, seed);
+        for i in 0..family.len() {
+            prop_assert!(family.hash(i, x) < m);
+        }
+    }
+
+    /// Sketches are permutation- and multiplicity-invariant over the
+    /// feature multiset.
+    #[test]
+    fn sketch_set_semantics(mut kmers in proptest::collection::vec(0u64..1024, 1..64), seed in any::<u64>()) {
+        let hasher = MinHasher::for_kmer_size(5, 16, seed);
+        let s1 = hasher.sketch_kmers(kmers.iter().copied());
+        kmers.reverse();
+        let doubled: Vec<u64> = kmers.iter().chain(kmers.iter()).copied().collect();
+        let s2 = hasher.sketch_kmers(doubled);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Similarity estimators are bounded, symmetric, and reflexive on
+    /// non-degenerate sketches.
+    #[test]
+    fn estimator_axioms(a in dna(8, 80), b in dna(8, 80), seed in any::<u64>()) {
+        let hasher = MinHasher::for_kmer_size(4, 32, seed);
+        let sa = hasher.sketch_sequence(&a).unwrap();
+        let sb = hasher.sketch_sequence(&b).unwrap();
+        for f in [positional_similarity, set_similarity] {
+            let sim = f(&sa, &sb);
+            prop_assert!((0.0..=1.0).contains(&sim));
+            prop_assert!((sim - f(&sb, &sa)).abs() < 1e-12);
+        }
+        prop_assert_eq!(positional_similarity(&sa, &sa), 1.0);
+        prop_assert_eq!(set_similarity(&sa, &sa), 1.0);
+    }
+
+    /// Exact Jaccard axioms on sorted deduplicated sets.
+    #[test]
+    fn exact_jaccard_axioms(
+        a in proptest::collection::btree_set(0u64..500, 0..50),
+        b in proptest::collection::btree_set(0u64..500, 0..50),
+    ) {
+        let av: Vec<u64> = a.iter().copied().collect();
+        let bv: Vec<u64> = b.iter().copied().collect();
+        let j = exact_jaccard(&av, &bv);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - exact_jaccard(&bv, &av)).abs() < 1e-12);
+        prop_assert_eq!(exact_jaccard(&av, &av), 1.0);
+        // Disjoint sets → 0 (when at least one non-empty).
+        if !av.is_empty() && a.intersection(&b).count() == 0 {
+            prop_assert_eq!(j, 0.0);
+        }
+    }
+
+    /// Subset monotonicity: J(a, a∪b) ≥ J(a, b).
+    #[test]
+    fn jaccard_superset_monotone(
+        a in proptest::collection::btree_set(0u64..200, 1..30),
+        b in proptest::collection::btree_set(0u64..200, 1..30),
+    ) {
+        let av: Vec<u64> = a.iter().copied().collect();
+        let bv: Vec<u64> = b.iter().copied().collect();
+        let uv: Vec<u64> = a.union(&b).copied().collect();
+        prop_assert!(exact_jaccard(&av, &uv) >= exact_jaccard(&av, &bv) - 1e-12);
+    }
+}

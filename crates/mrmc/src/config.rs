@@ -1,0 +1,179 @@
+//! Configuration of a MrMC-MinH run.
+
+use mrmc_cluster::Linkage;
+
+/// Which clustering algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// MrMC-MinH<sup>g</sup>: Algorithm 1.
+    Greedy,
+    /// MrMC-MinH<sup>h</sup>: Algorithm 2.
+    Hierarchical,
+}
+
+/// Sketch-similarity estimator (the ablation of DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// Fraction of agreeing sketch positions (Eq. 3's collision
+    /// probability; unbiased).
+    Positional,
+    /// `|values_a ∩ values_b| / |values_a ∪ values_b|` on sketch
+    /// values, as literally written in Algorithm 1 line 9.
+    SetBased,
+}
+
+/// All knobs of a run. The paper's defaults: k = 5 and n = 100 for
+/// whole metagenomes (Table III), k = 15 and n = 50 for 16S
+/// (Table V), θ = 0.95.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrMcConfig {
+    /// k-mer size (`$KMER`).
+    pub kmer: usize,
+    /// Number of hash functions / sketch length (`$NUMHASH`).
+    pub num_hashes: usize,
+    /// Similarity threshold θ (`$CUTOFF`).
+    pub theta: f64,
+    /// Greedy or hierarchical.
+    pub mode: Mode,
+    /// Linkage policy for hierarchical mode (`$LINK`).
+    pub linkage: Linkage,
+    /// Similarity estimator.
+    pub estimator: Estimator,
+    /// Seed for the universal hash parameter draws.
+    pub seed: u64,
+    /// Use canonical (strand-independent) k-mers — the Mash-style
+    /// extension for randomly-oriented shotgun reads; the paper's
+    /// pipeline is strand-sensitive (false).
+    pub canonical: bool,
+    /// Map tasks for the sketching stage.
+    pub map_tasks: usize,
+    /// Worker threads (None = machine parallelism).
+    pub workers: Option<usize>,
+}
+
+impl Default for MrMcConfig {
+    fn default() -> Self {
+        MrMcConfig {
+            kmer: 5,
+            num_hashes: 100,
+            theta: 0.95,
+            mode: Mode::Hierarchical,
+            linkage: Linkage::Average,
+            estimator: Estimator::Positional,
+            seed: 0x6d72_6d63, // "mrmc"
+            canonical: false,
+            map_tasks: 16,
+            workers: None,
+        }
+    }
+}
+
+impl MrMcConfig {
+    /// The paper's whole-metagenome setting (Table III): k = 5,
+    /// n = 100 hashes.
+    pub fn whole_metagenome() -> MrMcConfig {
+        MrMcConfig::default()
+    }
+
+    /// The paper's 16S setting (Table V): k = 15, n = 50 hashes,
+    /// θ = 0.95.
+    pub fn sixteen_s() -> MrMcConfig {
+        MrMcConfig {
+            kmer: 15,
+            num_hashes: 50,
+            ..Default::default()
+        }
+    }
+
+    /// Switch to greedy mode.
+    pub fn greedy(mut self) -> MrMcConfig {
+        self.mode = Mode::Greedy;
+        self
+    }
+
+    /// Switch to hierarchical mode.
+    pub fn hierarchical(mut self) -> MrMcConfig {
+        self.mode = Mode::Hierarchical;
+        self
+    }
+
+    /// Set θ.
+    pub fn with_theta(mut self, theta: f64) -> MrMcConfig {
+        self.theta = theta;
+        self
+    }
+
+    /// Validate the knob ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.kmer == 0 || self.kmer > 31 {
+            return Err(format!("kmer {} out of range 1..=31", self.kmer));
+        }
+        if self.num_hashes == 0 {
+            return Err("num_hashes must be ≥ 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(format!("theta {} outside [0, 1]", self.theta));
+        }
+        if self.map_tasks == 0 {
+            return Err("map_tasks must be ≥ 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let w = MrMcConfig::whole_metagenome();
+        assert_eq!((w.kmer, w.num_hashes), (5, 100));
+        let s = MrMcConfig::sixteen_s();
+        assert_eq!((s.kmer, s.num_hashes), (15, 50));
+        assert_eq!(s.theta, 0.95);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MrMcConfig::default().greedy().with_theta(0.8);
+        assert_eq!(c.mode, Mode::Greedy);
+        assert_eq!(c.theta, 0.8);
+        assert_eq!(c.hierarchical().mode, Mode::Hierarchical);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MrMcConfig::default().validate().is_ok());
+        assert!(MrMcConfig {
+            kmer: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrMcConfig {
+            kmer: 32,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrMcConfig {
+            num_hashes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrMcConfig {
+            theta: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(MrMcConfig {
+            map_tasks: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

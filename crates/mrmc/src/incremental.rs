@@ -1,0 +1,196 @@
+//! Streaming (incremental) greedy clustering.
+//!
+//! The paper motivates binning as "a pre-processing step … within
+//! several workflows that analyze only cluster representatives"
+//! (§I). Those workflows receive reads continuously; this module keeps
+//! Algorithm 1's representative rule but processes reads *one at a
+//! time*: each new read joins the first existing cluster whose
+//! representative sketch clears θ, or founds a new cluster. Seeding
+//! from a finished batch run makes it the "assign new data to
+//! yesterday's clusters" operation.
+
+use mrmc_cluster::ClusterAssignment;
+use mrmc_minhash::{MinHasher, Sketch};
+use mrmc_seqio::{SeqIoError, SeqRecord};
+
+use crate::config::MrMcConfig;
+use crate::pipeline::MrMcResult;
+use crate::stages::sketch_similarity;
+
+/// Streaming greedy clusterer over minhash sketches.
+#[derive(Debug, Clone)]
+pub struct IncrementalClusterer {
+    config: MrMcConfig,
+    hasher: MinHasher,
+    /// Representative sketch per cluster, indexed by label.
+    representatives: Vec<Sketch>,
+    /// Label assigned to each pushed read, in push order.
+    labels: Vec<usize>,
+}
+
+impl IncrementalClusterer {
+    /// Empty clusterer (panics on invalid config, like [`crate::MrMcMinH`]).
+    pub fn new(config: MrMcConfig) -> IncrementalClusterer {
+        if let Err(e) = config.validate() {
+            panic!("invalid MrMcConfig: {e}");
+        }
+        let hasher = MinHasher::for_kmer_size(config.kmer, config.num_hashes, config.seed);
+        IncrementalClusterer {
+            config,
+            hasher,
+            representatives: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Seed from a finished batch run: the representatives of
+    /// `result`'s clusters (its [`MrMcResult::representatives`]) become
+    /// the live centroids, so subsequently pushed reads extend the
+    /// existing clustering. The batch reads themselves are *not*
+    /// re-recorded (their labels live in `result`).
+    pub fn from_run(
+        config: MrMcConfig,
+        batch_reads: &[SeqRecord],
+        result: &MrMcResult,
+    ) -> Result<IncrementalClusterer, SeqIoError> {
+        let mut inc = IncrementalClusterer::new(config);
+        for rep in result.representatives() {
+            let sketch = inc.hasher.sketch_sequence(&batch_reads[rep].seq)?;
+            inc.representatives.push(sketch);
+        }
+        Ok(inc)
+    }
+
+    /// Assign one read; returns its cluster label. New clusters take
+    /// the next free label.
+    pub fn push(&mut self, read: &SeqRecord) -> Result<usize, SeqIoError> {
+        let sketch = self.hasher.sketch_sequence(&read.seq)?;
+        let label = self
+            .representatives
+            .iter()
+            .position(|rep| {
+                sketch_similarity(&sketch, rep, self.config.estimator) >= self.config.theta
+            })
+            .unwrap_or_else(|| {
+                self.representatives.push(sketch.clone());
+                self.representatives.len() - 1
+            });
+        self.labels.push(label);
+        Ok(label)
+    }
+
+    /// Current cluster count (including seeded clusters).
+    pub fn num_clusters(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Labels of pushed reads, in push order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Flat assignment over the pushed reads.
+    pub fn assignment(&self) -> ClusterAssignment {
+        ClusterAssignment::from_labels(self.labels.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use crate::pipeline::MrMcMinH;
+    use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+    fn two_species(n: usize, seed: u64) -> (Vec<SeqRecord>, Vec<usize>) {
+        let spec = CommunitySpec {
+            species: vec![
+                SpeciesSpec { name: "a".into(), gc: 0.40, abundance: 1.0 },
+                SpeciesSpec { name: "b".into(), gc: 0.60, abundance: 1.0 },
+            ],
+            rank: TaxRank::Phylum,
+            genome_len: 50_000,
+        };
+        let sim = ReadSimulator::new(800, ErrorModel::with_total_rate(0.002));
+        let d = spec.generate("t", n, &sim, seed);
+        (d.reads.clone(), d.labels.unwrap())
+    }
+
+    fn config(theta: f64) -> MrMcConfig {
+        MrMcConfig {
+            kmer: 5,
+            num_hashes: 64,
+            theta,
+            ..MrMcConfig::whole_metagenome()
+        }
+    }
+
+    #[test]
+    fn streaming_recovers_two_species() {
+        let (reads, truth) = two_species(60, 1);
+        let theta = crate::threshold::suggest_theta(&reads, &config(0.5), 50);
+        let mut inc = IncrementalClusterer::new(config(theta));
+        for r in &reads {
+            inc.push(r).unwrap();
+        }
+        let acc =
+            mrmc_metrics::weighted_accuracy(&inc.assignment(), &truth, 1).unwrap();
+        assert!(acc > 85.0, "accuracy {acc}");
+        assert_eq!(inc.labels().len(), reads.len());
+    }
+
+    #[test]
+    fn streaming_matches_batch_greedy() {
+        // Pushing reads one at a time is *exactly* Algorithm 1's
+        // iteration order, so results coincide with the batch greedy
+        // run at the same θ.
+        let (reads, _) = two_species(40, 2);
+        let theta = 0.5;
+        let batch = MrMcMinH::new(config(theta).greedy()).run(&reads).unwrap();
+        let mut inc = IncrementalClusterer::new(config(theta));
+        for r in &reads {
+            inc.push(r).unwrap();
+        }
+        assert_eq!(inc.assignment().compact(), batch.assignment);
+    }
+
+    #[test]
+    fn seeding_from_batch_extends_clusters() {
+        let (reads, _) = two_species(40, 3);
+        let theta = crate::threshold::suggest_theta(&reads, &config(0.5), 40);
+        let cfg = MrMcConfig {
+            mode: Mode::Hierarchical,
+            ..config(theta)
+        };
+        let result = MrMcMinH::new(cfg).run(&reads).unwrap();
+        let k = result.num_clusters();
+
+        let mut inc = IncrementalClusterer::from_run(cfg, &reads, &result).unwrap();
+        assert_eq!(inc.num_clusters(), k);
+        // New reads from the same genomes mostly land in seeded
+        // clusters rather than founding new ones.
+        let (new_reads, _) = two_species(20, 3); // same seed → same genomes
+        for r in &new_reads {
+            inc.push(r).unwrap();
+        }
+        assert!(
+            inc.num_clusters() <= k + 4,
+            "seeded {k}, after stream {}",
+            inc.num_clusters()
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_reads() {
+        let mut inc = IncrementalClusterer::new(config(0.9));
+        assert_eq!(inc.num_clusters(), 0);
+        // A read shorter than k founds its own (degenerate) cluster.
+        let tiny = SeqRecord::new("t", b"AC".to_vec());
+        let l = inc.push(&tiny).unwrap();
+        assert_eq!(l, 0);
+        // A second degenerate read joins it (degenerate sketches are
+        // mutually "identical" by convention).
+        let tiny2 = SeqRecord::new("t2", b"GG".to_vec());
+        assert_eq!(inc.push(&tiny2).unwrap(), 0);
+    }
+}

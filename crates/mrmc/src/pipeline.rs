@@ -1,0 +1,337 @@
+//! The end-to-end MrMC-MinH pipeline.
+
+use std::time::{Duration, Instant};
+
+use mrmc_cluster::{agglomerative, greedy_cluster, ClusterAssignment, Dendrogram};
+use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_mapreduce::MrError;
+use mrmc_seqio::SeqRecord;
+
+use crate::config::{Mode, MrMcConfig};
+use crate::stages::{similarity_matrix_stage, sketch_similarity, sketch_stage};
+
+/// Result of a MrMC-MinH run.
+#[derive(Debug)]
+pub struct MrMcResult {
+    /// Cluster labels, compacted to `0..num_clusters`.
+    pub assignment: ClusterAssignment,
+    /// The dendrogram (hierarchical mode only).
+    pub dendrogram: Option<Dendrogram>,
+    /// Map-Reduce stage reports (feeds the simulated-cluster model).
+    pub pipeline: Pipeline,
+    /// Wall-clock of the clustering step proper (after sketching).
+    pub cluster_time: Duration,
+    /// Total wall-clock of the run.
+    pub total_time: Duration,
+}
+
+impl MrMcResult {
+    /// Convenience: cluster count.
+    pub fn num_clusters(&self) -> usize {
+        self.assignment.num_clusters()
+    }
+
+    /// Re-cut the stored dendrogram at a different θ without
+    /// recomputing sketches or the similarity matrix — the paper's
+    /// "clustering results at different hierarchical taxonomic levels"
+    /// feature. `None` in greedy mode (no dendrogram exists).
+    pub fn cut_at(&self, theta: f64) -> Option<ClusterAssignment> {
+        self.dendrogram
+            .as_ref()
+            .map(|d| mrmc_cluster::cut_dendrogram(d, theta).compact())
+    }
+
+    /// Multi-level taxonomy: one flat clustering per θ, finest first
+    /// if `thetas` is descending. `None` in greedy mode.
+    pub fn taxonomy_levels(&self, thetas: &[f64]) -> Option<Vec<ClusterAssignment>> {
+        self.dendrogram
+            .as_ref()
+            .map(|d| mrmc_cluster::cut_levels(d, thetas))
+    }
+
+    /// Representative read index per cluster: the lowest-indexed
+    /// member (the greedy seed in greedy mode; a stable, deterministic
+    /// choice in hierarchical mode). Sorted by cluster label. Supports
+    /// the paper's "analyze only cluster representatives" workflow.
+    pub fn representatives(&self) -> Vec<usize> {
+        let members = self.assignment.members();
+        let mut labels: Vec<usize> = members.keys().copied().collect();
+        labels.sort_unstable();
+        labels
+            .into_iter()
+            .map(|l| *members[&l].iter().min().expect("clusters are non-empty"))
+            .collect()
+    }
+}
+
+/// The MrMC-MinH runner.
+#[derive(Debug, Clone)]
+pub struct MrMcMinH {
+    config: MrMcConfig,
+}
+
+impl MrMcMinH {
+    /// Build a runner; panics on invalid configuration (validate
+    /// early — every stage depends on these knobs).
+    pub fn new(config: MrMcConfig) -> MrMcMinH {
+        if let Err(e) = config.validate() {
+            panic!("invalid MrMcConfig: {e}");
+        }
+        MrMcMinH { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MrMcConfig {
+        &self.config
+    }
+
+    /// Cluster the reads.
+    pub fn run(&self, reads: &[SeqRecord]) -> Result<MrMcResult, MrError> {
+        let start = Instant::now();
+        let mut pipeline = Pipeline::new(match self.config.mode {
+            Mode::Greedy => "mrmc-minh-g",
+            Mode::Hierarchical => "mrmc-minh-h",
+        });
+
+        // Stage 1: minwise sketches (map-only over records).
+        let sketches = sketch_stage(reads, &self.config, &mut pipeline)?;
+
+        let cluster_start = Instant::now();
+        let (assignment, dendrogram) = match self.config.mode {
+            Mode::Greedy => {
+                // Algorithm 1 — iterative, representative-based; runs
+                // on the driver like the paper's GreedyClustering UDF
+                // (invoked once on the grouped relation).
+                let assignment = greedy_cluster(sketches.len(), self.config.theta, |i, j| {
+                    sketch_similarity(&sketches[i], &sketches[j], self.config.estimator)
+                });
+                (assignment.compact(), None)
+            }
+            Mode::Hierarchical => {
+                // Algorithm 2 — all-pairs matrix via row partitioning,
+                // then agglomerative clustering with θ cutoff.
+                let matrix = similarity_matrix_stage(sketches, &self.config, &mut pipeline)?;
+                let (assignment, dendro) =
+                    agglomerative(&matrix, self.config.linkage, self.config.theta);
+                (assignment.compact(), Some(dendro))
+            }
+        };
+        let cluster_time = cluster_start.elapsed();
+
+        Ok(MrMcResult {
+            assignment,
+            dendrogram,
+            pipeline,
+            cluster_time,
+            total_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Estimator;
+    use mrmc_cluster::Linkage;
+    use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+    fn two_species(n: usize, seed: u64) -> (Vec<SeqRecord>, Vec<usize>) {
+        let spec = CommunitySpec {
+            species: vec![
+                SpeciesSpec {
+                    name: "a".into(),
+                    gc: 0.40,
+                    abundance: 1.0,
+                },
+                SpeciesSpec {
+                    name: "b".into(),
+                    gc: 0.60,
+                    abundance: 1.0,
+                },
+            ],
+            rank: TaxRank::Phylum,
+            genome_len: 50_000,
+        };
+        let sim = ReadSimulator::new(800, ErrorModel::with_total_rate(0.002));
+        let d = spec.generate("t", n, &sim, seed);
+        (d.reads.clone(), d.labels.unwrap())
+    }
+
+    fn config(mode: Mode, theta: f64) -> MrMcConfig {
+        MrMcConfig {
+            kmer: 5,
+            num_hashes: 64,
+            theta,
+            mode,
+            map_tasks: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hierarchical_recovers_two_species_compositionally() {
+        // k = 5 sketches on 800 bp reads act as composition signatures
+        // (the whole-metagenome regime of Table III).
+        let (reads, truth) = two_species(60, 1);
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.55)).run(&reads).unwrap();
+        let acc =
+            mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
+        assert!(acc > 90.0, "accuracy {acc}");
+        assert!(result.dendrogram.is_some());
+        // Two MR stages: sketch + similarity.
+        assert_eq!(result.pipeline.stages().len(), 2);
+    }
+
+    #[test]
+    fn greedy_runs_and_is_faster_shape() {
+        let (reads, truth) = two_species(60, 2);
+        let result = MrMcMinH::new(config(Mode::Greedy, 0.55)).run(&reads).unwrap();
+        let acc =
+            mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
+        assert!(acc > 80.0, "accuracy {acc}");
+        assert!(result.dendrogram.is_none());
+        // Only the sketch stage hits the MR substrate in greedy mode.
+        assert_eq!(result.pipeline.stages().len(), 1);
+    }
+
+    #[test]
+    fn theta_one_only_merges_identical_sketches() {
+        let reads = vec![
+            SeqRecord::new("a", b"ACGTACGTACGTACGTAC".to_vec()),
+            SeqRecord::new("b", b"ACGTACGTACGTACGTAC".to_vec()),
+            SeqRecord::new("c", b"TTTTGGGGCCCCAAAATT".to_vec()),
+        ];
+        for mode in [Mode::Greedy, Mode::Hierarchical] {
+            let result = MrMcMinH::new(config(mode, 1.0)).run(&reads).unwrap();
+            assert_eq!(result.num_clusters(), 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_linkage_choices_all_work() {
+        let (reads, _) = two_species(20, 3);
+        for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+            let cfg = MrMcConfig {
+                linkage,
+                ..config(Mode::Hierarchical, 0.5)
+            };
+            let result = MrMcMinH::new(cfg).run(&reads).unwrap();
+            assert!(result.num_clusters() >= 1);
+        }
+    }
+
+    #[test]
+    fn set_based_estimator_runs() {
+        let (reads, _) = two_species(20, 4);
+        let cfg = MrMcConfig {
+            estimator: Estimator::SetBased,
+            ..config(Mode::Hierarchical, 0.5)
+        };
+        let result = MrMcMinH::new(cfg).run(&reads).unwrap();
+        // The set-based estimator is biased relative to positional
+        // agreement; just verify it produces a complete clustering.
+        assert_eq!(result.assignment.len(), reads.len());
+        assert!(result.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.9)).run(&[]).unwrap();
+        assert_eq!(result.num_clusters(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MrMcConfig")]
+    fn invalid_config_panics() {
+        MrMcMinH::new(MrMcConfig {
+            kmer: 0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn taxonomy_levels_refine() {
+        let (reads, _) = two_species(40, 6);
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5)).run(&reads).unwrap();
+        let levels = result.taxonomy_levels(&[0.9, 0.5, 0.1]).expect("hierarchical");
+        assert_eq!(levels.len(), 3);
+        // Counts non-increasing as θ loosens; the 0.1 cut is coarsest.
+        assert!(levels[0].num_clusters() >= levels[1].num_clusters());
+        assert!(levels[1].num_clusters() >= levels[2].num_clusters());
+        // cut_at(θ of the run) reproduces the run's own assignment
+        // up to relabeling.
+        let recut = result.cut_at(0.5).expect("hierarchical");
+        assert_eq!(
+            recut.num_clusters(),
+            result.assignment.num_clusters()
+        );
+        // Greedy mode has no dendrogram.
+        let greedy = MrMcMinH::new(config(Mode::Greedy, 0.5)).run(&reads).unwrap();
+        assert!(greedy.cut_at(0.5).is_none());
+    }
+
+    #[test]
+    fn representatives_one_per_cluster() {
+        let (reads, _) = two_species(30, 7);
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5)).run(&reads).unwrap();
+        let reps = result.representatives();
+        assert_eq!(reps.len(), result.num_clusters());
+        // Each representative belongs to a distinct cluster.
+        let mut labels: Vec<usize> =
+            reps.iter().map(|&r| result.assignment.label(r)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), reps.len());
+    }
+
+    #[test]
+    fn canonical_mode_is_strand_invariant() {
+        use mrmc_seqio::alphabet::reverse_complement;
+        let (reads, truth) = two_species(40, 9);
+        // Flip half the reads to the opposite strand — real shotgun
+        // data arrives like this.
+        let mixed: Vec<SeqRecord> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i % 2 == 0 {
+                    r.clone()
+                } else {
+                    SeqRecord::new(r.id.clone(), reverse_complement(&r.seq))
+                }
+            })
+            .collect();
+
+        let run = |canonical: bool, reads: &[SeqRecord]| {
+            let cfg = MrMcConfig {
+                canonical,
+                ..config(Mode::Hierarchical, 0.5)
+            };
+            let theta = crate::threshold::suggest_theta(reads, &cfg, 40);
+            MrMcMinH::new(MrMcConfig { theta, ..cfg }).run(reads).unwrap()
+        };
+
+        // Canonical mode: accuracy survives the strand mixing.
+        let canon = run(true, &mixed);
+        let acc_canon =
+            mrmc_metrics::weighted_accuracy(&canon.assignment, &truth, 2).unwrap();
+        assert!(acc_canon > 90.0, "canonical accuracy {acc_canon}");
+
+        // And a read plus its own reverse complement always share a
+        // cluster under canonical sketches (identical by construction).
+        let hasher = mrmc_minhash::MinHasher::for_kmer_size(5, 64, 1).canonical();
+        let fwd = hasher.sketch_sequence(&reads[0].seq).unwrap();
+        let rev = hasher
+            .sketch_sequence(&reverse_complement(&reads[0].seq))
+            .unwrap();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (reads, _) = two_species(30, 5);
+        let r1 = MrMcMinH::new(config(Mode::Hierarchical, 0.6)).run(&reads).unwrap();
+        let r2 = MrMcMinH::new(config(Mode::Hierarchical, 0.6)).run(&reads).unwrap();
+        assert_eq!(r1.assignment, r2.assignment);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Map-Reduce stages of the MrMC-MinH pipeline (paper Fig. 1).
+//!
+//! Stage 1 (**sketching**, map-only): each mapper encodes the DNA
+//! alphabet, extracts k-mers, and computes the n minwise hash values —
+//! the fused equivalent of the `StringGenerator` → `TranslateToKmer` →
+//! `CalculateMinwiseHash` UDF chain.
+//!
+//! Stage 2 (**all-pairs similarity**, map-only over *rows*): "the
+//! calculation of all pairwise similarity is performed in parallel by
+//! performing a row-wise partition" — each map task owns a strip of
+//! rows of the condensed matrix.
+
+use std::sync::Arc;
+
+use mrmc_mapreduce::job::{JobConfig, Mapper, TaskContext};
+use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_mapreduce::MrError;
+use mrmc_minhash::{positional_similarity, set_similarity, MinHasher, Sketch};
+use mrmc_cluster::CondensedMatrix;
+use mrmc_seqio::SeqRecord;
+
+use crate::config::{Estimator, MrMcConfig};
+
+/// Stage-1 mapper: record → sketch.
+struct SketchMapper {
+    hasher: MinHasher,
+}
+
+impl Mapper for SketchMapper {
+    type InKey = usize;
+    type InValue = SeqRecord;
+    type OutKey = usize;
+    type OutValue = Sketch;
+
+    fn map(&self, key: usize, record: SeqRecord, ctx: &mut TaskContext<usize, Sketch>) {
+        let sketch = self
+            .hasher
+            .sketch_sequence(&record.seq)
+            .expect("k validated by MrMcConfig");
+        if sketch.is_degenerate() {
+            ctx.count("DEGENERATE_SKETCHES", 1);
+        }
+        ctx.emit(key, sketch);
+    }
+}
+
+/// Run the sketching stage on the Map-Reduce substrate. Output order
+/// matches input order.
+pub fn sketch_stage(
+    reads: &[SeqRecord],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+) -> Result<Vec<Sketch>, MrError> {
+    let mut hasher = MinHasher::for_kmer_size(config.kmer, config.num_hashes, config.seed);
+    if config.canonical {
+        hasher = hasher.canonical();
+    }
+    let mapper = SketchMapper { hasher };
+    let input: Vec<(usize, SeqRecord)> = reads.iter().cloned().enumerate().collect();
+    let mut job = JobConfig::named("minwise-sketch");
+    if let Some(w) = config.workers {
+        job = job.workers(w);
+    }
+    let out = pipeline.run_map_stage(input, config.map_tasks, &mapper, &job)?;
+    Ok(out.into_iter().map(|(_, s)| s).collect())
+}
+
+/// Evaluate the configured estimator on a sketch pair.
+pub fn sketch_similarity(a: &Sketch, b: &Sketch, estimator: Estimator) -> f64 {
+    match estimator {
+        Estimator::Positional => positional_similarity(a, b),
+        Estimator::SetBased => set_similarity(a, b),
+    }
+}
+
+/// Stage-2 mapper: matrix row index → the row's similarity strip.
+struct RowMapper {
+    sketches: Arc<Vec<Sketch>>,
+    estimator: Estimator,
+}
+
+impl Mapper for RowMapper {
+    type InKey = usize;
+    type InValue = ();
+    type OutKey = usize;
+    type OutValue = Vec<f32>;
+
+    fn map(&self, row: usize, _v: (), ctx: &mut TaskContext<usize, Vec<f32>>) {
+        let n = self.sketches.len();
+        let strip: Vec<f32> = ((row + 1)..n)
+            .map(|j| {
+                sketch_similarity(&self.sketches[row], &self.sketches[j], self.estimator) as f32
+            })
+            .collect();
+        ctx.count("PAIRS_COMPUTED", strip.len() as u64);
+        ctx.emit(row, strip);
+    }
+}
+
+/// Run the all-pairs stage: one map task strip per chunk of rows.
+pub fn similarity_matrix_stage(
+    sketches: Vec<Sketch>,
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+) -> Result<CondensedMatrix, MrError> {
+    let n = sketches.len();
+    let shared = Arc::new(sketches);
+    let mapper = RowMapper {
+        sketches: Arc::clone(&shared),
+        estimator: config.estimator,
+    };
+    let input: Vec<(usize, ())> = (0..n).map(|i| (i, ())).collect();
+    let mut job = JobConfig::named("pairwise-similarity");
+    if let Some(w) = config.workers {
+        job = job.workers(w);
+    }
+    // More, smaller tasks than the sketch stage: row costs are wildly
+    // unequal (row 0 has n−1 pairs, row n−1 has none), so finer tasks
+    // load-balance better.
+    let tasks = (config.map_tasks * 4).min(n.max(1));
+    let rows = pipeline.run_map_stage(input, tasks, &mapper, &job)?;
+
+    // Assemble the condensed matrix from row strips (rows arrive in
+    // input order because run_map_stage preserves task order).
+    let mut matrix = CondensedMatrix::build(n, |_, _| 0.0);
+    for (row, strip) in rows {
+        for (k, v) in strip.into_iter().enumerate() {
+            matrix.set(row, row + 1 + k, f64::from(v));
+        }
+    }
+    Ok(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads() -> Vec<SeqRecord> {
+        vec![
+            SeqRecord::new("a", b"ACGTACGTACGTACGTTTTTGGGG".to_vec()),
+            SeqRecord::new("b", b"ACGTACGTACGTACGTTTTTGGGG".to_vec()),
+            SeqRecord::new("c", b"TTGGCCAATTGGCCAATTGGCCAA".to_vec()),
+        ]
+    }
+
+    fn config() -> MrMcConfig {
+        MrMcConfig {
+            kmer: 5,
+            num_hashes: 32,
+            map_tasks: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sketch_stage_preserves_order_and_determinism() {
+        let mut p1 = Pipeline::new("t");
+        let s1 = sketch_stage(&reads(), &config(), &mut p1).unwrap();
+        let mut p2 = Pipeline::new("t");
+        let s2 = sketch_stage(&reads(), &config(), &mut p2).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 3);
+        assert_eq!(s1[0], s1[1]); // identical sequences, identical sketches
+        assert_ne!(s1[0], s1[2]);
+        assert_eq!(p1.stages().len(), 1);
+    }
+
+    #[test]
+    fn similarity_matrix_matches_direct_computation() {
+        let mut p = Pipeline::new("t");
+        let cfg = config();
+        let sketches = sketch_stage(&reads(), &cfg, &mut p).unwrap();
+        let direct = CondensedMatrix::build(3, |i, j| {
+            sketch_similarity(&sketches[i], &sketches[j], cfg.estimator)
+        });
+        let via_mr = similarity_matrix_stage(sketches, &cfg, &mut p).unwrap();
+        assert_eq!(via_mr, direct);
+        assert_eq!(via_mr.get(0, 1), 1.0);
+        assert!(via_mr.get(0, 2) < 0.2);
+    }
+
+    #[test]
+    fn degenerate_sketch_counted() {
+        let mut p = Pipeline::new("t");
+        let short = vec![SeqRecord::new("s", b"ACG".to_vec())]; // < k
+        let cfg = config();
+        let s = sketch_stage(&short, &cfg, &mut p).unwrap();
+        assert!(s[0].is_degenerate());
+    }
+
+    #[test]
+    fn estimators_differ_in_general() {
+        let mut p = Pipeline::new("t");
+        let cfg = config();
+        let s = sketch_stage(&reads(), &cfg, &mut p).unwrap();
+        // For identical sequences both estimators say 1.
+        assert_eq!(sketch_similarity(&s[0], &s[1], Estimator::Positional), 1.0);
+        assert_eq!(sketch_similarity(&s[0], &s[1], Estimator::SetBased), 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut p = Pipeline::new("t");
+        let cfg = config();
+        let s = sketch_stage(&[], &cfg, &mut p).unwrap();
+        assert!(s.is_empty());
+        let m = similarity_matrix_stage(s, &cfg, &mut p).unwrap();
+        assert!(m.is_empty());
+    }
+}

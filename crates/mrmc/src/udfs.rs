@@ -1,0 +1,616 @@
+//! The Pig UDFs of Algorithm 3, in Rust.
+//!
+//! These register into a [`mrmc_pig::UdfRegistry`] under the exact
+//! names the paper's script uses (`FastaStorage`, `StringGenerator`,
+//! `TranslateToKmer`, `CalculateMinwiseHash`,
+//! `CalculatePairwiseSimilarity`, `AgglomerativeHierarchicalClustering`,
+//! `GreedyClustering`), so [`algorithm3_script`] runs end-to-end on
+//! the mini-Pig engine.
+//!
+//! One documented deviation from the paper's listing: Algorithm 3
+//! computes minwise hashes with a bare `FOREACH` over *individual
+//! k-mer rows*, which cannot see a whole sequence's k-mer set — the
+//! published script only works because their Java UDF buffers state
+//! across calls. Our dataflow makes the grouping explicit
+//! (`G = GROUP C BY seqid2`) and hands `CalculateMinwiseHash` the
+//! grouped bag, which is the semantically equivalent, side-effect-free
+//! formulation.
+
+use std::sync::Arc;
+
+use mrmc_cluster::{agglomerative, greedy_cluster, CondensedMatrix, Linkage};
+use mrmc_minhash::hash::UniversalHashFamily;
+use mrmc_pig::udf::UdfError;
+use mrmc_pig::{Udf, UdfRegistry, Value};
+use mrmc_seqio::encode::KmerIter;
+use mrmc_seqio::fasta::read_fasta_bytes;
+
+/// Register every Algorithm 3 UDF.
+pub fn register_mrmc_udfs(registry: &mut UdfRegistry) {
+    registry.register(Arc::new(FastaStorage));
+    registry.register(Arc::new(StringGenerator));
+    registry.register(Arc::new(TranslateToKmer));
+    registry.register(Arc::new(CalculateMinwiseHash));
+    registry.register(Arc::new(CalculatePairwiseSimilarity));
+    registry.register(Arc::new(AgglomerativeHierarchicalClustering));
+    registry.register(Arc::new(GreedyClustering));
+}
+
+/// Our canonical version of the paper's Algorithm 3 script.
+/// Parameters: `$INPUT`, `$KMER`, `$NUMHASH`, `$DIV`, `$LINK`,
+/// `$CUTOFF`, `$OUTPUT1` (hierarchical), `$OUTPUT2` (greedy).
+pub fn algorithm3_script() -> &'static str {
+    r#"
+A = LOAD '$INPUT' USING FastaStorage AS (readid:chararray, d:int, seq:bytearray, header:chararray);
+B = FOREACH A GENERATE FLATTEN(StringGenerator(seq, readid)) AS (seq:chararray, seqid:chararray);
+C = FOREACH B GENERATE FLATTEN(TranslateToKmer(seq, seqid, $KMER)) AS (seqkmer:long, seqid2:chararray);
+G = GROUP C BY seqid2;
+E = FOREACH G GENERATE FLATTEN(CalculateMinwiseHash(C, $NUMHASH, $DIV)) AS (minwise:bag, seqid3:chararray);
+I = GROUP E ALL;
+J = FOREACH E GENERATE FLATTEN(CalculatePairwiseSimilarity(minwise, seqid3, I.E)) AS (seqid4:chararray, simrow:bag);
+II = GROUP J ALL;
+K = FOREACH II GENERATE FLATTEN(AgglomerativeHierarchicalClustering(J, '$LINK', $NUMHASH, $CUTOFF)) AS (seqid5:chararray, clusterlabel:int);
+L = FOREACH I GENERATE FLATTEN(GreedyClustering(E, $NUMHASH, $CUTOFF)) AS (seqid6:chararray, clusterlabel2:int);
+STORE K INTO '$OUTPUT1';
+STORE L INTO '$OUTPUT2';
+"#
+}
+
+/// Suggest `$CUTOFF` for the Pig path. The Pig UDF family hashes into
+/// `Z_p` without the `mod m` range compression of Eq. 5 (see
+/// [`family_for`]), so its similarity estimates sit slightly *below*
+/// the native path's (which inherits Eq. 5's collision bias at small
+/// `4^k`); the threshold must be chosen on the same scale that the
+/// clustering UDFs will see.
+pub fn suggest_theta_pig(
+    reads: &[mrmc_seqio::SeqRecord],
+    kmer: usize,
+    numhash: usize,
+    div: u64,
+    sample: usize,
+) -> f64 {
+    if reads.len() < 2 {
+        return 0.5;
+    }
+    let sample = sample.clamp(2, reads.len());
+    let stride = (reads.len() / sample).max(1);
+    let family = family_for(numhash, div);
+    let sketches: Vec<Vec<u64>> = reads
+        .iter()
+        .step_by(stride)
+        .take(sample)
+        .map(|r| {
+            let mut mins = vec![u64::MAX; numhash];
+            if let Ok(iter) = KmerIter::new(&r.seq, kmer) {
+                for km in iter {
+                    for (i, slot) in mins.iter_mut().enumerate() {
+                        let h = family.hash(i, km);
+                        if h < *slot {
+                            *slot = h;
+                        }
+                    }
+                }
+            }
+            mins
+        })
+        .collect();
+    let mut sims = Vec::with_capacity(sketches.len() * (sketches.len() - 1) / 2);
+    for i in 0..sketches.len() {
+        for j in (i + 1)..sketches.len() {
+            sims.push(raw_similarity(&sketches[i], &sketches[j]));
+        }
+    }
+    crate::threshold::otsu_threshold(&sims)
+}
+
+fn arg_i64(udf: &str, args: &[Value], idx: usize, what: &str) -> Result<i64, UdfError> {
+    args.get(idx)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (integer)")))
+}
+
+fn arg_f64(udf: &str, args: &[Value], idx: usize, what: &str) -> Result<f64, UdfError> {
+    args.get(idx)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (number)")))
+}
+
+fn arg_str<'a>(
+    udf: &str,
+    args: &'a [Value],
+    idx: usize,
+    what: &str,
+) -> Result<&'a str, UdfError> {
+    args.get(idx)
+        .and_then(Value::as_str)
+        .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (chararray)")))
+}
+
+fn arg_bag<'a>(
+    udf: &str,
+    args: &'a [Value],
+    idx: usize,
+    what: &str,
+) -> Result<&'a [Value], UdfError> {
+    args.get(idx)
+        .and_then(Value::as_bag)
+        .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (bag)")))
+}
+
+/// `FastaStorage` — the loader: file bytes → bag of
+/// `(readid, d, seq, header)` tuples (d is the paper's direction
+/// field; always 0 here).
+pub struct FastaStorage;
+impl Udf for FastaStorage {
+    fn name(&self) -> &str {
+        "FastaStorage"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let bytes = args
+            .first()
+            .and_then(Value::as_bytes)
+            .ok_or_else(|| UdfError::new("FastaStorage", "expected file bytes"))?;
+        let records = read_fasta_bytes(bytes)
+            .map_err(|e| UdfError::new("FastaStorage", e.to_string()))?;
+        Ok(Value::bag(
+            records
+                .into_iter()
+                .map(|r| {
+                    Value::tuple([
+                        Value::CharArray(r.id),
+                        Value::Int(0),
+                        Value::ByteArray(r.seq),
+                        Value::CharArray(r.description),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+/// `StringGenerator(seq, readid)` — normalizes the DNA alphabet
+/// (upper-case, `U`→`T`) and passes the id through; the integer
+/// encoding itself happens inside `TranslateToKmer`, which packs
+/// each k-mer into a long.
+pub struct StringGenerator;
+impl Udf for StringGenerator {
+    fn name(&self) -> &str {
+        "StringGenerator"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let seq = args
+            .first()
+            .and_then(Value::as_bytes)
+            .ok_or_else(|| UdfError::new("StringGenerator", "argument 0 must be the sequence"))?;
+        let id = arg_str("StringGenerator", args, 1, "the read id")?;
+        let norm: String = seq
+            .iter()
+            .map(|&c| match c.to_ascii_uppercase() {
+                b'U' => 'T',
+                up => up as char,
+            })
+            .collect();
+        Ok(Value::tuple([
+            Value::CharArray(norm),
+            Value::CharArray(id.to_string()),
+        ]))
+    }
+}
+
+/// `TranslateToKmer(seq, seqid, k)` — bag of `(kmer:long, seqid)`.
+pub struct TranslateToKmer;
+impl Udf for TranslateToKmer {
+    fn name(&self) -> &str {
+        "TranslateToKmer"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let seq = arg_str("TranslateToKmer", args, 0, "the sequence")?;
+        let id = arg_str("TranslateToKmer", args, 1, "the read id")?;
+        let k = arg_i64("TranslateToKmer", args, 2, "the k-mer size")? as usize;
+        let iter = KmerIter::new(seq.as_bytes(), k)
+            .map_err(|e| UdfError::new("TranslateToKmer", e.to_string()))?;
+        Ok(Value::bag(
+            iter.map(|km| {
+                Value::tuple([Value::Long(km as i64), Value::CharArray(id.to_string())])
+            })
+            .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+/// Build the hash family for a given `$NUMHASH`/`$DIV`. The prime
+/// `$DIV` doubles as the deterministic parameter seed, mirroring how
+/// the paper's UDF takes only those two knobs. `(a·x + b) mod p` is a
+/// bijection on `Z_p`, so the extra `mod m` range-compression of
+/// Eq. 5 is unnecessary here (and skipping it removes avoidable
+/// collisions).
+fn family_for(numhash: usize, div: u64) -> UniversalHashFamily {
+    UniversalHashFamily::new(numhash, div, div)
+}
+
+/// `CalculateMinwiseHash(kmer_bag, numhash, div)` — the grouped bag of
+/// `(kmer, seqid)` rows for one sequence → `(sketch:bag(long), seqid)`.
+pub struct CalculateMinwiseHash;
+impl Udf for CalculateMinwiseHash {
+    fn name(&self) -> &str {
+        "CalculateMinwiseHash"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let rows = arg_bag("CalculateMinwiseHash", args, 0, "the grouped k-mer rows")?;
+        let numhash = arg_i64("CalculateMinwiseHash", args, 1, "$NUMHASH")? as usize;
+        let div = arg_i64("CalculateMinwiseHash", args, 2, "$DIV")? as u64;
+        if numhash == 0 {
+            return Err(UdfError::new("CalculateMinwiseHash", "$NUMHASH must be ≥ 1"));
+        }
+        let family = family_for(numhash, div);
+
+        let mut seqid: Option<String> = None;
+        let mut mins = vec![u64::MAX; numhash];
+        for row in rows {
+            let t = row
+                .as_tuple()
+                .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "rows must be tuples"))?;
+            let kmer = t
+                .first()
+                .and_then(Value::as_i64)
+                .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "row field 0 must be the k-mer"))?
+                as u64;
+            if seqid.is_none() {
+                seqid = t.get(1).and_then(Value::as_str).map(str::to_string);
+            }
+            for (i, slot) in mins.iter_mut().enumerate() {
+                let h = family.hash(i, kmer);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        let seqid = seqid
+            .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "empty k-mer group"))?;
+        Ok(Value::tuple([
+            Value::bag(
+                mins.into_iter()
+                    .map(|v| Value::Long(v as i64))
+                    .collect::<Vec<_>>(),
+            ),
+            Value::CharArray(seqid),
+        ]))
+    }
+}
+
+/// Decode a sketch bag back into minwise values.
+fn sketch_values(udf: &str, v: &Value) -> Result<Vec<u64>, UdfError> {
+    v.as_bag()
+        .ok_or_else(|| UdfError::new(udf, "sketch must be a bag of longs"))?
+        .iter()
+        .map(|x| {
+            x.as_i64()
+                .map(|v| v as u64)
+                .ok_or_else(|| UdfError::new(udf, "sketch entries must be longs"))
+        })
+        .collect()
+}
+
+/// Positional agreement of two raw sketches.
+fn raw_similarity(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() || a.len() != b.len() {
+        return 0.0;
+    }
+    let agree = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x == y && **x != u64::MAX)
+        .count();
+    agree as f64 / a.len() as f64
+}
+
+/// `CalculatePairwiseSimilarity(sketch, seqid, all_rows)` — one row of
+/// the similarity matrix: `(seqid, bag of (other_seqid, sim))`. The
+/// `all_rows` argument is the scalar `I.E` reference — the row-wise
+/// partition of Fig. 1: every invocation sees the whole relation but
+/// computes only its own row.
+pub struct CalculatePairwiseSimilarity;
+impl Udf for CalculatePairwiseSimilarity {
+    fn name(&self) -> &str {
+        "CalculatePairwiseSimilarity"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let me = sketch_values("CalculatePairwiseSimilarity", &args[0])?;
+        let my_id = arg_str("CalculatePairwiseSimilarity", args, 1, "the seqid")?;
+        let all = arg_bag("CalculatePairwiseSimilarity", args, 2, "the full relation")?;
+        let mut row = Vec::with_capacity(all.len().saturating_sub(1));
+        for other in all {
+            let t = other.as_tuple().ok_or_else(|| {
+                UdfError::new("CalculatePairwiseSimilarity", "relation rows must be tuples")
+            })?;
+            let other_id = t
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| UdfError::new("CalculatePairwiseSimilarity", "missing seqid"))?;
+            if other_id == my_id {
+                continue;
+            }
+            let vals = sketch_values("CalculatePairwiseSimilarity", &t[0])?;
+            row.push(Value::tuple([
+                Value::CharArray(other_id.to_string()),
+                Value::Double(raw_similarity(&me, &vals)),
+            ]));
+        }
+        Ok(Value::tuple([
+            Value::CharArray(my_id.to_string()),
+            Value::bag(row),
+        ]))
+    }
+}
+
+/// Rebuild a dense id-indexed matrix from `(seqid, [(other, sim)])`
+/// rows, returning the ids in index order.
+fn matrix_from_rows(
+    udf: &str,
+    rows: &[Value],
+) -> Result<(Vec<String>, CondensedMatrix), UdfError> {
+    let mut ids: Vec<String> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let t = row
+            .as_tuple()
+            .ok_or_else(|| UdfError::new(udf, "rows must be tuples"))?;
+        let id = t
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| UdfError::new(udf, "row field 0 must be the seqid"))?;
+        ids.push(id.to_string());
+    }
+    let index_of = |id: &str| ids.iter().position(|x| x == id);
+    let mut matrix = CondensedMatrix::build(ids.len(), |_, _| 0.0);
+    for (i, row) in rows.iter().enumerate() {
+        let t = row.as_tuple().expect("checked above");
+        let entries = t
+            .get(1)
+            .and_then(Value::as_bag)
+            .ok_or_else(|| UdfError::new(udf, "row field 1 must be the similarity bag"))?;
+        for e in entries {
+            let et = e
+                .as_tuple()
+                .ok_or_else(|| UdfError::new(udf, "similarity entries must be tuples"))?;
+            let other = et
+                .first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| UdfError::new(udf, "entry field 0 must be a seqid"))?;
+            let sim = et
+                .get(1)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| UdfError::new(udf, "entry field 1 must be the similarity"))?;
+            if let Some(j) = index_of(other) {
+                if i != j {
+                    matrix.set(i, j, sim);
+                }
+            }
+        }
+    }
+    Ok((ids, matrix))
+}
+
+/// `AgglomerativeHierarchicalClustering(rows, link, numhash, cutoff)`
+/// — bag of `(seqid, clusterlabel)`.
+pub struct AgglomerativeHierarchicalClustering;
+impl Udf for AgglomerativeHierarchicalClustering {
+    fn name(&self) -> &str {
+        "AgglomerativeHierarchicalClustering"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let rows = arg_bag(self.name(), args, 0, "the similarity rows")?;
+        let link_str = arg_str(self.name(), args, 1, "$LINK")?;
+        let _numhash = arg_i64(self.name(), args, 2, "$NUMHASH")?;
+        let cutoff = arg_f64(self.name(), args, 3, "$CUTOFF")?;
+        let linkage: Linkage = link_str
+            .parse()
+            .map_err(|e: String| UdfError::new(self.name(), e))?;
+        let (ids, matrix) = matrix_from_rows(self.name(), rows)?;
+        let (assignment, _) = agglomerative(&matrix, linkage, cutoff);
+        Ok(Value::bag(
+            ids.iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    Value::tuple([
+                        Value::CharArray(id.clone()),
+                        Value::Int(assignment.label(i) as i32),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+/// `GreedyClustering(sketch_rows, numhash, cutoff)` — Algorithm 1 on
+/// the grouped sketch relation; bag of `(seqid, clusterlabel)`.
+pub struct GreedyClustering;
+impl Udf for GreedyClustering {
+    fn name(&self) -> &str {
+        "GreedyClustering"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let rows = arg_bag(self.name(), args, 0, "the sketch rows")?;
+        let _numhash = arg_i64(self.name(), args, 1, "$NUMHASH")?;
+        let cutoff = arg_f64(self.name(), args, 2, "$CUTOFF")?;
+        let mut ids = Vec::with_capacity(rows.len());
+        let mut sketches = Vec::with_capacity(rows.len());
+        for row in rows {
+            let t = row
+                .as_tuple()
+                .ok_or_else(|| UdfError::new(self.name(), "rows must be tuples"))?;
+            sketches.push(sketch_values(self.name(), &t[0])?);
+            let id = t
+                .get(1)
+                .and_then(Value::as_str)
+                .ok_or_else(|| UdfError::new(self.name(), "missing seqid"))?;
+            ids.push(id.to_string());
+        }
+        let assignment = greedy_cluster(sketches.len(), cutoff, |i, j| {
+            raw_similarity(&sketches[i], &sketches[j])
+        })
+        .compact();
+        Ok(Value::bag(
+            ids.iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    Value::tuple([
+                        Value::CharArray(id.clone()),
+                        Value::Int(assignment.label(i) as i32),
+                    ])
+                })
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use mrmc_mapreduce::dfs::{Dfs, DfsConfig};
+    use mrmc_pig::{parse_script, PigRunner};
+    use std::collections::HashMap;
+
+    fn registry() -> UdfRegistry {
+        let mut r = UdfRegistry::with_builtins();
+        register_mrmc_udfs(&mut r);
+        r
+    }
+
+    #[test]
+    fn fasta_storage_loads_records() {
+        let out = FastaStorage
+            .exec(&[Value::ByteArray(b">r1 desc\nACGT\n>r2\nTT\n".to_vec())])
+            .unwrap();
+        let bag = out.as_bag().unwrap();
+        assert_eq!(bag.len(), 2);
+        let t = bag[0].as_tuple().unwrap();
+        assert_eq!(t[0].as_str(), Some("r1"));
+        assert_eq!(t[2].as_bytes(), Some(&b"ACGT"[..]));
+        assert_eq!(t[3].as_str(), Some("desc"));
+    }
+
+    #[test]
+    fn string_generator_normalizes() {
+        let out = StringGenerator
+            .exec(&[
+                Value::ByteArray(b"acgu".to_vec()),
+                Value::CharArray("r1".into()),
+            ])
+            .unwrap();
+        let t = out.as_tuple().unwrap();
+        assert_eq!(t[0].as_str(), Some("ACGT"));
+    }
+
+    #[test]
+    fn translate_to_kmer_counts() {
+        let out = TranslateToKmer
+            .exec(&[
+                Value::CharArray("ACGTT".into()),
+                Value::CharArray("r1".into()),
+                Value::Long(3),
+            ])
+            .unwrap();
+        assert_eq!(out.as_bag().unwrap().len(), 3); // 5 − 3 + 1
+    }
+
+    #[test]
+    fn minwise_hash_deterministic_and_sized() {
+        let rows = Value::bag(vec![
+            Value::tuple([Value::Long(5), Value::CharArray("r1".into())]),
+            Value::tuple([Value::Long(9), Value::CharArray("r1".into())]),
+        ]);
+        let args = [rows, Value::Long(8), Value::Long(1_048_583)];
+        let a = CalculateMinwiseHash.exec(&args).unwrap();
+        let b = CalculateMinwiseHash.exec(&args).unwrap();
+        assert_eq!(a, b);
+        let t = a.as_tuple().unwrap();
+        assert_eq!(t[0].as_bag().unwrap().len(), 8);
+        assert_eq!(t[1].as_str(), Some("r1"));
+    }
+
+    #[test]
+    fn udf_arg_errors_are_informative() {
+        let err = CalculateMinwiseHash
+            .exec(&[Value::Int(1), Value::Long(8), Value::Long(11)])
+            .unwrap_err();
+        assert!(err.message.contains("bag"), "{err}");
+        let err = TranslateToKmer.exec(&[]).unwrap_err();
+        assert!(err.message.contains("argument 0"), "{err}");
+    }
+
+    /// End-to-end: the Algorithm 3 script on a small FASTA with two
+    /// obvious groups must produce two clusters in both outputs.
+    #[test]
+    fn algorithm3_script_end_to_end() {
+        let dfs = std::sync::Arc::new(
+            Dfs::new(DfsConfig {
+                block_size: 4096,
+                replication: 1,
+                nodes: 2,
+            })
+            .unwrap(),
+        );
+        let fasta = b">a1\nACGTACGTACGTACGTACGT\n>a2\nACGTACGTACGTACGTACGT\n\
+                      >b1\nGGTTCCAAGGTTCCAAGGTT\n>b2\nGGTTCCAAGGTTCCAAGGTT\n";
+        dfs.put("/in.fa", Bytes::from_static(fasta), false).unwrap();
+
+        let mut params = HashMap::new();
+        for (k, v) in [
+            ("INPUT", "/in.fa"),
+            ("KMER", "5"),
+            ("NUMHASH", "32"),
+            ("DIV", "1048583"),
+            ("LINK", "average"),
+            ("CUTOFF", "0.9"),
+            ("OUTPUT1", "/out/hier"),
+            ("OUTPUT2", "/out/greedy"),
+        ] {
+            params.insert(k.to_string(), v.to_string());
+        }
+        let script = parse_script(algorithm3_script(), &params).unwrap();
+        let runner = PigRunner::new(std::sync::Arc::clone(&dfs), registry());
+        let report = runner.run(&script).unwrap();
+        assert_eq!(report.stored, vec!["/out/hier", "/out/greedy"]);
+
+        for path in ["/out/hier", "/out/greedy"] {
+            let text = String::from_utf8(dfs.read(path).unwrap().to_vec()).unwrap();
+            // Rows like "(a1,0)"; a-reads share a label, b-reads share
+            // a different one.
+            let mut label_of = HashMap::new();
+            for line in text.lines() {
+                let inner = line.trim_start_matches('(').trim_end_matches(')');
+                let (id, label) = inner.split_once(',').expect("two fields");
+                label_of.insert(id.to_string(), label.to_string());
+            }
+            assert_eq!(label_of.len(), 4, "{path}: {text}");
+            assert_eq!(label_of["a1"], label_of["a2"], "{path}");
+            assert_eq!(label_of["b1"], label_of["b2"], "{path}");
+            assert_ne!(label_of["a1"], label_of["b1"], "{path}");
+        }
+    }
+
+    #[test]
+    fn pairwise_similarity_row_excludes_self() {
+        let sk = |vals: &[i64], id: &str| {
+            Value::tuple([
+                Value::bag(vals.iter().map(|&v| Value::Long(v)).collect::<Vec<_>>()),
+                Value::CharArray(id.into()),
+            ])
+        };
+        let all = Value::bag(vec![sk(&[1, 2], "x"), sk(&[1, 2], "y"), sk(&[9, 9], "z")]);
+        let out = CalculatePairwiseSimilarity
+            .exec(&[
+                Value::bag(vec![Value::Long(1), Value::Long(2)]),
+                Value::CharArray("x".into()),
+                all,
+            ])
+            .unwrap();
+        let t = out.as_tuple().unwrap();
+        let row = t[1].as_bag().unwrap();
+        assert_eq!(row.len(), 2); // y and z, not x
+        let y = row[0].as_tuple().unwrap();
+        assert_eq!(y[0].as_str(), Some("y"));
+        assert_eq!(y[1].as_f64(), Some(1.0));
+    }
+}

@@ -1,0 +1,944 @@
+//! The Pig executor: lowers statements onto Map-Reduce jobs.
+//!
+//! * `LOAD` reads a DFS file and runs the loader UDF;
+//! * `FOREACH ... GENERATE` becomes a **map-only job** — each input
+//!   tuple is transformed in parallel ("the keyword FOREACH ensures
+//!   that every operation is performed parallel on each sequence",
+//!   paper §III-C1);
+//! * `GROUP x ALL` / `GROUP x BY f` becomes a full **map + shuffle +
+//!   reduce job** producing `(group, bag)` tuples;
+//! * `STORE` serializes a relation back to the DFS.
+//!
+//! Every stage's task statistics are recorded in a
+//! [`mrmc_mapreduce::Pipeline`], so a whole script run can afterwards
+//! be re-scheduled onto a virtual N-node cluster.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mrmc_mapreduce::dfs::Dfs;
+use mrmc_mapreduce::job::{JobConfig, Mapper, Reducer, TaskContext};
+use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_mapreduce::MrError;
+
+use crate::parser::{CmpOp, Cond, Expr, GenItem, GroupBy, Operator, Script, Statement};
+use crate::udf::{Udf, UdfError, UdfRegistry};
+use crate::value::Value;
+
+/// Executor failure.
+#[derive(Debug)]
+pub enum PigError {
+    /// Referenced relation was never defined.
+    UnknownRelation(String),
+    /// Referenced field not in the relation's schema.
+    UnknownField {
+        /// Relation searched.
+        relation: String,
+        /// Missing field.
+        field: String,
+    },
+    /// UDF not registered.
+    UnknownUdf(String),
+    /// UDF evaluation failed.
+    Udf(UdfError),
+    /// A scalar cross-relation reference (`I.F`) hit a relation that
+    /// does not have exactly one row.
+    NotScalar {
+        /// Relation referenced.
+        relation: String,
+        /// Its row count.
+        rows: usize,
+    },
+    /// Underlying Map-Reduce error.
+    Mr(MrError),
+}
+
+impl fmt::Display for PigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PigError::UnknownRelation(a) => write!(f, "unknown relation {a}"),
+            PigError::UnknownField { relation, field } => {
+                write!(f, "relation {relation} has no field {field}")
+            }
+            PigError::UnknownUdf(n) => write!(f, "unknown UDF {n}"),
+            PigError::Udf(e) => write!(f, "{e}"),
+            PigError::NotScalar { relation, rows } => write!(
+                f,
+                "scalar reference to {relation} requires exactly 1 row, found {rows}"
+            ),
+            PigError::Mr(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for PigError {}
+impl From<MrError> for PigError {
+    fn from(e: MrError) -> Self {
+        PigError::Mr(e)
+    }
+}
+impl From<UdfError> for PigError {
+    fn from(e: UdfError) -> Self {
+        PigError::Udf(e)
+    }
+}
+
+/// A materialized relation: rows plus field names.
+#[derive(Debug, Clone)]
+struct Relation {
+    rows: Arc<Vec<Value>>,
+    schema: Vec<String>,
+}
+
+/// Result of running a script.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Paths written by `STORE`, in order.
+    pub stored: Vec<String>,
+    /// The Map-Reduce pipeline with per-stage task statistics.
+    pub pipeline: Pipeline,
+}
+
+/// Expression with names resolved to indices and UDFs to handles.
+#[derive(Clone)]
+enum RExpr {
+    Field(usize),
+    Const(Value),
+    Udf { udf: Arc<dyn Udf>, args: Vec<RExpr> },
+}
+
+impl RExpr {
+    fn eval(&self, row: &[Value]) -> Result<Value, UdfError> {
+        match self {
+            RExpr::Field(i) => Ok(row.get(*i).cloned().unwrap_or(Value::Null)),
+            RExpr::Const(v) => Ok(v.clone()),
+            RExpr::Udf { udf, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(row)?);
+                }
+                udf.exec(&vals)
+            }
+        }
+    }
+}
+
+/// Resolved generate item.
+#[derive(Clone)]
+struct RGenItem {
+    expr: RExpr,
+    flatten: bool,
+}
+
+/// The map task for `FOREACH`: evaluates the generate items per row.
+struct ForeachMapper {
+    items: Vec<RGenItem>,
+}
+
+impl Mapper for ForeachMapper {
+    type InKey = usize;
+    type InValue = Value;
+    type OutKey = usize;
+    type OutValue = Value;
+
+    fn map(&self, key: usize, value: Value, ctx: &mut TaskContext<usize, Value>) {
+        let row: &[Value] = value.as_tuple().unwrap_or(std::slice::from_ref(&value));
+        // Each item contributes one or more "row fragments"; bags under
+        // FLATTEN multiply rows (cross product), everything else
+        // appends fields.
+        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+        for item in &self.items {
+            let v = match item.expr.eval(row) {
+                Ok(v) => v,
+                Err(e) => panic!("{e}"),
+            };
+            match (item.flatten, v) {
+                (true, Value::Bag(elems)) => {
+                    let mut next = Vec::with_capacity(rows.len() * elems.len().max(1));
+                    for base in &rows {
+                        for e in &elems {
+                            let mut r = base.clone();
+                            match e {
+                                Value::Tuple(fields) => r.extend(fields.iter().cloned()),
+                                other => r.push(other.clone()),
+                            }
+                            next.push(r);
+                        }
+                    }
+                    rows = next;
+                }
+                (true, Value::Tuple(fields)) => {
+                    for r in &mut rows {
+                        r.extend(fields.iter().cloned());
+                    }
+                }
+                (_, v) => {
+                    for r in &mut rows {
+                        r.push(v.clone());
+                    }
+                }
+            }
+        }
+        for r in rows {
+            ctx.emit(key, Value::Tuple(r));
+        }
+    }
+}
+
+/// The map task for `FILTER`: evaluates the predicate per row.
+struct FilterMapper {
+    lhs: RExpr,
+    op: CmpOp,
+    rhs: RExpr,
+}
+
+impl FilterMapper {
+    fn matches(&self, row: &[Value]) -> Result<bool, UdfError> {
+        let l = self.lhs.eval(row)?;
+        let r = self.rhs.eval(row)?;
+        // Numeric comparisons coerce int/long/double; everything else
+        // falls back to the Value total order.
+        let ord = match (l.as_f64(), r.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+            _ => l.cmp(&r),
+        };
+        Ok(match self.op {
+            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+            CmpOp::Lt => ord == std::cmp::Ordering::Less,
+            CmpOp::Le => ord != std::cmp::Ordering::Greater,
+            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+            CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        })
+    }
+}
+
+impl Mapper for FilterMapper {
+    type InKey = usize;
+    type InValue = Value;
+    type OutKey = usize;
+    type OutValue = Value;
+
+    fn map(&self, key: usize, value: Value, ctx: &mut TaskContext<usize, Value>) {
+        let row: &[Value] = value.as_tuple().unwrap_or(std::slice::from_ref(&value));
+        match self.matches(row) {
+            Ok(true) => ctx.emit(key, value),
+            Ok(false) => ctx.count("FILTERED_OUT", 1),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Map side of `DISTINCT`: the whole row becomes the shuffle key.
+struct DistinctMapper;
+
+impl Mapper for DistinctMapper {
+    type InKey = usize;
+    type InValue = Value;
+    type OutKey = Value;
+    type OutValue = ();
+
+    fn map(&self, _key: usize, value: Value, ctx: &mut TaskContext<Value, ()>) {
+        ctx.emit(value, ());
+    }
+}
+
+/// Reduce side of `DISTINCT`: one output per key group.
+struct DistinctReducer;
+
+impl Reducer for DistinctReducer {
+    type InKey = Value;
+    type InValue = ();
+    type OutKey = Value;
+    type OutValue = ();
+
+    fn reduce(&self, key: Value, _values: Vec<()>, ctx: &mut TaskContext<Value, ()>) {
+        ctx.emit(key, ());
+    }
+}
+
+/// Map side of `GROUP`: key extraction.
+struct GroupMapper {
+    /// Field index to key on; `None` = GROUP ALL.
+    key_field: Option<usize>,
+}
+
+impl Mapper for GroupMapper {
+    type InKey = usize;
+    type InValue = Value;
+    type OutKey = Value;
+    type OutValue = Value;
+
+    fn map(&self, _key: usize, value: Value, ctx: &mut TaskContext<Value, Value>) {
+        let key = match self.key_field {
+            None => Value::CharArray("all".to_string()),
+            Some(i) => value
+                .as_tuple()
+                .and_then(|t| t.get(i))
+                .cloned()
+                .unwrap_or(Value::Null),
+        };
+        ctx.emit(key, value);
+    }
+}
+
+/// Reduce side of `GROUP`: bag construction.
+struct GroupReducer;
+
+impl Reducer for GroupReducer {
+    type InKey = Value;
+    type InValue = Value;
+    type OutKey = Value;
+    type OutValue = Value;
+
+    fn reduce(&self, key: Value, values: Vec<Value>, ctx: &mut TaskContext<Value, Value>) {
+        ctx.emit(key.clone(), Value::tuple([key, Value::Bag(values)]));
+    }
+}
+
+/// Script executor with a DFS, a UDF registry and job sizing knobs.
+pub struct PigRunner {
+    dfs: Arc<Dfs>,
+    registry: UdfRegistry,
+    /// Map tasks per FOREACH/GROUP stage.
+    pub num_map_tasks: usize,
+    /// Reducers per GROUP stage.
+    pub num_reducers: usize,
+    /// Worker threads (None = machine parallelism).
+    pub workers: Option<usize>,
+}
+
+impl PigRunner {
+    /// New runner over a DFS with a registry.
+    pub fn new(dfs: Arc<Dfs>, registry: UdfRegistry) -> PigRunner {
+        PigRunner {
+            dfs,
+            registry,
+            num_map_tasks: 8,
+            num_reducers: 4,
+            workers: None,
+        }
+    }
+
+    fn job_config(&self, name: &str) -> JobConfig {
+        let mut cfg = JobConfig::named(name).reducers(self.num_reducers);
+        if let Some(w) = self.workers {
+            cfg = cfg.workers(w);
+        }
+        cfg
+    }
+
+    /// Execute a parsed script against the DFS.
+    pub fn run(&self, script: &Script) -> Result<RunReport, PigError> {
+        let mut env: HashMap<String, Relation> = HashMap::new();
+        let mut pipeline = Pipeline::new("pig-script");
+        let mut stored = Vec::new();
+
+        for stmt in &script.statements {
+            match stmt {
+                Statement::Assign { alias, op } => {
+                    let rel = match op {
+                        Operator::Load {
+                            path,
+                            loader,
+                            schema,
+                        } => self.exec_load(path, loader.as_deref(), schema)?,
+                        Operator::Foreach { input, items } => {
+                            self.exec_foreach(&env, &mut pipeline, alias, input, items)?
+                        }
+                        Operator::Group { input, by } => {
+                            self.exec_group(&env, &mut pipeline, alias, input, by)?
+                        }
+                        Operator::Filter { input, cond } => {
+                            self.exec_filter(&env, &mut pipeline, alias, input, cond)?
+                        }
+                        Operator::Distinct { input } => {
+                            self.exec_distinct(&env, &mut pipeline, alias, input)?
+                        }
+                        Operator::OrderBy { input, field, desc } => {
+                            self.exec_order_by(&env, input, field, *desc)?
+                        }
+                        Operator::Limit { input, n } => {
+                            let rel = env
+                                .get(input)
+                                .ok_or_else(|| PigError::UnknownRelation(input.clone()))?;
+                            Relation {
+                                rows: Arc::new(rel.rows.iter().take(*n).cloned().collect()),
+                                schema: rel.schema.clone(),
+                            }
+                        }
+                    };
+                    env.insert(alias.clone(), rel);
+                }
+                Statement::Store { alias, path } => {
+                    let rel = env
+                        .get(alias)
+                        .ok_or_else(|| PigError::UnknownRelation(alias.clone()))?;
+                    let mut text = String::new();
+                    for row in rel.rows.iter() {
+                        text.push_str(&row.to_string());
+                        text.push('\n');
+                    }
+                    self.dfs.put(path, text.into_bytes(), true)?;
+                    stored.push(path.clone());
+                }
+            }
+        }
+        Ok(RunReport { stored, pipeline })
+    }
+
+    fn exec_load(
+        &self,
+        path: &str,
+        loader: Option<&str>,
+        schema: &[crate::parser::FieldDecl],
+    ) -> Result<Relation, PigError> {
+        let loader_name = loader.unwrap_or("TextLoader");
+        let udf = self
+            .registry
+            .get(loader_name)
+            .ok_or_else(|| PigError::UnknownUdf(loader_name.to_string()))?;
+        let bytes = self.dfs.read(path)?;
+        let out = udf.exec(&[Value::ByteArray(bytes.to_vec())])?;
+        let rows = match out {
+            Value::Bag(rows) => rows,
+            other => vec![other],
+        };
+        let schema_names = if schema.is_empty() {
+            default_schema(&rows)
+        } else {
+            schema.iter().map(|f| f.name.clone()).collect()
+        };
+        Ok(Relation {
+            rows: Arc::new(rows),
+            schema: schema_names,
+        })
+    }
+
+    fn exec_foreach(
+        &self,
+        env: &HashMap<String, Relation>,
+        pipeline: &mut Pipeline,
+        alias: &str,
+        input: &str,
+        items: &[GenItem],
+    ) -> Result<Relation, PigError> {
+        let rel = env
+            .get(input)
+            .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+        let resolved: Vec<RGenItem> = items
+            .iter()
+            .map(|it| {
+                Ok(RGenItem {
+                    expr: self.resolve(env, &rel.schema, &it.expr)?,
+                    flatten: it.flatten,
+                })
+            })
+            .collect::<Result<_, PigError>>()?;
+
+        let input_rows: Vec<(usize, Value)> =
+            rel.rows.iter().cloned().enumerate().collect();
+        let mapper = ForeachMapper { items: resolved };
+        let out = pipeline.run_map_stage(
+            input_rows,
+            self.num_map_tasks,
+            &mapper,
+            &self.job_config(&format!("foreach:{alias}")),
+        )?;
+        let rows: Vec<Value> = out.into_iter().map(|(_, v)| v).collect();
+
+        // Output schema: declared names where given, else generated.
+        let mut schema = Vec::new();
+        for (i, it) in items.iter().enumerate() {
+            if it.schema.is_empty() {
+                // Single unnamed output field per item; FLATTEN of a
+                // field keeps its name when it is a plain field ref.
+                let name = match &it.expr {
+                    Expr::Field(n) => n.clone(),
+                    _ => format!("f{i}"),
+                };
+                schema.push(name);
+            } else {
+                schema.extend(it.schema.iter().map(|f| f.name.clone()));
+            }
+        }
+        Ok(Relation {
+            rows: Arc::new(rows),
+            schema,
+        })
+    }
+
+    fn exec_group(
+        &self,
+        env: &HashMap<String, Relation>,
+        pipeline: &mut Pipeline,
+        alias: &str,
+        input: &str,
+        by: &GroupBy,
+    ) -> Result<Relation, PigError> {
+        let rel = env
+            .get(input)
+            .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+        let key_field = match by {
+            GroupBy::All => None,
+            GroupBy::Field(name) => Some(field_index(&rel.schema, input, name)?),
+        };
+        let input_rows: Vec<(usize, Value)> =
+            rel.rows.iter().cloned().enumerate().collect();
+        let out = pipeline.run_stage(
+            input_rows,
+            self.num_map_tasks,
+            &GroupMapper { key_field },
+            &GroupReducer,
+            &self.job_config(&format!("group:{alias}")),
+        )?;
+        let mut rows: Vec<Value> = out.into_iter().map(|(_, v)| v).collect();
+        // Deterministic group order.
+        rows.sort();
+        Ok(Relation {
+            rows: Arc::new(rows),
+            // Pig names the bag field after the grouped relation.
+            schema: vec!["group".to_string(), input.to_string()],
+        })
+    }
+
+    fn exec_filter(
+        &self,
+        env: &HashMap<String, Relation>,
+        pipeline: &mut Pipeline,
+        alias: &str,
+        input: &str,
+        cond: &Cond,
+    ) -> Result<Relation, PigError> {
+        let rel = env
+            .get(input)
+            .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+        let mapper = FilterMapper {
+            lhs: self.resolve(env, &rel.schema, &cond.lhs)?,
+            op: cond.op,
+            rhs: self.resolve(env, &rel.schema, &cond.rhs)?,
+        };
+        let input_rows: Vec<(usize, Value)> =
+            rel.rows.iter().cloned().enumerate().collect();
+        let out = pipeline.run_map_stage(
+            input_rows,
+            self.num_map_tasks,
+            &mapper,
+            &self.job_config(&format!("filter:{alias}")),
+        )?;
+        Ok(Relation {
+            rows: Arc::new(out.into_iter().map(|(_, v)| v).collect()),
+            schema: rel.schema.clone(),
+        })
+    }
+
+    fn exec_distinct(
+        &self,
+        env: &HashMap<String, Relation>,
+        pipeline: &mut Pipeline,
+        alias: &str,
+        input: &str,
+    ) -> Result<Relation, PigError> {
+        let rel = env
+            .get(input)
+            .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+        let input_rows: Vec<(usize, Value)> =
+            rel.rows.iter().cloned().enumerate().collect();
+        let out = pipeline.run_stage(
+            input_rows,
+            self.num_map_tasks,
+            &DistinctMapper,
+            &DistinctReducer,
+            &self.job_config(&format!("distinct:{alias}")),
+        )?;
+        let mut rows: Vec<Value> = out.into_iter().map(|(k, ())| k).collect();
+        rows.sort();
+        Ok(Relation {
+            rows: Arc::new(rows),
+            schema: rel.schema.clone(),
+        })
+    }
+
+    /// `ORDER BY` runs on the driver: real Pig samples the key space
+    /// and uses a total-order partitioner across reducers; with
+    /// in-memory relations a direct sort is behaviourally identical.
+    fn exec_order_by(
+        &self,
+        env: &HashMap<String, Relation>,
+        input: &str,
+        field: &str,
+        desc: bool,
+    ) -> Result<Relation, PigError> {
+        let rel = env
+            .get(input)
+            .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+        let idx = field_index(&rel.schema, input, field)?;
+        let mut rows: Vec<Value> = rel.rows.as_ref().clone();
+        let key = |v: &Value| -> Value {
+            v.as_tuple()
+                .and_then(|t| t.get(idx))
+                .cloned()
+                .unwrap_or(Value::Null)
+        };
+        rows.sort_by(|a, b| {
+            let ord = key(a).cmp(&key(b));
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        Ok(Relation {
+            rows: Arc::new(rows),
+            schema: rel.schema.clone(),
+        })
+    }
+
+    fn resolve(
+        &self,
+        env: &HashMap<String, Relation>,
+        schema: &[String],
+        expr: &Expr,
+    ) -> Result<RExpr, PigError> {
+        Ok(match expr {
+            Expr::LitLong(v) => RExpr::Const(Value::Long(*v)),
+            Expr::LitDouble(v) => RExpr::Const(Value::Double(*v)),
+            Expr::LitString(s) => RExpr::Const(Value::CharArray(s.clone())),
+            Expr::Field(name) => {
+                RExpr::Field(field_index(schema, "<current>", name)?)
+            }
+            Expr::Dotted { relation, field } => {
+                // Scalar cross-relation reference: the relation must
+                // have exactly one row (true for GROUP ... ALL output).
+                let rel = env
+                    .get(relation)
+                    .ok_or_else(|| PigError::UnknownRelation(relation.clone()))?;
+                if rel.rows.len() != 1 {
+                    return Err(PigError::NotScalar {
+                        relation: relation.clone(),
+                        rows: rel.rows.len(),
+                    });
+                }
+                let idx = field_index(&rel.schema, relation, field)?;
+                let v = rel.rows[0]
+                    .as_tuple()
+                    .and_then(|t| t.get(idx))
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                RExpr::Const(v)
+            }
+            Expr::Udf { name, args } => {
+                let udf = self
+                    .registry
+                    .get(name)
+                    .ok_or_else(|| PigError::UnknownUdf(name.clone()))?;
+                let args = args
+                    .iter()
+                    .map(|a| self.resolve(env, schema, a))
+                    .collect::<Result<_, PigError>>()?;
+                RExpr::Udf { udf, args }
+            }
+        })
+    }
+}
+
+fn field_index(schema: &[String], relation: &str, name: &str) -> Result<usize, PigError> {
+    schema
+        .iter()
+        .position(|f| f == name)
+        .ok_or_else(|| PigError::UnknownField {
+            relation: relation.to_string(),
+            field: name.to_string(),
+        })
+}
+
+fn default_schema(rows: &[Value]) -> Vec<String> {
+    let width = rows
+        .first()
+        .and_then(Value::as_tuple)
+        .map(|t| t.len())
+        .unwrap_or(1);
+    (0..width).map(|i| format!("f{i}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+    use mrmc_mapreduce::dfs::DfsConfig;
+    use std::collections::HashMap as Map;
+
+    fn dfs() -> Arc<Dfs> {
+        Arc::new(
+            Dfs::new(DfsConfig {
+                block_size: 1024,
+                replication: 1,
+                nodes: 2,
+            })
+            .unwrap(),
+        )
+    }
+
+    fn runner(dfs: &Arc<Dfs>) -> PigRunner {
+        let mut r = PigRunner::new(Arc::clone(dfs), UdfRegistry::with_builtins());
+        r.num_map_tasks = 3;
+        r.num_reducers = 2;
+        r
+    }
+
+    #[test]
+    fn load_foreach_store_word_upper() {
+        let dfs = dfs();
+        dfs.put("/in.txt", &b"hello\nworld\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/in.txt' AS (line:chararray);\
+             B = FOREACH A GENERATE UPPER(line);\
+             STORE B INTO '/out.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        let report = runner(&dfs).run(&script).unwrap();
+        assert_eq!(report.stored, vec!["/out.txt".to_string()]);
+        let out = dfs.read("/out.txt").unwrap();
+        assert_eq!(out.as_ref(), b"(HELLO)\n(WORLD)\n");
+        // One FOREACH stage recorded.
+        assert_eq!(report.pipeline.stages().len(), 1);
+    }
+
+    #[test]
+    fn flatten_tokenize_explodes_rows() {
+        let dfs = dfs();
+        dfs.put("/t.txt", &b"a b\nc\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/t.txt' AS (line:chararray);\
+             W = FOREACH A GENERATE FLATTEN(TOKENIZE(line)) AS (word:chararray);\
+             STORE W INTO '/w.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/w.txt").unwrap().to_vec()).unwrap();
+        let mut words: Vec<&str> = out.lines().collect();
+        words.sort();
+        assert_eq!(words, vec!["(a)", "(b)", "(c)"]);
+    }
+
+    #[test]
+    fn group_all_and_scalar_reference() {
+        let dfs = dfs();
+        dfs.put("/n.txt", &b"x\ny\nz\n"[..], false).unwrap();
+        // COUNT the bag via scalar reference I.A.
+        let script = parse_script(
+            "A = LOAD '/n.txt' AS (line:chararray);\
+             I = GROUP A ALL;\
+             C = FOREACH I GENERATE COUNT(A);\
+             STORE C INTO '/c.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        // `COUNT(A)`: `A` resolves as a field of I's schema (group, A).
+        runner(&dfs).run(&script).unwrap();
+        let out = dfs.read("/c.txt").unwrap();
+        assert_eq!(out.as_ref(), b"(3)\n");
+    }
+
+    #[test]
+    fn group_by_field() {
+        let dfs = dfs();
+        dfs.put("/kv.txt", &b"a 1\nb 2\na 3\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/kv.txt' AS (line:chararray);\
+             B = FOREACH A GENERATE FLATTEN(TOKENIZE(line)) AS (tok:chararray);\
+             G = GROUP B BY tok;\
+             C = FOREACH G GENERATE group, COUNT(B);\
+             STORE C INTO '/g.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/g.txt").unwrap().to_vec()).unwrap();
+        let mut lines: Vec<&str> = out.lines().collect();
+        lines.sort();
+        assert_eq!(lines, vec!["(1,1)", "(2,1)", "(3,1)", "(a,2)", "(b,1)"]);
+    }
+
+    #[test]
+    fn unknown_relation_and_udf_errors() {
+        let dfs = dfs();
+        let script =
+            parse_script("B = FOREACH missing GENERATE x;", &Map::new()).unwrap();
+        assert!(matches!(
+            runner(&dfs).run(&script),
+            Err(PigError::UnknownRelation(_))
+        ));
+
+        dfs.put("/x", &b"a\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/x' AS (line:chararray); B = FOREACH A GENERATE NoSuch(line);",
+            &Map::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            runner(&dfs).run(&script),
+            Err(PigError::UnknownUdf(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_field_error() {
+        let dfs = dfs();
+        dfs.put("/x", &b"a\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/x' AS (line:chararray); B = FOREACH A GENERATE nope;",
+            &Map::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            runner(&dfs).run(&script),
+            Err(PigError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_reference_requires_single_row() {
+        let dfs = dfs();
+        dfs.put("/x", &b"a\nb\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/x' AS (line:chararray);\
+             B = FOREACH A GENERATE A.line;",
+            &Map::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            runner(&dfs).run(&script),
+            Err(PigError::NotScalar { rows: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn filter_by_comparison() {
+        let dfs = dfs();
+        dfs.put("/n.txt", &b"1\n5\n3\n9\n2\n"[..], false).unwrap();
+        // Parse the line to a long via a custom UDF-free route: compare
+        // chararrays lexicographically ('5' > '3' etc. works for single
+        // digits).
+        let script = parse_script(
+            "A = LOAD '/n.txt' AS (v:chararray);\
+             B = FILTER A BY v >= '3';\
+             STORE B INTO '/big.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/big.txt").unwrap().to_vec()).unwrap();
+        let mut rows: Vec<&str> = out.lines().collect();
+        rows.sort();
+        assert_eq!(rows, vec!["(3)", "(5)", "(9)"]);
+    }
+
+    #[test]
+    fn filter_numeric_comparison_via_udf() {
+        // COUNT produces longs; numeric comparison with an int literal.
+        let dfs = dfs();
+        dfs.put("/kv.txt", &b"a a a\nb\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/kv.txt' AS (line:chararray);\
+             W = FOREACH A GENERATE FLATTEN(TOKENIZE(line)) AS (w:chararray);\
+             G = GROUP W BY w;\
+             C = FOREACH G GENERATE group, COUNT(W);\
+             F = FILTER C BY f1 >= 2;\
+             STORE F INTO '/freq.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        // Schema of C: [group, f1] (unnamed second item).
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/freq.txt").unwrap().to_vec()).unwrap();
+        assert_eq!(out.trim(), "(a,3)");
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let dfs = dfs();
+        dfs.put("/d.txt", &b"x\ny\nx\nz\ny\nx\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/d.txt' AS (v:chararray);\
+             D = DISTINCT A;\
+             STORE D INTO '/u.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/u.txt").unwrap().to_vec()).unwrap();
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let dfs = dfs();
+        dfs.put("/s.txt", &b"pear\napple\nfig\nbanana\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/s.txt' AS (v:chararray);\
+             O = ORDER A BY v DESC;\
+             L = LIMIT O 2;\
+             STORE L INTO '/top.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/top.txt").unwrap().to_vec()).unwrap();
+        assert_eq!(out, "(pear)\n(fig)\n");
+    }
+
+    #[test]
+    fn order_by_ascending_default() {
+        let dfs = dfs();
+        dfs.put("/s.txt", &b"b\nc\na\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/s.txt' AS (v:chararray);\
+             O = ORDER A BY v;\
+             STORE O INTO '/sorted.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        let out = String::from_utf8(dfs.read("/sorted.txt").unwrap().to_vec()).unwrap();
+        assert_eq!(out, "(a)\n(b)\n(c)\n");
+    }
+
+    #[test]
+    fn limit_zero_and_oversized() {
+        let dfs = dfs();
+        dfs.put("/s.txt", &b"a\nb\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/s.txt' AS (v:chararray);\
+             Z = LIMIT A 0;\
+             B = LIMIT A 100;\
+             STORE Z INTO '/zero.txt';\
+             STORE B INTO '/all.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        runner(&dfs).run(&script).unwrap();
+        assert_eq!(dfs.read("/zero.txt").unwrap().len(), 0);
+        assert_eq!(
+            dfs.read("/all.txt").unwrap().as_ref(),
+            b"(a)\n(b)\n"
+        );
+    }
+
+    #[test]
+    fn pipeline_records_group_shuffle() {
+        let dfs = dfs();
+        dfs.put("/x", &b"a\nb\nc\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/x' AS (line:chararray); I = GROUP A ALL;",
+            &Map::new(),
+        )
+        .unwrap();
+        let report = runner(&dfs).run(&script).unwrap();
+        let stage = &report.pipeline.stages()[0];
+        assert_eq!(stage.shuffled_pairs, 3);
+        assert!(!stage.reduce_stats.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! User-defined functions and their registry.
+//!
+//! Pig UDFs in the paper are Java classes (`FastaStorage`,
+//! `CalculateMinwiseHash`, …); here a UDF is any `Send + Sync` type
+//! implementing [`Udf`]. The executor evaluates argument expressions
+//! and calls [`Udf::exec`] once per input tuple; returning a
+//! [`Value::Bag`] combined with `FLATTEN(...)` yields multiple output
+//! rows, exactly like Pig.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// UDF evaluation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UdfError {
+    /// UDF name.
+    pub udf: String,
+    /// Description.
+    pub message: String,
+}
+
+impl UdfError {
+    /// Convenience constructor.
+    pub fn new(udf: impl Into<String>, message: impl Into<String>) -> UdfError {
+        UdfError {
+            udf: udf.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for UdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UDF {} failed: {}", self.udf, self.message)
+    }
+}
+impl std::error::Error for UdfError {}
+
+/// A user-defined function.
+pub trait Udf: Send + Sync {
+    /// Registered (and script-visible) name.
+    fn name(&self) -> &str;
+
+    /// Evaluate on already-evaluated arguments.
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError>;
+}
+
+/// Case-insensitive UDF name → implementation map.
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    map: HashMap<String, Arc<dyn Udf>>,
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Registry pre-loaded with the generic builtins
+    /// (`TOKENIZE`, `COUNT`, `UPPER`, `CONCAT`, `TextLoader`).
+    pub fn with_builtins() -> UdfRegistry {
+        let mut r = UdfRegistry::new();
+        r.register(Arc::new(Tokenize));
+        r.register(Arc::new(Count));
+        r.register(Arc::new(Upper));
+        r.register(Arc::new(Concat));
+        r.register(Arc::new(TextLoader));
+        r
+    }
+
+    /// Register (or replace) a UDF under its own name.
+    pub fn register(&mut self, udf: Arc<dyn Udf>) {
+        self.map.insert(udf.name().to_ascii_lowercase(), udf);
+    }
+
+    /// Look up by name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Udf>> {
+        self.map.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Registered names, sorted (for error messages).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdfRegistry")
+            .field("udfs", &self.names())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------- builtins
+
+/// `TOKENIZE(chararray)` → bag of single-field word tuples.
+struct Tokenize;
+impl Udf for Tokenize {
+    fn name(&self) -> &str {
+        "TOKENIZE"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let s = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| UdfError::new("TOKENIZE", "expected one chararray"))?;
+        Ok(Value::bag(
+            s.split_whitespace()
+                .map(|w| Value::tuple([Value::CharArray(w.to_string())]))
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+/// `COUNT(bag)` → long.
+struct Count;
+impl Udf for Count {
+    fn name(&self) -> &str {
+        "COUNT"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let b = args
+            .first()
+            .and_then(Value::as_bag)
+            .ok_or_else(|| UdfError::new("COUNT", "expected one bag"))?;
+        Ok(Value::Long(b.len() as i64))
+    }
+}
+
+/// `UPPER(chararray)` → chararray.
+struct Upper;
+impl Udf for Upper {
+    fn name(&self) -> &str {
+        "UPPER"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let s = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| UdfError::new("UPPER", "expected one chararray"))?;
+        Ok(Value::CharArray(s.to_ascii_uppercase()))
+    }
+}
+
+/// `CONCAT(a, b)` → chararray.
+struct Concat;
+impl Udf for Concat {
+    fn name(&self) -> &str {
+        "CONCAT"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        if args.len() != 2 {
+            return Err(UdfError::new("CONCAT", "expected two arguments"));
+        }
+        let a = args[0]
+            .as_str()
+            .ok_or_else(|| UdfError::new("CONCAT", "arg 1 must be chararray"))?;
+        let b = args[1]
+            .as_str()
+            .ok_or_else(|| UdfError::new("CONCAT", "arg 2 must be chararray"))?;
+        Ok(Value::CharArray(format!("{a}{b}")))
+    }
+}
+
+/// Default loader: one tuple `(line:chararray)` per input line.
+pub struct TextLoader;
+impl Udf for TextLoader {
+    fn name(&self) -> &str {
+        "TextLoader"
+    }
+    fn exec(&self, args: &[Value]) -> Result<Value, UdfError> {
+        let bytes = args
+            .first()
+            .and_then(Value::as_bytes)
+            .ok_or_else(|| UdfError::new("TextLoader", "expected file bytes"))?;
+        let text = String::from_utf8_lossy(bytes);
+        Ok(Value::bag(
+            text.lines()
+                .map(|l| Value::tuple([Value::CharArray(l.to_string())]))
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_case_insensitive() {
+        let r = UdfRegistry::with_builtins();
+        assert!(r.get("tokenize").is_some());
+        assert!(r.get("TOKENIZE").is_some());
+        assert!(r.get("Tokenize").is_some());
+        assert!(r.get("NoSuchUdf").is_none());
+    }
+
+    #[test]
+    fn tokenize_splits_words() {
+        let r = UdfRegistry::with_builtins();
+        let out = r
+            .get("TOKENIZE")
+            .unwrap()
+            .exec(&[Value::CharArray("a b  c".into())])
+            .unwrap();
+        let bag = out.as_bag().unwrap();
+        assert_eq!(bag.len(), 3);
+        assert_eq!(bag[0], Value::tuple([Value::CharArray("a".into())]));
+    }
+
+    #[test]
+    fn count_counts() {
+        let r = UdfRegistry::with_builtins();
+        let out = r
+            .get("COUNT")
+            .unwrap()
+            .exec(&[Value::bag([Value::Int(1), Value::Int(2)])])
+            .unwrap();
+        assert_eq!(out, Value::Long(2));
+    }
+
+    #[test]
+    fn wrong_arg_types_error() {
+        let r = UdfRegistry::with_builtins();
+        assert!(r.get("COUNT").unwrap().exec(&[Value::Int(1)]).is_err());
+        assert!(r.get("TOKENIZE").unwrap().exec(&[]).is_err());
+        assert!(r
+            .get("CONCAT")
+            .unwrap()
+            .exec(&[Value::CharArray("x".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn text_loader_lines() {
+        let out = TextLoader
+            .exec(&[Value::ByteArray(b"one\ntwo\n".to_vec())])
+            .unwrap();
+        assert_eq!(out.as_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn register_replaces() {
+        struct Custom;
+        impl Udf for Custom {
+            fn name(&self) -> &str {
+                "COUNT"
+            }
+            fn exec(&self, _args: &[Value]) -> Result<Value, UdfError> {
+                Ok(Value::Long(-1))
+            }
+        }
+        let mut r = UdfRegistry::with_builtins();
+        r.register(Arc::new(Custom));
+        assert_eq!(
+            r.get("count").unwrap().exec(&[]).unwrap(),
+            Value::Long(-1)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the Pig layer.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mrmc_pig::lexer::lex;
+use mrmc_pig::parser::parse_script;
+use mrmc_pig::Value;
+
+/// Strategy: arbitrary Pig values of bounded depth.
+fn value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f64>().prop_map(Value::Double),
+        "[a-z]{0,6}".prop_map(Value::CharArray),
+        proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::ByteArray),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Tuple),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::Bag),
+        ]
+    })
+}
+
+proptest! {
+    /// Value ordering is a total order: reflexive-equal, antisymmetric,
+    /// transitive on sampled triples.
+    #[test]
+    fn value_order_total(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equal values hash equally.
+    #[test]
+    fn value_eq_implies_hash_eq(a in value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let b = a.clone();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        prop_assert_eq!(ha.finish(), hb.finish());
+    }
+
+    /// The lexer is total: arbitrary ASCII either tokenizes or errors,
+    /// never panics.
+    #[test]
+    fn lexer_total(input in "[ -~\n]{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// The parser is total on arbitrary input.
+    #[test]
+    fn parser_total(input in "[ -~\n]{0,200}") {
+        let _ = parse_script(&input, &HashMap::new());
+    }
+
+    /// Round trip: a generated LOAD/FOREACH/STORE script parses into
+    /// the expected number of statements regardless of identifier
+    /// choice and parameter values.
+    #[test]
+    fn generated_scripts_parse(
+        alias in "[A-Z]{1,4}",
+        path in "[a-z/]{1,12}",
+        udf in "[A-Za-z]{1,10}",
+        k in 1i64..31,
+    ) {
+        let script = format!(
+            "{alias} = LOAD '{path}' AS (line:chararray);\n\
+             B = FOREACH {alias} GENERATE FLATTEN({udf}(line, $K));\n\
+             STORE B INTO '{path}.out';"
+        );
+        let mut params = HashMap::new();
+        params.insert("K".to_string(), k.to_string());
+        let parsed = parse_script(&script, &params).unwrap();
+        prop_assert_eq!(parsed.statements.len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for sequence parsing and encoding.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while reading, validating, or encoding sequences.
+#[derive(Debug)]
+pub enum SeqIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A record body contained a byte that is not an unambiguous
+    /// nucleotide and the caller requested strict validation.
+    InvalidBase {
+        /// 0-based offset within the sequence.
+        position: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// FASTA structure violation (e.g. sequence data before any header).
+    Format {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A k-mer size outside the supported range was requested.
+    BadKmerSize {
+        /// The requested k.
+        k: usize,
+        /// Largest supported k.
+        max: usize,
+    },
+    /// A record id was empty or duplicated where uniqueness is required.
+    BadRecordId(String),
+}
+
+impl fmt::Display for SeqIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqIoError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqIoError::InvalidBase { position, byte } => write!(
+                f,
+                "invalid nucleotide {:?} at position {position}",
+                *byte as char
+            ),
+            SeqIoError::Format { line, message } => {
+                write!(f, "FASTA format error at line {line}: {message}")
+            }
+            SeqIoError::BadKmerSize { k, max } => {
+                write!(f, "k-mer size {k} unsupported (must be 1..={max})")
+            }
+            SeqIoError::BadRecordId(id) => write!(f, "bad record id: {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SeqIoError {
+    fn from(e: io::Error) -> Self {
+        SeqIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SeqIoError::InvalidBase {
+            position: 7,
+            byte: b'N',
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('N'), "{s}");
+
+        let e = SeqIoError::BadKmerSize { k: 40, max: 31 };
+        assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: SeqIoError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(matches!(e, SeqIoError::Io(_)));
+    }
+}

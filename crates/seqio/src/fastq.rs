@@ -1,0 +1,290 @@
+//! FASTQ reading/writing and quality-based trimming.
+//!
+//! The paper's conclusion positions MrMC-MinH for data "currently
+//! produced by the second and third generation sequencing
+//! technologies" — which arrives as FASTQ. This module parses the
+//! four-line format (Phred+33 qualities), converts to [`SeqRecord`]s
+//! for the clustering pipeline, and provides the standard
+//! sliding-window quality trim used before binning.
+
+use std::io::{self, BufRead, Write};
+
+use crate::error::SeqIoError;
+use crate::record::SeqRecord;
+
+/// One FASTQ record: sequence plus per-base Phred+33 qualities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Id and sequence.
+    pub record: SeqRecord,
+    /// Quality string, same length as the sequence (raw Phred+33
+    /// bytes; subtract 33 for scores).
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Phred score (0-based) at position `i`.
+    pub fn phred(&self, i: usize) -> u8 {
+        self.qual[i].saturating_sub(33)
+    }
+
+    /// Mean Phred score; 0.0 for empty reads.
+    pub fn mean_phred(&self) -> f64 {
+        if self.qual.is_empty() {
+            return 0.0;
+        }
+        self.qual
+            .iter()
+            .map(|&q| f64::from(q.saturating_sub(33)))
+            .sum::<f64>()
+            / self.qual.len() as f64
+    }
+
+    /// Trim the read at the first window (of `window` bases) whose
+    /// mean Phred drops below `min_q` — the classic sliding-window
+    /// 3'-end trim. Returns a (possibly empty) new record.
+    pub fn quality_trim(&self, window: usize, min_q: f64) -> FastqRecord {
+        let window = window.max(1);
+        let n = self.qual.len();
+        let mut cut = n;
+        if n >= window {
+            for start in 0..=(n - window) {
+                let mean: f64 = self.qual[start..start + window]
+                    .iter()
+                    .map(|&q| f64::from(q.saturating_sub(33)))
+                    .sum::<f64>()
+                    / window as f64;
+                if mean < min_q {
+                    cut = start;
+                    break;
+                }
+            }
+        } else if self.mean_phred() < min_q {
+            cut = 0;
+        }
+        FastqRecord {
+            record: SeqRecord {
+                id: self.record.id.clone(),
+                description: self.record.description.clone(),
+                seq: self.record.seq[..cut].to_vec(),
+            },
+            qual: self.qual[..cut].to_vec(),
+        }
+    }
+}
+
+/// Streaming FASTQ reader over any `BufRead`.
+pub struct FastqReader<R: BufRead> {
+    reader: R,
+    line_no: usize,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(reader: R) -> Self {
+        FastqReader { reader, line_no: 0 }
+    }
+
+    fn read_line(&mut self, buf: &mut String) -> io::Result<usize> {
+        buf.clear();
+        let n = self.reader.read_line(buf)?;
+        if n > 0 {
+            self.line_no += 1;
+        }
+        while buf.ends_with('\n') || buf.ends_with('\r') {
+            buf.pop();
+        }
+        Ok(n)
+    }
+
+    fn next_record(&mut self) -> Result<Option<FastqRecord>, SeqIoError> {
+        let mut header = String::new();
+        // Skip blank lines between records.
+        loop {
+            if self.read_line(&mut header)? == 0 {
+                return Ok(None);
+            }
+            if !header.trim().is_empty() {
+                break;
+            }
+        }
+        let header = header.trim();
+        let body = header.strip_prefix('@').ok_or_else(|| SeqIoError::Format {
+            line: self.line_no,
+            message: format!("expected '@' header, found {header:?}"),
+        })?;
+        let (id, description) = match body.split_once(char::is_whitespace) {
+            Some((id, rest)) => (id.to_string(), rest.trim().to_string()),
+            None => (body.to_string(), String::new()),
+        };
+        if id.is_empty() {
+            return Err(SeqIoError::Format {
+                line: self.line_no,
+                message: "empty record id".into(),
+            });
+        }
+
+        let mut seq = String::new();
+        if self.read_line(&mut seq)? == 0 {
+            return Err(SeqIoError::Format {
+                line: self.line_no,
+                message: "truncated record: missing sequence line".into(),
+            });
+        }
+        let mut plus = String::new();
+        if self.read_line(&mut plus)? == 0 || !plus.starts_with('+') {
+            return Err(SeqIoError::Format {
+                line: self.line_no,
+                message: format!("expected '+' separator, found {plus:?}"),
+            });
+        }
+        let mut qual = String::new();
+        if self.read_line(&mut qual)? == 0 {
+            return Err(SeqIoError::Format {
+                line: self.line_no,
+                message: "truncated record: missing quality line".into(),
+            });
+        }
+        if qual.len() != seq.len() {
+            return Err(SeqIoError::Format {
+                line: self.line_no,
+                message: format!(
+                    "quality length {} != sequence length {}",
+                    qual.len(),
+                    seq.len()
+                ),
+            });
+        }
+        Ok(Some(FastqRecord {
+            record: SeqRecord {
+                id,
+                description,
+                seq: seq.into_bytes(),
+            },
+            qual: qual.into_bytes(),
+        }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<FastqRecord, SeqIoError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Parse a whole FASTQ byte slice.
+pub fn read_fastq_bytes(bytes: &[u8]) -> Result<Vec<FastqRecord>, SeqIoError> {
+    FastqReader::new(bytes).collect()
+}
+
+/// Serialize FASTQ records.
+pub fn write_fastq<W: Write>(out: &mut W, records: &[FastqRecord]) -> io::Result<()> {
+    for r in records {
+        if r.record.description.is_empty() {
+            writeln!(out, "@{}", r.record.id)?;
+        } else {
+            writeln!(out, "@{} {}", r.record.id, r.record.description)?;
+        }
+        out.write_all(&r.record.seq)?;
+        writeln!(out)?;
+        writeln!(out, "+")?;
+        out.write_all(&r.qual)?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, seq: &str, qual: &str) -> FastqRecord {
+        FastqRecord {
+            record: SeqRecord::new(id, seq.as_bytes().to_vec()),
+            qual: qual.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn parse_single() {
+        let recs = read_fastq_bytes(b"@r1 lane1\nACGT\n+\nIIII\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].record.id, "r1");
+        assert_eq!(recs[0].record.description, "lane1");
+        assert_eq!(recs[0].record.seq, b"ACGT");
+        assert_eq!(recs[0].phred(0), b'I' - 33);
+    }
+
+    #[test]
+    fn parse_multiple_and_round_trip() {
+        let input = b"@a\nAC\n+\nII\n@b x\nGGTT\n+\n!!II\n";
+        let recs = read_fastq_bytes(input).unwrap();
+        assert_eq!(recs.len(), 2);
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &recs).unwrap();
+        assert_eq!(read_fastq_bytes(&buf).unwrap(), recs);
+    }
+
+    #[test]
+    fn format_errors() {
+        assert!(matches!(
+            read_fastq_bytes(b">r1\nACGT\n+\nIIII\n"),
+            Err(SeqIoError::Format { .. })
+        ));
+        assert!(matches!(
+            read_fastq_bytes(b"@r1\nACGT\nIIII\n"), // missing '+'
+            Err(SeqIoError::Format { .. })
+        ));
+        assert!(matches!(
+            read_fastq_bytes(b"@r1\nACGT\n+\nII\n"), // length mismatch
+            Err(SeqIoError::Format { .. })
+        ));
+        assert!(matches!(
+            read_fastq_bytes(b"@r1\nACGT\n"), // truncated
+            Err(SeqIoError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn mean_phred() {
+        let r = record("r", "ACGT", "IIII"); // I = Q40
+        assert!((r.mean_phred() - 40.0).abs() < 1e-12);
+        let empty = record("e", "", "");
+        assert_eq!(empty.mean_phred(), 0.0);
+    }
+
+    #[test]
+    fn quality_trim_cuts_bad_tail() {
+        // Good prefix (Q40), bad tail (Q0 = '!'). The first window
+        // with mean < 20 starts at position 3 (one I, three !), so the
+        // read is cut there.
+        let r = record("r", "ACGTACGT", "IIII!!!!");
+        let trimmed = r.quality_trim(4, 20.0);
+        assert_eq!(trimmed.record.seq, b"ACG");
+        assert_eq!(trimmed.qual.len(), 3);
+    }
+
+    #[test]
+    fn quality_trim_keeps_good_read() {
+        let r = record("r", "ACGTACGT", "IIIIIIII");
+        let trimmed = r.quality_trim(4, 20.0);
+        assert_eq!(trimmed, r);
+    }
+
+    #[test]
+    fn quality_trim_drops_all_bad_read() {
+        let r = record("r", "ACGT", "!!!!");
+        let trimmed = r.quality_trim(2, 20.0);
+        assert!(trimmed.record.seq.is_empty());
+        // Short read below one window, bad mean: also dropped.
+        let r = record("r", "AC", "!!");
+        assert!(r.quality_trim(4, 20.0).record.seq.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_between_records_skipped() {
+        let recs = read_fastq_bytes(b"@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n").unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Sequence and sample statistics used by the dataset registry and the
+//! experiment tables (GC content brackets in Table II, read counts and
+//! average lengths in Table I).
+
+use crate::record::SeqRecord;
+
+/// GC fraction of a sequence (ambiguous bases excluded from the
+/// denominator); 0.0 for sequences with no unambiguous bases.
+pub fn gc_content(seq: &[u8]) -> f64 {
+    let mut gc = 0usize;
+    let mut total = 0usize;
+    for &c in seq {
+        match c {
+            b'G' | b'g' | b'C' | b'c' => {
+                gc += 1;
+                total += 1;
+            }
+            b'A' | b'a' | b'T' | b't' | b'U' | b'u' => total += 1,
+            _ => {}
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        gc as f64 / total as f64
+    }
+}
+
+/// Length distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    /// Number of sequences.
+    pub count: usize,
+    /// Shortest sequence length.
+    pub min: usize,
+    /// Longest sequence length.
+    pub max: usize,
+    /// Mean length.
+    pub mean: f64,
+    /// Total bases.
+    pub total: usize,
+}
+
+impl LengthStats {
+    /// Compute from an iterator of lengths; `None` when empty.
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Option<LengthStats> {
+        let mut count = 0usize;
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for len in lengths {
+            count += 1;
+            min = min.min(len);
+            max = max.max(len);
+            total += len;
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(LengthStats {
+            count,
+            min,
+            max,
+            mean: total as f64 / count as f64,
+            total,
+        })
+    }
+}
+
+/// Whole-sample summary (one row of Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleStats {
+    /// Length statistics over all reads.
+    pub lengths: LengthStats,
+    /// Mean GC fraction across reads (unweighted).
+    pub mean_gc: f64,
+}
+
+impl SampleStats {
+    /// Summarize a slice of records; `None` when empty.
+    pub fn from_records(records: &[SeqRecord]) -> Option<SampleStats> {
+        let lengths = LengthStats::from_lengths(records.iter().map(|r| r.len()))?;
+        let mean_gc =
+            records.iter().map(|r| gc_content(&r.seq)).sum::<f64>() / records.len() as f64;
+        Some(SampleStats { lengths, mean_gc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_basic() {
+        assert!((gc_content(b"GGCC") - 1.0).abs() < 1e-12);
+        assert!((gc_content(b"GATC") - 0.5).abs() < 1e-12);
+        assert_eq!(gc_content(b""), 0.0);
+        assert_eq!(gc_content(b"NNN"), 0.0);
+    }
+
+    #[test]
+    fn gc_ignores_ambiguous_in_denominator() {
+        // 2 GC out of 4 unambiguous (N excluded).
+        assert!((gc_content(b"GCNAT") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_stats() {
+        let s = LengthStats::from_lengths([3, 5, 10]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.total, 18);
+        assert!((s.mean - 6.0).abs() < 1e-12);
+        assert!(LengthStats::from_lengths([]).is_none());
+    }
+
+    #[test]
+    fn sample_stats() {
+        let records = vec![
+            SeqRecord::new("a", b"GG".to_vec()),
+            SeqRecord::new("b", b"AATT".to_vec()),
+        ];
+        let s = SampleStats::from_records(&records).unwrap();
+        assert_eq!(s.lengths.count, 2);
+        assert!((s.mean_gc - 0.5).abs() < 1e-12);
+        assert!(SampleStats::from_records(&[]).is_none());
+    }
+}

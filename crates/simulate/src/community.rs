@@ -1,0 +1,225 @@
+//! Multi-species communities and labelled datasets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mrmc_seqio::SeqRecord;
+
+use crate::genome::{diverge, random_genome, shift_gc, MarkovModel};
+use crate::reads::ReadSimulator;
+use crate::taxonomy::TaxRank;
+
+/// One species in a community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeciesSpec {
+    /// Display name (Table II species names, or synthetic ids).
+    pub name: String,
+    /// Target genome GC fraction (Table II's `[x.xx]` values).
+    pub gc: f64,
+    /// Relative abundance weight (Table II's ratios, e.g. 1:1:8).
+    pub abundance: f64,
+}
+
+/// A whole community: species, their relatedness, genome size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunitySpec {
+    /// Member species.
+    pub species: Vec<SpeciesSpec>,
+    /// Taxonomic separation between the species (drives how diverged
+    /// the generated genomes are — the "Taxonomic Difference" column).
+    pub rank: TaxRank,
+    /// Genome length per species.
+    pub genome_len: usize,
+}
+
+/// A labelled dataset: reads plus (optionally) ground-truth species
+/// labels, ready for clustering and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset id (e.g. "S1", "53R", "huse-3pct").
+    pub name: String,
+    /// The reads.
+    pub reads: Vec<SeqRecord>,
+    /// Ground-truth species index per read (None for "real" samples
+    /// like R1, where the paper has no labels either).
+    pub labels: Option<Vec<usize>>,
+    /// Species names indexed by label.
+    pub species: Vec<String>,
+}
+
+impl Dataset {
+    /// Number of reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// True when the dataset has no reads.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Drop ground-truth labels (turn a simulated sample into a
+    /// "real"-style one).
+    pub fn without_labels(mut self) -> Dataset {
+        self.labels = None;
+        self
+    }
+}
+
+impl CommunitySpec {
+    /// Generate the community's genomes.
+    ///
+    /// Two regimes, switched on genome length:
+    ///
+    /// * **Loci** (≤ 2 kb, amplicon-style): a literal ancestor sequence
+    ///   diverged per species at the spec's rank — *identity* carries
+    ///   the signal, reads of one species align.
+    /// * **Genomes** (> 2 kb, shotgun-style): an ancestral order-2
+    ///   Markov composition model perturbed per species by the rank's
+    ///   divergence — *composition* carries the signal, as in real
+    ///   bacterial genomes (reads from disjoint loci of one species
+    ///   share k-mer usage, not alignment), which is the regime the
+    ///   paper's whole-metagenome experiments (k = 5) operate in.
+    pub fn genomes(&self, rng: &mut StdRng) -> Vec<Vec<u8>> {
+        let mean_gc =
+            self.species.iter().map(|s| s.gc).sum::<f64>() / self.species.len() as f64;
+        if self.genome_len <= 2_000 {
+            let ancestor = random_genome(self.genome_len, mean_gc, rng);
+            return self
+                .species
+                .iter()
+                .map(|s| {
+                    let mut g = diverge(&ancestor, self.rank.divergence(), rng);
+                    shift_gc(&mut g, s.gc, rng);
+                    g
+                })
+                .collect();
+        }
+        let ancestor_model = MarkovModel::random(1.4, mean_gc, rng);
+        self.species
+            .iter()
+            .map(|s| {
+                let model = ancestor_model.perturb(self.rank.composition_jitter(), rng);
+                let mut g = model.sample(self.genome_len, rng);
+                shift_gc(&mut g, s.gc, rng);
+                g
+            })
+            .collect()
+    }
+
+    /// Generate a labelled read set of `total_reads` reads allocated
+    /// by abundance, with the given simulator. Deterministic per seed.
+    pub fn generate(
+        &self,
+        name: &str,
+        total_reads: usize,
+        simulator: &ReadSimulator,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let genomes = self.genomes(&mut rng);
+        let total_w: f64 = self.species.iter().map(|s| s.abundance).sum();
+        let mut reads = Vec::with_capacity(total_reads);
+        let mut labels = Vec::with_capacity(total_reads);
+        let mut allocated = 0usize;
+        for (idx, sp) in self.species.iter().enumerate() {
+            let count = if idx + 1 == self.species.len() {
+                total_reads - allocated
+            } else {
+                ((sp.abundance / total_w) * total_reads as f64).round() as usize
+            };
+            allocated += count;
+            for r in 0..count {
+                let seq = simulator.read_from(&genomes[idx], &mut rng);
+                reads.push(SeqRecord::with_description(
+                    format!("{name}_{idx}_{r}"),
+                    sp.name.clone(),
+                    seq,
+                ));
+                labels.push(idx);
+            }
+        }
+        Dataset {
+            name: name.to_string(),
+            reads,
+            labels: Some(labels),
+            species: self.species.iter().map(|s| s.name.clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reads::ErrorModel;
+    use mrmc_seqio::stats::gc_content;
+
+    fn spec() -> CommunitySpec {
+        CommunitySpec {
+            species: vec![
+                SpeciesSpec {
+                    name: "A".into(),
+                    gc: 0.40,
+                    abundance: 1.0,
+                },
+                SpeciesSpec {
+                    name: "B".into(),
+                    gc: 0.60,
+                    abundance: 2.0,
+                },
+            ],
+            rank: TaxRank::Order,
+            genome_len: 20_000,
+        }
+    }
+
+    #[test]
+    fn read_counts_follow_abundance() {
+        let sim = ReadSimulator::new(100, ErrorModel::perfect());
+        let d = spec().generate("t", 300, &sim, 1);
+        assert_eq!(d.len(), 300);
+        let labels = d.labels.as_ref().unwrap();
+        let a = labels.iter().filter(|&&l| l == 0).count();
+        let b = labels.iter().filter(|&&l| l == 1).count();
+        assert_eq!(a + b, 300);
+        assert_eq!(a, 100);
+        assert_eq!(b, 200);
+    }
+
+    #[test]
+    fn genomes_follow_gc_targets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gs = spec().genomes(&mut rng);
+        assert_eq!(gs.len(), 2);
+        assert!((gc_content(&gs[0]) - 0.40).abs() < 0.05);
+        assert!((gc_content(&gs[1]) - 0.60).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sim = ReadSimulator::new(80, ErrorModel::with_total_rate(0.02));
+        let d1 = spec().generate("t", 50, &sim, 42);
+        let d2 = spec().generate("t", 50, &sim, 42);
+        let d3 = spec().generate("t", 50, &sim, 43);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn without_labels_strips() {
+        let sim = ReadSimulator::new(80, ErrorModel::perfect());
+        let d = spec().generate("t", 10, &sim, 0).without_labels();
+        assert!(d.labels.is_none());
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn read_ids_unique() {
+        let sim = ReadSimulator::new(80, ErrorModel::perfect());
+        let d = spec().generate("t", 100, &sim, 0);
+        let mut ids: Vec<&String> = d.reads.iter().map(|r| &r.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic metagenome data substrate.
+//!
+//! The paper evaluates on data we cannot redistribute or regenerate
+//! bit-for-bit: real genomes from NCBI (Table II's species), the Sogin
+//! et al. deep-sea 16S samples (Table I), the Huse et al. 43-genome
+//! pyrosequencing benchmark, and a sharpshooter-gut real sample (R1).
+//! Per the substitution policy in DESIGN.md we generate *synthetic
+//! equivalents that control exactly the variables the evaluation
+//! probes*: inter-species divergence (keyed to the taxonomic ranks in
+//! Table II), GC content, abundance ratios, read counts/lengths, and
+//! sequencing error rates.
+//!
+//! * [`genome`] — random genomes with target GC, divergence with
+//!   substitutions + indels;
+//! * [`taxonomy`] — taxonomic ranks mapped to sequence divergence;
+//! * [`reads`] — shotgun/amplicon read simulation with substitution,
+//!   indel and homopolymer error models (pyrosequencing's signature);
+//! * [`sixteen_s`] — a 16S rRNA gene model with conserved and variable
+//!   regions, for amplicon datasets;
+//! * [`community`] — multi-species communities with abundance ratios;
+//! * [`registry`] — the named dataset catalogue: S1–S14 + R1
+//!   (Table II), the eight environmental samples (Table I), and the
+//!   Huse 16S benchmark at 3 %/5 % error.
+//!
+//! Everything is deterministic given a seed (`rand::rngs::StdRng`).
+
+pub mod community;
+pub mod genome;
+pub mod reads;
+pub mod registry;
+pub mod sixteen_s;
+pub mod taxonomy;
+
+pub use community::{CommunitySpec, Dataset, SpeciesSpec};
+pub use genome::{diverge, random_genome};
+pub use reads::{ErrorModel, ReadSimulator};
+pub use registry::{environmental_samples, huse_16s, whole_metagenome_samples, SampleConfig};
+pub use taxonomy::TaxRank;

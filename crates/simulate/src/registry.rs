@@ -1,0 +1,341 @@
+//! The named dataset catalogue: synthetic stand-ins configured to the
+//! papers' benchmark descriptions.
+//!
+//! * [`whole_metagenome_samples`] — S1–S14 and R1 of Table II: species
+//!   GC values, abundance ratios, taxonomic separation, read counts,
+//!   1 000 bp shotgun reads;
+//! * [`environmental_samples`] — the eight Sogin et al. seawater
+//!   samples of Table I: read counts, ~60 bp amplicon tags,
+//!   power-law species abundances sized so OTU counts land near the
+//!   paper's;
+//! * [`huse_16s`] — the Huse et al. 43-genome pyrosequencing benchmark
+//!   at a chosen error cap (3 % / 5 % in Table IV).
+//!
+//! Every generator takes a `scale` in `(0, 1]` that shrinks read
+//! counts proportionally: the full counts reproduce the paper's sizes,
+//! scaled-down ones keep test and bench times sane. Species counts
+//! for the environmental samples scale with sqrt(scale) so scaled
+//! samples keep a realistic reads-per-species ratio.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mrmc_seqio::SeqRecord;
+
+use crate::community::{CommunitySpec, Dataset, SpeciesSpec};
+use crate::reads::{ErrorModel, ReadSimulator};
+use crate::sixteen_s::make_family;
+use crate::taxonomy::TaxRank;
+
+/// Configuration of one whole-metagenome sample (a Table II row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleConfig {
+    /// Sample id ("S1" … "S14", "R1").
+    pub sid: &'static str,
+    /// Species `(name, gc, abundance)` triples.
+    pub species: Vec<(&'static str, f64, f64)>,
+    /// Taxonomic separation (finest listed in Table II).
+    pub rank: TaxRank,
+    /// Full-size read count.
+    pub reads: usize,
+    /// Read length in bp.
+    pub read_len: usize,
+    /// Whether ground-truth labels are exposed (false for R1).
+    pub labeled: bool,
+}
+
+impl SampleConfig {
+    /// Ground-truth cluster count (number of species).
+    pub fn expected_clusters(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Generate the dataset at `scale`, with a per-base error model.
+    pub fn generate(&self, scale: f64, errors: ErrorModel, seed: u64) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+        let community = CommunitySpec {
+            species: self
+                .species
+                .iter()
+                .map(|&(name, gc, abundance)| SpeciesSpec {
+                    name: name.to_string(),
+                    gc,
+                    abundance,
+                })
+                .collect(),
+            rank: self.rank,
+            // Real genomes are Mbp; 120 kb preserves read diversity
+            // (reads never repeat) at a fraction of the memory.
+            genome_len: 120_000,
+        };
+        let total = ((self.reads as f64) * scale).round().max(2.0) as usize;
+        let simulator = ReadSimulator::new(self.read_len, errors);
+        let d = community.generate(self.sid, total, &simulator, seed);
+        if self.labeled {
+            d
+        } else {
+            d.without_labels()
+        }
+    }
+}
+
+/// The Table II catalogue.
+pub fn whole_metagenome_samples() -> Vec<SampleConfig> {
+    use TaxRank::*;
+    let s = |sid, species, rank, reads, labeled| SampleConfig {
+        sid,
+        species,
+        rank,
+        reads,
+        read_len: 1000,
+        labeled,
+    };
+    vec![
+        s("S1", vec![("Bacillus halodurans", 0.44, 1.0), ("Bacillus subtilis", 0.44, 1.0)], Species, 49_998, true),
+        s("S2", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0)], Genus, 49_998, true),
+        s("S3", vec![("Escherichia coli", 0.51, 1.0), ("Yersinia pestis", 0.48, 1.0)], Genus, 49_998, true),
+        s("S4", vec![("Rhodopirellula baltica", 0.55, 1.0), ("Blastopirellula marina", 0.57, 1.0)], Genus, 49_998, true),
+        s("S5", vec![("Bacillus anthracis", 0.35, 1.0), ("Listeria monocytogenes", 0.38, 2.0)], Family, 49_998, true),
+        s("S6", vec![("Methanocaldococcus jannaschii", 0.31, 1.0), ("Methanococcus mariplaudis", 0.33, 1.0)], Family, 49_998, true),
+        s("S7", vec![("Thermofilum pendens", 0.58, 1.0), ("Pyrobaculum aerophilum", 0.51, 1.0)], Family, 49_998, true),
+        s("S8", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Rhodospirillum rubrum", 0.65, 1.0)], Order, 49_998, true),
+        s("S9", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0), ("Nitrobacter hamburgensis", 0.62, 8.0)], Family, 49_996, true),
+        s("S10", vec![("Escherichia coli", 0.51, 1.0), ("Pseudomonas putida", 0.62, 1.0), ("Bacillus anthracis", 0.35, 8.0)], Order, 49_996, true),
+        s("S11", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0), ("Nitrobacter hamburgensis", 0.62, 4.0), ("Rhodospirillum rubrum", 0.65, 4.0)], Family, 99_998, true),
+        s("S12", vec![("Escherichia coli", 0.51, 1.0), ("Pseudomonas putida", 0.62, 1.0), ("Thermofilum pendens", 0.58, 1.0), ("Pyrobaculum aerophilum", 0.51, 1.0), ("Bacillus anthracis", 0.35, 2.0), ("Bacillus subtilis", 0.44, 14.0)], Species, 99_994, true),
+        s("S13", vec![("Acinetobacter baumannii SDF", 0.39, 1.0), ("Pseudomonas entomophila L48", 0.64, 1.0)], Genus, 4_000, true),
+        s("S14", vec![("Ehrlichia ruminantium Gardel", 0.27, 1.0), ("Anaplasma centrale Israel", 0.50, 1.0), ("Neorickettsia sennetsu Miyayama", 0.41, 1.0)], Genus, 6_000, true),
+        s("R1", vec![("Baumannia cicadellinicola", 0.33, 2.0), ("Sulcia muelleri", 0.22, 2.0), ("Wolbachia endosymbiont", 0.34, 1.0)], Genus, 7_137, false),
+    ]
+}
+
+/// Configuration of one environmental 16S sample (a Table I row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvSampleConfig {
+    /// Sample id.
+    pub sid: &'static str,
+    /// Site description.
+    pub site: &'static str,
+    /// Latitude °N.
+    pub lat: f64,
+    /// Longitude °W.
+    pub lon: f64,
+    /// Depth in metres.
+    pub depth_m: u32,
+    /// Temperature °C.
+    pub temp_c: f64,
+    /// Full-size read count.
+    pub reads: usize,
+    /// Species (OTU) richness used by the generator, sized so
+    /// θ=0.95 clustering lands near the paper's OTU counts.
+    pub n_species: usize,
+}
+
+/// The Table I catalogue.
+pub fn environmental_samples() -> Vec<EnvSampleConfig> {
+    let c = |sid, site, lat, lon, depth_m, temp_c, reads, n_species| EnvSampleConfig {
+        sid,
+        site,
+        lat,
+        lon,
+        depth_m,
+        temp_c,
+        reads,
+        n_species,
+    };
+    vec![
+        c("53R", "Labrador seawater", 58.300, -29.133, 1_400, 3.5, 11_218, 1_180),
+        c("55R", "Oxygen minimum", 58.300, -29.133, 500, 7.1, 8_680, 1_205),
+        c("112R", "Lower deep water", 50.400, -25.000, 4_121, 2.3, 11_132, 1_694),
+        c("115R", "Oxygen minimum", 50.400, -25.000, 550, 7.0, 13_441, 1_217),
+        c("137", "Labrador seawater", 60.900, -38.516, 1_710, 3.0, 12_259, 1_020),
+        c("138", "Labrador seawater", 60.900, -38.516, 710, 3.5, 11_554, 1_054),
+        c("FS312", "Bag City", 45.916, -129.983, 1_529, 31.2, 52_569, 1_983),
+        c("FS396", "Marker 52", 45.943, -129.985, 1_537, 24.4, 73_657, 1_360),
+    ]
+}
+
+impl EnvSampleConfig {
+    /// Generate the sample at `scale`: ~60 bp amplicon tags from a
+    /// power-law-abundant community of 16S genes.
+    pub fn generate(&self, scale: f64, seed: u64) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = ((self.reads as f64) * scale).round().max(2.0) as usize;
+        // Species richness scales with sqrt(scale): halving reads does
+        // not halve the number of taxa in a real rarefaction either.
+        let n_species = ((self.n_species as f64) * scale.sqrt()).round().max(2.0) as usize;
+        let genes = make_family(n_species, &mut rng);
+
+        // Power-law (Zipf-ish) abundances — the "rare biosphere" of
+        // the Sogin study: a few dominant taxa, a long tail.
+        let weights: Vec<f64> = (0..n_species)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(0.9))
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+
+        // Tag reads: amplicon sequencing is primer-delimited, so every
+        // read of a species covers the *same* V6-style window (~60 bp,
+        // the paper's average length) — duplicates plus sequencing
+        // errors, exactly the structure of real 454 tag data.
+        let errors = ErrorModel::pyrosequencing(0.004);
+        let sim = ReadSimulator::new(60, errors);
+        let mut reads = Vec::with_capacity(total);
+        let mut labels = Vec::with_capacity(total);
+        for r in 0..total {
+            // Sample a species by weight.
+            let mut pick = rng.random::<f64>() * total_w;
+            let mut species = 0usize;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    species = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let template = genes[species].amplicon(5, 0).to_vec();
+            let seq = sim.apply_errors(&template, &mut rng);
+            reads.push(SeqRecord::new(format!("{}_{r}", self.sid), seq));
+            labels.push(species);
+        }
+        Dataset {
+            name: self.sid.to_string(),
+            reads,
+            labels: Some(labels),
+            species: (0..n_species).map(|i| format!("OTU{i}")).collect(),
+        }
+    }
+}
+
+/// The Huse et al. 16S simulated benchmark: 43 reference genes,
+/// GS20-style ~100 bp amplicon reads, per-read error drawn uniformly
+/// in `[0, max_error]` (Table IV's "up to 3 %/5 % error").
+pub fn huse_16s(max_error: f64, scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0 && scale <= 1.0, "scale in (0,1]");
+    const HUSE_SPECIES: usize = 43;
+    const HUSE_READS: usize = 345_000;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let genes = make_family(HUSE_SPECIES, &mut rng);
+    let total = ((HUSE_READS as f64) * scale).round().max(2.0) as usize;
+    let mut reads = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for r in 0..total {
+        let species = rng.random_range(0..HUSE_SPECIES);
+        // Primer-delimited GS20 amplicon: one fixed ~100 bp window per
+        // species; per-read error drawn uniformly in [0, max_error].
+        let template = genes[species].amplicon(3, 20).to_vec();
+        let rate = rng.random::<f64>() * max_error;
+        let sim = ReadSimulator::new(template.len().max(1), ErrorModel::pyrosequencing(rate));
+        let seq = sim.apply_errors(&template, &mut rng);
+        reads.push(SeqRecord::new(format!("huse_{r}"), seq));
+        labels.push(species);
+    }
+    Dataset {
+        name: format!("huse-{:.0}pct", max_error * 100.0),
+        reads,
+        labels: Some(labels),
+        species: (0..HUSE_SPECIES).map(|i| format!("ref{i}")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_catalogue_matches_paper() {
+        let samples = whole_metagenome_samples();
+        assert_eq!(samples.len(), 15);
+        let by_sid = |sid: &str| {
+            samples
+                .iter()
+                .find(|s| s.sid == sid)
+                .unwrap_or_else(|| panic!("{sid} missing"))
+        };
+        assert_eq!(by_sid("S1").reads, 49_998);
+        assert_eq!(by_sid("S1").expected_clusters(), 2);
+        assert_eq!(by_sid("S12").expected_clusters(), 6);
+        assert_eq!(by_sid("S12").reads, 99_994);
+        assert_eq!(by_sid("S9").species[2].2, 8.0); // 1:1:8 ratio
+        assert!(!by_sid("R1").labeled);
+        assert_eq!(by_sid("R1").reads, 7_137);
+        // GC contents per Table II.
+        assert_eq!(by_sid("S6").species[0].1, 0.31);
+        assert_eq!(by_sid("S8").species[1].1, 0.65);
+    }
+
+    #[test]
+    fn table1_catalogue_matches_paper() {
+        let samples = environmental_samples();
+        assert_eq!(samples.len(), 8);
+        let reads: Vec<usize> = samples.iter().map(|s| s.reads).collect();
+        assert_eq!(
+            reads,
+            vec![11_218, 8_680, 11_132, 13_441, 12_259, 11_554, 52_569, 73_657]
+        );
+        assert_eq!(samples[0].sid, "53R");
+        assert_eq!(samples[2].depth_m, 4_121);
+    }
+
+    #[test]
+    fn whole_metagenome_generation_scaled() {
+        let cfg = &whole_metagenome_samples()[0]; // S1
+        let d = cfg.generate(0.01, ErrorModel::perfect(), 7);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.reads[0].len(), 1000);
+        let labels = d.labels.as_ref().unwrap();
+        // 1:1 ratio → ~250 each.
+        let a = labels.iter().filter(|&&l| l == 0).count();
+        assert!((240..=260).contains(&a), "a = {a}");
+    }
+
+    #[test]
+    fn r1_is_unlabeled() {
+        let cfg = whole_metagenome_samples()
+            .into_iter()
+            .find(|s| s.sid == "R1")
+            .unwrap();
+        let d = cfg.generate(0.01, ErrorModel::perfect(), 7);
+        assert!(d.labels.is_none());
+    }
+
+    #[test]
+    fn environmental_generation() {
+        let cfg = environmental_samples()[0]; // 53R
+        let d = cfg.generate(0.02, 11);
+        assert_eq!(d.len(), 224); // 11218 * 0.02
+        // Lengths vary around 60.
+        let mean: f64 =
+            d.reads.iter().map(|r| r.len() as f64).sum::<f64>() / d.len() as f64;
+        assert!((50.0..70.0).contains(&mean), "mean len {mean}");
+        // Species indices within range.
+        let max_label = *d.labels.as_ref().unwrap().iter().max().unwrap();
+        assert!(max_label < d.species.len());
+    }
+
+    #[test]
+    fn huse_generation() {
+        let d = huse_16s(0.03, 0.002, 5);
+        assert_eq!(d.len(), 690);
+        assert_eq!(d.species.len(), 43);
+        assert!(d.labels.is_some());
+        assert!(d.name.contains("3pct"));
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let cfg = environmental_samples()[1];
+        assert_eq!(cfg.generate(0.01, 3), cfg.generate(0.01, 3));
+        let w = &whole_metagenome_samples()[2];
+        assert_eq!(
+            w.generate(0.005, ErrorModel::perfect(), 9),
+            w.generate(0.005, ErrorModel::perfect(), 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale in (0,1]")]
+    fn zero_scale_rejected() {
+        whole_metagenome_samples()[0].generate(0.0, ErrorModel::perfect(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mrmc_seqio::stats::gc_content;
+use mrmc_simulate::genome::{diverge, random_genome, MarkovModel};
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+proptest! {
+    /// Generated genomes have the requested length and only ACGT.
+    #[test]
+    fn genome_well_formed(len in 0usize..5000, gc in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_genome(len, gc, &mut rng);
+        prop_assert_eq!(g.len(), len);
+        prop_assert!(g.iter().all(|c| b"ACGT".contains(c)));
+    }
+
+    /// Extreme GC targets are hit exactly.
+    #[test]
+    fn gc_extremes(len in 100usize..2000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all_at = random_genome(len, 0.0, &mut rng);
+        prop_assert!((gc_content(&all_at) - 0.0).abs() < 1e-12);
+        let all_gc = random_genome(len, 1.0, &mut rng);
+        prop_assert!((gc_content(&all_gc) - 1.0).abs() < 1e-12);
+    }
+
+    /// Divergence keeps sequences ACGT and near the original length.
+    #[test]
+    fn diverge_well_formed(len in 100usize..2000, d in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_genome(len, 0.5, &mut rng);
+        let v = diverge(&g, d, &mut rng);
+        prop_assert!(v.iter().all(|c| b"ACGT".contains(c)));
+        // Indel rate is d/10 per base, so length drift stays small.
+        let drift = (v.len() as f64 - len as f64).abs() / len as f64;
+        prop_assert!(drift < 0.15, "drift {drift}");
+    }
+
+    /// Markov genomes are well formed and deterministic per seed.
+    #[test]
+    fn markov_deterministic(len in 10usize..2000, skew in 0.0f64..2.0, seed in any::<u64>()) {
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let g1 = MarkovModel::random(skew, 0.5, &mut r1).sample(len, &mut r1);
+        let g2 = MarkovModel::random(skew, 0.5, &mut r2).sample(len, &mut r2);
+        prop_assert_eq!(&g1, &g2);
+        prop_assert_eq!(g1.len(), len);
+        prop_assert!(g1.iter().all(|c| b"ACGT".contains(c)));
+    }
+
+    /// Reads never exceed the configured length, and the perfect error
+    /// model is the identity on templates.
+    #[test]
+    fn read_simulator_contract(
+        glen in 50usize..1000,
+        rlen in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_genome(glen, 0.5, &mut rng);
+        let sim = ReadSimulator::new(rlen, ErrorModel::perfect());
+        let read = sim.read_from(&g, &mut rng);
+        prop_assert!(read.len() <= rlen);
+        prop_assert!(read.len() == rlen.min(glen));
+        // Perfect model: the read is a substring.
+        if !read.is_empty() {
+            let found = g.windows(read.len()).any(|w| w == &read[..]);
+            prop_assert!(found);
+        }
+    }
+
+    /// Community datasets: read counts exact, labels in range, every
+    /// read non-empty, deterministic per seed.
+    #[test]
+    fn community_contract(total in 2usize..120, n_species in 1usize..5, seed in any::<u64>()) {
+        let spec = CommunitySpec {
+            species: (0..n_species)
+                .map(|i| SpeciesSpec {
+                    name: format!("sp{i}"),
+                    gc: 0.5,
+                    abundance: (i + 1) as f64,
+                })
+                .collect(),
+            rank: TaxRank::Genus,
+            genome_len: 3000,
+        };
+        let sim = ReadSimulator::new(100, ErrorModel::with_total_rate(0.01));
+        let d1 = spec.generate("p", total, &sim, seed);
+        prop_assert_eq!(d1.len(), total);
+        let labels = d1.labels.as_ref().unwrap();
+        prop_assert!(labels.iter().all(|&l| l < n_species));
+        prop_assert!(d1.reads.iter().all(|r| !r.is_empty()));
+        let d2 = spec.generate("p", total, &sim, seed);
+        prop_assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,43 @@
+//! A miniature of the paper's Figure 2: simulated-cluster runtime of
+//! the hierarchical pipeline vs. node count and input size.
+//!
+//! Kernel costs are measured on this machine, then list-scheduled onto
+//! a virtual 2–12-node EMR-style cluster (see DESIGN.md §2 for the
+//! substitution rationale).
+//!
+//! ```sh
+//! cargo run --release --example scaling
+//! ```
+
+use mrmc::{CostCalibration, MrMcConfig};
+use mrmc_minh_suite::mapreduce::JobCostModel;
+
+fn main() {
+    let config = MrMcConfig::whole_metagenome();
+    println!("calibrating kernel costs (k = {}, {} hashes)...", config.kmer, config.num_hashes);
+    let calibration = CostCalibration::measure(&config, 1000);
+    println!(
+        "  sketch: {:.1} µs/read, similarity: {:.2} µs/pair\n",
+        calibration.sketch_per_read * 1e6,
+        calibration.sim_per_pair * 1e6
+    );
+
+    let model = JobCostModel::default();
+    let nodes = [2usize, 4, 6, 8, 10, 12];
+    let read_counts = [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000];
+
+    print!("{:>12}", "reads\\nodes");
+    for n in nodes {
+        print!("{n:>10}");
+    }
+    println!();
+    for reads in read_counts {
+        print!("{reads:>12}");
+        for n in nodes {
+            let minutes = calibration.simulate(reads, n, &model) / 60.0;
+            print!("{minutes:>9.1}m");
+        }
+        println!();
+    }
+    println!("\n(large inputs speed up with nodes; the 1000-read row is flat — Figure 2's shape)");
+}

@@ -1,0 +1,103 @@
+//! A miniature of the paper's Table III study: one whole-metagenome
+//! sample (default S1), three algorithms, four metrics.
+//!
+//! ```sh
+//! cargo run --release --example whole_metagenome -- [SID] [scale]
+//! # e.g.
+//! cargo run --release --example whole_metagenome -- S10 0.02
+//! ```
+
+use std::time::Instant;
+
+use mrmc::{Mode, MrMcConfig, MrMcMinH};
+use mrmc_minh_suite::baselines::{Clusterer, MetaClusterLike};
+use mrmc_minh_suite::metrics::{weighted_accuracy, weighted_similarity, SimilarityOptions};
+use mrmc_minh_suite::simulate::{whole_metagenome_samples, ErrorModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sid = args.get(1).map(String::as_str).unwrap_or("S1");
+    let scale: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("scale must be a number in (0,1]"))
+        .unwrap_or(0.01);
+
+    let config = whole_metagenome_samples()
+        .into_iter()
+        .find(|s| s.sid == sid)
+        .unwrap_or_else(|| panic!("unknown sample {sid} (use S1..S14 or R1)"));
+    let dataset = config.generate(scale, ErrorModel::with_total_rate(0.002), 7);
+    println!(
+        "sample {sid}: {} reads (scale {scale}), {} species, taxonomic rank {:?}\n",
+        dataset.len(),
+        config.species.len(),
+        config.rank
+    );
+
+    let sim_opts = SimilarityOptions {
+        max_pairs_per_cluster: 100,
+        ..Default::default()
+    };
+    println!(
+        "{:<24} {:>9} {:>8} {:>8} {:>9}",
+        "algorithm", "#cluster", "W.Acc", "W.Sim", "time"
+    );
+
+    // The paper's Table III uses k = 5 and 100 hash functions.
+    for (label, mode) in [
+        ("MrMC-MinH^h", Mode::Hierarchical),
+        ("MrMC-MinH^g", Mode::Greedy),
+    ] {
+        let theta = mrmc::suggest_theta(&dataset.reads, &MrMcConfig::whole_metagenome(), 100);
+        let cfg = MrMcConfig {
+            theta,
+            mode,
+            ..MrMcConfig::whole_metagenome()
+        };
+        let result = MrMcMinH::new(cfg).run(&dataset.reads).expect("run");
+        report(
+            label,
+            result.assignment.labels().to_vec(),
+            &dataset,
+            &sim_opts,
+            result.total_time.as_secs_f64(),
+        );
+    }
+
+    let t = Instant::now();
+    let mc = MetaClusterLike::default().cluster(&dataset.reads);
+    report(
+        "MetaCluster",
+        mc.labels().to_vec(),
+        &dataset,
+        &sim_opts,
+        t.elapsed().as_secs_f64(),
+    );
+}
+
+fn report(
+    label: &str,
+    labels: Vec<usize>,
+    dataset: &mrmc_minh_suite::simulate::Dataset,
+    sim_opts: &SimilarityOptions,
+    seconds: f64,
+) {
+    let assignment = mrmc_minh_suite::cluster::ClusterAssignment::from_labels(labels);
+    let acc = dataset
+        .labels
+        .as_ref()
+        .and_then(|truth| weighted_accuracy(&assignment, truth, 1))
+        .map(|a| format!("{a:>7.2}%"))
+        .unwrap_or_else(|| "      -".to_string());
+    let sim = weighted_similarity(&assignment, &dataset.reads, sim_opts)
+        .map(|s| format!("{s:>7.2}%"))
+        .unwrap_or_else(|| "      -".to_string());
+    println!(
+        "{:<24} {:>9} {} {} {:>8.2}s",
+        label,
+        assignment.num_clusters(),
+        acc,
+        sim,
+        seconds
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the MrMC-MinH workspace.
+//!
+//! Re-exports every member crate so the workspace-level integration tests
+//! and examples can use a single dependency root.
+
+pub use mrmc;
+pub use mrmc_align as align;
+pub use mrmc_baselines as baselines;
+pub use mrmc_cluster as cluster;
+pub use mrmc_mapreduce as mapreduce;
+pub use mrmc_metrics as metrics;
+pub use mrmc_minhash as minhash;
+pub use mrmc_pig as pig;
+pub use mrmc_seqio as seqio;
+pub use mrmc_simulate as simulate;
