@@ -329,7 +329,10 @@ mod tests {
         assert_eq!(aln.score, 1); // 3 matches - 1 gap(2)
         assert_eq!(aln.len(), 4);
         assert_eq!(
-            aln.ops.iter().filter(|o| matches!(o, AlignmentOp::Delete)).count(),
+            aln.ops
+                .iter()
+                .filter(|o| matches!(o, AlignmentOp::Delete))
+                .count(),
             1
         );
     }

@@ -109,7 +109,9 @@ pub fn spearman_distance(a: &KmerProfile, b: &KmerProfile) -> f64 {
 pub fn rank_vector(profile: &KmerProfile) -> Vec<f64> {
     assert!(profile.k <= 8, "rank_vector is for small k (≤ 8)");
     let n = 1usize << (2 * profile.k);
-    let counts: Vec<f64> = (0..n as u64).map(|km| f64::from(profile.count(km))).collect();
+    let counts: Vec<f64> = (0..n as u64)
+        .map(|km| f64::from(profile.count(km)))
+        .collect();
     let mut ranks = average_ranks(&counts);
     // z-score so Pearson reduces to a dot product / n.
     let nf = n as f64;

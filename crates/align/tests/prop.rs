@@ -7,7 +7,10 @@ use mrmc_align::kmerdist::{kmer_distance, spearman_distance, KmerProfile};
 use mrmc_align::{banded_global, global_affine, global_align, local_align, Scoring};
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max_len,
+    )
 }
 
 proptest! {

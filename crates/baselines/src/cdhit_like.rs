@@ -117,12 +117,7 @@ impl Clusterer for CdHitLike {
                 if shared_kmers(&kmers, &rep.kmers) < bound {
                     continue;
                 }
-                let aln = banded_global(
-                    &reads[rep.index].seq,
-                    &reads[i].seq,
-                    &scoring,
-                    self.band,
-                );
+                let aln = banded_global(&reads[rep.index].seq, &reads[i].seq, &scoring, self.band);
                 if aln.identity() >= self.theta {
                     assigned = Some(r);
                     break;

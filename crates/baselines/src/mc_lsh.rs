@@ -129,9 +129,7 @@ mod tests {
     #[test]
     fn identical_reads_one_cluster() {
         let reads: Vec<SeqRecord> = (0..5)
-            .map(|i| {
-                SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGTTGCAGGTTACAC".to_vec())
-            })
+            .map(|i| SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGTTGCAGGTTACAC".to_vec()))
             .collect();
         let a = small().cluster(&reads);
         assert_eq!(a.num_clusters(), 1);

@@ -177,9 +177,7 @@ mod tests {
     #[test]
     fn identical_reads_one_cluster() {
         let reads: Vec<SeqRecord> = (0..6)
-            .map(|i| {
-                SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGGTACACGTTGCAACGGTACA".to_vec())
-            })
+            .map(|i| SeqRecord::new(format!("r{i}"), b"ACGTTGCAACGGTACACGTTGCAACGGTACA".to_vec()))
             .collect();
         let a = MetaClusterLike::default().cluster(&reads);
         assert_eq!(a.num_clusters(), 1);

@@ -30,7 +30,12 @@ fn bench_alignment(c: &mut Criterion) {
         });
         group.bench_function(BenchmarkId::new("banded-8", len), |bch| {
             bch.iter(|| {
-                banded_global(std::hint::black_box(&a), std::hint::black_box(&b), &scoring, 8)
+                banded_global(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    &scoring,
+                    8,
+                )
             })
         });
         group.bench_function(BenchmarkId::new("gotoh-affine", len), |bch| {

@@ -16,10 +16,9 @@ fn bench_linkage(c: &mut Criterion) {
     for n in [200usize, 500] {
         let m = synthetic_matrix(n);
         for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
-            group.bench_function(
-                BenchmarkId::new(format!("{linkage:?}"), n),
-                |b| b.iter(|| agglomerative(std::hint::black_box(&m), linkage, 0.6)),
-            );
+            group.bench_function(BenchmarkId::new(format!("{linkage:?}"), n), |b| {
+                b.iter(|| agglomerative(std::hint::black_box(&m), linkage, 0.6))
+            });
         }
     }
     group.finish();

@@ -1,9 +1,11 @@
 //! Pairwise-similarity kernel throughput: the positional estimator
 //! (Eq. 3) vs the set-based estimator (Algorithm 1 line 9) vs exact
-//! Jaccard on the underlying k-mer sets.
+//! Jaccard on the underlying k-mer sets, plus the before/after
+//! comparison against the naive `reference` oracles (degeneracy
+//! rescan; per-call filter/sort/dedup).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mrmc_minhash::{exact_jaccard, positional_similarity, set_similarity, MinHasher};
+use mrmc_minhash::{exact_jaccard, positional_similarity, reference, set_similarity, MinHasher};
 use mrmc_seqio::encode::kmer_set;
 
 fn synthetic_read(len: usize, salt: usize) -> Vec<u8> {
@@ -40,9 +42,50 @@ fn bench_similarity(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after: optimized estimators (cached degeneracy counts,
+/// allocation-free sorted-merge) against the naive oracles. Results
+/// are asserted bit-identical on the benched pair before timing.
+fn bench_reference_vs_optimized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity-before-after");
+    let a = synthetic_read(1000, 1);
+    let b = synthetic_read(1000, 2);
+    let n = 100usize; // the paper's whole-metagenome sketch size
+    let hasher = MinHasher::for_kmer_size(5, n, 7);
+    let sa = hasher.sketch_sequence(&a).unwrap();
+    let sb = hasher.sketch_sequence(&b).unwrap();
+
+    assert_eq!(
+        positional_similarity(&sa, &sb).to_bits(),
+        reference::positional_similarity(&sa, &sb).to_bits(),
+        "positional estimators diverged"
+    );
+    assert_eq!(
+        set_similarity(&sa, &sb).to_bits(),
+        reference::set_similarity(&sa, &sb).to_bits(),
+        "set estimators diverged"
+    );
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function(BenchmarkId::new("positional-reference", n), |bch| {
+        bch.iter(|| {
+            reference::positional_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb))
+        })
+    });
+    group.bench_function(BenchmarkId::new("positional-optimized", n), |bch| {
+        bch.iter(|| positional_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb)))
+    });
+    group.bench_function(BenchmarkId::new("set-based-reference", n), |bch| {
+        bch.iter(|| reference::set_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb)))
+    });
+    group.bench_function(BenchmarkId::new("set-based-optimized", n), |bch| {
+        bch.iter(|| set_similarity(std::hint::black_box(&sa), std::hint::black_box(&sb)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_similarity
+    targets = bench_similarity, bench_reference_vs_optimized
 }
 criterion_main!(benches);

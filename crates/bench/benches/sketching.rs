@@ -1,9 +1,12 @@
 //! Sketching throughput: the `CalculateMinwiseHash` kernel at the
 //! paper's two operating points (k = 5/n = 100 whole-metagenome,
-//! k = 15/n = 50 16S) and a sweep over sketch sizes.
+//! k = 15/n = 50 16S) and a sweep over sketch sizes, plus the
+//! before/after comparison against the naive `reference` oracle
+//! (per-(k-mer, i) double-`%` loop) the optimized kernel replaced.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mrmc_minhash::MinHasher;
+use mrmc_minhash::{reference, MinHasher};
+use mrmc_seqio::encode::KmerIter;
 
 fn synthetic_read(len: usize, salt: usize) -> Vec<u8> {
     (0..len)
@@ -14,7 +17,12 @@ fn synthetic_read(len: usize, salt: usize) -> Vec<u8> {
 fn bench_sketching(c: &mut Criterion) {
     let mut group = c.benchmark_group("sketching");
     for (k, n, read_len, label) in [
-        (5usize, 100usize, 1000usize, "whole-metagenome(k5,n100,1000bp)"),
+        (
+            5usize,
+            100usize,
+            1000usize,
+            "whole-metagenome(k5,n100,1000bp)",
+        ),
         (15, 50, 60, "16S(k15,n50,60bp)"),
     ] {
         let hasher = MinHasher::for_kmer_size(k, n, 1);
@@ -35,9 +43,45 @@ fn bench_sketching(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after: the optimized kernel (Barrett reduction + blocked
+/// family walk) against the naive oracle it replaced. The two must be
+/// bit-identical — asserted here on the benched inputs before timing —
+/// so the only difference measured is speed.
+fn bench_reference_vs_optimized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketching-before-after");
+    for (k, n, read_len, label) in [
+        (
+            5usize,
+            100usize,
+            1000usize,
+            "whole-metagenome(k5,n100,1000bp)",
+        ),
+        (15, 50, 60, "16S(k15,n50,60bp)"),
+    ] {
+        let hasher = MinHasher::for_kmer_size(k, n, 1);
+        let read = synthetic_read(read_len, 3);
+
+        let optimized = hasher.sketch_sequence(&read).unwrap();
+        let naive = reference::sketch_kmers(&hasher, KmerIter::new(&read, k).unwrap());
+        assert_eq!(optimized, naive, "kernels diverged at {label}");
+
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("reference", label), |b| {
+            b.iter(|| {
+                let kmers = KmerIter::new(std::hint::black_box(&read[..]), k).unwrap();
+                reference::sketch_kmers(&hasher, kmers)
+            })
+        });
+        group.bench_function(BenchmarkId::new("optimized", label), |b| {
+            b.iter(|| hasher.sketch_sequence(std::hint::black_box(&read)).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_sketching
+    targets = bench_sketching, bench_reference_vs_optimized
 }
 criterion_main!(benches);

@@ -33,7 +33,10 @@ fn main() {
         .map(|r| kmer_set(&r.seq, k).expect("valid k"))
         .collect();
 
-    println!("estimator error vs sketch size (k = {k}, {} read pairs)\n", 80 * 79 / 2);
+    println!(
+        "estimator error vs sketch size (k = {k}, {} read pairs)\n",
+        80 * 79 / 2
+    );
     println!(
         "{:>6} {:>16} {:>16} {:>16} {:>16}",
         "n", "positional RMSE", "pos. RMSE(Eq.5)", "pos. bias(Eq.5)", "set-based RMSE"

@@ -47,8 +47,8 @@ fn main() {
         let t12 = calibration.simulate(1_000, 12, &model);
         (t2 - t12).abs() / t2
     };
-    let speedup_large = calibration.simulate(10_000_000, 2, &model)
-        / calibration.simulate(10_000_000, 12, &model);
+    let speedup_large =
+        calibration.simulate(10_000_000, 2, &model) / calibration.simulate(10_000_000, 12, &model);
     println!(
         "\nchecks: 1k-read flatness (rel. spread) = {:.1}% (paper: flat);\n\
          10M-read speedup 2→12 nodes = {:.1}× (paper: keeps improving with nodes)",

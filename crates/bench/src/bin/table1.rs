@@ -12,7 +12,10 @@ use mrmc_simulate::environmental_samples;
 
 fn main() {
     let args = HarnessArgs::parse(0.02);
-    println!("Table I — ENVIRONMENTAL DNA SAMPLES (generated at scale {})\n", args.scale);
+    println!(
+        "Table I — ENVIRONMENTAL DNA SAMPLES (generated at scale {})\n",
+        args.scale
+    );
     println!(
         "{:<6} {:<18} {:>8} {:>9} {:>6} {:>6} {:>8} {:>8} {:>7}",
         "SID", "Site", "La°N", "Lo°W", "Dep", "T", "Reads", "GenRead", "AvgLen"

@@ -37,13 +37,20 @@ fn main() {
                     .filter(|(_, &l)| l == idx)
                     .map(|(r, _)| r)
                     .collect();
-                let gc = seqs.iter().map(|r| gc_content(&r.seq)).sum::<f64>()
-                    / seqs.len().max(1) as f64;
-                let short: String = name.split_whitespace().take(2).collect::<Vec<_>>().join(" ");
+                let gc =
+                    seqs.iter().map(|r| gc_content(&r.seq)).sum::<f64>() / seqs.len().max(1) as f64;
+                let short: String = name
+                    .split_whitespace()
+                    .take(2)
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 gc_line.push(format!("{short} [{target_gc:.2}->{gc:.2}]"));
             }
         } else {
-            gc_line.push(format!("{} (unlabeled real-style sample)", cfg.species.len()));
+            gc_line.push(format!(
+                "{} (unlabeled real-style sample)",
+                cfg.species.len()
+            ));
         }
         let ratio = cfg
             .species

@@ -9,8 +9,8 @@
 use mrmc::Mode;
 use mrmc_baselines::Clusterer;
 use mrmc_bench::{
-    fmt_acc, fmt_sim, fmt_time, maybe_write_json, metacluster, mrmc_whole, print_row,
-    size_floor, timed, HarnessArgs, JsonRow,
+    fmt_acc, fmt_sim, fmt_time, maybe_write_json, metacluster, mrmc_whole, print_row, size_floor,
+    timed, HarnessArgs, JsonRow,
 };
 use mrmc_simulate::{whole_metagenome_samples, ErrorModel};
 
@@ -24,8 +24,7 @@ fn main() {
     );
     let widths = [5usize, 22, 9, 8, 8, 9];
     print_row(
-        &["SID", "algorithm", "#Cluster", "W.Acc", "W.Sim", "Time"]
-            .map(str::to_string),
+        &["SID", "algorithm", "#Cluster", "W.Acc", "W.Sim", "Time"].map(str::to_string),
         &widths,
     );
     let mut json_rows: Vec<JsonRow> = Vec::new();
@@ -43,11 +42,7 @@ fn main() {
         // The paper never states θ for Table III; select it
         // unsupervised per sample (Otsu on a similarity subsample —
         // see mrmc::threshold).
-        let theta = mrmc::suggest_theta(
-            &dataset.reads,
-            &mrmc::MrMcConfig::whole_metagenome(),
-            100,
-        );
+        let theta = mrmc::suggest_theta(&dataset.reads, &mrmc::MrMcConfig::whole_metagenome(), 100);
 
         let hier = timed(|| {
             mrmc_whole(Mode::Hierarchical, theta)
@@ -74,7 +69,10 @@ fn main() {
                 &[
                     cfg.sid.to_string(),
                     name.to_string(),
-                    outcome.assignment.num_clusters_at_least(min_size).to_string(),
+                    outcome
+                        .assignment
+                        .num_clusters_at_least(min_size)
+                        .to_string(),
                     acc.clone(),
                     sim.clone(),
                     fmt_time(outcome.seconds),

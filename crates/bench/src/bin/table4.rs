@@ -35,7 +35,10 @@ fn main() {
                 &[
                     name.to_string(),
                     format!("{:.0}%", error * 100.0),
-                    outcome.assignment.num_clusters_at_least(min_size).to_string(),
+                    outcome
+                        .assignment
+                        .num_clusters_at_least(min_size)
+                        .to_string(),
                     fmt_sim(&outcome.assignment, &dataset.reads, 60),
                 ],
                 &widths,

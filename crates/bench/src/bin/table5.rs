@@ -7,8 +7,7 @@
 //! ```
 
 use mrmc_bench::{
-    fmt_sim, fmt_time, maybe_write_json, print_row, sixteen_s_methods, timed, HarnessArgs,
-    JsonRow,
+    fmt_sim, fmt_time, maybe_write_json, print_row, sixteen_s_methods, timed, HarnessArgs, JsonRow,
 };
 use mrmc_simulate::environmental_samples;
 

@@ -69,11 +69,7 @@ impl HarnessArgs {
                     i += 2;
                 }
                 "--json" => {
-                    args.json = Some(
-                        argv.get(i + 1)
-                            .expect("--json needs a file path")
-                            .clone(),
-                    );
+                    args.json = Some(argv.get(i + 1).expect("--json needs a file path").clone());
                     i += 2;
                 }
                 other => panic!(
@@ -140,7 +136,11 @@ pub fn fmt_sim(assignment: &ClusterAssignment, reads: &[SeqRecord], max_pairs: u
 /// Format seconds the way the paper mixes units ("4m 25s" / "8.4").
 pub fn fmt_time(seconds: f64) -> String {
     if seconds >= 60.0 {
-        format!("{}m {:02}s", (seconds / 60.0) as u64, (seconds % 60.0) as u64)
+        format!(
+            "{}m {:02}s",
+            (seconds / 60.0) as u64,
+            (seconds % 60.0) as u64
+        )
     } else {
         format!("{seconds:.2}s")
     }
@@ -172,10 +172,7 @@ pub fn mrmc_16s(mode: Mode, theta: f64) -> MrMcMinH {
 }
 
 /// A named clustering method closure (Table IV/V row).
-pub type NamedMethod = (
-    &'static str,
-    Box<dyn Fn(&[SeqRecord]) -> ClusterAssignment>,
-);
+pub type NamedMethod = (&'static str, Box<dyn Fn(&[SeqRecord]) -> ClusterAssignment>);
 
 /// The eight Table IV / Table V methods, in the paper's row order.
 pub fn sixteen_s_methods(theta: f64) -> Vec<NamedMethod> {
@@ -183,28 +180,60 @@ pub fn sixteen_s_methods(theta: f64) -> Vec<NamedMethod> {
         (
             "MrMC-MinH^h",
             Box::new(move |reads: &[SeqRecord]| {
-                mrmc_16s(Mode::Hierarchical, theta).run(reads).expect("run").assignment
+                mrmc_16s(Mode::Hierarchical, theta)
+                    .run(reads)
+                    .expect("run")
+                    .assignment
             }) as Box<dyn Fn(&[SeqRecord]) -> ClusterAssignment>,
         ),
         (
             "MrMC-MinH^g",
-            Box::new(move |reads| mrmc_16s(Mode::Greedy, theta).run(reads).expect("run").assignment),
+            Box::new(move |reads| {
+                mrmc_16s(Mode::Greedy, theta)
+                    .run(reads)
+                    .expect("run")
+                    .assignment
+            }),
         ),
         (
             "MC-LSH",
-            Box::new(move |reads| McLsh { theta, ..Default::default() }.cluster(reads)),
+            Box::new(move |reads| {
+                McLsh {
+                    theta,
+                    ..Default::default()
+                }
+                .cluster(reads)
+            }),
         ),
         (
             "UCLUST",
-            Box::new(move |reads| UclustLike { theta, ..Default::default() }.cluster(reads)),
+            Box::new(move |reads| {
+                UclustLike {
+                    theta,
+                    ..Default::default()
+                }
+                .cluster(reads)
+            }),
         ),
         (
             "CD-HIT",
-            Box::new(move |reads| CdHitLike { theta, ..Default::default() }.cluster(reads)),
+            Box::new(move |reads| {
+                CdHitLike {
+                    theta,
+                    ..Default::default()
+                }
+                .cluster(reads)
+            }),
         ),
         (
             "ESPRIT",
-            Box::new(move |reads| EspritLike { theta, ..Default::default() }.cluster(reads)),
+            Box::new(move |reads| {
+                EspritLike {
+                    theta,
+                    ..Default::default()
+                }
+                .cluster(reads)
+            }),
         ),
         (
             "DOTUR",
@@ -223,31 +252,96 @@ pub fn metacluster() -> MetaClusterLike {
 }
 
 /// One machine-readable result row (serialized by `--json`).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct JsonRow {
     /// Sample id ("S1", "53R", …).
     pub sample: String,
     /// Method name.
     pub method: String,
-    /// Extra dimension (error level, θ, node count) when applicable.
-    #[serde(skip_serializing_if = "Option::is_none")]
+    /// Extra dimension (error level, θ, node count) when applicable;
+    /// omitted from the JSON when `None`.
     pub variant: Option<String>,
     /// Cluster count after the reporting floor.
     pub clusters: usize,
-    /// Weighted accuracy in %, when ground truth exists.
-    #[serde(skip_serializing_if = "Option::is_none")]
+    /// Weighted accuracy in %, when ground truth exists (omitted when
+    /// `None`).
     pub w_acc: Option<f64>,
-    /// Weighted similarity in %, when computable.
-    #[serde(skip_serializing_if = "Option::is_none")]
+    /// Weighted similarity in %, when computable (omitted when `None`).
     pub w_sim: Option<f64>,
     /// Wall-clock seconds.
     pub seconds: f64,
 }
 
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number formatting: finite floats verbatim, non-finite as null
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable shortest representation.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl JsonRow {
+    /// Pretty-printed JSON object at the given indent depth.
+    fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let field_pad = " ".repeat(indent + 2);
+        let mut fields = vec![
+            format!("\"sample\": \"{}\"", json_escape(&self.sample)),
+            format!("\"method\": \"{}\"", json_escape(&self.method)),
+        ];
+        if let Some(variant) = &self.variant {
+            fields.push(format!("\"variant\": \"{}\"", json_escape(variant)));
+        }
+        fields.push(format!("\"clusters\": {}", self.clusters));
+        if let Some(acc) = self.w_acc {
+            fields.push(format!("\"w_acc\": {}", json_f64(acc)));
+        }
+        if let Some(sim) = self.w_sim {
+            fields.push(format!("\"w_sim\": {}", json_f64(sim)));
+        }
+        fields.push(format!("\"seconds\": {}", json_f64(self.seconds)));
+        format!(
+            "{{\n{field_pad}{}\n{pad}}}",
+            fields.join(&format!(",\n{field_pad}"))
+        )
+    }
+}
+
+/// Render rows as a pretty JSON array (matching what
+/// `serde_json::to_string_pretty` produced before the offline
+/// dependency stand-ins replaced serde).
+pub fn rows_to_json(rows: &[JsonRow]) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json(2))).collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
 /// Write rows as pretty JSON when `--json` was given.
 pub fn maybe_write_json(args: &HarnessArgs, rows: &[JsonRow]) {
     if let Some(path) = &args.json {
-        let body = serde_json::to_string_pretty(rows).expect("rows serialize");
+        let body = rows_to_json(rows);
         std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {} rows to {path}", rows.len());
     }
@@ -287,8 +381,51 @@ mod tests {
         let names: Vec<&str> = m.iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["MrMC-MinH^h", "MrMC-MinH^g", "MC-LSH", "UCLUST", "CD-HIT", "ESPRIT", "DOTUR", "Mothur"]
+            vec![
+                "MrMC-MinH^h",
+                "MrMC-MinH^g",
+                "MC-LSH",
+                "UCLUST",
+                "CD-HIT",
+                "ESPRIT",
+                "DOTUR",
+                "Mothur"
+            ]
         );
+    }
+
+    #[test]
+    fn json_rows_render_valid_pretty_json() {
+        let rows = vec![
+            JsonRow {
+                sample: "S1".into(),
+                method: "MrMC-MinH^h".into(),
+                variant: Some("θ=0.95".into()),
+                clusters: 12,
+                w_acc: Some(98.5),
+                w_sim: None,
+                seconds: 1.25,
+            },
+            JsonRow {
+                sample: "quote\"back\\slash".into(),
+                method: "m".into(),
+                variant: None,
+                clusters: 0,
+                w_acc: None,
+                w_sim: Some(f64::NAN),
+                seconds: 0.5,
+            },
+        ];
+        let body = rows_to_json(&rows);
+        assert!(body.starts_with("[\n"));
+        assert!(body.ends_with("\n]"));
+        assert!(body.contains("\"variant\": \"θ=0.95\""));
+        assert!(body.contains("\"w_acc\": 98.5"));
+        assert!(body.contains("\"w_sim\": null"));
+        assert!(body.contains("quote\\\"back\\\\slash"));
+        // Omitted optionals truly absent, not null.
+        assert_eq!(body.matches("\"variant\"").count(), 1);
+        assert_eq!(rows_to_json(&[]), "[]");
     }
 
     #[test]

@@ -119,13 +119,7 @@ mod tests {
 
     #[test]
     fn every_item_assigned() {
-        let a = greedy_cluster(50, 0.7, |i, j| {
-            if i % 5 == j % 5 {
-                0.8
-            } else {
-                0.2
-            }
-        });
+        let a = greedy_cluster(50, 0.7, |i, j| if i % 5 == j % 5 { 0.8 } else { 0.2 });
         assert!(a.labels().iter().all(|&l| l != usize::MAX));
         assert_eq!(a.num_clusters(), 5);
     }

@@ -135,10 +135,8 @@ impl Dendrogram {
             0 => ";".to_string(),
             1 => format!("{};", roots[0].0),
             _ => {
-                let parts: Vec<String> = roots
-                    .into_iter()
-                    .map(|(f, _)| format!("{f}:0.0"))
-                    .collect();
+                let parts: Vec<String> =
+                    roots.into_iter().map(|(f, _)| format!("{f}:0.0")).collect();
                 format!("({});", parts.join(","))
             }
         }
@@ -402,9 +400,7 @@ mod tests {
     fn merge_heights_monotone_nonincreasing() {
         // After sorting, similarities must be non-increasing; monotone
         // linkages have no inversions so sorting is faithful.
-        let m = CondensedMatrix::build(8, |i, j| {
-            1.0 / (1.0 + (i as f64 - j as f64).abs())
-        });
+        let m = CondensedMatrix::build(8, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()));
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
             let d = build_dendrogram(&m, linkage);
             let h = d.heights();
@@ -418,13 +414,7 @@ mod tests {
     #[test]
     fn single_linkage_chains_complete_does_not() {
         // Path graph: consecutive items similar (0.8), others dissimilar.
-        let m = CondensedMatrix::build(5, |i, j| {
-            if i.abs_diff(j) == 1 {
-                0.8
-            } else {
-                0.0
-            }
-        });
+        let m = CondensedMatrix::build(5, |i, j| if i.abs_diff(j) == 1 { 0.8 } else { 0.0 });
         // Single linkage at θ=0.7 chains everything into one cluster.
         let (single, _) = agglomerative(&m, Linkage::Single, 0.7);
         assert_eq!(single.num_clusters(), 1);
@@ -508,12 +498,21 @@ mod tests {
 
     #[test]
     fn newick_degenerate_sizes() {
-        let d = Dendrogram { n: 0, merges: Vec::new() };
+        let d = Dendrogram {
+            n: 0,
+            merges: Vec::new(),
+        };
         assert_eq!(d.to_newick(&[]), ";");
-        let d = Dendrogram { n: 1, merges: Vec::new() };
+        let d = Dendrogram {
+            n: 1,
+            merges: Vec::new(),
+        };
         assert_eq!(d.to_newick(&["only"]), "only;");
         // Two disconnected leaves (no merges): forest under a root.
-        let d = Dendrogram { n: 2, merges: Vec::new() };
+        let d = Dendrogram {
+            n: 2,
+            merges: Vec::new(),
+        };
         let s = d.to_newick(&[]);
         assert!(s.contains("leaf0") && s.contains("leaf1"), "{s}");
     }
@@ -523,7 +522,10 @@ mod tests {
         let m = CondensedMatrix::build(3, |_, _| 0.9);
         let d = build_dendrogram(&m, Linkage::Single);
         let s = d.to_newick(&["x"]); // only one name given
-        assert!(s.contains('x') && s.contains("leaf1") && s.contains("leaf2"), "{s}");
+        assert!(
+            s.contains('x') && s.contains("leaf1") && s.contains("leaf2"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -12,7 +12,8 @@ use mrmc_cluster::{
 fn sim_fn(seed: u64) -> impl Fn(usize, usize) -> f64 + Copy {
     move |i: usize, j: usize| {
         let (i, j) = (i.min(j) as u64, i.max(j) as u64);
-        let mut h = seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)) ^ (j.wrapping_mul(0xC2B2AE3D27D4EB4F));
+        let mut h =
+            seed ^ (i.wrapping_mul(0x9E3779B97F4A7C15)) ^ (j.wrapping_mul(0xC2B2AE3D27D4EB4F));
         h ^= h >> 33;
         h = h.wrapping_mul(0xFF51AFD7ED558CCD);
         h ^= h >> 33;

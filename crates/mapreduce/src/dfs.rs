@@ -272,7 +272,12 @@ impl Dfs {
             path: path.to_string(),
             block_index,
         })?;
-        self.blocks.write().get_mut(&id).expect("meta consistent").replicas.clear();
+        self.blocks
+            .write()
+            .get_mut(&id)
+            .expect("meta consistent")
+            .replicas
+            .clear();
         Ok(())
     }
 
@@ -454,10 +459,7 @@ mod tests {
         dfs.kill_node(2);
         dfs.kill_node(3);
         assert!(dfs.lost_blocks() > 0);
-        assert!(matches!(
-            dfs.read("/f"),
-            Err(MrError::MissingBlock { .. })
-        ));
+        assert!(matches!(dfs.read("/f"), Err(MrError::MissingBlock { .. })));
     }
 
     #[test]

@@ -14,8 +14,7 @@ use parking_lot::Mutex;
 
 use crate::error::MrError;
 use crate::job::{
-    partition_of, Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext,
-    TaskStats,
+    partition_of, Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext, TaskStats,
 };
 
 /// Default worker pool size: the machine's parallelism.
@@ -148,23 +147,24 @@ where
     // Chunks stay intact so a retried attempt can re-read its input.
     let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
 
-    let (outputs, retries) = run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
-        let chunk = chunks[i].clone();
-        let start = Instant::now();
-        let records_in = chunk.len() as u64;
-        let mut ctx = TaskContext::new();
-        for (k, v) in chunk {
-            mapper.map(k, v, &mut ctx);
-        }
-        let (pairs, counters) = ctx.into_parts();
-        let stats = TaskStats {
-            task: i,
-            duration: start.elapsed(),
-            records_in,
-            records_out: pairs.len() as u64,
-        };
-        (pairs, stats, counters)
-    })?;
+    let (outputs, retries) =
+        run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
+            let chunk = chunks[i].clone();
+            let start = Instant::now();
+            let records_in = chunk.len() as u64;
+            let mut ctx = TaskContext::new();
+            for (k, v) in chunk {
+                mapper.map(k, v, &mut ctx);
+            }
+            let (pairs, counters) = ctx.into_parts();
+            let stats = TaskStats {
+                task: i,
+                duration: start.elapsed(),
+                records_in,
+                records_out: pairs.len() as u64,
+            };
+            (pairs, stats, counters)
+        })?;
 
     let counters = Counters::new();
     counters.add("TASK_RETRIES", retries);
@@ -227,7 +227,14 @@ where
     C: Combiner<Key = M::OutKey, Value = M::OutValue>,
     R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
 {
-    run_job_impl(input, num_map_tasks, mapper, Some(combiner), reducer, config)
+    run_job_impl(
+        input,
+        num_map_tasks,
+        mapper,
+        Some(combiner),
+        reducer,
+        config,
+    )
 }
 
 /// A never-instantiated combiner standing in for `None`. The
@@ -338,30 +345,30 @@ where
 
     let (reduce_outputs, reduce_retries) =
         run_parallel("reduce", reducers, workers, config.max_attempts, |p| {
-        let mut pairs = partition_slots[p].clone();
-        let start = Instant::now();
-        let records_in = pairs.len() as u64;
-        // Sort-based grouping (stable so value order is deterministic
-        // given task order).
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut ctx = TaskContext::new();
-        let mut iter = pairs.into_iter().peekable();
-        while let Some((key, first)) = iter.next() {
-            let mut group = vec![first];
-            while iter.peek().is_some_and(|(k, _)| *k == key) {
-                group.push(iter.next().expect("peeked").1);
+            let mut pairs = partition_slots[p].clone();
+            let start = Instant::now();
+            let records_in = pairs.len() as u64;
+            // Sort-based grouping (stable so value order is deterministic
+            // given task order).
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut ctx = TaskContext::new();
+            let mut iter = pairs.into_iter().peekable();
+            while let Some((key, first)) = iter.next() {
+                let mut group = vec![first];
+                while iter.peek().is_some_and(|(k, _)| *k == key) {
+                    group.push(iter.next().expect("peeked").1);
+                }
+                reducer.reduce(key, group, &mut ctx);
             }
-            reducer.reduce(key, group, &mut ctx);
-        }
-        let (out, task_counters) = ctx.into_parts();
-        let stats = TaskStats {
-            task: p,
-            duration: start.elapsed(),
-            records_in,
-            records_out: out.len() as u64,
-        };
-        (out, stats, task_counters)
-    })?;
+            let (out, task_counters) = ctx.into_parts();
+            let stats = TaskStats {
+                task: p,
+                duration: start.elapsed(),
+                records_in,
+                records_out: out.len() as u64,
+            };
+            (out, stats, task_counters)
+        })?;
 
     counters.add("TASK_RETRIES", reduce_retries);
     let mut output = Vec::new();
@@ -480,7 +487,11 @@ mod tests {
             .iter()
             .map(|&w| {
                 let cfg = JobConfig::named("wc").reducers(4).workers(w);
-                sorted(run_job(wc_input(), 4, &WcMapper, &SumReducer, &cfg).unwrap().output)
+                sorted(
+                    run_job(wc_input(), 4, &WcMapper, &SumReducer, &cfg)
+                        .unwrap()
+                        .output,
+                )
             })
             .collect();
         assert_eq!(outs[0], outs[1]);
@@ -513,8 +524,7 @@ mod tests {
     #[test]
     fn map_only_preserves_task_order() {
         let cfg = JobConfig::named("m").workers(4);
-        let input: Vec<(usize, String)> =
-            (0..100).map(|i| (i, format!("w{i}"))).collect();
+        let input: Vec<(usize, String)> = (0..100).map(|i| (i, format!("w{i}"))).collect();
         struct Echo;
         impl Mapper for Echo {
             type InKey = usize;

@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn display_contains_detail() {
-        assert!(MrError::FileNotFound("/x".into()).to_string().contains("/x"));
+        assert!(MrError::FileNotFound("/x".into())
+            .to_string()
+            .contains("/x"));
         let e = MrError::TaskFailed {
             phase: "map",
             task: 3,

@@ -30,7 +30,10 @@ pub struct StageReport {
 impl StageReport {
     /// Map task durations in seconds (for the simulator).
     pub fn map_costs(&self) -> Vec<f64> {
-        self.map_stats.iter().map(|s| s.duration.as_secs_f64()).collect()
+        self.map_stats
+            .iter()
+            .map(|s| s.duration.as_secs_f64())
+            .collect()
     }
 
     /// Reduce task durations in seconds.
@@ -132,19 +135,17 @@ impl Pipeline {
         self.stages
             .iter()
             .map(|s| {
-                cluster.simulate_job(
-                    model,
-                    &s.map_costs(),
-                    s.shuffled_pairs,
-                    &s.reduce_costs(),
-                )
+                cluster.simulate_job(model, &s.map_costs(), s.shuffled_pairs, &s.reduce_costs())
             })
             .collect()
     }
 
     /// Simulated total seconds on a virtual cluster.
     pub fn simulated_total(&self, cluster: &ClusterSpec, model: &JobCostModel) -> f64 {
-        self.simulate_on(cluster, model).iter().map(|r| r.total()).sum()
+        self.simulate_on(cluster, model)
+            .iter()
+            .map(|r| r.total())
+            .sum()
     }
 }
 
@@ -203,12 +204,15 @@ mod tests {
     #[test]
     fn two_stage_pipeline_chains_output() {
         let mut p = Pipeline::new("wc-then-hist");
-        let input = vec![
-            (0usize, "a b a c".to_string()),
-            (1, "b a".to_string()),
-        ];
+        let input = vec![(0usize, "a b a c".to_string()), (1, "b a".to_string())];
         let counts = p
-            .run_stage(input, 2, &Tokenize, &Sum, &JobConfig::named("wc").reducers(2))
+            .run_stage(
+                input,
+                2,
+                &Tokenize,
+                &Sum,
+                &JobConfig::named("wc").reducers(2),
+            )
             .unwrap();
         // a:3, b:2, c:1
         let hist = p
@@ -231,8 +235,14 @@ mod tests {
     fn pipeline_simulation_sums_stages() {
         let mut p = Pipeline::new("sim");
         let input = vec![(0usize, "x y z".to_string())];
-        p.run_stage(input, 1, &Tokenize, &Sum, &JobConfig::named("wc").reducers(1))
-            .unwrap();
+        p.run_stage(
+            input,
+            1,
+            &Tokenize,
+            &Sum,
+            &JobConfig::named("wc").reducers(1),
+        )
+        .unwrap();
         let cluster = ClusterSpec::m1_large(4);
         let model = JobCostModel::default();
         let reports = p.simulate_on(&cluster, &model);

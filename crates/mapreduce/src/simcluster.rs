@@ -417,7 +417,10 @@ mod tests {
         let clean = cluster.simulate_job(&base, &costs, 0, &[]).total();
         let slow = cluster.simulate_job(&straggling, &costs, 0, &[]).total();
         let rescued = cluster.simulate_job(&speculative, &costs, 0, &[]).total();
-        assert!(slow > clean * 1.5, "straggler must dominate: {slow} vs {clean}");
+        assert!(
+            slow > clean * 1.5,
+            "straggler must dominate: {slow} vs {clean}"
+        );
         assert!(rescued < slow, "speculation must help: {rescued} vs {slow}");
         // Speculation bounds the straggler at ~2 nominal runs.
         assert!(rescued <= clean * 1.6, "rescued {rescued} vs clean {clean}");

@@ -66,9 +66,7 @@ pub fn weighted_similarity(
             let pairs = sample_pairs(members, options.max_pairs_per_cluster, options.seed);
             let sum: f64 = pairs
                 .par_iter()
-                .map(|&(i, j)| {
-                    global_identity(&reads[i].seq, &reads[j].seq, &options.scoring)
-                })
+                .map(|&(i, j)| global_identity(&reads[i].seq, &reads[j].seq, &options.scoring))
                 .sum();
             (sum / pairs.len() as f64, members.len())
         })

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use mrmc_cluster::ClusterAssignment;
-use mrmc_metrics::{
-    adjusted_rand_index, normalized_mutual_information, purity, weighted_accuracy,
-};
+use mrmc_metrics::{adjusted_rand_index, normalized_mutual_information, purity, weighted_accuracy};
 
 fn partition(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(0..k, n..=n)

@@ -21,6 +21,12 @@ pub struct HashParams {
 }
 
 /// A family of `n` universal hash functions sharing `p` and `m`.
+///
+/// Construction precomputes a Barrett constant for `p`, so the hot
+/// [`Self::hash`] path evaluates `((a·x + b) mod p) mod m` with
+/// multiplies and conditional subtracts only — no 128-bit division.
+/// The result is bit-identical to the textbook double-`%` form (the
+/// `reference` module keeps that form as an oracle).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UniversalHashFamily {
     params: Vec<HashParams>,
@@ -28,6 +34,45 @@ pub struct UniversalHashFamily {
     pub p: u64,
     /// Output range size (the feature-space size, `4^k`).
     pub m: u64,
+    /// `⌊2^127 / p⌋` when `p ≤ 2^63` (Barrett constant); 0 selects the
+    /// plain-division fallback for oversized primes.
+    mu: u128,
+}
+
+/// Barrett shift: `t = a·x + b < 2^63 · 2^64 = 2^127` whenever
+/// `p ≤ 2^63`, which is exactly the bound the quotient-error proof
+/// needs (see [`barrett_mod`]).
+const BARRETT_SHIFT: u32 = 127;
+
+/// `t mod p` via Barrett reduction, exact for `t < 2^127`.
+///
+/// With `µ = ⌊2^127/p⌋`, the estimate `q̂ = ⌊t·µ / 2^127⌋` satisfies
+/// `q̂ ∈ {q−1, q}` for the true quotient `q = ⌊t/p⌋`: writing
+/// `µ = (2^127 − r₀)/p` with `r₀ < p`, the shifted product is
+/// `⌊t/p − t·r₀/(p·2^127)⌋`, and the subtracted term is `< t/2^127 < 1`.
+/// One conditional subtract therefore corrects the remainder.
+#[inline]
+fn barrett_mod(t: u128, p: u64, mu: u128) -> u64 {
+    let qhat = mul_shift_127(t, mu);
+    let mut r = t.wrapping_sub(qhat.wrapping_mul(p as u128));
+    if r >= p as u128 {
+        r -= p as u128;
+    }
+    debug_assert!(r < p as u128);
+    r as u64
+}
+
+/// `⌊t·µ / 2^127⌋` via a 256-bit product kept in four u64 limbs.
+#[inline]
+fn mul_shift_127(t: u128, mu: u128) -> u128 {
+    let (t1, t0) = ((t >> 64) as u64, t as u64);
+    let (m1, m0) = ((mu >> 64) as u64, mu as u64);
+    let ll = t0 as u128 * m0 as u128;
+    let (mid, mid_carry) = (t0 as u128 * m1 as u128).overflowing_add(t1 as u128 * m0 as u128);
+    let hh = t1 as u128 * m1 as u128;
+    let (low, low_carry) = ll.overflowing_add(mid << 64);
+    let high = hh + (mid >> 64) + ((mid_carry as u128) << 64) + low_carry as u128;
+    (high << 1) | (low >> BARRETT_SHIFT)
 }
 
 impl UniversalHashFamily {
@@ -38,6 +83,15 @@ impl UniversalHashFamily {
         assert!(n > 0, "need at least one hash function");
         assert!(m > 1, "feature space must have at least 2 values");
         let p = next_prime(m);
+        // Bertrand: the next prime after m sits below 2m. The second
+        // reduction (`mod m`) relies on this to be a single conditional
+        // subtract of a value already `< p`.
+        assert!(p - m < m, "next_prime({m}) = {p} not below 2m");
+        let mu = if p <= 1u64 << 63 {
+            (1u128 << BARRETT_SHIFT) / p as u128
+        } else {
+            0
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let params = (0..n)
             .map(|_| HashParams {
@@ -45,7 +99,7 @@ impl UniversalHashFamily {
                 b: rng.random_range(0..p),
             })
             .collect();
-        UniversalHashFamily { params, p, m }
+        UniversalHashFamily { params, p, m, mu }
     }
 
     /// Family for k-mer features.
@@ -85,9 +139,26 @@ impl UniversalHashFamily {
     /// Evaluate the `i`-th hash on feature `x`.
     #[inline]
     pub fn hash(&self, i: usize, x: u64) -> u64 {
-        let HashParams { a, b } = self.params[i];
-        let v = (a as u128 * x as u128 + b as u128) % self.p as u128;
-        (v as u64) % self.m
+        self.eval(self.params[i], x)
+    }
+
+    /// Evaluate one parameter pair on `x` — the hot kernel. Callers
+    /// iterating the whole family (the sketcher's blocked loop) stream
+    /// [`Self::params`] directly and skip the per-call index lookup.
+    #[inline]
+    pub fn eval(&self, hp: HashParams, x: u64) -> u64 {
+        let t = hp.a as u128 * x as u128 + hp.b as u128;
+        let v = if self.mu != 0 {
+            barrett_mod(t, self.p, self.mu)
+        } else {
+            (t % self.p as u128) as u64
+        };
+        // v < p < 2m, so one conditional subtract completes `mod m`.
+        if v >= self.m {
+            v - self.m
+        } else {
+            v
+        }
     }
 
     /// The raw parameter list (for serialization / the Pig UDF).
@@ -175,5 +246,45 @@ mod tests {
     #[should_panic(expected = "at least one hash")]
     fn zero_hashes_rejected() {
         UniversalHashFamily::new(0, 16, 0);
+    }
+
+    #[test]
+    fn barrett_bit_identical_to_division() {
+        // Mixed operating points: tiny paper-literal ranges, the 2^31
+        // floor, a non-power-of-two m, and the k = 31 ceiling (2^62).
+        for m in [16u64, 1 << 10, 1 << 31, (1 << 31) + 12345, 1 << 62] {
+            let f = UniversalHashFamily::new(4, m, m ^ 0xA5A5);
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..2_000 {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                for i in 0..f.len() {
+                    assert_eq!(
+                        f.hash(i, x),
+                        crate::reference::hash(&f, i, x),
+                        "m = {m}, i = {i}, x = {x}"
+                    );
+                }
+            }
+            for x in [0, 1, m - 1, m, m + 1, u64::MAX] {
+                for i in 0..f.len() {
+                    assert_eq!(f.hash(i, x), crate::reference::hash(&f, i, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_prime_falls_back_to_division() {
+        // p > 2^63 disables the Barrett constant; the fallback path
+        // must still match the oracle exactly.
+        let f = UniversalHashFamily::new(2, 1u64 << 63, 7);
+        assert!(f.p > 1u64 << 63);
+        for x in [0u64, 1, 12_345, (1 << 63) - 1, u64::MAX] {
+            for i in 0..f.len() {
+                assert_eq!(f.hash(i, x), crate::reference::hash(&f, i, x));
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Jaccard similarity: exact on feature sets, estimated on sketches.
 
-use crate::sketch::{Sketch, EMPTY_SLOT};
+use crate::sketch::{Sketch, SketchView, EMPTY_SLOT};
 
 /// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|` of two *sorted,
 /// deduplicated* feature sets (Eq. 1). Two empty sets are defined to
@@ -39,20 +39,31 @@ pub fn exact_jaccard(a: &[u64], b: &[u64]) -> f64 {
 /// sequences are treated as identical); a mixed empty/non-empty
 /// position is a disagreement.
 pub fn positional_similarity(a: &Sketch, b: &Sketch) -> f64 {
-    assert_eq!(a.len(), b.len(), "sketches of different length");
-    if a.is_empty() {
+    positional_similarity_view(a.view(), b.view())
+}
+
+/// [`positional_similarity`] over borrowed [`SketchView`]s — the form
+/// the batch row kernels use. Degeneracy comes from the views' cached
+/// counts (O(1)); the agreement count is a single branch-light pass.
+pub fn positional_similarity_view(a: SketchView<'_>, b: SketchView<'_>) -> f64 {
+    assert_eq!(
+        a.values.len(),
+        b.values.len(),
+        "sketches of different length"
+    );
+    if a.values.is_empty() {
         return 1.0;
     }
     if a.is_degenerate() && b.is_degenerate() {
         return 1.0;
     }
-    let agree = a
-        .values()
+    let agree: usize = a
+        .values
         .iter()
-        .zip(b.values())
-        .filter(|(&x, &y)| x == y && x != EMPTY_SLOT)
-        .count();
-    agree as f64 / a.len() as f64
+        .zip(b.values)
+        .map(|(&x, &y)| usize::from(x == y && x != EMPTY_SLOT))
+        .sum();
+    agree as f64 / a.values.len() as f64
 }
 
 /// Set-based sketch similarity, as written in Algorithm 1 line 9:
@@ -62,28 +73,17 @@ pub fn positional_similarity(a: &Sketch, b: &Sketch) -> f64 {
 /// This variant is *biased* relative to positional agreement (values
 /// from different hash functions can collide) but is cheaper to update
 /// incrementally; the `estimator_error` bench quantifies the gap.
+///
+/// Allocation-free: both sketches cache their sorted, deduplicated
+/// non-empty values at construction ([`Sketch::sorted_values`]), so a
+/// pair comparison is a pure sorted-merge.
 pub fn set_similarity(a: &Sketch, b: &Sketch) -> f64 {
     assert_eq!(a.len(), b.len(), "sketches of different length");
-    let mut va: Vec<u64> = a
-        .values()
-        .iter()
-        .copied()
-        .filter(|&v| v != EMPTY_SLOT)
-        .collect();
-    let mut vb: Vec<u64> = b
-        .values()
-        .iter()
-        .copied()
-        .filter(|&v| v != EMPTY_SLOT)
-        .collect();
+    let (va, vb) = (a.sorted_values(), b.sorted_values());
     if va.is_empty() && vb.is_empty() {
         return 1.0;
     }
-    va.sort_unstable();
-    va.dedup();
-    vb.sort_unstable();
-    vb.dedup();
-    exact_jaccard(&va, &vb)
+    exact_jaccard(va, vb)
 }
 
 #[cfg(test)]
@@ -157,13 +157,66 @@ mod tests {
     }
 
     #[test]
+    fn estimators_match_reference_implementations() {
+        let h = MinHasher::for_kmer_size(5, 64, 13);
+        let pairs = [
+            (
+                &b"ACGTACGTAAGGTTCCAGTCAGTC"[..],
+                &b"ACGTACCTAAGGATCCAGTCTGTC"[..],
+            ),
+            (&b"ACGTACGTAAGGTTCC"[..], &b"ACG"[..]), // mixed degenerate
+            (&b"AC"[..], &b"GT"[..]),                // both degenerate
+        ];
+        for (sa, sb) in pairs {
+            let a = h.sketch_sequence(sa).unwrap();
+            let b = h.sketch_sequence(sb).unwrap();
+            assert_eq!(
+                positional_similarity(&a, &b),
+                crate::reference::positional_similarity(&a, &b)
+            );
+            assert_eq!(
+                set_similarity(&a, &b),
+                crate::reference::set_similarity(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_degenerate_pair_is_zero_both_directions() {
+        let h = MinHasher::for_kmer_size(6, 16, 0);
+        let degen = h.sketch_sequence(b"ACG").unwrap();
+        let full = h.sketch_sequence(b"ACGTACGTACGT").unwrap();
+        assert_eq!(positional_similarity(&degen, &full), 0.0);
+        assert_eq!(positional_similarity(&full, &degen), 0.0);
+        assert_eq!(set_similarity(&degen, &full), 0.0);
+        assert_eq!(set_similarity(&full, &degen), 0.0);
+    }
+
+    #[test]
+    fn empty_slot_never_counts_as_positional_agreement() {
+        // Hand-built sketches agreeing only on EMPTY_SLOT positions:
+        // the shared sentinel must contribute nothing.
+        let a = Sketch::from_values(vec![EMPTY_SLOT, 5, EMPTY_SLOT, 9]);
+        let b = Sketch::from_values(vec![EMPTY_SLOT, 6, EMPTY_SLOT, 8]);
+        assert_eq!(positional_similarity(&a, &b), 0.0);
+        // One real agreement out of four positions.
+        let c = Sketch::from_values(vec![EMPTY_SLOT, 5, EMPTY_SLOT, 8]);
+        assert_eq!(positional_similarity(&a, &c), 0.25);
+    }
+
+    #[test]
+    fn zero_length_sketches_are_identical() {
+        let a = Sketch::from_values(vec![]);
+        let b = Sketch::from_values(vec![]);
+        assert_eq!(positional_similarity(&a, &b), 1.0);
+        assert_eq!(set_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
     fn positional_symmetry() {
         let h = MinHasher::for_kmer_size(5, 50, 21);
         let a = h.sketch_sequence(b"ACGTACGTAAGGTTCCAGTCAGTC").unwrap();
         let b = h.sketch_sequence(b"ACGTACCTAAGGATCCAGTCTGTC").unwrap();
-        assert_eq!(
-            positional_similarity(&a, &b),
-            positional_similarity(&b, &a)
-        );
+        assert_eq!(positional_similarity(&a, &b), positional_similarity(&b, &a));
     }
 }

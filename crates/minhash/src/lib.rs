@@ -20,12 +20,13 @@
 pub mod hash;
 pub mod jaccard;
 pub mod prime;
+pub mod reference;
 pub mod sketch;
 
 pub use hash::{HashParams, UniversalHashFamily};
 pub use jaccard::{exact_jaccard, positional_similarity, set_similarity};
 pub use prime::{is_prime, next_prime};
-pub use sketch::{MinHasher, Sketch};
+pub use sketch::{MinHasher, Sketch, SketchView};
 
 #[cfg(test)]
 mod tests {

@@ -9,18 +9,55 @@ use crate::hash::UniversalHashFamily;
 ///
 /// `u64::MAX` marks positions for which the feature set was empty
 /// (sequence shorter than k); two empty positions never "agree".
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Construction caches two derived facts the similarity kernels need
+/// on every pair: the count of non-empty positions (degeneracy checks
+/// become O(1) instead of an O(n) rescan per call) and the sorted,
+/// deduplicated non-empty values (the set-based estimator becomes a
+/// pure allocation-free merge). Equality and hashing remain defined by
+/// the raw values alone — the caches are functions of them.
+#[derive(Debug, Clone)]
 pub struct Sketch {
     values: Vec<u64>,
+    /// Number of positions with a real minwise value (`!= EMPTY_SLOT`).
+    non_empty: usize,
+    /// Sorted, deduplicated non-empty values.
+    sorted: Vec<u64>,
+}
+
+impl PartialEq for Sketch {
+    fn eq(&self, other: &Sketch) -> bool {
+        self.values == other.values
+    }
+}
+
+impl Eq for Sketch {}
+
+impl std::hash::Hash for Sketch {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.values.hash(state);
+    }
 }
 
 /// Sentinel for "no feature seen".
 pub const EMPTY_SLOT: u64 = u64::MAX;
 
 impl Sketch {
-    /// Construct from raw minwise values.
+    /// Construct from raw minwise values (computes the caches).
     pub fn from_values(values: Vec<u64>) -> Sketch {
-        Sketch { values }
+        let mut sorted: Vec<u64> = values
+            .iter()
+            .copied()
+            .filter(|&v| v != EMPTY_SLOT)
+            .collect();
+        let non_empty = sorted.len();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Sketch {
+            values,
+            non_empty,
+            sorted,
+        }
     }
 
     /// Sketch length (the number of hash functions `n`).
@@ -35,15 +72,57 @@ impl Sketch {
         self.values.is_empty()
     }
 
-    /// Whether the underlying feature set was empty.
+    /// Whether the underlying feature set was empty (cached; O(1)).
+    #[inline]
     pub fn is_degenerate(&self) -> bool {
-        self.values.iter().all(|&v| v == EMPTY_SLOT)
+        self.non_empty == 0
+    }
+
+    /// Number of positions holding a real minwise value (cached).
+    #[inline]
+    pub fn non_empty(&self) -> usize {
+        self.non_empty
     }
 
     /// The minwise values.
     #[inline]
     pub fn values(&self) -> &[u64] {
         &self.values
+    }
+
+    /// Sorted, deduplicated non-empty values (cached) — the operand of
+    /// the set-based estimator.
+    #[inline]
+    pub fn sorted_values(&self) -> &[u64] {
+        &self.sorted
+    }
+
+    /// Borrow the sketch as a [`SketchView`].
+    #[inline]
+    pub fn view(&self) -> SketchView<'_> {
+        SketchView {
+            values: &self.values,
+            non_empty: self.non_empty,
+        }
+    }
+}
+
+/// A borrowed sketch with its cached degeneracy metadata: what the
+/// batch similarity kernels (the row mapper's strip loops) carry so
+/// they never rescan a sketch to rediscover emptiness.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchView<'a> {
+    /// The minwise values.
+    pub values: &'a [u64],
+    /// Number of positions holding a real minwise value.
+    pub non_empty: usize,
+}
+
+impl SketchView<'_> {
+    /// Whether the underlying feature set was empty.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.non_empty == 0
     }
 }
 
@@ -89,6 +168,10 @@ impl MinHasher {
     /// families qualify).
     pub fn with_family(k: usize, family: UniversalHashFamily) -> MinHasher {
         assert!(
+            (1..=31).contains(&k),
+            "k must be 1..=31 (k-mers pack 2 bits per base into a u64; k = {k} does not fit)"
+        );
+        assert!(
             family.m >= 1u64 << (2 * k),
             "family range {} too small for 4^{k} features — sized for different k",
             family.m
@@ -120,18 +203,42 @@ impl MinHasher {
     /// Sketch an iterator of packed k-mer features. Duplicates are
     /// harmless (min is idempotent), so callers may feed raw k-mer
     /// streams without deduplicating.
+    ///
+    /// The feature stream is buffered and deduplicated once — a sketch
+    /// depends only on the *set* of k-mers, and reads repeat k-mers
+    /// freely (low-complexity stretches; any k well below log₄(len)) —
+    /// then the hash family is walked in blocks: each block's running
+    /// minima live in a small stack array while the (cache-resident)
+    /// k-mer buffer streams past, instead of re-touching all `n` sketch
+    /// slots per k-mer. Results are bit-identical to
+    /// [`crate::reference::sketch_kmers`] (min is order-independent and
+    /// idempotent, so reordering and deduplication cannot change it).
     pub fn sketch_kmers(&self, kmers: impl IntoIterator<Item = u64>) -> Sketch {
+        const BLOCK: usize = 8;
         let n = self.family.len();
         let mut values = vec![EMPTY_SLOT; n];
-        for x in kmers {
-            for (i, slot) in values.iter_mut().enumerate() {
-                let h = self.family.hash(i, x);
-                if h < *slot {
-                    *slot = h;
+        let mut buf: Vec<u64> = kmers.into_iter().collect();
+        if buf.is_empty() {
+            return Sketch::from_values(values);
+        }
+        // Each duplicate dropped here saves `n` hash evaluations; the
+        // sort pays for itself whenever the stream has any repetition.
+        buf.sort_unstable();
+        buf.dedup();
+        let params = self.family.params();
+        for (vals, hps) in values.chunks_mut(BLOCK).zip(params.chunks(BLOCK)) {
+            let mut minima = [EMPTY_SLOT; BLOCK];
+            for &x in &buf {
+                for (slot, &hp) in minima.iter_mut().zip(hps) {
+                    let h = self.family.eval(hp, x);
+                    if h < *slot {
+                        *slot = h;
+                    }
                 }
             }
+            vals.copy_from_slice(&minima[..vals.len()]);
         }
-        Sketch { values }
+        Sketch::from_values(values)
     }
 
     /// Sketch a DNA sequence directly (k-mer extraction + hashing in
@@ -224,5 +331,82 @@ mod tests {
         // still sketches (degenerate), not an error.
         let s = h.sketch_sequence(b"NNNNNNN").unwrap();
         assert!(s.is_degenerate());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn with_family_oversized_k_rejected() {
+        // k = 32 used to overflow the `1 << (2k)` range check; now it
+        // is rejected up front with a clear message.
+        let fam = UniversalHashFamily::for_kmer_size(5, 4, 0);
+        MinHasher::with_family(32, fam);
+    }
+
+    #[test]
+    fn blocked_sketch_bit_identical_to_reference() {
+        // Sketch lengths around the block size: partial final block,
+        // exact multiple, single block, and sub-block.
+        for n in [1usize, 7, 8, 9, 64, 100] {
+            let h = MinHasher::for_kmer_size(5, n, 33);
+            let kmers: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37) % 1024).collect();
+            let fast = h.sketch_kmers(kmers.iter().copied());
+            let slow = crate::reference::sketch_kmers(&h, kmers.iter().copied());
+            assert_eq!(fast, slow, "n = {n}");
+            assert_eq!(fast.values(), slow.values(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn duplicated_stream_bit_identical_to_reference() {
+        // Heavy repetition (each k-mer ~25×, unsorted order): the
+        // dedup'd blocked kernel must still match the per-occurrence
+        // reference loop exactly.
+        let h = MinHasher::for_kmer_size(5, 40, 17);
+        let kmers: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(0x9E37) % 20).collect();
+        let fast = h.sketch_kmers(kmers.iter().copied());
+        let slow = crate::reference::sketch_kmers(&h, kmers.iter().copied());
+        assert_eq!(fast.values(), slow.values());
+        let unique = h.sketch_kmers((0..20u64).map(|i| i.wrapping_mul(0x9E37) % 20));
+        assert_eq!(fast.values(), unique.values());
+    }
+
+    #[test]
+    fn cached_metadata_consistent() {
+        let h = hasher();
+        let s = h.sketch_sequence(b"ACGTACGTTTGGCCAA").unwrap();
+        assert_eq!(s.is_degenerate(), crate::reference::is_degenerate(&s));
+        assert_eq!(
+            s.non_empty(),
+            s.values().iter().filter(|&&v| v != EMPTY_SLOT).count()
+        );
+        let mut expect: Vec<u64> = s
+            .values()
+            .iter()
+            .copied()
+            .filter(|&v| v != EMPTY_SLOT)
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(s.sorted_values(), &expect[..]);
+        // Degenerate sketch: empty caches.
+        let d = h.sketch_sequence(b"AC").unwrap();
+        assert!(d.is_degenerate());
+        assert_eq!(d.non_empty(), 0);
+        assert!(d.sorted_values().is_empty());
+    }
+
+    #[test]
+    fn canonical_sketch_reverse_complement_invariant() {
+        use mrmc_seqio::alphabet::reverse_complement;
+        let h = MinHasher::for_kmer_size(6, 48, 17).canonical();
+        let seq = b"ACGTACGTTTGGCCAATCGATCGGATCCGTA";
+        let fwd = h.sketch_sequence(seq).unwrap();
+        let rev = h.sketch_sequence(&reverse_complement(seq)).unwrap();
+        assert_eq!(fwd, rev);
+        // Strand-sensitive mode distinguishes the two strands.
+        let hs = MinHasher::for_kmer_size(6, 48, 17);
+        let f2 = hs.sketch_sequence(seq).unwrap();
+        let r2 = hs.sketch_sequence(&reverse_complement(seq)).unwrap();
+        assert_ne!(f2, r2);
     }
 }

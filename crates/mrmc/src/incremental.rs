@@ -105,8 +105,16 @@ mod tests {
     fn two_species(n: usize, seed: u64) -> (Vec<SeqRecord>, Vec<usize>) {
         let spec = CommunitySpec {
             species: vec![
-                SpeciesSpec { name: "a".into(), gc: 0.40, abundance: 1.0 },
-                SpeciesSpec { name: "b".into(), gc: 0.60, abundance: 1.0 },
+                SpeciesSpec {
+                    name: "a".into(),
+                    gc: 0.40,
+                    abundance: 1.0,
+                },
+                SpeciesSpec {
+                    name: "b".into(),
+                    gc: 0.60,
+                    abundance: 1.0,
+                },
             ],
             rank: TaxRank::Phylum,
             genome_len: 50_000,
@@ -133,8 +141,7 @@ mod tests {
         for r in &reads {
             inc.push(r).unwrap();
         }
-        let acc =
-            mrmc_metrics::weighted_accuracy(&inc.assignment(), &truth, 1).unwrap();
+        let acc = mrmc_metrics::weighted_accuracy(&inc.assignment(), &truth, 1).unwrap();
         assert!(acc > 85.0, "accuracy {acc}");
         assert_eq!(inc.labels().len(), reads.len());
     }

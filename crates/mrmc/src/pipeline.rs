@@ -173,9 +173,10 @@ mod tests {
         // k = 5 sketches on 800 bp reads act as composition signatures
         // (the whole-metagenome regime of Table III).
         let (reads, truth) = two_species(60, 1);
-        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.55)).run(&reads).unwrap();
-        let acc =
-            mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.55))
+            .run(&reads)
+            .unwrap();
+        let acc = mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
         assert!(acc > 90.0, "accuracy {acc}");
         assert!(result.dendrogram.is_some());
         // Two MR stages: sketch + similarity.
@@ -185,9 +186,10 @@ mod tests {
     #[test]
     fn greedy_runs_and_is_faster_shape() {
         let (reads, truth) = two_species(60, 2);
-        let result = MrMcMinH::new(config(Mode::Greedy, 0.55)).run(&reads).unwrap();
-        let acc =
-            mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
+        let result = MrMcMinH::new(config(Mode::Greedy, 0.55))
+            .run(&reads)
+            .unwrap();
+        let acc = mrmc_metrics::weighted_accuracy(&result.assignment, &truth, 1).unwrap();
         assert!(acc > 80.0, "accuracy {acc}");
         assert!(result.dendrogram.is_none());
         // Only the sketch stage hits the MR substrate in greedy mode.
@@ -236,7 +238,9 @@ mod tests {
 
     #[test]
     fn empty_input_ok() {
-        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.9)).run(&[]).unwrap();
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.9))
+            .run(&[])
+            .unwrap();
         assert_eq!(result.num_clusters(), 0);
     }
 
@@ -252,8 +256,12 @@ mod tests {
     #[test]
     fn taxonomy_levels_refine() {
         let (reads, _) = two_species(40, 6);
-        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5)).run(&reads).unwrap();
-        let levels = result.taxonomy_levels(&[0.9, 0.5, 0.1]).expect("hierarchical");
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5))
+            .run(&reads)
+            .unwrap();
+        let levels = result
+            .taxonomy_levels(&[0.9, 0.5, 0.1])
+            .expect("hierarchical");
         assert_eq!(levels.len(), 3);
         // Counts non-increasing as θ loosens; the 0.1 cut is coarsest.
         assert!(levels[0].num_clusters() >= levels[1].num_clusters());
@@ -261,24 +269,24 @@ mod tests {
         // cut_at(θ of the run) reproduces the run's own assignment
         // up to relabeling.
         let recut = result.cut_at(0.5).expect("hierarchical");
-        assert_eq!(
-            recut.num_clusters(),
-            result.assignment.num_clusters()
-        );
+        assert_eq!(recut.num_clusters(), result.assignment.num_clusters());
         // Greedy mode has no dendrogram.
-        let greedy = MrMcMinH::new(config(Mode::Greedy, 0.5)).run(&reads).unwrap();
+        let greedy = MrMcMinH::new(config(Mode::Greedy, 0.5))
+            .run(&reads)
+            .unwrap();
         assert!(greedy.cut_at(0.5).is_none());
     }
 
     #[test]
     fn representatives_one_per_cluster() {
         let (reads, _) = two_species(30, 7);
-        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5)).run(&reads).unwrap();
+        let result = MrMcMinH::new(config(Mode::Hierarchical, 0.5))
+            .run(&reads)
+            .unwrap();
         let reps = result.representatives();
         assert_eq!(reps.len(), result.num_clusters());
         // Each representative belongs to a distinct cluster.
-        let mut labels: Vec<usize> =
-            reps.iter().map(|&r| result.assignment.label(r)).collect();
+        let mut labels: Vec<usize> = reps.iter().map(|&r| result.assignment.label(r)).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), reps.len());
@@ -308,13 +316,14 @@ mod tests {
                 ..config(Mode::Hierarchical, 0.5)
             };
             let theta = crate::threshold::suggest_theta(reads, &cfg, 40);
-            MrMcMinH::new(MrMcConfig { theta, ..cfg }).run(reads).unwrap()
+            MrMcMinH::new(MrMcConfig { theta, ..cfg })
+                .run(reads)
+                .unwrap()
         };
 
         // Canonical mode: accuracy survives the strand mixing.
         let canon = run(true, &mixed);
-        let acc_canon =
-            mrmc_metrics::weighted_accuracy(&canon.assignment, &truth, 2).unwrap();
+        let acc_canon = mrmc_metrics::weighted_accuracy(&canon.assignment, &truth, 2).unwrap();
         assert!(acc_canon > 90.0, "canonical accuracy {acc_canon}");
 
         // And a read plus its own reverse complement always share a
@@ -330,8 +339,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (reads, _) = two_species(30, 5);
-        let r1 = MrMcMinH::new(config(Mode::Hierarchical, 0.6)).run(&reads).unwrap();
-        let r2 = MrMcMinH::new(config(Mode::Hierarchical, 0.6)).run(&reads).unwrap();
+        let r1 = MrMcMinH::new(config(Mode::Hierarchical, 0.6))
+            .run(&reads)
+            .unwrap();
+        let r2 = MrMcMinH::new(config(Mode::Hierarchical, 0.6))
+            .run(&reads)
+            .unwrap();
         assert_eq!(r1.assignment, r2.assignment);
     }
 }

@@ -80,7 +80,10 @@ impl CostCalibration {
         let sketch_costs = vec![total_sketch / map_tasks as f64; map_tasks];
         let job1 = cluster.simulate_job(model, &sketch_costs, num_reads, &[]);
 
-        // Job 2: all-pairs similarity, row-partitioned.
+        // Job 2: all-pairs similarity, row-partitioned. The real stage
+        // cuts row blocks on pair counts (`balanced_row_blocks` in
+        // mrmc::stages), so per-task costs are level and the uniform
+        // vector is the faithful model of its task timings.
         let pairs = num_reads as f64 * (num_reads as f64 - 1.0) / 2.0;
         let total_sim = pairs * self.sim_per_pair;
         let sim_tasks = (map_tasks * 4).max(1);

@@ -10,32 +10,34 @@
 //! performing a row-wise partition" — each map task owns a strip of
 //! rows of the condensed matrix.
 
-use std::sync::Arc;
-
+use mrmc_cluster::CondensedMatrix;
 use mrmc_mapreduce::job::{JobConfig, Mapper, TaskContext};
 use mrmc_mapreduce::pipeline::Pipeline;
 use mrmc_mapreduce::MrError;
 use mrmc_minhash::{positional_similarity, set_similarity, MinHasher, Sketch};
-use mrmc_cluster::CondensedMatrix;
 use mrmc_seqio::SeqRecord;
 
 use crate::config::{Estimator, MrMcConfig};
 
-/// Stage-1 mapper: record → sketch.
-struct SketchMapper {
+/// Stage-1 mapper: read index → sketch. Borrows the read slice (the
+/// engine runs mappers on scoped threads), so map input is just the
+/// index — no `SeqRecord` is ever cloned into the job, even on task
+/// retry.
+struct SketchMapper<'a> {
     hasher: MinHasher,
+    reads: &'a [SeqRecord],
 }
 
-impl Mapper for SketchMapper {
+impl Mapper for SketchMapper<'_> {
     type InKey = usize;
-    type InValue = SeqRecord;
+    type InValue = ();
     type OutKey = usize;
     type OutValue = Sketch;
 
-    fn map(&self, key: usize, record: SeqRecord, ctx: &mut TaskContext<usize, Sketch>) {
+    fn map(&self, key: usize, _v: (), ctx: &mut TaskContext<usize, Sketch>) {
         let sketch = self
             .hasher
-            .sketch_sequence(&record.seq)
+            .sketch_sequence(&self.reads[key].seq)
             .expect("k validated by MrMcConfig");
         if sketch.is_degenerate() {
             ctx.count("DEGENERATE_SKETCHES", 1);
@@ -55,8 +57,8 @@ pub fn sketch_stage(
     if config.canonical {
         hasher = hasher.canonical();
     }
-    let mapper = SketchMapper { hasher };
-    let input: Vec<(usize, SeqRecord)> = reads.iter().cloned().enumerate().collect();
+    let mapper = SketchMapper { hasher, reads };
+    let input: Vec<(usize, ())> = (0..reads.len()).map(|i| (i, ())).collect();
     let mut job = JobConfig::named("minwise-sketch");
     if let Some(w) = config.workers {
         job = job.workers(w);
@@ -73,55 +75,111 @@ pub fn sketch_similarity(a: &Sketch, b: &Sketch, estimator: Estimator) -> f64 {
     }
 }
 
-/// Stage-2 mapper: matrix row index → the row's similarity strip.
-struct RowMapper {
-    sketches: Arc<Vec<Sketch>>,
+/// Partition rows `0..n` into `tasks` contiguous blocks with near-equal
+/// *pair* counts. Row `r` owns `n−1−r` pairs, so equal row counts give
+/// wildly unequal work (row 0 carries n−1 pairs, row n−1 none);
+/// boundaries are instead cut when a block reaches ≈ `total/tasks`
+/// pairs, which is what makes the stage's task timings level for the
+/// Figure 2 makespan simulation.
+fn balanced_row_blocks(n: usize, tasks: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let total = n * (n - 1) / 2;
+    let target = total.div_ceil(tasks.max(1)).max(1);
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for r in 0..n {
+        acc += n - 1 - r;
+        if acc >= target || r == n - 1 {
+            blocks.push((start, r + 1));
+            start = r + 1;
+            acc = 0;
+        }
+    }
+    blocks
+}
+
+/// Stage-2 mapper: a contiguous block of matrix rows → one similarity
+/// strip per row. Borrows the sketch list (scoped-thread engine), so
+/// nothing is cloned into tasks.
+///
+/// Within a block the column range is walked in sub-blocks of
+/// [`RowBlockMapper::JBLOCK`] sketches: every row of the block scans a
+/// column sub-block while those sketches are hot in cache, instead of
+/// streaming the entire sketch list once per row.
+struct RowBlockMapper<'a> {
+    sketches: &'a [Sketch],
     estimator: Estimator,
 }
 
-impl Mapper for RowMapper {
+impl RowBlockMapper<'_> {
+    /// Column sub-block width: at the default 100 hashes a sketch is
+    /// ~800 B of values, so 16 sketches (~13 KB) sit comfortably in L1.
+    const JBLOCK: usize = 16;
+}
+
+impl Mapper for RowBlockMapper<'_> {
     type InKey = usize;
-    type InValue = ();
+    type InValue = (usize, usize);
     type OutKey = usize;
     type OutValue = Vec<f32>;
 
-    fn map(&self, row: usize, _v: (), ctx: &mut TaskContext<usize, Vec<f32>>) {
+    fn map(&self, _block: usize, (r0, r1): (usize, usize), ctx: &mut TaskContext<usize, Vec<f32>>) {
         let n = self.sketches.len();
-        let strip: Vec<f32> = ((row + 1)..n)
-            .map(|j| {
-                sketch_similarity(&self.sketches[row], &self.sketches[j], self.estimator) as f32
-            })
+        let mut strips: Vec<Vec<f32>> = (r0..r1)
+            .map(|r| Vec::with_capacity(n.saturating_sub(r + 1)))
             .collect();
-        ctx.count("PAIRS_COMPUTED", strip.len() as u64);
-        ctx.emit(row, strip);
+        let mut jb = r0 + 1;
+        while jb < n {
+            let jend = (jb + Self::JBLOCK).min(n);
+            for (strip, row) in strips.iter_mut().zip(r0..r1) {
+                for j in jb.max(row + 1)..jend {
+                    strip.push(sketch_similarity(
+                        &self.sketches[row],
+                        &self.sketches[j],
+                        self.estimator,
+                    ) as f32);
+                }
+            }
+            jb = jend;
+        }
+        let mut pairs = 0u64;
+        for (row, strip) in (r0..r1).zip(strips) {
+            pairs += strip.len() as u64;
+            ctx.emit(row, strip);
+        }
+        ctx.count("PAIRS_COMPUTED", pairs);
     }
 }
 
-/// Run the all-pairs stage: one map task strip per chunk of rows.
+/// Run the all-pairs stage: one map task per pair-balanced row block.
 pub fn similarity_matrix_stage(
     sketches: Vec<Sketch>,
     config: &MrMcConfig,
     pipeline: &mut Pipeline,
 ) -> Result<CondensedMatrix, MrError> {
     let n = sketches.len();
-    let shared = Arc::new(sketches);
-    let mapper = RowMapper {
-        sketches: Arc::clone(&shared),
+    let mapper = RowBlockMapper {
+        sketches: &sketches,
         estimator: config.estimator,
     };
-    let input: Vec<(usize, ())> = (0..n).map(|i| (i, ())).collect();
     let mut job = JobConfig::named("pairwise-similarity");
     if let Some(w) = config.workers {
         job = job.workers(w);
     }
-    // More, smaller tasks than the sketch stage: row costs are wildly
-    // unequal (row 0 has n−1 pairs, row n−1 has none), so finer tasks
-    // load-balance better.
+    // More, smaller tasks than the sketch stage, balanced by pair
+    // count rather than row count.
     let tasks = (config.map_tasks * 4).min(n.max(1));
-    let rows = pipeline.run_map_stage(input, tasks, &mapper, &job)?;
+    let blocks = balanced_row_blocks(n, tasks);
+    let input: Vec<(usize, (usize, usize))> = blocks.into_iter().enumerate().collect();
+    let num_tasks = input.len().max(1);
+    let rows = pipeline.run_map_stage(input, num_tasks, &mapper, &job)?;
 
-    // Assemble the condensed matrix from row strips (rows arrive in
-    // input order because run_map_stage preserves task order).
+    // Assemble the condensed matrix from row strips, keyed by row (the
+    // engine preserves task order, but keying by row makes assembly
+    // independent of emission order).
     let mut matrix = CondensedMatrix::build(n, |_, _| 0.0);
     for (row, strip) in rows {
         for (k, v) in strip.into_iter().enumerate() {
@@ -177,6 +235,55 @@ mod tests {
         assert_eq!(via_mr, direct);
         assert_eq!(via_mr.get(0, 1), 1.0);
         assert!(via_mr.get(0, 2) < 0.2);
+    }
+
+    #[test]
+    fn balanced_blocks_tile_rows_and_balance_pairs() {
+        for (n, tasks) in [(0usize, 4usize), (1, 4), (2, 1), (10, 3), (57, 8), (100, 7)] {
+            let blocks = balanced_row_blocks(n, tasks);
+            // Blocks tile 0..n contiguously.
+            let mut cursor = 0;
+            for &(s, e) in &blocks {
+                assert_eq!(s, cursor, "n={n} tasks={tasks}");
+                assert!(e > s);
+                cursor = e;
+            }
+            assert_eq!(cursor, n, "n={n} tasks={tasks}");
+            if n < 2 {
+                continue;
+            }
+            // No block exceeds target + one row's worth of pairs.
+            let total = n * (n - 1) / 2;
+            let target = total.div_ceil(tasks).max(1);
+            for &(s, e) in &blocks {
+                let pairs: usize = (s..e).map(|r| n - 1 - r).sum();
+                assert!(
+                    pairs < target + n,
+                    "n={n} tasks={tasks} block ({s},{e}) has {pairs} pairs, target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_strips_match_direct_at_scale() {
+        // Enough rows to cross several column sub-blocks (JBLOCK = 16).
+        let reads: Vec<SeqRecord> = (0..40)
+            .map(|i| {
+                let seq: Vec<u8> = (0..60)
+                    .map(|j| b"ACGT"[(i * 7 + j * 3 + i * j) % 4])
+                    .collect();
+                SeqRecord::new(format!("r{i}"), seq)
+            })
+            .collect();
+        let cfg = config();
+        let mut p = Pipeline::new("t");
+        let sketches = sketch_stage(&reads, &cfg, &mut p).unwrap();
+        let direct = CondensedMatrix::build(reads.len(), |i, j| {
+            sketch_similarity(&sketches[i], &sketches[j], cfg.estimator)
+        });
+        let via_mr = similarity_matrix_stage(sketches, &cfg, &mut p).unwrap();
+        assert_eq!(via_mr, direct);
     }
 
     #[test]

@@ -59,8 +59,14 @@ pub fn otsu_threshold(values: &[f64]) -> f64 {
         return 0.5;
     }
     let tol = best_var * 1e-9;
-    let first = vars.iter().position(|&v| v >= best_var - tol).expect("max exists");
-    let last = vars.iter().rposition(|&v| v >= best_var - tol).expect("max exists");
+    let first = vars
+        .iter()
+        .position(|&v| v >= best_var - tol)
+        .expect("max exists");
+    let last = vars
+        .iter()
+        .rposition(|&v| v >= best_var - tol)
+        .expect("max exists");
     let split = |b: usize| (bin_value(b) + bin_value(b + 1)) / 2.0;
     (split(first) + split(last)) / 2.0
 }
@@ -131,8 +137,16 @@ mod tests {
         use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
         let spec = CommunitySpec {
             species: vec![
-                SpeciesSpec { name: "a".into(), gc: 0.45, abundance: 1.0 },
-                SpeciesSpec { name: "b".into(), gc: 0.55, abundance: 1.0 },
+                SpeciesSpec {
+                    name: "a".into(),
+                    gc: 0.45,
+                    abundance: 1.0,
+                },
+                SpeciesSpec {
+                    name: "b".into(),
+                    gc: 0.55,
+                    abundance: 1.0,
+                },
             ],
             rank: TaxRank::Order,
             genome_len: 60_000,

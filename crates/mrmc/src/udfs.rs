@@ -115,12 +115,7 @@ fn arg_f64(udf: &str, args: &[Value], idx: usize, what: &str) -> Result<f64, Udf
         .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (number)")))
 }
 
-fn arg_str<'a>(
-    udf: &str,
-    args: &'a [Value],
-    idx: usize,
-    what: &str,
-) -> Result<&'a str, UdfError> {
+fn arg_str<'a>(udf: &str, args: &'a [Value], idx: usize, what: &str) -> Result<&'a str, UdfError> {
     args.get(idx)
         .and_then(Value::as_str)
         .ok_or_else(|| UdfError::new(udf, format!("argument {idx} must be {what} (chararray)")))
@@ -150,8 +145,8 @@ impl Udf for FastaStorage {
             .first()
             .and_then(Value::as_bytes)
             .ok_or_else(|| UdfError::new("FastaStorage", "expected file bytes"))?;
-        let records = read_fasta_bytes(bytes)
-            .map_err(|e| UdfError::new("FastaStorage", e.to_string()))?;
+        let records =
+            read_fasta_bytes(bytes).map_err(|e| UdfError::new("FastaStorage", e.to_string()))?;
         Ok(Value::bag(
             records
                 .into_iter()
@@ -210,10 +205,8 @@ impl Udf for TranslateToKmer {
         let iter = KmerIter::new(seq.as_bytes(), k)
             .map_err(|e| UdfError::new("TranslateToKmer", e.to_string()))?;
         Ok(Value::bag(
-            iter.map(|km| {
-                Value::tuple([Value::Long(km as i64), Value::CharArray(id.to_string())])
-            })
-            .collect::<Vec<_>>(),
+            iter.map(|km| Value::tuple([Value::Long(km as i64), Value::CharArray(id.to_string())]))
+                .collect::<Vec<_>>(),
         ))
     }
 }
@@ -240,7 +233,10 @@ impl Udf for CalculateMinwiseHash {
         let numhash = arg_i64("CalculateMinwiseHash", args, 1, "$NUMHASH")? as usize;
         let div = arg_i64("CalculateMinwiseHash", args, 2, "$DIV")? as u64;
         if numhash == 0 {
-            return Err(UdfError::new("CalculateMinwiseHash", "$NUMHASH must be ≥ 1"));
+            return Err(UdfError::new(
+                "CalculateMinwiseHash",
+                "$NUMHASH must be ≥ 1",
+            ));
         }
         let family = family_for(numhash, div);
 
@@ -250,11 +246,9 @@ impl Udf for CalculateMinwiseHash {
             let t = row
                 .as_tuple()
                 .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "rows must be tuples"))?;
-            let kmer = t
-                .first()
-                .and_then(Value::as_i64)
-                .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "row field 0 must be the k-mer"))?
-                as u64;
+            let kmer = t.first().and_then(Value::as_i64).ok_or_else(|| {
+                UdfError::new("CalculateMinwiseHash", "row field 0 must be the k-mer")
+            })? as u64;
             if seqid.is_none() {
                 seqid = t.get(1).and_then(Value::as_str).map(str::to_string);
             }
@@ -265,8 +259,8 @@ impl Udf for CalculateMinwiseHash {
                 }
             }
         }
-        let seqid = seqid
-            .ok_or_else(|| UdfError::new("CalculateMinwiseHash", "empty k-mer group"))?;
+        let seqid =
+            seqid.ok_or_else(|| UdfError::new("CalculateMinwiseHash", "empty k-mer group"))?;
         Ok(Value::tuple([
             Value::bag(
                 mins.into_iter()
@@ -321,7 +315,10 @@ impl Udf for CalculatePairwiseSimilarity {
         let mut row = Vec::with_capacity(all.len().saturating_sub(1));
         for other in all {
             let t = other.as_tuple().ok_or_else(|| {
-                UdfError::new("CalculatePairwiseSimilarity", "relation rows must be tuples")
+                UdfError::new(
+                    "CalculatePairwiseSimilarity",
+                    "relation rows must be tuples",
+                )
             })?;
             let other_id = t
                 .get(1)
@@ -345,10 +342,7 @@ impl Udf for CalculatePairwiseSimilarity {
 
 /// Rebuild a dense id-indexed matrix from `(seqid, [(other, sim)])`
 /// rows, returning the ids in index order.
-fn matrix_from_rows(
-    udf: &str,
-    rows: &[Value],
-) -> Result<(Vec<String>, CondensedMatrix), UdfError> {
+fn matrix_from_rows(udf: &str, rows: &[Value]) -> Result<(Vec<String>, CondensedMatrix), UdfError> {
     let mut ids: Vec<String> = Vec::with_capacity(rows.len());
     for row in rows {
         let t = row

@@ -436,8 +436,7 @@ impl PigRunner {
             })
             .collect::<Result<_, PigError>>()?;
 
-        let input_rows: Vec<(usize, Value)> =
-            rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
         let mapper = ForeachMapper { items: resolved };
         let out = pipeline.run_map_stage(
             input_rows,
@@ -483,8 +482,7 @@ impl PigRunner {
             GroupBy::All => None,
             GroupBy::Field(name) => Some(field_index(&rel.schema, input, name)?),
         };
-        let input_rows: Vec<(usize, Value)> =
-            rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
         let out = pipeline.run_stage(
             input_rows,
             self.num_map_tasks,
@@ -518,8 +516,7 @@ impl PigRunner {
             op: cond.op,
             rhs: self.resolve(env, &rel.schema, &cond.rhs)?,
         };
-        let input_rows: Vec<(usize, Value)> =
-            rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
         let out = pipeline.run_map_stage(
             input_rows,
             self.num_map_tasks,
@@ -542,8 +539,7 @@ impl PigRunner {
         let rel = env
             .get(input)
             .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
-        let input_rows: Vec<(usize, Value)> =
-            rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
         let out = pipeline.run_stage(
             input_rows,
             self.num_map_tasks,
@@ -604,9 +600,7 @@ impl PigRunner {
             Expr::LitLong(v) => RExpr::Const(Value::Long(*v)),
             Expr::LitDouble(v) => RExpr::Const(Value::Double(*v)),
             Expr::LitString(s) => RExpr::Const(Value::CharArray(s.clone())),
-            Expr::Field(name) => {
-                RExpr::Field(field_index(schema, "<current>", name)?)
-            }
+            Expr::Field(name) => RExpr::Field(field_index(schema, "<current>", name)?),
             Expr::Dotted { relation, field } => {
                 // Scalar cross-relation reference: the relation must
                 // have exactly one row (true for GROUP ... ALL output).
@@ -765,8 +759,7 @@ mod tests {
     #[test]
     fn unknown_relation_and_udf_errors() {
         let dfs = dfs();
-        let script =
-            parse_script("B = FOREACH missing GENERATE x;", &Map::new()).unwrap();
+        let script = parse_script("B = FOREACH missing GENERATE x;", &Map::new()).unwrap();
         assert!(matches!(
             runner(&dfs).run(&script),
             Err(PigError::UnknownRelation(_))
@@ -860,7 +853,8 @@ mod tests {
     #[test]
     fn distinct_removes_duplicates() {
         let dfs = dfs();
-        dfs.put("/d.txt", &b"x\ny\nx\nz\ny\nx\n"[..], false).unwrap();
+        dfs.put("/d.txt", &b"x\ny\nx\nz\ny\nx\n"[..], false)
+            .unwrap();
         let script = parse_script(
             "A = LOAD '/d.txt' AS (v:chararray);\
              D = DISTINCT A;\
@@ -876,7 +870,8 @@ mod tests {
     #[test]
     fn order_by_and_limit() {
         let dfs = dfs();
-        dfs.put("/s.txt", &b"pear\napple\nfig\nbanana\n"[..], false).unwrap();
+        dfs.put("/s.txt", &b"pear\napple\nfig\nbanana\n"[..], false)
+            .unwrap();
         let script = parse_script(
             "A = LOAD '/s.txt' AS (v:chararray);\
              O = ORDER A BY v DESC;\
@@ -921,10 +916,7 @@ mod tests {
         .unwrap();
         runner(&dfs).run(&script).unwrap();
         assert_eq!(dfs.read("/zero.txt").unwrap().len(), 0);
-        assert_eq!(
-            dfs.read("/all.txt").unwrap().as_ref(),
-            b"(a)\n(b)\n"
-        );
+        assert_eq!(dfs.read("/all.txt").unwrap().as_ref(), b"(a)\n(b)\n");
     }
 
     #[test]

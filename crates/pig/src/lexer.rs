@@ -111,55 +111,94 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             b'=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::EqEq, line });
+                tokens.push(Token {
+                    kind: TokenKind::EqEq,
+                    line,
+                });
                 i += 2;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Equals, line });
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
                 i += 1;
             }
             b'!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::NotEq, line });
+                tokens.push(Token {
+                    kind: TokenKind::NotEq,
+                    line,
+                });
                 i += 2;
             }
             b'<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::Le, line });
+                tokens.push(Token {
+                    kind: TokenKind::Le,
+                    line,
+                });
                 i += 2;
             }
             b'<' => {
-                tokens.push(Token { kind: TokenKind::Lt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Lt,
+                    line,
+                });
                 i += 1;
             }
             b'>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::Ge, line });
+                tokens.push(Token {
+                    kind: TokenKind::Ge,
+                    line,
+                });
                 i += 2;
             }
             b'>' => {
-                tokens.push(Token { kind: TokenKind::Gt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Gt,
+                    line,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             b':' => {
-                tokens.push(Token { kind: TokenKind::Colon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, line });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             b'\'' => {
@@ -217,9 +256,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             _ if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
                 let start = i;
                 i += 1;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {

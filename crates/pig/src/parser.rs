@@ -198,10 +198,7 @@ impl From<LexError> for ParseError {
 
 /// Substitute `$NAME` parameters (longest name first so `$IN` does not
 /// clobber `$INPUT`), then lex and parse.
-pub fn parse_script(
-    source: &str,
-    params: &HashMap<String, String>,
-) -> Result<Script, ParseError> {
+pub fn parse_script(source: &str, params: &HashMap<String, String>) -> Result<Script, ParseError> {
     let mut keys: Vec<&String> = params.keys().collect();
     keys.sort_by_key(|k| std::cmp::Reverse(k.len()));
     let mut text = source.to_string();
@@ -346,9 +343,7 @@ impl Parser {
             };
             Operator::Limit { input, n }
         } else {
-            return Err(
-                self.err("expected LOAD, FOREACH, GROUP, FILTER, DISTINCT, ORDER or LIMIT")
-            );
+            return Err(self.err("expected LOAD, FOREACH, GROUP, FILTER, DISTINCT, ORDER or LIMIT"));
         };
         self.expect(&TokenKind::Semi)?;
         Ok(Statement::Assign { alias, op })
@@ -442,9 +437,7 @@ impl Parser {
             Some(TokenKind::Gt) => CmpOp::Gt,
             Some(TokenKind::Ge) => CmpOp::Ge,
             other => {
-                return Err(self.err(format!(
-                    "expected a comparison operator, found {other:?}"
-                )))
+                return Err(self.err(format!("expected a comparison operator, found {other:?}")))
             }
         };
         let rhs = self.expr()?;
@@ -564,7 +557,12 @@ mod tests {
         match &s.statements[0] {
             Statement::Assign {
                 alias,
-                op: Operator::Load { path, loader, schema },
+                op:
+                    Operator::Load {
+                        path,
+                        loader,
+                        schema,
+                    },
             } => {
                 assert_eq!(alias, "A");
                 assert_eq!(path, "in.fa");
@@ -651,7 +649,13 @@ mod tests {
                 ..
             } => match &items[0].expr {
                 Expr::Udf { args, .. } => {
-                    assert_eq!(args[1], Expr::Dotted { relation: "I".into(), field: "F".into() });
+                    assert_eq!(
+                        args[1],
+                        Expr::Dotted {
+                            relation: "I".into(),
+                            field: "F".into()
+                        }
+                    );
                     assert_eq!(args[2], Expr::LitLong(100));
                     assert_eq!(args[3], Expr::LitDouble(0.95));
                 }
@@ -672,18 +676,22 @@ mod tests {
         )
         .unwrap();
         match &s.statements[0] {
-            Statement::Assign { op: Operator::Load { path, .. }, .. } => {
+            Statement::Assign {
+                op: Operator::Load { path, .. },
+                ..
+            } => {
                 assert_eq!(path, "/data/x.fa")
             }
             other => panic!("unexpected {other:?}"),
         }
         match &s.statements[1] {
-            Statement::Assign { op: Operator::Foreach { items, .. }, .. } => {
-                match &items[0].expr {
-                    Expr::Udf { args, .. } => assert_eq!(args[1], Expr::LitLong(5)),
-                    other => panic!("unexpected {other:?}"),
-                }
-            }
+            Statement::Assign {
+                op: Operator::Foreach { items, .. },
+                ..
+            } => match &items[0].expr {
+                Expr::Udf { args, .. } => assert_eq!(args[1], Expr::LitLong(5)),
+                other => panic!("unexpected {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -709,7 +717,10 @@ mod tests {
     fn multiple_generate_items() {
         let s = parse("F = FOREACH E GENERATE FLATTEN(minwise), FLATTEN(seqid3);");
         match &s.statements[0] {
-            Statement::Assign { op: Operator::Foreach { items, .. }, .. } => {
+            Statement::Assign {
+                op: Operator::Foreach { items, .. },
+                ..
+            } => {
                 assert_eq!(items.len(), 2);
                 assert!(items.iter().all(|i| i.flatten));
             }

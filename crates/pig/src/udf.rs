@@ -259,9 +259,6 @@ mod tests {
         }
         let mut r = UdfRegistry::with_builtins();
         r.register(Arc::new(Custom));
-        assert_eq!(
-            r.get("count").unwrap().exec(&[]).unwrap(),
-            Value::Long(-1)
-        );
+        assert_eq!(r.get("count").unwrap().exec(&[]).unwrap(), Value::Long(-1));
     }
 }

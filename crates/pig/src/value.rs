@@ -219,10 +219,7 @@ mod tests {
         assert_eq!(Value::Double(2.5).as_i64(), None);
         assert_eq!(Value::Int(3).as_f64(), Some(3.0));
         assert_eq!(Value::CharArray("x".into()).as_str(), Some("x"));
-        assert_eq!(
-            Value::ByteArray(vec![65]).as_bytes(),
-            Some(&b"A"[..])
-        );
+        assert_eq!(Value::ByteArray(vec![65]).as_bytes(), Some(&b"A"[..]));
         assert_eq!(Value::CharArray("A".into()).as_bytes(), Some(&b"A"[..]));
     }
 

@@ -106,7 +106,7 @@ pub fn kmer_set(seq: &[u8], k: usize) -> Result<Vec<u64>, SeqIoError> {
 pub fn revcomp_kmer(kmer: u64, k: usize) -> u64 {
     debug_assert!((1..=MAX_K).contains(&k));
     let mut x = !kmer; // complement every base (junk in high bits, shifted out below)
-    // Reverse the 2-bit groups: swap adjacent pairs, nibbles, bytes, …
+                       // Reverse the 2-bit groups: swap adjacent pairs, nibbles, bytes, …
     x = ((x & 0x3333_3333_3333_3333) << 2) | ((x >> 2) & 0x3333_3333_3333_3333);
     x = ((x & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
     x = x.swap_bytes();

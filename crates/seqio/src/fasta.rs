@@ -131,11 +131,7 @@ pub fn read_fasta_path(path: impl AsRef<Path>) -> Result<Vec<SeqRecord>, SeqIoEr
 
 /// Serialize records to FASTA, wrapping bodies at `width` columns
 /// (0 = no wrapping).
-pub fn write_fasta<W: Write>(
-    out: &mut W,
-    records: &[SeqRecord],
-    width: usize,
-) -> io::Result<()> {
+pub fn write_fasta<W: Write>(out: &mut W, records: &[SeqRecord], width: usize) -> io::Result<()> {
     for r in records {
         if r.description.is_empty() {
             writeln!(out, ">{}", r.id)?;

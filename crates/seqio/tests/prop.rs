@@ -9,7 +9,10 @@ use mrmc_seqio::SeqRecord;
 
 /// Strategy: clean DNA sequences.
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max_len,
+    )
 }
 
 /// Strategy: record ids (no whitespace, non-empty).

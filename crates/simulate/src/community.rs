@@ -81,8 +81,7 @@ impl CommunitySpec {
     ///   share k-mer usage, not alignment), which is the regime the
     ///   paper's whole-metagenome experiments (k = 5) operate in.
     pub fn genomes(&self, rng: &mut StdRng) -> Vec<Vec<u8>> {
-        let mean_gc =
-            self.species.iter().map(|s| s.gc).sum::<f64>() / self.species.len() as f64;
+        let mean_gc = self.species.iter().map(|s| s.gc).sum::<f64>() / self.species.len() as f64;
         if self.genome_len <= 2_000 {
             let ancestor = random_genome(self.genome_len, mean_gc, rng);
             return self

@@ -127,7 +127,7 @@ pub fn diverge(ancestor: &[u8], divergence: f64, rng: &mut StdRng) -> Vec<u8> {
             continue;
         } else if r < indel_rate {
             // Insertion before this base.
-            out.push(BASES[rng.random_range(0..4)]);
+            out.push(BASES[rng.random_range(0..4usize)]);
             out.push(substitute_maybe(c, divergence, rng));
         } else {
             out.push(substitute_maybe(c, divergence, rng));
@@ -148,7 +148,7 @@ fn substitute_maybe(c: u8, rate: f64, rng: &mut StdRng) -> u8 {
 /// A uniformly random base different from `c`.
 pub fn mutate_base(c: u8, rng: &mut StdRng) -> u8 {
     loop {
-        let n = BASES[rng.random_range(0..4)];
+        let n = BASES[rng.random_range(0..4usize)];
         if n != c.to_ascii_uppercase() {
             return n;
         }

@@ -161,12 +161,15 @@ mod tests {
     fn error_rate_roughly_matches() {
         let mut r = rng(2);
         let g = random_genome(200, 0.5, &mut r);
-        let sim = ReadSimulator::new(200, ErrorModel {
-            substitution: 0.05,
-            insertion: 0.0,
-            deletion: 0.0,
-            homopolymer: 0.0,
-        });
+        let sim = ReadSimulator::new(
+            200,
+            ErrorModel {
+                substitution: 0.05,
+                insertion: 0.0,
+                deletion: 0.0,
+                homopolymer: 0.0,
+            },
+        );
         let mut mismatches = 0usize;
         let mut total = 0usize;
         for _ in 0..200 {
@@ -193,12 +196,15 @@ mod tests {
         let mut r = rng(4);
         // Template with a long homopolymer; only homopolymer errors on.
         let template = b"ACGTAAAAAAAAAAACGT".to_vec();
-        let sim = ReadSimulator::new(template.len(), ErrorModel {
-            substitution: 0.0,
-            insertion: 0.0,
-            deletion: 0.0,
-            homopolymer: 0.3,
-        });
+        let sim = ReadSimulator::new(
+            template.len(),
+            ErrorModel {
+                substitution: 0.0,
+                insertion: 0.0,
+                deletion: 0.0,
+                homopolymer: 0.3,
+            },
+        );
         let mut changed = 0usize;
         for _ in 0..100 {
             let read = sim.apply_errors(&template, &mut r);

@@ -91,21 +91,166 @@ pub fn whole_metagenome_samples() -> Vec<SampleConfig> {
         labeled,
     };
     vec![
-        s("S1", vec![("Bacillus halodurans", 0.44, 1.0), ("Bacillus subtilis", 0.44, 1.0)], Species, 49_998, true),
-        s("S2", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0)], Genus, 49_998, true),
-        s("S3", vec![("Escherichia coli", 0.51, 1.0), ("Yersinia pestis", 0.48, 1.0)], Genus, 49_998, true),
-        s("S4", vec![("Rhodopirellula baltica", 0.55, 1.0), ("Blastopirellula marina", 0.57, 1.0)], Genus, 49_998, true),
-        s("S5", vec![("Bacillus anthracis", 0.35, 1.0), ("Listeria monocytogenes", 0.38, 2.0)], Family, 49_998, true),
-        s("S6", vec![("Methanocaldococcus jannaschii", 0.31, 1.0), ("Methanococcus mariplaudis", 0.33, 1.0)], Family, 49_998, true),
-        s("S7", vec![("Thermofilum pendens", 0.58, 1.0), ("Pyrobaculum aerophilum", 0.51, 1.0)], Family, 49_998, true),
-        s("S8", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Rhodospirillum rubrum", 0.65, 1.0)], Order, 49_998, true),
-        s("S9", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0), ("Nitrobacter hamburgensis", 0.62, 8.0)], Family, 49_996, true),
-        s("S10", vec![("Escherichia coli", 0.51, 1.0), ("Pseudomonas putida", 0.62, 1.0), ("Bacillus anthracis", 0.35, 8.0)], Order, 49_996, true),
-        s("S11", vec![("Gluconobacter oxydans", 0.61, 1.0), ("Granulobacter bethesdensis", 0.59, 1.0), ("Nitrobacter hamburgensis", 0.62, 4.0), ("Rhodospirillum rubrum", 0.65, 4.0)], Family, 99_998, true),
-        s("S12", vec![("Escherichia coli", 0.51, 1.0), ("Pseudomonas putida", 0.62, 1.0), ("Thermofilum pendens", 0.58, 1.0), ("Pyrobaculum aerophilum", 0.51, 1.0), ("Bacillus anthracis", 0.35, 2.0), ("Bacillus subtilis", 0.44, 14.0)], Species, 99_994, true),
-        s("S13", vec![("Acinetobacter baumannii SDF", 0.39, 1.0), ("Pseudomonas entomophila L48", 0.64, 1.0)], Genus, 4_000, true),
-        s("S14", vec![("Ehrlichia ruminantium Gardel", 0.27, 1.0), ("Anaplasma centrale Israel", 0.50, 1.0), ("Neorickettsia sennetsu Miyayama", 0.41, 1.0)], Genus, 6_000, true),
-        s("R1", vec![("Baumannia cicadellinicola", 0.33, 2.0), ("Sulcia muelleri", 0.22, 2.0), ("Wolbachia endosymbiont", 0.34, 1.0)], Genus, 7_137, false),
+        s(
+            "S1",
+            vec![
+                ("Bacillus halodurans", 0.44, 1.0),
+                ("Bacillus subtilis", 0.44, 1.0),
+            ],
+            Species,
+            49_998,
+            true,
+        ),
+        s(
+            "S2",
+            vec![
+                ("Gluconobacter oxydans", 0.61, 1.0),
+                ("Granulobacter bethesdensis", 0.59, 1.0),
+            ],
+            Genus,
+            49_998,
+            true,
+        ),
+        s(
+            "S3",
+            vec![
+                ("Escherichia coli", 0.51, 1.0),
+                ("Yersinia pestis", 0.48, 1.0),
+            ],
+            Genus,
+            49_998,
+            true,
+        ),
+        s(
+            "S4",
+            vec![
+                ("Rhodopirellula baltica", 0.55, 1.0),
+                ("Blastopirellula marina", 0.57, 1.0),
+            ],
+            Genus,
+            49_998,
+            true,
+        ),
+        s(
+            "S5",
+            vec![
+                ("Bacillus anthracis", 0.35, 1.0),
+                ("Listeria monocytogenes", 0.38, 2.0),
+            ],
+            Family,
+            49_998,
+            true,
+        ),
+        s(
+            "S6",
+            vec![
+                ("Methanocaldococcus jannaschii", 0.31, 1.0),
+                ("Methanococcus mariplaudis", 0.33, 1.0),
+            ],
+            Family,
+            49_998,
+            true,
+        ),
+        s(
+            "S7",
+            vec![
+                ("Thermofilum pendens", 0.58, 1.0),
+                ("Pyrobaculum aerophilum", 0.51, 1.0),
+            ],
+            Family,
+            49_998,
+            true,
+        ),
+        s(
+            "S8",
+            vec![
+                ("Gluconobacter oxydans", 0.61, 1.0),
+                ("Rhodospirillum rubrum", 0.65, 1.0),
+            ],
+            Order,
+            49_998,
+            true,
+        ),
+        s(
+            "S9",
+            vec![
+                ("Gluconobacter oxydans", 0.61, 1.0),
+                ("Granulobacter bethesdensis", 0.59, 1.0),
+                ("Nitrobacter hamburgensis", 0.62, 8.0),
+            ],
+            Family,
+            49_996,
+            true,
+        ),
+        s(
+            "S10",
+            vec![
+                ("Escherichia coli", 0.51, 1.0),
+                ("Pseudomonas putida", 0.62, 1.0),
+                ("Bacillus anthracis", 0.35, 8.0),
+            ],
+            Order,
+            49_996,
+            true,
+        ),
+        s(
+            "S11",
+            vec![
+                ("Gluconobacter oxydans", 0.61, 1.0),
+                ("Granulobacter bethesdensis", 0.59, 1.0),
+                ("Nitrobacter hamburgensis", 0.62, 4.0),
+                ("Rhodospirillum rubrum", 0.65, 4.0),
+            ],
+            Family,
+            99_998,
+            true,
+        ),
+        s(
+            "S12",
+            vec![
+                ("Escherichia coli", 0.51, 1.0),
+                ("Pseudomonas putida", 0.62, 1.0),
+                ("Thermofilum pendens", 0.58, 1.0),
+                ("Pyrobaculum aerophilum", 0.51, 1.0),
+                ("Bacillus anthracis", 0.35, 2.0),
+                ("Bacillus subtilis", 0.44, 14.0),
+            ],
+            Species,
+            99_994,
+            true,
+        ),
+        s(
+            "S13",
+            vec![
+                ("Acinetobacter baumannii SDF", 0.39, 1.0),
+                ("Pseudomonas entomophila L48", 0.64, 1.0),
+            ],
+            Genus,
+            4_000,
+            true,
+        ),
+        s(
+            "S14",
+            vec![
+                ("Ehrlichia ruminantium Gardel", 0.27, 1.0),
+                ("Anaplasma centrale Israel", 0.50, 1.0),
+                ("Neorickettsia sennetsu Miyayama", 0.41, 1.0),
+            ],
+            Genus,
+            6_000,
+            true,
+        ),
+        s(
+            "R1",
+            vec![
+                ("Baumannia cicadellinicola", 0.33, 2.0),
+                ("Sulcia muelleri", 0.22, 2.0),
+                ("Wolbachia endosymbiont", 0.34, 1.0),
+            ],
+            Genus,
+            7_137,
+            false,
+        ),
     ]
 }
 
@@ -144,14 +289,79 @@ pub fn environmental_samples() -> Vec<EnvSampleConfig> {
         n_species,
     };
     vec![
-        c("53R", "Labrador seawater", 58.300, -29.133, 1_400, 3.5, 11_218, 1_180),
-        c("55R", "Oxygen minimum", 58.300, -29.133, 500, 7.1, 8_680, 1_205),
-        c("112R", "Lower deep water", 50.400, -25.000, 4_121, 2.3, 11_132, 1_694),
-        c("115R", "Oxygen minimum", 50.400, -25.000, 550, 7.0, 13_441, 1_217),
-        c("137", "Labrador seawater", 60.900, -38.516, 1_710, 3.0, 12_259, 1_020),
-        c("138", "Labrador seawater", 60.900, -38.516, 710, 3.5, 11_554, 1_054),
-        c("FS312", "Bag City", 45.916, -129.983, 1_529, 31.2, 52_569, 1_983),
-        c("FS396", "Marker 52", 45.943, -129.985, 1_537, 24.4, 73_657, 1_360),
+        c(
+            "53R",
+            "Labrador seawater",
+            58.300,
+            -29.133,
+            1_400,
+            3.5,
+            11_218,
+            1_180,
+        ),
+        c(
+            "55R",
+            "Oxygen minimum",
+            58.300,
+            -29.133,
+            500,
+            7.1,
+            8_680,
+            1_205,
+        ),
+        c(
+            "112R",
+            "Lower deep water",
+            50.400,
+            -25.000,
+            4_121,
+            2.3,
+            11_132,
+            1_694,
+        ),
+        c(
+            "115R",
+            "Oxygen minimum",
+            50.400,
+            -25.000,
+            550,
+            7.0,
+            13_441,
+            1_217,
+        ),
+        c(
+            "137",
+            "Labrador seawater",
+            60.900,
+            -38.516,
+            1_710,
+            3.0,
+            12_259,
+            1_020,
+        ),
+        c(
+            "138",
+            "Labrador seawater",
+            60.900,
+            -38.516,
+            710,
+            3.5,
+            11_554,
+            1_054,
+        ),
+        c(
+            "FS312", "Bag City", 45.916, -129.983, 1_529, 31.2, 52_569, 1_983,
+        ),
+        c(
+            "FS396",
+            "Marker 52",
+            45.943,
+            -129.985,
+            1_537,
+            24.4,
+            73_657,
+            1_360,
+        ),
     ]
 }
 
@@ -304,9 +514,8 @@ mod tests {
         let cfg = environmental_samples()[0]; // 53R
         let d = cfg.generate(0.02, 11);
         assert_eq!(d.len(), 224); // 11218 * 0.02
-        // Lengths vary around 60.
-        let mean: f64 =
-            d.reads.iter().map(|r| r.len() as f64).sum::<f64>() / d.len() as f64;
+                                  // Lengths vary around 60.
+        let mean: f64 = d.reads.iter().map(|r| r.len() as f64).sum::<f64>() / d.len() as f64;
         assert!((50.0..70.0).contains(&mean), "mean len {mean}");
         // Species indices within range.
         let max_label = *d.labels.as_ref().unwrap().iter().max().unwrap();

@@ -32,7 +32,9 @@ fn main() {
     let dataset = config.generate(scale, 13);
     println!(
         "sample {sid} ({}, {} m, {} °C): {} reads at scale {scale}\n",
-        config.site, config.depth_m, config.temp_c,
+        config.site,
+        config.depth_m,
+        config.temp_c,
         dataset.len()
     );
 
@@ -42,7 +44,10 @@ fn main() {
         max_pairs_per_cluster: 50,
         ..Default::default()
     };
-    println!("{:<14} {:>9} {:>8} {:>10}", "method", "#cluster", "W.Sim", "time");
+    println!(
+        "{:<14} {:>9} {:>8} {:>10}",
+        "method", "#cluster", "W.Sim", "time"
+    );
 
     let run = |name: &str, f: &dyn Fn() -> ClusterAssignment| {
         let t = Instant::now();
@@ -77,10 +82,34 @@ fn main() {
             .expect("run")
             .assignment
     });
-    run("MC-LSH", &|| McLsh { theta, ..Default::default() }.cluster(&dataset.reads));
-    run("UCLUST", &|| UclustLike { theta, ..Default::default() }.cluster(&dataset.reads));
-    run("CD-HIT", &|| CdHitLike { theta, ..Default::default() }.cluster(&dataset.reads));
-    run("ESPRIT", &|| EspritLike { theta, ..Default::default() }.cluster(&dataset.reads));
+    run("MC-LSH", &|| {
+        McLsh {
+            theta,
+            ..Default::default()
+        }
+        .cluster(&dataset.reads)
+    });
+    run("UCLUST", &|| {
+        UclustLike {
+            theta,
+            ..Default::default()
+        }
+        .cluster(&dataset.reads)
+    });
+    run("CD-HIT", &|| {
+        CdHitLike {
+            theta,
+            ..Default::default()
+        }
+        .cluster(&dataset.reads)
+    });
+    run("ESPRIT", &|| {
+        EspritLike {
+            theta,
+            ..Default::default()
+        }
+        .cluster(&dataset.reads)
+    });
     run("DOTUR", &|| DoturLike { theta }.cluster(&dataset.reads));
     run("Mothur", &|| MothurLike { theta }.cluster(&dataset.reads));
 

@@ -20,8 +20,16 @@ fn main() {
     //    the (simulated) HDFS.
     let community = CommunitySpec {
         species: vec![
-            SpeciesSpec { name: "A".into(), gc: 0.45, abundance: 1.0 },
-            SpeciesSpec { name: "B".into(), gc: 0.55, abundance: 1.0 },
+            SpeciesSpec {
+                name: "A".into(),
+                gc: 0.45,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "B".into(),
+                gc: 0.55,
+                abundance: 1.0,
+            },
         ],
         rank: TaxRank::Phylum,
         genome_len: 150,
@@ -39,8 +47,13 @@ fn main() {
         })
         .expect("valid DFS config"),
     );
-    dfs.put("/data/reads.fa", fasta, false).expect("stage input");
-    println!("staged {} reads on DFS ({} blocks)", dataset.len(), dfs.total_blocks());
+    dfs.put("/data/reads.fa", fasta, false)
+        .expect("stage input");
+    println!(
+        "staged {} reads on DFS ({} blocks)",
+        dataset.len(),
+        dfs.total_blocks()
+    );
 
     // 2. Parameterize and parse the paper's script. θ is selected
     //    unsupervised on the Pig family's similarity scale.
@@ -53,7 +66,6 @@ fn main() {
         ("NUMHASH", "64"),
         ("DIV", "1048583"),
         ("LINK", "average"),
-        
         ("OUTPUT1", "/out/hierarchical"),
         ("OUTPUT2", "/out/greedy"),
     ] {
@@ -61,7 +73,10 @@ fn main() {
     }
     params.insert("CUTOFF".to_string(), format!("{theta}"));
     let script = parse_script(algorithm3_script(), &params).expect("script parses");
-    println!("parsed Algorithm 3 script: {} statements", script.statements.len());
+    println!(
+        "parsed Algorithm 3 script: {} statements",
+        script.statements.len()
+    );
 
     // 3. Execute on the Map-Reduce substrate.
     let mut registry = UdfRegistry::with_builtins();
@@ -77,7 +92,11 @@ fn main() {
             .lines()
             .filter_map(|l| l.rsplit_once(',').map(|(_, c)| c.trim_end_matches(')')))
             .collect();
-        println!("  {path}: {} reads, {} clusters", text.lines().count(), clusters.len());
+        println!(
+            "  {path}: {} reads, {} clusters",
+            text.lines().count(),
+            clusters.len()
+        );
     }
 
     println!("\nper-stage Map-Reduce statistics:");
@@ -93,7 +112,9 @@ fn main() {
     }
     let model = JobCostModel::default();
     for nodes in [2usize, 8] {
-        let total = report.pipeline.simulated_total(&ClusterSpec::m1_large(nodes), &model);
+        let total = report
+            .pipeline
+            .simulated_total(&ClusterSpec::m1_large(nodes), &model);
         println!("simulated wall-clock on {nodes:>2} EMR nodes: {total:.1}s");
     }
 }

@@ -14,9 +14,21 @@ fn main() {
     // — a miniature of the paper's Table II samples.
     let community = CommunitySpec {
         species: vec![
-            SpeciesSpec { name: "Gluconobacter oxydans".into(), gc: 0.61, abundance: 1.0 },
-            SpeciesSpec { name: "Rhodospirillum rubrum".into(), gc: 0.65, abundance: 1.0 },
-            SpeciesSpec { name: "Bacillus anthracis".into(), gc: 0.35, abundance: 2.0 },
+            SpeciesSpec {
+                name: "Gluconobacter oxydans".into(),
+                gc: 0.61,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "Rhodospirillum rubrum".into(),
+                gc: 0.65,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "Bacillus anthracis".into(),
+                gc: 0.35,
+                abundance: 2.0,
+            },
         ],
         rank: TaxRank::Order,
         genome_len: 120_000,
@@ -49,7 +61,10 @@ fn main() {
         let sim = weighted_similarity(
             &result.assignment,
             &dataset.reads,
-            &SimilarityOptions { max_pairs_per_cluster: 50, ..Default::default() },
+            &SimilarityOptions {
+                max_pairs_per_cluster: 50,
+                ..Default::default()
+            },
         )
         .unwrap_or(0.0);
         println!(

@@ -14,7 +14,10 @@ use mrmc_minh_suite::mapreduce::JobCostModel;
 
 fn main() {
     let config = MrMcConfig::whole_metagenome();
-    println!("calibrating kernel costs (k = {}, {} hashes)...", config.kmer, config.num_hashes);
+    println!(
+        "calibrating kernel costs (k = {}, {} hashes)...",
+        config.kmer, config.num_hashes
+    );
     let calibration = CostCalibration::measure(&config, 1000);
     println!(
         "  sketch: {:.1} µs/read, similarity: {:.2} µs/pair\n",

@@ -41,7 +41,11 @@ fn main() {
     println!(
         "one hierarchical run (θ = {theta:.2}): {} clusters, dendrogram with {} merges\n",
         result.num_clusters(),
-        result.dendrogram.as_ref().map(|d| d.merges.len()).unwrap_or(0)
+        result
+            .dendrogram
+            .as_ref()
+            .map(|d| d.merges.len())
+            .unwrap_or(0)
     );
 
     // Sweep the cutoff over the same dendrogram — no recomputation.

@@ -151,8 +151,8 @@ fn pig_script_end_to_end_agrees_with_native_shape() {
         .find(|s| s.sid == "S8")
         .expect("S8 exists");
     let dataset = cfg.generate(0.001, ErrorModel::perfect(), 11); // 50 reads
-    // θ must be chosen on the Pig family's similarity scale (see
-    // mrmc::udfs::suggest_theta_pig).
+                                                                  // θ must be chosen on the Pig family's similarity scale (see
+                                                                  // mrmc::udfs::suggest_theta_pig).
     let theta = mrmc::udfs::suggest_theta_pig(&dataset.reads, 5, 64, 1_048_583, 50);
     let mut fasta = Vec::new();
     write_fasta(&mut fasta, &dataset.reads, 0).expect("serialize");
@@ -202,8 +202,7 @@ fn pig_script_end_to_end_agrees_with_native_shape() {
             by_id.insert(id.to_string(), label.parse().expect("int label"));
         }
         let labels: Vec<usize> = dataset.reads.iter().map(|r| by_id[&r.id]).collect();
-        let assignment =
-            mrmc_minh_suite::cluster::ClusterAssignment::from_labels(labels);
+        let assignment = mrmc_minh_suite::cluster::ClusterAssignment::from_labels(labels);
         let ari = adjusted_rand_index(&assignment, truth);
         assert!(ari > 0.8, "{path}: ARI {ari}");
     }
@@ -242,10 +241,7 @@ fn complete_linkage_invariant_via_pipeline() {
     for i in 0..sketches.len() {
         for j in (i + 1)..sketches.len() {
             if result.assignment.label(i) == result.assignment.label(j) {
-                let s = mrmc_minh_suite::minhash::positional_similarity(
-                    &sketches[i],
-                    &sketches[j],
-                );
+                let s = mrmc_minh_suite::minhash::positional_similarity(&sketches[i], &sketches[j]);
                 assert!(
                     s >= theta - 1e-9,
                     "pair ({i},{j}) similarity {s} below θ inside one cluster"

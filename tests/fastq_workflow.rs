@@ -29,8 +29,16 @@ fn to_fastq(reads: &[SeqRecord], tail: usize) -> Vec<FastqRecord> {
 fn fastq_round_trip_trim_and_cluster() {
     let spec = CommunitySpec {
         species: vec![
-            SpeciesSpec { name: "a".into(), gc: 0.40, abundance: 1.0 },
-            SpeciesSpec { name: "b".into(), gc: 0.60, abundance: 1.0 },
+            SpeciesSpec {
+                name: "a".into(),
+                gc: 0.40,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "b".into(),
+                gc: 0.60,
+                abundance: 1.0,
+            },
         ],
         rank: TaxRank::Phylum,
         genome_len: 50_000,
@@ -53,8 +61,18 @@ fn fastq_round_trip_trim_and_cluster() {
         .collect();
     // Tails are gone, bodies intact.
     for (t, orig) in trimmed.iter().zip(&dataset.reads) {
-        assert!(t.len() >= orig.len() - 30, "over-trimmed: {} vs {}", t.len(), orig.len());
-        assert!(t.len() <= orig.len() - 11, "under-trimmed: {} vs {}", t.len(), orig.len());
+        assert!(
+            t.len() >= orig.len() - 30,
+            "over-trimmed: {} vs {}",
+            t.len(),
+            orig.len()
+        );
+        assert!(
+            t.len() <= orig.len() - 11,
+            "under-trimmed: {} vs {}",
+            t.len(),
+            orig.len()
+        );
         assert_eq!(&t.seq[..], &orig.seq[..t.len()]);
     }
 

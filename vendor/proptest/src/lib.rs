@@ -1,0 +1,120 @@
+//! Offline stand-in for `proptest` (subset).
+//!
+//! Implements the property-testing surface this workspace uses:
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_recursive`, [`any`], range and regex-subset string
+//! strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`sample::select`], [`Just`], [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! generated inputs verbatim), and no `.proptest-regressions`
+//! persistence (runs are deterministic per test name, so a failure
+//! reproduces by re-running the same binary; the committed regression
+//! files are kept for upstream compatibility). Case count defaults to
+//! 64 and follows `PROPTEST_CASES`.
+
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+mod string;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy, Union};
+
+/// The generator handed to strategies (deterministic per test + case).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+fn base_seed(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and rustc versions,
+    // so each property gets a fixed, reproducible stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: `body` generates inputs from the given rng and
+/// returns `Err((inputs_debug, panic_payload))` when the case fails.
+#[doc(hidden)]
+pub fn execute<F>(name: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), (String, Box<dyn std::any::Any + Send>)>,
+{
+    let n = cases();
+    let base = base_seed(name);
+    for case in 0..n {
+        let mut rng = TestRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err((desc, payload)) = body(&mut rng) {
+            eprintln!("[proptest] property '{name}' failed at case {case} of {n}");
+            eprintln!("[proptest] inputs: {desc}");
+            eprintln!("[proptest] runs are deterministic per test name; re-run to reproduce");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `proptest! { #[test] fn prop(x in strategy, ...) { body } ... }`
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pname:pat in $pstrat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::execute(stringify!($name), |__pt_rng| {
+                    let __pt_vals = ( $( $crate::Strategy::generate(&($pstrat), __pt_rng), )+ );
+                    let __pt_desc = format!("{:?}", __pt_vals);
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        let ( $($pname,)+ ) = __pt_vals;
+                        $body
+                    })) {
+                        Ok(()) => Ok(()),
+                        Err(payload) => Err((__pt_desc, payload)),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Assertion macros: no shrinking here, so they are plain assertions
+/// whose panics the runner catches and reports with the case inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strategy) ),+ ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,165 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supports the pattern shapes used in this workspace's property
+//! tests: literal characters, character classes with ranges
+//! (`[A-Za-z0-9_.:-]`, `[ -~\n]`), and quantifiers `{m}`, `{m,n}`,
+//! `?`, `*`, `+`. This is a generator, not a matcher — unsupported
+//! syntax panics rather than silently producing wrong strings.
+
+use crate::TestRng;
+use rand::Rng;
+
+/// One pattern element: a weighted set of char ranges + repeat bounds.
+struct Piece {
+    /// Inclusive char ranges; a literal is a single-char range.
+    ranges: Vec<(u32, u32)>,
+    min: usize,
+    max: usize,
+}
+
+impl Piece {
+    fn width(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as u64)
+            .sum()
+    }
+}
+
+pub(crate) fn from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.random_range(piece.min..=piece.max);
+        let width = piece.width();
+        for _ in 0..reps {
+            let mut idx = rng.random_range(0..width);
+            for &(lo, hi) in &piece.ranges {
+                let span = (hi - lo + 1) as u64;
+                if idx < span {
+                    out.push(char::from_u32(lo + idx as u32).expect("valid char range"));
+                    break;
+                }
+                idx -= span;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let e = unescape(chars.next().unwrap_or_else(|| unsupported(pattern)));
+                vec![(e as u32, e as u32)]
+            }
+            '(' | ')' | '|' | '^' | '$' => unsupported(pattern),
+            _ => vec![(c as u32, c as u32)],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(u32, u32)> {
+    // Collect the raw class members first, then resolve `a-z` ranges;
+    // this keeps a trailing `-` literal, as in `[A-Za-z0-9_.:-]`.
+    let mut members = Vec::new();
+    loop {
+        match chars.next() {
+            Some(']') => break,
+            Some('\\') => members.push(unescape(
+                chars.next().unwrap_or_else(|| unsupported(pattern)),
+            )),
+            Some(c) => members.push(c),
+            None => unsupported(pattern),
+        }
+    }
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < members.len() {
+        if i + 2 < members.len() && members[i + 1] == '-' {
+            let (lo, hi) = (members[i] as u32, members[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            let c = members[i] as u32;
+            ranges.push((c, c));
+            i += 1;
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    ranges
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => unsupported(pattern),
+                }
+            }
+            let parts: Vec<&str> = body.split(',').collect();
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| unsupported(pattern))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_n(n);
+                    (n, n)
+                }
+                [lo, hi] => (parse_n(lo), parse_n(hi)),
+                _ => unsupported(pattern),
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!("unsupported regex pattern for offline proptest stand-in: {pattern:?}")
+}

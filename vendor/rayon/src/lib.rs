@@ -1,0 +1,179 @@
+//! Offline stand-in for `rayon` (subset).
+//!
+//! Exposes the `par_iter()` / `into_par_iter()` entry points and the
+//! adapters this workspace uses (`map`, `for_each`, `collect`, `sum`).
+//! Work is executed eagerly on `std::thread::scope` workers when the
+//! machine has more than one core and the job is large enough to
+//! amortize thread spawn; otherwise it runs inline. Output order always
+//! matches input order, so results are bit-identical to a sequential
+//! run — the property the similarity-matrix builder relies on.
+
+/// Number of worker threads for parallel execution.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Below this many items, thread spawn costs more than it saves.
+const PAR_THRESHOLD: usize = 64;
+
+/// Run `f` over `items`, returning results in input order. Spawns
+/// scoped threads over contiguous chunks when worthwhile.
+fn run_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = workers().min(n.max(1));
+    if threads <= 1 || n < PAR_THRESHOLD {
+        return items.into_iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let chunk_len = n.div_ceil(threads);
+    let mut items = items;
+    // Split off from the back so each drain is O(chunk).
+    while !items.is_empty() {
+        let at = items.len().saturating_sub(chunk_len);
+        chunks.push(items.split_off(at));
+    }
+    chunks.reverse();
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialized "parallel" iterator: items plus pending adapters are
+/// applied on [`ParIter::for_each`] / [`ParIter::collect`] / terminal ops.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F>(self, f: F) -> ParIter<R>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_ordered(self.items, f),
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|t| f(t)).collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// `vec.into_par_iter()` / owned containers.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+/// `slice.par_iter()` — iterate references without consuming.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..500).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_with_mutable_slices() {
+        let mut data = vec![0u32; 300];
+        let parts: Vec<(usize, &mut [u32])> = data.chunks_mut(10).enumerate().collect();
+        parts.into_par_iter().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 10 + j) as u32;
+            }
+        });
+        assert_eq!(data, (0..300).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 4950.0);
+    }
+}
