@@ -1,0 +1,462 @@
+//! `chaos_report` — the recovery matrix of the fault-injection runtime.
+//!
+//! Sweeps fault type × intensity over three subjects:
+//!
+//! * the full MrMC-MinH hierarchical pipeline (task panics, stragglers,
+//!   node deaths — output must stay **bit-identical** to a clean run);
+//! * a shuffle-bearing Map-Reduce job (fetch failures below and above
+//!   the engine's retry limit);
+//! * the DFS (scheduled replica corruption, detected by checksum and
+//!   healed from a surviving replica).
+//!
+//! Each cell records: did the run complete, is its output identical to
+//! the fault-free baseline, the wall-clock overhead ratio, and the
+//! recovery ledger. A determinism probe re-runs a seeded random plan
+//! and demands identical counters. The JSON matrix goes to stdout
+//! (and, with `--json <path>`, to a file); any unrecovered cell or a
+//! non-deterministic ledger makes the process exit non-zero, which is
+//! what the CI `chaos-smoke` step checks.
+//!
+//! ```sh
+//! cargo run -p mrmc-bench --release --bin chaos_report -- --seed 7
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mrmc::{Mode, MrMcConfig, MrMcMinH};
+use mrmc_bench::HarnessArgs;
+use mrmc_mapreduce::chaos::{ChaosProfile, FaultPlan, Phase};
+use mrmc_mapreduce::{
+    run_job_with_faults, Dfs, DfsConfig, JobConfig, Mapper, NoFaults, RecoveryCounters, Reducer,
+    TaskContext,
+};
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+/// One entry of the recovery matrix.
+struct Cell {
+    subject: &'static str,
+    fault: &'static str,
+    intensity: String,
+    completed: bool,
+    identical: bool,
+    /// Faulty wall-clock over clean wall-clock (≥ 1 in expectation;
+    /// jittery for sub-millisecond subjects — informational only).
+    overhead: f64,
+    recovery: RecoveryCounters,
+}
+
+impl Cell {
+    fn recovered(&self) -> bool {
+        self.completed && self.identical
+    }
+
+    fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let fp = " ".repeat(indent + 2);
+        let r = &self.recovery;
+        format!(
+            "{{\n\
+             {fp}\"subject\": \"{}\",\n\
+             {fp}\"fault\": \"{}\",\n\
+             {fp}\"intensity\": \"{}\",\n\
+             {fp}\"completed\": {},\n\
+             {fp}\"identical\": {},\n\
+             {fp}\"overhead\": {:.3},\n\
+             {fp}\"recovery\": {{\n\
+             {fp}  \"tasks_retried\": {},\n\
+             {fp}  \"maps_reexecuted_node_loss\": {},\n\
+             {fp}  \"maps_reexecuted_fetch_fail\": {},\n\
+             {fp}  \"speculative_wins\": {},\n\
+             {fp}  \"shuffle_fetch_retries\": {},\n\
+             {fp}  \"blocks_rereplicated\": {},\n\
+             {fp}  \"corrupt_replicas_detected\": {}\n\
+             {fp}}}\n\
+             {pad}}}",
+            self.subject,
+            self.fault,
+            self.intensity,
+            self.completed,
+            self.identical,
+            self.overhead,
+            r.tasks_retried,
+            r.maps_reexecuted_node_loss,
+            r.maps_reexecuted_fetch_fail,
+            r.speculative_wins,
+            r.shuffle_fetch_retries,
+            r.blocks_rereplicated,
+            r.corrupt_replicas_detected,
+        )
+    }
+}
+
+fn two_species(n: usize, seed: u64) -> Vec<mrmc_seqio::SeqRecord> {
+    let spec = CommunitySpec {
+        species: vec![
+            SpeciesSpec {
+                name: "a".into(),
+                gc: 0.40,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "b".into(),
+                gc: 0.60,
+                abundance: 1.0,
+            },
+        ],
+        rank: TaxRank::Phylum,
+        genome_len: 50_000,
+    };
+    let sim = ReadSimulator::new(800, ErrorModel::with_total_rate(0.002));
+    spec.generate("chaos", n, &sim, seed).reads
+}
+
+fn mrmc_config() -> MrMcConfig {
+    MrMcConfig {
+        kmer: 5,
+        num_hashes: 64,
+        theta: 0.55,
+        mode: Mode::Hierarchical,
+        map_tasks: 4,
+        ..Default::default()
+    }
+}
+
+/// Run the full pipeline under `plan` and compare against the clean
+/// baseline.
+fn pipeline_cell(
+    fault: &'static str,
+    intensity: impl Into<String>,
+    reads: &[mrmc_seqio::SeqRecord],
+    clean: &mrmc::MrMcResult,
+    clean_secs: f64,
+    plan: FaultPlan,
+) -> Cell {
+    let runner = MrMcMinH::new(mrmc_config());
+    let t = Instant::now();
+    let run = runner.run_with_injector(reads, &plan.injector());
+    let secs = t.elapsed().as_secs_f64();
+    let (completed, identical, recovery) = match &run {
+        Ok(r) => (
+            true,
+            r.assignment == clean.assignment && r.dendrogram == clean.dendrogram,
+            r.recovery(),
+        ),
+        Err(_) => (false, false, RecoveryCounters::new()),
+    };
+    Cell {
+        subject: "mrmc-pipeline",
+        fault,
+        intensity: intensity.into(),
+        completed,
+        identical,
+        overhead: secs / clean_secs.max(1e-9),
+        recovery,
+    }
+}
+
+// A shuffle-bearing job so fetch faults have a shuffle to disturb
+// (the MrMC stages are map-only).
+struct Tokenize;
+impl Mapper for Tokenize {
+    type InKey = usize;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u64;
+    fn map(&self, _k: usize, v: String, ctx: &mut TaskContext<String, u64>) {
+        for w in v.split_whitespace() {
+            ctx.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct Sum;
+impl Reducer for Sum {
+    type InKey = String;
+    type InValue = u64;
+    type OutKey = String;
+    type OutValue = u64;
+    fn reduce(&self, k: String, vs: Vec<u64>, ctx: &mut TaskContext<String, u64>) {
+        ctx.emit(k, vs.iter().sum());
+    }
+}
+
+fn wordcount_input() -> Vec<(usize, String)> {
+    (0..32)
+        .map(|i| (i, format!("read{} maps to sketch{} twice twice", i, i % 7)))
+        .collect()
+}
+
+fn wordcount_config() -> JobConfig {
+    JobConfig::named("chaos-wc")
+        .reducers(4)
+        .attempts(4)
+        .nodes(8)
+}
+
+fn shuffle_cell(fault: &'static str, intensity: impl Into<String>, plan: FaultPlan) -> Cell {
+    let input = wordcount_input();
+    let t = Instant::now();
+    let clean = run_job_with_faults(
+        input.clone(),
+        8,
+        &Tokenize,
+        &Sum,
+        &wordcount_config(),
+        &NoFaults,
+    )
+    .expect("clean word count");
+    let clean_secs = t.elapsed().as_secs_f64();
+    let mut expect = clean.output;
+    expect.sort();
+
+    let t = Instant::now();
+    let run = run_job_with_faults(
+        input,
+        8,
+        &Tokenize,
+        &Sum,
+        &wordcount_config(),
+        &plan.injector(),
+    );
+    let secs = t.elapsed().as_secs_f64();
+    let (completed, identical, recovery) = match run {
+        Ok(r) => {
+            let mut got = r.output;
+            got.sort();
+            (true, got == expect, r.recovery)
+        }
+        Err(_) => (false, false, RecoveryCounters::new()),
+    };
+    Cell {
+        subject: "wordcount-job",
+        fault,
+        intensity: intensity.into(),
+        completed,
+        identical,
+        overhead: secs / clean_secs.max(1e-9),
+        recovery,
+    }
+}
+
+fn dfs_cell(intensity: impl Into<String>, corruptions: &[(usize, usize)]) -> Cell {
+    // 3 blocks of 16 bytes, replication 3 on 6 nodes.
+    let payload: Vec<u8> = (0..48u8).collect();
+    let mut plan = FaultPlan::new();
+    for &(block, replica) in corruptions {
+        plan = plan.corrupt_replica("/chaos/data", block, replica);
+    }
+    let dfs = Dfs::with_injector(
+        DfsConfig {
+            block_size: 16,
+            replication: 3,
+            nodes: 6,
+        },
+        Arc::new(plan.injector()),
+    )
+    .expect("dfs config");
+    dfs.put("/chaos/data", payload.clone(), false)
+        .expect("dfs put");
+    let read = dfs.read("/chaos/data");
+    let (completed, identical) = match &read {
+        Ok(bytes) => (true, bytes.as_ref() == payload.as_slice()),
+        Err(_) => (false, false),
+    };
+    Cell {
+        subject: "dfs",
+        fault: "replica_corruption",
+        intensity: intensity.into(),
+        completed,
+        identical,
+        overhead: 1.0,
+        recovery: dfs.recovery(),
+    }
+}
+
+fn main() {
+    // Injected task panics are caught and retried by the engine; keep
+    // their backtraces out of the report. Anything else still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with("chaos: injected panic"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let args = HarnessArgs::parse(1.0);
+    let num_reads = ((40.0 * args.scale).round() as usize).max(12);
+    let reads = two_species(num_reads, args.seed);
+
+    eprintln!("chaos_report: {num_reads} reads, seed {}", args.seed);
+    let runner = MrMcMinH::new(mrmc_config());
+    let t = Instant::now();
+    let clean = runner.run(&reads).expect("clean pipeline run");
+    let clean_secs = t.elapsed().as_secs_f64();
+    assert!(
+        clean.recovery().is_clean(),
+        "fault-free baseline must report a clean ledger"
+    );
+
+    let mut cells: Vec<Cell> = vec![
+        // Pipeline: task panics (job 0 = sketch, job 1 = similarity).
+        pipeline_cell(
+            "task_panic",
+            "1 panic, 2 failed attempts",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new().task_panic(0, Phase::Map, 1, 2),
+        ),
+        pipeline_cell(
+            "task_panic",
+            "2 panics per stage",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new()
+                .task_panic(0, Phase::Map, 0, 2)
+                .task_panic(0, Phase::Map, 2, 1)
+                .task_panic(1, Phase::Map, 1, 2)
+                .task_panic(1, Phase::Map, 3, 1),
+        ),
+        // Pipeline: stragglers → speculative backups.
+        pipeline_cell(
+            "straggler",
+            "1 × 20 ms",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new().task_slowdown(0, Phase::Map, 2, 20),
+        ),
+        pipeline_cell(
+            "straggler",
+            "1 per stage × 20 ms",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new()
+                .task_slowdown(0, Phase::Map, 0, 20)
+                .task_slowdown(1, Phase::Map, 1, 20),
+        ),
+        // Pipeline: node death at the map→reduce barrier.
+        pipeline_cell(
+            "node_death",
+            "1 node of 8, sketch stage",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new().node_death_after_map(0, 3),
+        ),
+        pipeline_cell(
+            "node_death",
+            "1 node of 8, similarity stage",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new().node_death_after_map(1, 5),
+        ),
+        // Pipeline: everything at once.
+        pipeline_cell(
+            "combined",
+            "panic + straggler + node death",
+            &reads,
+            &clean,
+            clean_secs,
+            FaultPlan::new()
+                .task_panic(0, Phase::Map, 1, 2)
+                .task_slowdown(1, Phase::Map, 0, 15)
+                .node_death_after_map(0, 2),
+        ),
+        // Shuffle fetch failures (needs a reduce phase).
+        shuffle_cell(
+            "shuffle_fetch",
+            "2 failures (≤ retry limit)",
+            FaultPlan::new().shuffle_fetch_fail(0, 1, 2, 2),
+        ),
+        shuffle_cell(
+            "shuffle_fetch",
+            "5 failures (forces map re-execution)",
+            FaultPlan::new().shuffle_fetch_fail(0, 3, 0, 5),
+        ),
+        // DFS replica corruption.
+        dfs_cell("1 replica of 1 block", &[(1, 0)]),
+        dfs_cell("1 replica in each of 2 blocks", &[(0, 2), (2, 1)]),
+    ];
+
+    // -- Determinism probe: a seeded random plan, run twice. --
+    let profile = ChaosProfile::default();
+    let plan = FaultPlan::random(args.seed, &profile);
+    let a = pipeline_cell(
+        "random_plan",
+        format!("seed {}", args.seed),
+        &reads,
+        &clean,
+        clean_secs,
+        plan.clone(),
+    );
+    let b = pipeline_cell(
+        "random_plan",
+        format!("seed {} (replay)", args.seed),
+        &reads,
+        &clean,
+        clean_secs,
+        plan,
+    );
+    let deterministic = a.recovery == b.recovery && a.recovered() && b.recovered();
+    cells.push(a);
+    cells.push(b);
+
+    // Human-readable matrix on stderr.
+    eprintln!(
+        "\n{:<14} {:<19} {:<38} {:>5} {:>5} {:>9} {:>7}",
+        "subject", "fault", "intensity", "ok", "same", "overhead", "events"
+    );
+    for c in &cells {
+        eprintln!(
+            "{:<14} {:<19} {:<38} {:>5} {:>5} {:>8.2}x {:>7}",
+            c.subject,
+            c.fault,
+            c.intensity,
+            c.completed,
+            c.identical,
+            c.overhead,
+            c.recovery.total_events()
+        );
+    }
+    eprintln!(
+        "\nledger determinism across identical plans: {}",
+        if deterministic { "OK" } else { "VIOLATED" }
+    );
+
+    // JSON matrix on stdout.
+    let all_recovered = cells.iter().all(Cell::recovered);
+    let body: Vec<String> = cells
+        .iter()
+        .map(|c| format!("    {}", c.to_json(4)))
+        .collect();
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"reads\": {},\n  \"deterministic\": {},\n  \
+         \"all_recovered\": {},\n  \"cells\": [\n{}\n  ]\n}}",
+        args.seed,
+        num_reads,
+        deterministic,
+        all_recovered,
+        body.join(",\n")
+    );
+    println!("{json}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote recovery matrix to {path}");
+    }
+
+    if !all_recovered || !deterministic {
+        eprintln!("chaos_report: FAILURE — some faults were not recovered bit-identically");
+        std::process::exit(1);
+    }
+    eprintln!("chaos_report: all injected faults recovered with identical output");
+}

@@ -5,12 +5,20 @@
 //! then list-scheduled onto the virtual EMR cluster — the documented
 //! substitution for the paper's testbed (DESIGN.md §2).
 //!
+//! A second section re-runs the *real* (scaled) pipeline with
+//! engine-injected stragglers and speculative execution enabled, then
+//! re-schedules the measured tasks — including the recovery work the
+//! engine actually performed — onto the same virtual cluster, showing
+//! what Figure 2 looks like on a flaky cluster.
+//!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin figure2
 //! ```
 
-use mrmc::{CostCalibration, MrMcConfig};
-use mrmc_mapreduce::JobCostModel;
+use mrmc::{CostCalibration, Mode, MrMcConfig, MrMcMinH};
+use mrmc_mapreduce::chaos::{FaultPlan, Phase};
+use mrmc_mapreduce::{ClusterSpec, JobCostModel};
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
 
 fn main() {
     let config = MrMcConfig::whole_metagenome();
@@ -54,5 +62,84 @@ fn main() {
          10M-read speedup 2→12 nodes = {:.1}× (paper: keeps improving with nodes)",
         flat_small * 100.0,
         speedup_large
+    );
+
+    chaos_section(&nodes, &model);
+}
+
+/// Figure 2 on a flaky cluster: the real engine runs the hierarchical
+/// pipeline twice at small scale — clean, then with injected
+/// stragglers rescued by speculative execution — and both runs'
+/// measured tasks (plus the engine's actual recovery work) are
+/// re-scheduled onto the virtual cluster.
+fn chaos_section(nodes: &[usize], model: &JobCostModel) {
+    let spec = CommunitySpec {
+        species: vec![
+            SpeciesSpec {
+                name: "a".into(),
+                gc: 0.40,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "b".into(),
+                gc: 0.60,
+                abundance: 1.0,
+            },
+        ],
+        rank: TaxRank::Phylum,
+        genome_len: 50_000,
+    };
+    let sim = ReadSimulator::new(800, ErrorModel::with_total_rate(0.002));
+    let reads = spec.generate("f2", 120, &sim, 42).reads;
+
+    let runner = MrMcMinH::new(MrMcConfig {
+        kmer: 5,
+        num_hashes: 64,
+        theta: 0.55,
+        mode: Mode::Hierarchical,
+        map_tasks: 8,
+        ..Default::default()
+    });
+    eprintln!("\nre-running the real pipeline with injected stragglers...");
+    let clean = runner.run(&reads).expect("clean run");
+    // One straggler per stage, slowed well past the speculation bar.
+    let inj = FaultPlan::new()
+        .task_slowdown(0, Phase::Map, 2, 40)
+        .task_slowdown(1, Phase::Map, 5, 40)
+        .injector();
+    let chaotic = runner.run_with_injector(&reads, &inj).expect("chaotic run");
+    assert_eq!(
+        chaotic.assignment, clean.assignment,
+        "stragglers must not change the clustering"
+    );
+    let rec = chaotic.recovery();
+
+    println!(
+        "\nFigure 2 addendum — same pipeline, engine-injected stragglers\n\
+         (1 × 40 ms straggler per stage; speculation on; {} backup wins,\n\
+         {} tasks' recovery work charged to the schedule)\n",
+        rec.speculative_wins,
+        rec.total_events()
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "nodes", "clean (s)", "faulty (s)", "overhead"
+    );
+    for &n in nodes {
+        let cluster = ClusterSpec::m1_large(n);
+        let t_clean = clean.pipeline.simulated_total(&cluster, model);
+        let t_faulty = chaotic.pipeline.simulated_total(&cluster, model);
+        println!(
+            "{:>12} {:>14.2} {:>14.2} {:>9.1}%",
+            n,
+            t_clean,
+            t_faulty,
+            (t_faulty / t_clean - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\ncheck: output bit-identical under stragglers; overhead shrinks as\n\
+         nodes absorb the speculative re-work (recovery rides the same\n\
+         list schedule as real tasks)."
     );
 }

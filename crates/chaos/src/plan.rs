@@ -1,0 +1,501 @@
+//! Seeded, deterministic fault schedules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+
+use crate::injector::{FaultInjector, Phase, TaskFault};
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Attempts `0..fail_attempts` of the task panic; later attempts
+    /// succeed. `fail_attempts ≥ max_attempts` makes the task
+    /// permanently broken.
+    TaskPanic {
+        /// Phase the task belongs to.
+        phase: Phase,
+        /// Task index within the phase.
+        task: usize,
+        /// How many leading attempts fail.
+        fail_attempts: usize,
+    },
+    /// Attempt 0 of the task runs `millis` ms slower than nominal — a
+    /// straggler. The engine launches a speculative backup.
+    TaskSlowdown {
+        /// Phase the task belongs to.
+        phase: Phase,
+        /// Task index within the phase.
+        task: usize,
+        /// Extra wall-clock of the straggling attempt.
+        millis: u64,
+    },
+    /// Virtual node `node` dies at the map→reduce barrier: its map
+    /// outputs are lost and it accepts no further work.
+    NodeDeathAfterMap {
+        /// Node that dies.
+        node: usize,
+    },
+    /// Fetching partition `partition` of map task `map_task`'s output
+    /// fails `failures` times before succeeding (or, past the
+    /// engine's retry limit, forces map re-execution).
+    ShuffleFetchFail {
+        /// Source map task.
+        map_task: usize,
+        /// Requested partition.
+        partition: usize,
+        /// Consecutive fetch failures.
+        failures: u32,
+    },
+    /// Replica `replica` (ordinal) of block `block_index` of the DFS
+    /// file `path` is corrupted: its checksum no longer matches.
+    CorruptReplica {
+        /// DFS path.
+        path: String,
+        /// Block index within the file.
+        block_index: usize,
+        /// Replica ordinal within the block's replica list.
+        replica: usize,
+    },
+}
+
+/// A fault plus the job it applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Job ordinal (0-based submission order) the fault targets;
+    /// `None` applies to every job. DFS faults ignore this field.
+    pub job: Option<usize>,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults.
+///
+/// Build one explicitly with the builder methods, or derive one from a
+/// seed with [`FaultPlan::random`]. Identical plans (same builder
+/// calls, or same seed and profile) inject identical faults and —
+/// because the runtime's recovery is itself deterministic — produce
+/// identical [`crate::RecoveryCounters`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Schedule a task panic. See [`FaultKind::TaskPanic`].
+    pub fn task_panic(
+        mut self,
+        job: impl Into<Option<usize>>,
+        phase: Phase,
+        task: usize,
+        fail_attempts: usize,
+    ) -> FaultPlan {
+        self.faults.push(Fault {
+            job: job.into(),
+            kind: FaultKind::TaskPanic {
+                phase,
+                task,
+                fail_attempts,
+            },
+        });
+        self
+    }
+
+    /// Schedule a straggling task. See [`FaultKind::TaskSlowdown`].
+    pub fn task_slowdown(
+        mut self,
+        job: impl Into<Option<usize>>,
+        phase: Phase,
+        task: usize,
+        millis: u64,
+    ) -> FaultPlan {
+        self.faults.push(Fault {
+            job: job.into(),
+            kind: FaultKind::TaskSlowdown {
+                phase,
+                task,
+                millis,
+            },
+        });
+        self
+    }
+
+    /// Schedule a node death at the map→reduce barrier.
+    pub fn node_death_after_map(mut self, job: impl Into<Option<usize>>, node: usize) -> FaultPlan {
+        self.faults.push(Fault {
+            job: job.into(),
+            kind: FaultKind::NodeDeathAfterMap { node },
+        });
+        self
+    }
+
+    /// Schedule shuffle fetch failures.
+    pub fn shuffle_fetch_fail(
+        mut self,
+        job: impl Into<Option<usize>>,
+        map_task: usize,
+        partition: usize,
+        failures: u32,
+    ) -> FaultPlan {
+        self.faults.push(Fault {
+            job: job.into(),
+            kind: FaultKind::ShuffleFetchFail {
+                map_task,
+                partition,
+                failures,
+            },
+        });
+        self
+    }
+
+    /// Schedule replica corruption in the DFS.
+    pub fn corrupt_replica(
+        mut self,
+        path: impl Into<String>,
+        block_index: usize,
+        replica: usize,
+    ) -> FaultPlan {
+        self.faults.push(Fault {
+            job: None,
+            kind: FaultKind::CorruptReplica {
+                path: path.into(),
+                block_index,
+                replica,
+            },
+        });
+        self
+    }
+
+    /// Generate a plan from a seed and an intensity profile. The same
+    /// `(seed, profile)` pair always yields the same plan.
+    pub fn random(seed: u64, profile: &ChaosProfile) -> FaultPlan {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let jobs = profile.jobs.max(1);
+        let tasks = profile.map_tasks.max(1);
+        for _ in 0..profile.task_panics {
+            let job = rng.random_range(0..jobs);
+            let task = rng.random_range(0..tasks);
+            let fail = 1 + rng.random_range(0..profile.max_fail_attempts.max(1));
+            plan = plan.task_panic(job, Phase::Map, task, fail);
+        }
+        for _ in 0..profile.slowdowns {
+            let job = rng.random_range(0..jobs);
+            let task = rng.random_range(0..tasks);
+            let ms = 5 + rng.random_range(0..profile.max_slowdown_ms.max(1));
+            plan = plan.task_slowdown(job, Phase::Map, task, ms);
+        }
+        for _ in 0..profile.node_deaths {
+            let job = rng.random_range(0..jobs);
+            let node = rng.random_range(0..profile.nodes.max(1));
+            plan = plan.node_death_after_map(job, node);
+        }
+        for _ in 0..profile.fetch_failures {
+            let job = rng.random_range(0..jobs);
+            let map_task = rng.random_range(0..tasks);
+            let partition = rng.random_range(0..profile.partitions.max(1));
+            plan = plan.shuffle_fetch_fail(job, map_task, partition, 1 + rng.random_range(0..2u32));
+        }
+        plan
+    }
+
+    /// Wrap the plan in its deterministic injector.
+    pub fn injector(self) -> PlanInjector {
+        PlanInjector {
+            plan: self,
+            current_job: AtomicUsize::new(usize::MAX),
+            jobs_begun: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Intensity profile for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Jobs in the pipeline under test.
+    pub jobs: usize,
+    /// Map tasks per job (targets are drawn below this).
+    pub map_tasks: usize,
+    /// Virtual nodes in the engine.
+    pub nodes: usize,
+    /// Shuffle partitions per job.
+    pub partitions: usize,
+    /// Number of task-panic faults to draw.
+    pub task_panics: usize,
+    /// Max leading attempts a drawn panic fault fails (≥ 1).
+    pub max_fail_attempts: usize,
+    /// Number of straggler faults to draw.
+    pub slowdowns: usize,
+    /// Max extra milliseconds of a drawn straggler.
+    pub max_slowdown_ms: u64,
+    /// Number of node deaths to draw.
+    pub node_deaths: usize,
+    /// Number of shuffle-fetch faults to draw.
+    pub fetch_failures: usize,
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile {
+            jobs: 2,
+            map_tasks: 4,
+            nodes: 8,
+            partitions: 4,
+            task_panics: 1,
+            max_fail_attempts: 2,
+            slowdowns: 1,
+            max_slowdown_ms: 40,
+            node_deaths: 1,
+            fetch_failures: 1,
+        }
+    }
+}
+
+/// A [`FaultInjector`] driven entirely by a [`FaultPlan`].
+///
+/// The only mutable state is the job ordinal, advanced by
+/// [`FaultInjector::begin_job`]; every answer is a pure function of
+/// `(plan, job ordinal, hook arguments)`.
+#[derive(Debug)]
+pub struct PlanInjector {
+    plan: FaultPlan,
+    current_job: AtomicUsize,
+    jobs_begun: AtomicUsize,
+}
+
+impl PlanInjector {
+    fn job(&self) -> usize {
+        let j = self.current_job.load(Ordering::SeqCst);
+        if j == usize::MAX {
+            0
+        } else {
+            j
+        }
+    }
+
+    fn applies(&self, fault_job: Option<usize>) -> bool {
+        fault_job.map(|j| j == self.job()).unwrap_or(true)
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn begin_job(&self, _name: &str) {
+        let j = self.jobs_begun.fetch_add(1, Ordering::SeqCst);
+        self.current_job.store(j, Ordering::SeqCst);
+    }
+
+    fn task_fault(&self, phase: Phase, task: usize, attempt: usize) -> Option<TaskFault> {
+        for f in &self.plan.faults {
+            if !self.applies(f.job) {
+                continue;
+            }
+            match &f.kind {
+                FaultKind::TaskPanic {
+                    phase: p,
+                    task: t,
+                    fail_attempts,
+                } if *p == phase && *t == task && attempt < *fail_attempts => {
+                    return Some(TaskFault::Panic(format!(
+                        "chaos: injected panic (job {}, {} task {}, attempt {})",
+                        self.job(),
+                        phase.name(),
+                        task,
+                        attempt
+                    )));
+                }
+                FaultKind::TaskSlowdown {
+                    phase: p,
+                    task: t,
+                    millis,
+                } if *p == phase && *t == task && attempt == 0 => {
+                    return Some(TaskFault::Slowdown(Duration::from_millis(*millis)));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn node_deaths_after_map(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .plan
+            .faults
+            .iter()
+            .filter(|f| self.applies(f.job))
+            .filter_map(|f| match f.kind {
+                FaultKind::NodeDeathAfterMap { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    fn shuffle_fetch_failures(&self, map_task: usize, partition: usize) -> u32 {
+        self.plan
+            .faults
+            .iter()
+            .filter(|f| self.applies(f.job))
+            .map(|f| match f.kind {
+                FaultKind::ShuffleFetchFail {
+                    map_task: m,
+                    partition: p,
+                    failures,
+                } if m == map_task && p == partition => failures,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn replica_corrupted(&self, path: &str, block_index: usize, replica: usize) -> bool {
+        self.plan.faults.iter().any(|f| match &f.kind {
+            FaultKind::CorruptReplica {
+                path: fp,
+                block_index: b,
+                replica: r,
+            } => fp == path && *b == block_index && *r == replica,
+            _ => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .task_panic(0, Phase::Map, 3, 2)
+            .task_slowdown(1, Phase::Reduce, 0, 25)
+            .node_death_after_map(None, 5)
+            .shuffle_fetch_fail(0, 2, 1, 3)
+            .corrupt_replica("/f", 0, 1);
+        assert_eq!(plan.faults().len(), 5);
+        assert_eq!(plan.faults()[2].job, None);
+    }
+
+    #[test]
+    fn injector_answers_follow_plan() {
+        let inj = FaultPlan::new()
+            .task_panic(0, Phase::Map, 1, 2)
+            .task_slowdown(0, Phase::Map, 2, 30)
+            .node_death_after_map(1, 4)
+            .shuffle_fetch_fail(0, 0, 3, 2)
+            .corrupt_replica("/x", 1, 0)
+            .injector();
+        inj.begin_job("first");
+        // Panic on attempts 0 and 1 only.
+        assert!(matches!(
+            inj.task_fault(Phase::Map, 1, 0),
+            Some(TaskFault::Panic(_))
+        ));
+        assert!(matches!(
+            inj.task_fault(Phase::Map, 1, 1),
+            Some(TaskFault::Panic(_))
+        ));
+        assert_eq!(inj.task_fault(Phase::Map, 1, 2), None);
+        // Slowdown on attempt 0 only (the backup runs clean).
+        assert_eq!(
+            inj.task_fault(Phase::Map, 2, 0),
+            Some(TaskFault::Slowdown(Duration::from_millis(30)))
+        );
+        assert_eq!(inj.task_fault(Phase::Map, 2, 1), None);
+        // Wrong phase/task: nothing.
+        assert_eq!(inj.task_fault(Phase::Reduce, 1, 0), None);
+        // Node death targets job 1, not job 0.
+        assert!(inj.node_deaths_after_map().is_empty());
+        assert_eq!(inj.shuffle_fetch_failures(0, 3), 2);
+        assert_eq!(inj.shuffle_fetch_failures(0, 2), 0);
+        inj.begin_job("second");
+        assert_eq!(inj.node_deaths_after_map(), vec![4]);
+        assert_eq!(inj.shuffle_fetch_failures(0, 3), 0);
+        // DFS faults are job-independent.
+        assert!(inj.replica_corrupted("/x", 1, 0));
+        assert!(!inj.replica_corrupted("/x", 1, 1));
+        assert!(!inj.replica_corrupted("/y", 1, 0));
+    }
+
+    #[test]
+    fn before_begin_job_faults_apply_to_job_zero() {
+        let inj = FaultPlan::new().task_panic(0, Phase::Map, 0, 1).injector();
+        assert!(inj.task_fault(Phase::Map, 0, 0).is_some());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let profile = ChaosProfile::default();
+        let a = FaultPlan::random(7, &profile);
+        let b = FaultPlan::random(7, &profile);
+        let c = FaultPlan::random(8, &profile);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ for this profile");
+        let drawn =
+            profile.task_panics + profile.slowdowns + profile.node_deaths + profile.fetch_failures;
+        assert_eq!(a.faults().len(), drawn);
+    }
+
+    #[test]
+    fn random_plan_respects_bounds() {
+        let profile = ChaosProfile {
+            jobs: 3,
+            map_tasks: 5,
+            nodes: 4,
+            partitions: 2,
+            task_panics: 10,
+            max_fail_attempts: 2,
+            slowdowns: 10,
+            max_slowdown_ms: 20,
+            node_deaths: 10,
+            fetch_failures: 10,
+        };
+        let plan = FaultPlan::random(42, &profile);
+        for f in plan.faults() {
+            if let Some(j) = f.job {
+                assert!(j < 3);
+            }
+            match &f.kind {
+                FaultKind::TaskPanic {
+                    task,
+                    fail_attempts,
+                    ..
+                } => {
+                    assert!(*task < 5);
+                    assert!((1..=2).contains(fail_attempts));
+                }
+                FaultKind::TaskSlowdown { task, millis, .. } => {
+                    assert!(*task < 5);
+                    assert!((5..25).contains(millis));
+                }
+                FaultKind::NodeDeathAfterMap { node } => assert!(*node < 4),
+                FaultKind::ShuffleFetchFail {
+                    map_task,
+                    partition,
+                    failures,
+                } => {
+                    assert!(*map_task < 5);
+                    assert!(*partition < 2);
+                    assert!((1..=2).contains(failures));
+                }
+                FaultKind::CorruptReplica { .. } => unreachable!("not drawn randomly"),
+            }
+        }
+    }
+}

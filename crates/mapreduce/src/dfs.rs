@@ -6,13 +6,32 @@
 //! replica tracking, split computation — is what the Map-Reduce engine
 //! consumes: an [`InputSplit`] per block with locality hints.
 //!
-//! Fault injection (losing replicas, killing datanodes) is first-class
-//! so tests can exercise the under-replication and data-loss paths.
+//! # Checksums and corruption
+//!
+//! Like HDFS, every block carries a checksum computed at write time,
+//! and every replica records the checksum of the bytes it holds. A
+//! read verifies the replica checksum against the recomputed content
+//! checksum; a mismatch means bit-rot on that replica. The reader then
+//! falls back to a surviving good replica, quarantines the corrupt
+//! copies, and re-replicates the block back to full strength on live
+//! nodes — only when *every* replica is corrupt does the read fail
+//! with [`MrError::CorruptBlock`]. Repairs are tallied in the DFS's
+//! [`RecoveryCounters`] (see [`Dfs::recovery`]).
+//!
+//! Corruption arrives two ways: directly via
+//! [`Dfs::corrupt_replica`], or scheduled through a
+//! [`FaultInjector`] ([`Dfs::with_injector`]) whose
+//! `replica_corrupted` answers are applied once per block on first
+//! read. Node deaths ([`Dfs::kill_node`]) and whole-block loss
+//! ([`Dfs::drop_block`]) exercise the under-replication and data-loss
+//! paths.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
+use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
 use parking_lot::RwLock;
 
 use crate::error::MrError;
@@ -43,12 +62,27 @@ impl Default for DfsConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u64);
 
+/// One replica of a block on one datanode.
+#[derive(Debug, Clone, Copy)]
+struct Replica {
+    /// Datanode holding the copy.
+    node: usize,
+    /// Checksum of the bytes this copy holds; diverges from the
+    /// block's content checksum when the copy rots.
+    checksum: u64,
+}
+
 #[derive(Debug, Clone)]
 struct BlockMeta {
     /// Byte range of this block within its file.
     range: std::ops::Range<usize>,
-    /// Datanode ids currently holding a replica.
-    replicas: Vec<usize>,
+    /// Checksum of the block's content, computed at write time.
+    checksum: u64,
+    /// Replicas currently holding a copy.
+    replicas: Vec<Replica>,
+    /// Injector-scheduled corruption has been applied (it fires once
+    /// per block, on first read, so repairs are not re-corrupted).
+    faults_applied: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -83,11 +117,25 @@ pub struct Dfs {
     next_block: AtomicU64,
     /// Datanodes marked dead by fault injection.
     dead_nodes: RwLock<Vec<bool>>,
+    /// Scheduled corruption source (NoFaults by default).
+    injector: Arc<dyn FaultInjector>,
+    corrupt_detected: AtomicU64,
+    blocks_rereplicated: AtomicU64,
 }
 
 impl Dfs {
-    /// Create a DFS with the given configuration.
+    /// Create a DFS with the given configuration and no fault
+    /// injection.
     pub fn new(config: DfsConfig) -> Result<Dfs, MrError> {
+        Dfs::with_injector(config, Arc::new(NoFaults))
+    }
+
+    /// Create a DFS whose reads consult `injector` for scheduled
+    /// replica corruption.
+    pub fn with_injector(
+        config: DfsConfig,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Result<Dfs, MrError> {
         if config.nodes == 0 {
             return Err(MrError::BadConfig("DFS needs at least one node".into()));
         }
@@ -106,12 +154,26 @@ impl Dfs {
             blocks: RwLock::new(HashMap::new()),
             next_block: AtomicU64::new(0),
             dead_nodes: RwLock::new(vec![false; config.nodes]),
+            injector,
+            corrupt_detected: AtomicU64::new(0),
+            blocks_rereplicated: AtomicU64::new(0),
         })
     }
 
     /// The configuration this DFS was built with.
     pub fn config(&self) -> DfsConfig {
         self.config
+    }
+
+    /// What the DFS has done to survive corruption so far (only the
+    /// `corrupt_replicas_detected` / `blocks_rereplicated` fields are
+    /// meaningful here).
+    pub fn recovery(&self) -> RecoveryCounters {
+        RecoveryCounters {
+            corrupt_replicas_detected: self.corrupt_detected.load(Ordering::Relaxed),
+            blocks_rereplicated: self.blocks_rereplicated.load(Ordering::Relaxed),
+            ..RecoveryCounters::new()
+        }
     }
 
     /// Store a file. Errors if the path exists and `overwrite` is false.
@@ -151,14 +213,20 @@ impl Dfs {
             let start = i * self.config.block_size;
             let end = ((i + 1) * self.config.block_size).min(content.len());
             let id = BlockId(self.next_block.fetch_add(1, Ordering::Relaxed));
+            let checksum = content_checksum(&content[start..end]);
             let replicas = (0..self.config.replication)
-                .map(|r| live[(base + i + r) % live.len()])
+                .map(|r| Replica {
+                    node: live[(base + i + r) % live.len()],
+                    checksum,
+                })
                 .collect();
             blocks.insert(
                 id,
                 BlockMeta {
                     range: start..end,
+                    checksum,
                     replicas,
+                    faults_applied: false,
                 },
             );
             ids.push(id);
@@ -173,16 +241,26 @@ impl Dfs {
         Ok(())
     }
 
-    /// Read a whole file. Fails with [`MrError::MissingBlock`] if any
-    /// block has lost all replicas (fault injection).
+    /// Read a whole file, verifying every block's checksum.
+    ///
+    /// A replica whose checksum mismatches is quarantined; the read
+    /// falls back to a surviving good replica and the block is
+    /// re-replicated onto live nodes. Fails with
+    /// [`MrError::MissingBlock`] when a block has lost all replicas,
+    /// [`MrError::CorruptBlock`] when every replica is corrupt.
     pub fn read(&self, path: &str) -> Result<Bytes, MrError> {
-        let files = self.files.read();
-        let meta = files
-            .get(path)
-            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
-        let blocks = self.blocks.read();
-        for (i, id) in meta.blocks.iter().enumerate() {
-            let b = blocks.get(id).ok_or(MrError::MissingBlock {
+        let (content, ids) = {
+            let files = self.files.read();
+            let meta = files
+                .get(path)
+                .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+            (meta.content.clone(), meta.blocks.clone())
+        };
+        let dead = self.dead_nodes.read();
+        let live: Vec<usize> = (0..self.config.nodes).filter(|&n| !dead[n]).collect();
+        let mut blocks = self.blocks.write();
+        for (i, id) in ids.iter().enumerate() {
+            let b = blocks.get_mut(id).ok_or(MrError::MissingBlock {
                 path: path.to_string(),
                 block_index: i,
             })?;
@@ -192,8 +270,38 @@ impl Dfs {
                     block_index: i,
                 });
             }
+            // Scheduled bit-rot lands once per block, on first read.
+            if !b.faults_applied {
+                b.faults_applied = true;
+                for (ord, r) in b.replicas.iter_mut().enumerate() {
+                    if self.injector.replica_corrupted(path, i, ord) {
+                        r.checksum ^= CORRUPTION_MASK;
+                    }
+                }
+            }
+            // Verify against the recomputed content checksum, like an
+            // HDFS client checksumming what the datanode streamed.
+            let expected = content_checksum(&content[b.range.clone()]);
+            let corrupt = b.replicas.iter().filter(|r| r.checksum != expected).count();
+            if corrupt == 0 {
+                continue;
+            }
+            self.corrupt_detected
+                .fetch_add(corrupt as u64, Ordering::Relaxed);
+            if corrupt == b.replicas.len() {
+                return Err(MrError::CorruptBlock {
+                    path: path.to_string(),
+                    block_index: i,
+                });
+            }
+            // Fall back to a good replica (the content we already hold
+            // stands in for its bytes), quarantine the corrupt copies,
+            // and restore full replication on live nodes.
+            b.replicas.retain(|r| r.checksum == expected);
+            replicate_onto_live(b, expected, &live, self.config.replication);
+            self.blocks_rereplicated.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(meta.content.clone())
+        Ok(content)
     }
 
     /// Whether a path exists.
@@ -256,7 +364,7 @@ impl Dfs {
                     index: i,
                     file: meta.content.clone(),
                     range: b.range.clone(),
-                    preferred_nodes: b.replicas.clone(),
+                    preferred_nodes: b.replicas.iter().map(|r| r.node).collect(),
                 })
             })
             .collect()
@@ -281,6 +389,34 @@ impl Dfs {
         Ok(())
     }
 
+    /// Fault injection: flip the bits of replica `replica` (ordinal in
+    /// the block's current replica list) so its checksum no longer
+    /// matches. Detected — and repaired, if a good copy survives — on
+    /// the next read.
+    pub fn corrupt_replica(
+        &self,
+        path: &str,
+        block_index: usize,
+        replica: usize,
+    ) -> Result<(), MrError> {
+        let files = self.files.read();
+        let meta = files
+            .get(path)
+            .ok_or_else(|| MrError::FileNotFound(path.to_string()))?;
+        let id = *meta.blocks.get(block_index).ok_or(MrError::MissingBlock {
+            path: path.to_string(),
+            block_index,
+        })?;
+        let mut blocks = self.blocks.write();
+        let b = blocks.get_mut(&id).expect("meta consistent");
+        let r = b.replicas.get_mut(replica).ok_or(MrError::MissingBlock {
+            path: path.to_string(),
+            block_index,
+        })?;
+        r.checksum ^= CORRUPTION_MASK;
+        Ok(())
+    }
+
     /// Fault injection: kill a datanode — its replicas vanish. Files
     /// stay readable while any replica survives elsewhere.
     pub fn kill_node(&self, node: usize) {
@@ -291,8 +427,33 @@ impl Dfs {
         drop(dead);
         let mut blocks = self.blocks.write();
         for b in blocks.values_mut() {
-            b.replicas.retain(|&r| r != node);
+            b.replicas.retain(|r| r.node != node);
         }
+    }
+
+    /// Restore every under-replicated (but not lost) block to full
+    /// replication on live nodes — the namenode's background
+    /// re-replication sweep after a datanode death. Returns the number
+    /// of blocks repaired.
+    pub fn rereplicate_all(&self) -> usize {
+        let dead = self.dead_nodes.read();
+        let live: Vec<usize> = (0..self.config.nodes).filter(|&n| !dead[n]).collect();
+        let mut blocks = self.blocks.write();
+        let mut repaired = 0;
+        for b in blocks.values_mut() {
+            if b.replicas.is_empty() || b.replicas.len() >= self.config.replication {
+                continue;
+            }
+            let before = b.replicas.len();
+            let checksum = b.checksum;
+            replicate_onto_live(b, checksum, &live, self.config.replication);
+            if b.replicas.len() > before {
+                repaired += 1;
+            }
+        }
+        self.blocks_rereplicated
+            .fetch_add(repaired as u64, Ordering::Relaxed);
+        repaired
     }
 
     /// Number of blocks whose replica count is below the configured
@@ -320,14 +481,35 @@ impl Dfs {
     }
 }
 
-/// FNV-1a hash for placement decisions.
-fn path_hash(path: &str) -> u64 {
+/// XOR mask standing in for arbitrary bit-rot of a replica's bytes.
+const CORRUPTION_MASK: u64 = 0xDEAD_BEEF_0BAD_F00D;
+
+/// Add good replicas on live nodes until the block reaches
+/// `replication` copies (or live nodes run out).
+fn replicate_onto_live(b: &mut BlockMeta, checksum: u64, live: &[usize], replication: usize) {
+    for &n in live {
+        if b.replicas.len() >= replication {
+            break;
+        }
+        if b.replicas.iter().all(|r| r.node != n) {
+            b.replicas.push(Replica { node: n, checksum });
+        }
+    }
+}
+
+/// FNV-1a over block content — the write-time checksum.
+fn content_checksum(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in path.as_bytes() {
+    for b in data {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// FNV-1a hash for placement decisions.
+fn path_hash(path: &str) -> u64 {
+    content_checksum(path.as_bytes())
 }
 
 /// Reads the records of a FASTA-like file that *start* inside a split.
@@ -376,6 +558,7 @@ impl FastaSplitReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrmc_chaos::FaultPlan;
 
     fn small_dfs(block: usize) -> Dfs {
         Dfs::new(DfsConfig {
@@ -392,6 +575,7 @@ mod tests {
         dfs.put("/a.fa", &b">r1\nACGT\n"[..], false).unwrap();
         assert_eq!(dfs.read("/a.fa").unwrap().as_ref(), b">r1\nACGT\n");
         assert!(dfs.exists("/a.fa"));
+        assert!(dfs.recovery().is_clean());
     }
 
     #[test]
@@ -494,6 +678,132 @@ mod tests {
             nodes: 0
         })
         .is_err());
+    }
+
+    // ---- Checksums, corruption and repair ----
+
+    #[test]
+    fn corrupt_replica_repaired_from_survivor() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789"[..], false).unwrap();
+        dfs.corrupt_replica("/f", 1, 0).unwrap();
+        // The read detects the bad copy, serves from the survivor, and
+        // restores full replication.
+        assert_eq!(dfs.read("/f").unwrap().as_ref(), b"0123456789");
+        let rec = dfs.recovery();
+        assert_eq!(rec.corrupt_replicas_detected, 1);
+        assert_eq!(rec.blocks_rereplicated, 1);
+        assert_eq!(dfs.under_replicated(), 0);
+        // The repair is durable: the next read is clean.
+        assert!(dfs.read("/f").is_ok());
+        assert_eq!(dfs.recovery().corrupt_replicas_detected, 1);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_fatal() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789"[..], false).unwrap();
+        dfs.corrupt_replica("/f", 2, 0).unwrap();
+        dfs.corrupt_replica("/f", 2, 1).unwrap();
+        match dfs.read("/f") {
+            Err(MrError::CorruptBlock { path, block_index }) => {
+                assert_eq!(path, "/f");
+                assert_eq!(block_index, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injector_scheduled_corruption_detected_once() {
+        let inj = FaultPlan::new().corrupt_replica("/f", 0, 1).injector();
+        let dfs = Dfs::with_injector(
+            DfsConfig {
+                block_size: 4,
+                replication: 2,
+                nodes: 4,
+            },
+            Arc::new(inj),
+        )
+        .unwrap();
+        dfs.put("/f", &b"01234567"[..], false).unwrap();
+        assert_eq!(dfs.read("/f").unwrap().as_ref(), b"01234567");
+        let rec = dfs.recovery();
+        assert_eq!(rec.corrupt_replicas_detected, 1);
+        assert_eq!(rec.blocks_rereplicated, 1);
+        // Scheduled rot fires once per block: repeated reads stay clean.
+        assert!(dfs.read("/f").is_ok());
+        assert_eq!(dfs.recovery().corrupt_replicas_detected, 1);
+    }
+
+    #[test]
+    fn rereplicate_all_heals_node_death() {
+        let dfs = small_dfs(4);
+        dfs.put("/f", &b"0123456789abcdef"[..], false).unwrap();
+        dfs.kill_node(0);
+        let degraded = dfs.under_replicated();
+        assert!(degraded > 0, "killing a node should degrade some block");
+        let repaired = dfs.rereplicate_all();
+        assert_eq!(repaired, degraded);
+        assert_eq!(dfs.under_replicated(), 0);
+        assert_eq!(dfs.recovery().blocks_rereplicated, repaired as u64);
+        // Repaired replicas live only on live nodes.
+        for s in dfs.splits("/f").unwrap() {
+            assert!(!s.preferred_nodes.contains(&0));
+        }
+    }
+
+    // ---- Degenerate paths (satellite: zero replicas, exact edges) ----
+
+    #[test]
+    fn zero_replica_read_reports_path_and_block() {
+        let dfs = small_dfs(4);
+        dfs.put("/reads.fa", &b"0123456789"[..], false).unwrap();
+        dfs.drop_block("/reads.fa", 0).unwrap();
+        match dfs.read("/reads.fa") {
+            Err(MrError::MissingBlock { path, block_index }) => {
+                assert_eq!(path, "/reads.fa");
+                assert_eq!(block_index, 0);
+                assert!(MrError::MissingBlock { path, block_index }
+                    .to_string()
+                    .contains("/reads.fa"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_starting_exactly_at_block_edge_owned_by_right_split() {
+        // Block size 8 puts the second record's '>' exactly at byte 8,
+        // the first byte of block 1.
+        let body = b">a\nACGT\n>b\nTTTT\n";
+        assert_eq!(body[8], b'>');
+        let dfs = Dfs::new(DfsConfig {
+            block_size: 8,
+            replication: 2,
+            nodes: 4,
+        })
+        .unwrap();
+        dfs.put("/x.fa", &body[..], false).unwrap();
+        let splits = dfs.splits("/x.fa").unwrap();
+        assert_eq!(splits.len(), 2);
+        let first = FastaSplitReader::records(&splits[0]);
+        let second = FastaSplitReader::records(&splits[1]);
+        assert_eq!(first.len(), 1, "split 0 owns only the record it starts");
+        assert_eq!(
+            second.len(),
+            1,
+            "split 1 owns the record starting at its edge"
+        );
+        assert_eq!(first[0].as_ref(), b">a\nACGT\n");
+        assert_eq!(second[0].as_ref(), b">b\nTTTT\n");
+    }
+
+    #[test]
+    fn split_past_end_of_file_owns_nothing() {
+        let fasta = Bytes::from_static(b">a\nAC\n");
+        assert!(FastaSplitReader::records_in(&fasta, 6..6).is_empty());
+        assert!(FastaSplitReader::records_in(&fasta, 10..20).is_empty());
     }
 
     #[test]

@@ -5,17 +5,48 @@
 //! shuffle, then runs reduce tasks per partition. Task wall-times are
 //! recorded so the [`crate::simcluster`] layer can re-schedule the same
 //! work onto a virtual 2–12 node cluster.
+//!
+//! # Fault tolerance
+//!
+//! Every entry point has a `*_with_faults` variant taking a
+//! [`FaultInjector`] (see [`mrmc_chaos`]). The plain variants run with
+//! [`NoFaults`]. The recovery mechanics are *real*, not accounting:
+//!
+//! * a panicking task attempt (injected or genuine) is retried up to
+//!   [`crate::job::JobConfig::max_attempts`] times; exhausted budgets
+//!   fail the job with the **lowest** failing task index (deterministic
+//!   under concurrency);
+//! * a straggling attempt (injected slowdown) triggers a speculative
+//!   backup attempt in the same worker pool; the first finisher wins —
+//!   decided deterministically: a completed backup always beats its
+//!   straggling original, so recovery counters are reproducible;
+//! * each map task is pinned to a virtual node (`task % virtual_nodes`,
+//!   a stand-in for locality-aware placement); when the injector kills
+//!   nodes at the map→reduce barrier, the engine blacklists them and
+//!   re-executes the map tasks whose (node-local, uncommitted) output
+//!   died with them — Hadoop's lost-map-output semantics;
+//! * a shuffle fetch that keeps failing past the retry limit declares
+//!   the map output lost and re-executes that map task too.
+//!
+//! Everything the runtime did to survive is tallied in
+//! [`RecoveryCounters`] on the [`JobResult`].
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use mrmc_chaos::{FaultInjector, NoFaults, Phase, RecoveryCounters, TaskFault};
 
 use crate::error::MrError;
 use crate::job::{
     partition_of, Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext, TaskStats,
 };
+
+/// Shuffle fetches retried per (map, partition) before the map output
+/// is declared lost and the map task re-executed (Hadoop's
+/// `max.fetch.failures.per.mapper` idea, scaled down).
+const FETCH_RETRY_LIMIT: u32 = 3;
 
 /// Default worker pool size: the machine's parallelism.
 fn default_workers() -> usize {
@@ -24,82 +55,353 @@ fn default_workers() -> usize {
         .unwrap_or(4)
 }
 
-/// Run `n` tasks on `threads` workers, collecting results in task
-/// order. A task body that panics is retried up to `attempts` times
-/// (Hadoop's task-attempt semantics); exhausted attempts become
-/// [`MrError::TaskFailed`]. Returns the results plus the number of
-/// retries that occurred.
-fn run_parallel<T, F>(
-    phase: &'static str,
-    n: usize,
+/// One queued execution of a task: `slot` indexes the phase's task
+/// list, `attempt` is the per-task attempt ordinal handed to the
+/// injector, `backup` marks speculative executions.
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    slot: usize,
+    attempt: usize,
+    backup: bool,
+}
+
+/// Per-task bookkeeping inside the pool.
+struct TaskCell<T> {
+    result: Option<T>,
+    /// A successful result has been recorded.
+    done: bool,
+    /// The winning result came from a speculative backup.
+    won_by_backup: bool,
+    /// A speculative backup has been queued for this task.
+    backup_launched: bool,
+    /// The launched backup failed (the original's result stands).
+    backup_failed: bool,
+    /// The original finished while its backup was still outstanding.
+    original_succeeded: bool,
+    /// Regular (non-speculative) executions consumed from the attempt
+    /// budget.
+    regular_execs: usize,
+    /// Next attempt ordinal to hand out (retries and backups alike).
+    next_attempt: usize,
+    /// Executions currently queued or running.
+    outstanding: usize,
+    last_error: Option<String>,
+}
+
+struct PoolState<T> {
+    queue: VecDeque<Item>,
+    /// Items queued or being processed; workers exit when it reaches 0.
+    live: usize,
+    cells: Vec<TaskCell<T>>,
+    retried: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "task panicked".to_string())
+}
+
+/// Execution parameters of one phase pass, shared by every task.
+///
+/// `attempt_offset` shifts the attempt ordinals handed to the injector
+/// — re-execution passes (after node loss or lost shuffle output) use
+/// it so their attempts are distinguishable from the primary pass.
+struct PhaseSpec<'a> {
+    phase: Phase,
     threads: usize,
     attempts: usize,
+    attempt_offset: usize,
+    speculate: bool,
+    injector: &'a dyn FaultInjector,
+}
+
+/// Run the tasks in `task_ids` on the spec's workers, consulting its
+/// injector before every attempt. Returns results aligned with
+/// `task_ids` plus the recovery ledger (retries + speculative wins).
+fn run_phase<T, F>(
+    spec: &PhaseSpec<'_>,
+    task_ids: &[usize],
     f: F,
-) -> Result<(Vec<T>, u64), MrError>
+) -> Result<(Vec<T>, RecoveryCounters), MrError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let PhaseSpec {
+        phase,
+        threads,
+        attempts,
+        attempt_offset,
+        speculate,
+        injector,
+    } = *spec;
+    let n = task_ids.len();
     if n == 0 {
-        return Ok((Vec::new(), 0));
+        return Ok((Vec::new(), RecoveryCounters::new()));
     }
     let attempts = attempts.max(1);
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
-    let retries = std::sync::atomic::AtomicU64::new(0);
-    let next = AtomicUsize::new(0);
+    let state = Mutex::new(PoolState {
+        queue: (0..n)
+            .map(|slot| Item {
+                slot,
+                attempt: 0,
+                backup: false,
+            })
+            .collect(),
+        live: n,
+        cells: (0..n)
+            .map(|_| TaskCell {
+                result: None,
+                done: false,
+                won_by_backup: false,
+                backup_launched: false,
+                backup_failed: false,
+                original_succeeded: false,
+                regular_execs: 1,
+                next_attempt: 1,
+                outstanding: 1,
+                last_error: None,
+            })
+            .collect(),
+        retried: 0,
+    });
+    let cvar = Condvar::new();
     let workers = threads.clamp(1, n);
 
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let mut last_msg = String::new();
-                let mut done = false;
-                for attempt in 0..attempts {
-                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                        Ok(v) => {
-                            *results[i].lock() = Some(v);
-                            done = true;
-                            break;
+                // Pull the next execution, or exit once the pool drains.
+                let item = {
+                    let mut g = state.lock().expect("pool lock");
+                    loop {
+                        if let Some(it) = g.queue.pop_front() {
+                            break it;
                         }
-                        Err(payload) => {
-                            last_msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "task panicked".to_string());
-                            if attempt + 1 < attempts {
-                                retries.fetch_add(1, Ordering::Relaxed);
+                        if g.live == 0 {
+                            return;
+                        }
+                        g = cvar.wait(g).expect("pool lock");
+                    }
+                };
+                // A queued retry/backup for an already-finished task is
+                // moot: drop it without consulting the injector.
+                let moot = state.lock().expect("pool lock").cells[item.slot].done;
+                let task_id = task_ids[item.slot];
+                let fault = if moot {
+                    None
+                } else {
+                    injector.task_fault(phase, task_id, attempt_offset + item.attempt)
+                };
+
+                // A straggling original gets a speculative backup
+                // queued *before* it stalls, then really stalls.
+                if let Some(TaskFault::Slowdown(delay)) = &fault {
+                    if !item.backup && speculate {
+                        let mut g = state.lock().expect("pool lock");
+                        let mut launch = None;
+                        {
+                            let cell = &mut g.cells[item.slot];
+                            if !cell.backup_launched && !cell.done {
+                                cell.backup_launched = true;
+                                cell.outstanding += 1;
+                                launch = Some(Item {
+                                    slot: item.slot,
+                                    attempt: cell.next_attempt,
+                                    backup: true,
+                                });
+                                cell.next_attempt += 1;
+                            }
+                        }
+                        if let Some(it) = launch {
+                            g.queue.push_back(it);
+                            g.live += 1;
+                            cvar.notify_one();
+                        }
+                    }
+                    std::thread::sleep(*delay);
+                }
+
+                let exec: Option<Result<T, String>> = if moot {
+                    None
+                } else {
+                    Some(
+                        catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(TaskFault::Panic(msg)) = &fault {
+                                panic!("{}", msg.clone());
+                            }
+                            f(task_id)
+                        }))
+                        .map_err(panic_message),
+                    )
+                };
+
+                let mut g = state.lock().expect("pool lock");
+                let mut retry = None;
+                {
+                    let cell = &mut g.cells[item.slot];
+                    cell.outstanding -= 1;
+                    match exec {
+                        None => {}
+                        Some(Ok(v)) => {
+                            if item.backup {
+                                // First-finisher-wins, decided
+                                // deterministically: a successful backup
+                                // always beats its straggling original,
+                                // whatever the thread timing was.
+                                cell.result = Some(v);
+                                cell.won_by_backup = true;
+                                cell.done = true;
+                            } else if !cell.done {
+                                if cell.result.is_none() {
+                                    cell.result = Some(v);
+                                }
+                                // While a backup is outstanding the
+                                // task stays open: its plan-determined
+                                // outcome (not thread timing) decides
+                                // the winner.
+                                if !cell.backup_launched || cell.backup_failed {
+                                    cell.done = true;
+                                } else {
+                                    cell.original_succeeded = true;
+                                }
+                            }
+                        }
+                        Some(Err(msg)) => {
+                            cell.last_error = Some(msg);
+                            if item.backup {
+                                // Failed backups are abandoned (they
+                                // were a bonus); a finished original
+                                // now stands.
+                                cell.backup_failed = true;
+                                if cell.original_succeeded {
+                                    cell.done = true;
+                                }
+                            }
+                            // Failed regular attempts retry while
+                            // budget remains.
+                            if !item.backup && !cell.done && cell.regular_execs < attempts {
+                                cell.regular_execs += 1;
+                                cell.outstanding += 1;
+                                retry = Some(Item {
+                                    slot: item.slot,
+                                    attempt: cell.next_attempt,
+                                    backup: false,
+                                });
+                                cell.next_attempt += 1;
                             }
                         }
                     }
                 }
-                if !done {
-                    let mut slot = failure.lock();
-                    if slot.is_none() {
-                        *slot = Some((i, last_msg));
-                    }
+                if let Some(it) = retry {
+                    g.retried += 1;
+                    g.queue.push_back(it);
+                    g.live += 1;
+                    cvar.notify_one();
+                }
+                g.live -= 1;
+                if g.live == 0 {
+                    cvar.notify_all();
                 }
             });
         }
     });
 
-    if let Some((task, message)) = failure.into_inner() {
+    let state = state.into_inner().expect("pool lock");
+    // Deterministic first-failure choice: the lowest failing task
+    // index, regardless of which worker recorded its failure first.
+    if let Some((slot, cell)) = state.cells.iter().enumerate().find(|(_, c)| !c.done) {
         return Err(MrError::TaskFailed {
-            phase,
-            task,
-            message,
+            phase: phase.name(),
+            task: task_ids[slot],
+            attempts: cell.regular_execs,
+            message: cell
+                .last_error
+                .clone()
+                .unwrap_or_else(|| "task produced no result".to_string()),
         });
     }
-    let out = results
+    let recovery = RecoveryCounters {
+        tasks_retried: state.retried,
+        speculative_wins: state.cells.iter().filter(|c| c.won_by_backup).count() as u64,
+        ..RecoveryCounters::new()
+    };
+    let results = state
+        .cells
         .into_iter()
-        .map(|m| m.into_inner().expect("task completed"))
+        .map(|c| c.result.expect("task completed"))
         .collect();
-    Ok((out, retries.into_inner()))
+    Ok((results, recovery))
+}
+
+/// Map tasks assigned to virtual nodes that died at the map→reduce
+/// barrier. Task→node placement is the engine's round-robin
+/// `task % virtual_nodes`.
+fn tasks_lost_to(deaths: &[usize], num_tasks: usize, nodes: usize) -> Vec<usize> {
+    (0..num_tasks)
+        .filter(|i| deaths.contains(&(i % nodes)))
+        .collect()
+}
+
+/// Consult the injector for node deaths, blacklist them, and
+/// re-execute the map tasks whose output died. Returns an error only
+/// if every virtual node died.
+fn recover_node_deaths<T, F>(
+    outputs: &mut [T],
+    recovery: &mut RecoveryCounters,
+    config: &JobConfig,
+    workers: usize,
+    injector: &dyn FaultInjector,
+    f: F,
+) -> Result<(), MrError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let nodes = config.virtual_nodes.max(1);
+    let mut deaths: Vec<usize> = injector
+        .node_deaths_after_map()
+        .into_iter()
+        .filter(|&d| d < nodes)
+        .collect();
+    deaths.sort_unstable();
+    deaths.dedup();
+    if deaths.is_empty() {
+        return Ok(());
+    }
+    if deaths.len() >= nodes {
+        return Err(MrError::BadConfig(format!(
+            "chaos: all {nodes} virtual nodes died; no survivors to re-run on"
+        )));
+    }
+    let lost = tasks_lost_to(&deaths, outputs.len(), nodes);
+    if lost.is_empty() {
+        return Ok(());
+    }
+    // Surviving nodes re-run the lost maps; attempt ordinals are
+    // offset past the primary pass so the injector can tell them
+    // apart.
+    let (redone, re_recovery) = run_phase(
+        &PhaseSpec {
+            phase: Phase::Map,
+            threads: workers,
+            attempts: config.max_attempts,
+            attempt_offset: config.max_attempts + 2,
+            speculate: config.speculative,
+            injector,
+        },
+        &lost,
+        f,
+    )?;
+    recovery.merge(&re_recovery);
+    recovery.maps_reexecuted_node_loss += lost.len() as u64;
+    for (&slot, out) in lost.iter().zip(redone) {
+        outputs[slot] = out;
+    }
+    Ok(())
 }
 
 /// Split `input` into `n` contiguous chunks of near-equal length.
@@ -119,9 +421,6 @@ fn chunk_input<T>(mut input: Vec<T>, n: usize) -> Vec<Vec<T>> {
     chunks.reverse();
     chunks
 }
-
-/// Pairs emitted by one map task plus its stats/counters.
-type MapPhaseResult<K, V> = (Vec<MapTaskOutput<K, V>>, u64);
 
 struct MapTaskOutput<K, V> {
     partitions: Vec<Vec<(K, V)>>,
@@ -143,31 +442,71 @@ where
     M::InKey: Clone + Sync,
     M::InValue: Clone + Sync,
 {
+    run_map_only_with_faults(input, num_map_tasks, mapper, config, &NoFaults)
+}
+
+/// [`run_map_only`] under a fault injector. Map outputs count as
+/// node-local until the job commits, so a node death at the end of the
+/// map phase re-executes that node's tasks even in a map-only job.
+pub fn run_map_only_with_faults<M>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    config: &JobConfig,
+    injector: &dyn FaultInjector,
+) -> Result<JobResult<M::OutKey, M::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+{
+    injector.begin_job(&config.name);
     let workers = config.worker_threads.unwrap_or_else(default_workers);
     // Chunks stay intact so a retried attempt can re-read its input.
     let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
 
-    let (outputs, retries) =
-        run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
-            let chunk = chunks[i].clone();
-            let start = Instant::now();
-            let records_in = chunk.len() as u64;
-            let mut ctx = TaskContext::new();
-            for (k, v) in chunk {
-                mapper.map(k, v, &mut ctx);
-            }
-            let (pairs, counters) = ctx.into_parts();
-            let stats = TaskStats {
-                task: i,
-                duration: start.elapsed(),
-                records_in,
-                records_out: pairs.len() as u64,
-            };
-            (pairs, stats, counters)
-        })?;
+    let map_task = |i: usize| {
+        let chunk = chunks[i].clone();
+        let start = Instant::now();
+        let records_in = chunk.len() as u64;
+        let mut ctx = TaskContext::new();
+        for (k, v) in chunk {
+            mapper.map(k, v, &mut ctx);
+        }
+        let (pairs, counters) = ctx.into_parts();
+        let stats = TaskStats {
+            task: i,
+            duration: start.elapsed(),
+            records_in,
+            records_out: pairs.len() as u64,
+        };
+        (pairs, stats, counters)
+    };
+
+    let ids: Vec<usize> = (0..chunks.len()).collect();
+    let (mut outputs, mut recovery) = run_phase(
+        &PhaseSpec {
+            phase: Phase::Map,
+            threads: workers,
+            attempts: config.max_attempts,
+            attempt_offset: 0,
+            speculate: config.speculative,
+            injector,
+        },
+        &ids,
+        map_task,
+    )?;
+    recover_node_deaths(
+        &mut outputs,
+        &mut recovery,
+        config,
+        workers,
+        injector,
+        map_task,
+    )?;
 
     let counters = Counters::new();
-    counters.add("TASK_RETRIES", retries);
+    counters.add("TASK_RETRIES", recovery.tasks_retried);
     let mut all = Vec::new();
     let mut map_stats = Vec::new();
     for (pairs, stats, task_counters) in outputs {
@@ -183,6 +522,7 @@ where
         map_stats,
         reduce_stats: Vec::new(),
         shuffled_pairs: 0,
+        recovery,
     })
 }
 
@@ -207,6 +547,33 @@ where
         None::<&NoCombiner<M::OutKey, M::OutValue>>,
         reducer,
         config,
+        &NoFaults,
+    )
+}
+
+/// [`run_job`] under a fault injector.
+pub fn run_job_with_faults<M, R>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    reducer: &R,
+    config: &JobConfig,
+    injector: &dyn FaultInjector,
+) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    run_job_impl(
+        input,
+        num_map_tasks,
+        mapper,
+        None::<&NoCombiner<M::OutKey, M::OutValue>>,
+        reducer,
+        config,
+        injector,
     )
 }
 
@@ -234,6 +601,7 @@ where
         Some(combiner),
         reducer,
         config,
+        &NoFaults,
     )
 }
 
@@ -257,6 +625,7 @@ fn run_job_impl<M, C, R>(
     combiner: Option<&C>,
     reducer: &R,
     config: &JobConfig,
+    injector: &dyn FaultInjector,
 ) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
 where
     M: Mapper,
@@ -268,62 +637,123 @@ where
     if config.num_reducers == 0 {
         return Err(MrError::BadConfig("num_reducers must be ≥ 1".into()));
     }
+    injector.begin_job(&config.name);
     let reducers = config.num_reducers;
     let workers = config.worker_threads.unwrap_or_else(default_workers);
 
     // ---- Map phase ----
     let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
 
-    let (map_outputs, map_retries): MapPhaseResult<M::OutKey, M::OutValue> =
-        run_parallel("map", chunks.len(), workers, config.max_attempts, |i| {
-            let chunk = chunks[i].clone();
-            let start = Instant::now();
-            let records_in = chunk.len() as u64;
-            let mut ctx = TaskContext::new();
-            for (k, v) in chunk {
-                mapper.map(k, v, &mut ctx);
-            }
-            let (mut pairs, counters) = ctx.into_parts();
-            // Local combine: sort + group + combine, like Hadoop's
-            // in-memory combiner on spill.
-            if let Some(c) = combiner {
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
-                let mut combined = Vec::with_capacity(pairs.len());
-                let mut iter = pairs.into_iter().peekable();
-                while let Some((key, first)) = iter.next() {
-                    let mut group = vec![first];
-                    while iter.peek().is_some_and(|(k, _)| *k == key) {
-                        group.push(iter.next().expect("peeked").1);
-                    }
-                    for v in c.combine(&key, group) {
-                        combined.push((key.clone(), v));
-                    }
+    let map_task = |i: usize| {
+        let chunk = chunks[i].clone();
+        let start = Instant::now();
+        let records_in = chunk.len() as u64;
+        let mut ctx = TaskContext::new();
+        for (k, v) in chunk {
+            mapper.map(k, v, &mut ctx);
+        }
+        let (mut pairs, counters) = ctx.into_parts();
+        // Local combine: sort + group + combine, like Hadoop's
+        // in-memory combiner on spill.
+        if let Some(c) = combiner {
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut combined = Vec::with_capacity(pairs.len());
+            let mut iter = pairs.into_iter().peekable();
+            while let Some((key, first)) = iter.next() {
+                let mut group = vec![first];
+                while iter.peek().is_some_and(|(k, _)| *k == key) {
+                    group.push(iter.next().expect("peeked").1);
                 }
-                pairs = combined;
+                for v in c.combine(&key, group) {
+                    combined.push((key.clone(), v));
+                }
             }
-            let records_out = pairs.len() as u64;
-            // Partition.
-            let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
-                (0..reducers).map(|_| Vec::new()).collect();
-            for (k, v) in pairs {
-                let p = partition_of(&k, reducers);
-                partitions[p].push((k, v));
+            pairs = combined;
+        }
+        let records_out = pairs.len() as u64;
+        // Partition.
+        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        for (k, v) in pairs {
+            let p = partition_of(&k, reducers);
+            partitions[p].push((k, v));
+        }
+        MapTaskOutput {
+            partitions,
+            stats: TaskStats {
+                task: i,
+                duration: start.elapsed(),
+                records_in,
+                records_out,
+            },
+            counters,
+        }
+    };
+
+    let ids: Vec<usize> = (0..chunks.len()).collect();
+    let (mut map_outputs, mut recovery) = run_phase(
+        &PhaseSpec {
+            phase: Phase::Map,
+            threads: workers,
+            attempts: config.max_attempts,
+            attempt_offset: 0,
+            speculate: config.speculative,
+            injector,
+        },
+        &ids,
+        map_task,
+    )?;
+
+    // ---- Node deaths at the map→reduce barrier ----
+    recover_node_deaths(
+        &mut map_outputs,
+        &mut recovery,
+        config,
+        workers,
+        injector,
+        map_task,
+    )?;
+
+    // ---- Shuffle fetch failures ----
+    // Each (map, partition) fetch is retried; past the limit the map
+    // output is declared lost and the map task re-executed.
+    let mut lost_maps = Vec::new();
+    for m in 0..map_outputs.len() {
+        let mut lost = false;
+        for p in 0..reducers {
+            let fails = injector.shuffle_fetch_failures(m, p);
+            if fails == 0 {
+                continue;
             }
-            MapTaskOutput {
-                partitions,
-                stats: TaskStats {
-                    task: i,
-                    duration: start.elapsed(),
-                    records_in,
-                    records_out,
-                },
-                counters,
+            recovery.shuffle_fetch_retries += u64::from(fails.min(FETCH_RETRY_LIMIT));
+            if fails > FETCH_RETRY_LIMIT {
+                lost = true;
             }
-        })?;
+        }
+        if lost {
+            lost_maps.push(m);
+        }
+    }
+    for m in lost_maps {
+        let (redone, re_recovery) = run_phase(
+            &PhaseSpec {
+                phase: Phase::Map,
+                threads: workers,
+                attempts: config.max_attempts,
+                attempt_offset: config.max_attempts + 8,
+                speculate: config.speculative,
+                injector,
+            },
+            &[m],
+            map_task,
+        )?;
+        recovery.merge(&re_recovery);
+        recovery.maps_reexecuted_fetch_fail += 1;
+        map_outputs[m] = redone.into_iter().next().expect("one task re-run");
+    }
 
     // ---- Shuffle: gather each partition across map tasks ----
     let counters = Counters::new();
-    counters.add("TASK_RETRIES", map_retries);
     let mut map_stats = Vec::with_capacity(map_outputs.len());
     let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
         (0..reducers).map(|_| Vec::new()).collect();
@@ -343,34 +773,48 @@ where
     // ---- Reduce phase ----
     let partition_slots: Vec<Vec<(M::OutKey, M::OutValue)>> = partitions;
 
-    let (reduce_outputs, reduce_retries) =
-        run_parallel("reduce", reducers, workers, config.max_attempts, |p| {
-            let mut pairs = partition_slots[p].clone();
-            let start = Instant::now();
-            let records_in = pairs.len() as u64;
-            // Sort-based grouping (stable so value order is deterministic
-            // given task order).
-            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut ctx = TaskContext::new();
-            let mut iter = pairs.into_iter().peekable();
-            while let Some((key, first)) = iter.next() {
-                let mut group = vec![first];
-                while iter.peek().is_some_and(|(k, _)| *k == key) {
-                    group.push(iter.next().expect("peeked").1);
-                }
-                reducer.reduce(key, group, &mut ctx);
+    let reduce_task = |p: usize| {
+        let mut pairs = partition_slots[p].clone();
+        let start = Instant::now();
+        let records_in = pairs.len() as u64;
+        // Sort-based grouping (stable so value order is deterministic
+        // given task order).
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut ctx = TaskContext::new();
+        let mut iter = pairs.into_iter().peekable();
+        while let Some((key, first)) = iter.next() {
+            let mut group = vec![first];
+            while iter.peek().is_some_and(|(k, _)| *k == key) {
+                group.push(iter.next().expect("peeked").1);
             }
-            let (out, task_counters) = ctx.into_parts();
-            let stats = TaskStats {
-                task: p,
-                duration: start.elapsed(),
-                records_in,
-                records_out: out.len() as u64,
-            };
-            (out, stats, task_counters)
-        })?;
+            reducer.reduce(key, group, &mut ctx);
+        }
+        let (out, task_counters) = ctx.into_parts();
+        let stats = TaskStats {
+            task: p,
+            duration: start.elapsed(),
+            records_in,
+            records_out: out.len() as u64,
+        };
+        (out, stats, task_counters)
+    };
 
-    counters.add("TASK_RETRIES", reduce_retries);
+    let reduce_ids: Vec<usize> = (0..reducers).collect();
+    let (reduce_outputs, reduce_recovery) = run_phase(
+        &PhaseSpec {
+            phase: Phase::Reduce,
+            threads: workers,
+            attempts: config.max_attempts,
+            attempt_offset: 0,
+            speculate: config.speculative,
+            injector,
+        },
+        &reduce_ids,
+        reduce_task,
+    )?;
+    recovery.merge(&reduce_recovery);
+
+    counters.add("TASK_RETRIES", recovery.tasks_retried);
     let mut output = Vec::new();
     let mut reduce_stats = Vec::with_capacity(reducers);
     for (out, stats, task_counters) in reduce_outputs {
@@ -387,12 +831,15 @@ where
         map_stats,
         reduce_stats,
         shuffled_pairs,
+        recovery,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mrmc_chaos::FaultPlan;
+    use std::sync::atomic::Ordering;
 
     /// Classic word count over (line_no, line) records.
     struct WcMapper;
@@ -463,6 +910,7 @@ mod tests {
         assert_eq!(result.counters.get("MAP_INPUT_RECORDS"), 3);
         assert_eq!(result.map_stats.len(), 2);
         assert_eq!(result.reduce_stats.len(), 3);
+        assert!(result.recovery.is_clean());
     }
 
     #[test]
@@ -557,11 +1005,40 @@ mod tests {
         }
         let cfg = JobConfig::named("boom").reducers(1).workers(2);
         match run_job(wc_input(), 3, &Bomb, &SumReducer, &cfg) {
-            Err(MrError::TaskFailed { phase, message, .. }) => {
+            Err(MrError::TaskFailed {
+                phase,
+                message,
+                attempts,
+                ..
+            }) => {
                 assert_eq!(phase, "map");
                 assert!(message.contains("injected fault"));
+                assert_eq!(attempts, 1);
             }
             other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_failure_is_lowest_task_index() {
+        /// Panics on every task: the reported failure must always be
+        /// the lowest task index, whatever order workers finish in.
+        struct AllBomb;
+        impl Mapper for AllBomb {
+            type InKey = usize;
+            type InValue = String;
+            type OutKey = String;
+            type OutValue = u64;
+            fn map(&self, k: usize, _v: String, _ctx: &mut TaskContext<String, u64>) {
+                panic!("task input {k} bad");
+            }
+        }
+        for workers in [1, 2, 8] {
+            let cfg = JobConfig::named("boom").reducers(1).workers(workers);
+            match run_job(wc_input(), 3, &AllBomb, &SumReducer, &cfg) {
+                Err(MrError::TaskFailed { task, .. }) => assert_eq!(task, 0, "workers={workers}"),
+                other => panic!("unexpected: {other:?}"),
+            }
         }
     }
 
@@ -611,6 +1088,7 @@ mod tests {
         let result = run_job(wc_input(), 2, &flaky, &SumReducer, &cfg).unwrap();
         assert_eq!(sorted(result.output), expected_wc());
         assert!(result.counters.get("TASK_RETRIES") >= 1);
+        assert!(result.recovery.tasks_retried >= 1);
     }
 
     #[test]
@@ -646,5 +1124,142 @@ mod tests {
         let mut expect = keys.clone();
         expect.sort();
         assert_eq!(keys, expect);
+    }
+
+    // ---- Fault-injected recovery ----
+
+    #[test]
+    fn injected_panics_recovered_identically() {
+        let cfg = JobConfig::named("wc").reducers(3).workers(4).attempts(4);
+        let clean = run_job(wc_input(), 3, &WcMapper, &SumReducer, &cfg).unwrap();
+        let inj = FaultPlan::new()
+            .task_panic(0, Phase::Map, 0, 2)
+            .task_panic(0, Phase::Map, 2, 1)
+            .task_panic(0, Phase::Reduce, 1, 1)
+            .injector();
+        let chaotic =
+            run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+        assert_eq!(sorted(clean.output), sorted(chaotic.output));
+        assert_eq!(chaotic.recovery.tasks_retried, 4);
+        assert_eq!(chaotic.counters.get("TASK_RETRIES"), 4);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_with_attempt_count() {
+        let cfg = JobConfig::named("wc").reducers(2).workers(2).attempts(3);
+        let inj = FaultPlan::new()
+            .task_panic(0, Phase::Map, 1, usize::MAX)
+            .injector();
+        match run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj) {
+            Err(MrError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                message,
+            }) => {
+                assert_eq!(phase, "map");
+                assert_eq!(task, 1);
+                assert_eq!(attempts, 3);
+                assert!(message.contains("chaos: injected panic"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_death_reexecutes_its_maps() {
+        let cfg = JobConfig::named("wc").reducers(3).workers(4).nodes(3);
+        let clean = run_job(wc_input(), 3, &WcMapper, &SumReducer, &cfg).unwrap();
+        // Node 1 held map task 1 (task % 3 nodes); killing it at the
+        // barrier forces one re-execution.
+        let inj = FaultPlan::new().node_death_after_map(0, 1).injector();
+        let chaotic =
+            run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+        assert_eq!(sorted(clean.output), sorted(chaotic.output));
+        assert_eq!(chaotic.recovery.maps_reexecuted_node_loss, 1);
+    }
+
+    #[test]
+    fn all_nodes_dead_is_an_error() {
+        let cfg = JobConfig::named("wc").reducers(1).workers(2).nodes(2);
+        let inj = FaultPlan::new()
+            .node_death_after_map(0, 0)
+            .node_death_after_map(0, 1)
+            .injector();
+        assert!(matches!(
+            run_job_with_faults(wc_input(), 2, &WcMapper, &SumReducer, &cfg, &inj),
+            Err(MrError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn speculative_backup_wins_over_straggler() {
+        let cfg = JobConfig::named("wc").reducers(2).workers(4);
+        let clean = run_job(wc_input(), 3, &WcMapper, &SumReducer, &cfg).unwrap();
+        let inj = FaultPlan::new()
+            .task_slowdown(0, Phase::Map, 1, 30)
+            .injector();
+        let chaotic =
+            run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+        assert_eq!(sorted(clean.output), sorted(chaotic.output));
+        assert_eq!(chaotic.recovery.speculative_wins, 1);
+    }
+
+    #[test]
+    fn speculation_disabled_still_completes() {
+        let cfg = JobConfig::named("wc")
+            .reducers(2)
+            .workers(4)
+            .speculative(false);
+        let inj = FaultPlan::new()
+            .task_slowdown(0, Phase::Map, 1, 10)
+            .injector();
+        let result =
+            run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+        assert_eq!(sorted(result.output), expected_wc());
+        assert_eq!(result.recovery.speculative_wins, 0);
+    }
+
+    #[test]
+    fn fetch_failures_retry_then_reexecute() {
+        let cfg = JobConfig::named("wc").reducers(2).workers(2);
+        let clean = run_job(wc_input(), 3, &WcMapper, &SumReducer, &cfg).unwrap();
+        // 2 failures: retried, output kept. 5 failures: output lost,
+        // map 1 re-executed.
+        let inj = FaultPlan::new()
+            .shuffle_fetch_fail(0, 0, 1, 2)
+            .shuffle_fetch_fail(0, 1, 0, 5)
+            .injector();
+        let chaotic =
+            run_job_with_faults(wc_input(), 3, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+        assert_eq!(sorted(clean.output), sorted(chaotic.output));
+        assert_eq!(chaotic.recovery.shuffle_fetch_retries, 2 + 3);
+        assert_eq!(chaotic.recovery.maps_reexecuted_fetch_fail, 1);
+    }
+
+    #[test]
+    fn recovery_counters_reproducible_across_runs_and_workers() {
+        let plan = FaultPlan::new()
+            .task_panic(0, Phase::Map, 0, 1)
+            .task_slowdown(0, Phase::Map, 2, 20)
+            .node_death_after_map(0, 2)
+            .shuffle_fetch_fail(0, 1, 1, 5);
+        let mut ledgers = Vec::new();
+        for workers in [1, 2, 4, 4] {
+            let cfg = JobConfig::named("wc")
+                .reducers(3)
+                .workers(workers)
+                .attempts(3)
+                .nodes(4);
+            let inj = plan.clone().injector();
+            let result =
+                run_job_with_faults(wc_input(), 4, &WcMapper, &SumReducer, &cfg, &inj).unwrap();
+            assert_eq!(sorted(result.output), expected_wc());
+            ledgers.push(result.recovery);
+        }
+        assert!(
+            ledgers.windows(2).all(|w| w[0] == w[1]),
+            "recovery counters must not depend on worker count or timing: {ledgers:?}"
+        );
     }
 }

@@ -17,15 +17,25 @@ pub enum MrError {
         /// Index of the missing block within the file.
         block_index: usize,
     },
+    /// Every replica of a block failed its checksum — the data is
+    /// unrecoverable (all copies corrupted or lost).
+    CorruptBlock {
+        /// Owning file.
+        path: String,
+        /// Index of the corrupt block within the file.
+        block_index: usize,
+    },
     /// Invalid configuration (zero nodes, zero reducers, …).
     BadConfig(String),
-    /// A map or reduce task panicked.
+    /// A map or reduce task panicked on every attempt.
     TaskFailed {
         /// "map" or "reduce".
         phase: &'static str,
         /// Task index within the phase.
         task: usize,
-        /// Panic payload rendered to a string.
+        /// Regular attempts consumed before giving up.
+        attempts: usize,
+        /// Panic payload of the last attempt, rendered to a string.
         message: String,
     },
 }
@@ -38,12 +48,22 @@ impl fmt::Display for MrError {
             MrError::MissingBlock { path, block_index } => {
                 write!(f, "missing block {block_index} of {path}")
             }
+            MrError::CorruptBlock { path, block_index } => {
+                write!(
+                    f,
+                    "all replicas of block {block_index} of {path} are corrupt"
+                )
+            }
             MrError::BadConfig(m) => write!(f, "bad configuration: {m}"),
             MrError::TaskFailed {
                 phase,
                 task,
+                attempts,
                 message,
-            } => write!(f, "{phase} task {task} failed: {message}"),
+            } => write!(
+                f,
+                "{phase} task {task} failed after {attempts} attempt(s): {message}"
+            ),
         }
     }
 }
@@ -62,9 +82,16 @@ mod tests {
         let e = MrError::TaskFailed {
             phase: "map",
             task: 3,
+            attempts: 4,
             message: "boom".into(),
         };
         let s = e.to_string();
-        assert!(s.contains("map") && s.contains('3') && s.contains("boom"));
+        assert!(s.contains("map") && s.contains('3') && s.contains('4') && s.contains("boom"));
+        let c = MrError::CorruptBlock {
+            path: "/reads.fa".into(),
+            block_index: 2,
+        };
+        let s = c.to_string();
+        assert!(s.contains("/reads.fa") && s.contains('2') && s.contains("corrupt"));
     }
 }

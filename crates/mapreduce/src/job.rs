@@ -177,6 +177,13 @@ pub struct JobConfig {
     /// `mapreduce.map.maxattempts`, default 4 there; 1 here so tests
     /// fail fast unless retries are requested).
     pub max_attempts: usize,
+    /// Virtual nodes map tasks are pinned to (`task % virtual_nodes`)
+    /// for the fault model: a node death at the map→reduce barrier
+    /// loses its tasks' uncommitted output.
+    pub virtual_nodes: usize,
+    /// Launch speculative backup attempts for straggling tasks
+    /// (Hadoop's `mapreduce.map.speculative`, on by default there too).
+    pub speculative: bool,
 }
 
 impl JobConfig {
@@ -188,6 +195,8 @@ impl JobConfig {
             num_reducers: 4,
             worker_threads: None,
             max_attempts: 1,
+            virtual_nodes: 8,
+            speculative: true,
         }
     }
 
@@ -206,6 +215,18 @@ impl JobConfig {
     /// Builder-style per-task attempt budget (≥ 1).
     pub fn attempts(mut self, n: usize) -> JobConfig {
         self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Builder-style virtual node count (≥ 1).
+    pub fn nodes(mut self, n: usize) -> JobConfig {
+        self.virtual_nodes = n.max(1);
+        self
+    }
+
+    /// Builder-style speculative-execution toggle.
+    pub fn speculative(mut self, on: bool) -> JobConfig {
+        self.speculative = on;
         self
     }
 }
@@ -237,6 +258,9 @@ pub struct JobResult<K, V> {
     pub reduce_stats: Vec<TaskStats>,
     /// Total intermediate pairs that crossed the shuffle (post-combine).
     pub shuffled_pairs: u64,
+    /// Everything the runtime did to survive faults while producing
+    /// this result (all zero on a clean run).
+    pub recovery: mrmc_chaos::RecoveryCounters,
 }
 
 /// Default Hadoop-style partitioner: `hash(key) % reducers`.
@@ -295,5 +319,10 @@ mod tests {
         assert_eq!(c.name, "j");
         assert_eq!(c.num_reducers, 9);
         assert_eq!(c.worker_threads, Some(3));
+        assert_eq!(c.virtual_nodes, 8);
+        assert!(c.speculative);
+        let c = c.nodes(0).speculative(false);
+        assert_eq!(c.virtual_nodes, 1, "node count floors at 1");
+        assert!(!c.speculative);
     }
 }

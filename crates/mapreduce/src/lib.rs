@@ -25,6 +25,14 @@
 //! The executor really runs in parallel (worker threads, channels); the
 //! simulated cluster adds the *accounting* layer that maps that work
 //! onto a virtual 2–12 node Hadoop deployment.
+//!
+//! Fault injection and recovery live in the [`mrmc_chaos`] crate
+//! (re-exported here as [`chaos`]): every entry point has a
+//! `*_with_faults` variant taking a [`FaultInjector`], and the engine
+//! and DFS implement the *real* recovery Hadoop would perform — task
+//! retries, speculative backups, lost-map-output re-execution after a
+//! node death, checksum fallback and re-replication — with the tally
+//! surfaced as [`RecoveryCounters`] on job results.
 
 pub mod dfs;
 pub mod engine;
@@ -33,12 +41,18 @@ pub mod job;
 pub mod pipeline;
 pub mod simcluster;
 
+pub use mrmc_chaos as chaos;
+
 pub use dfs::{Dfs, DfsConfig, FastaSplitReader, InputSplit};
-pub use engine::{run_job, run_map_only};
+pub use engine::{run_job, run_job_with_faults, run_map_only, run_map_only_with_faults};
 pub use error::MrError;
 pub use job::{
     Combiner, Counters, JobConfig, JobResult, Mapper, MrKey, MrValue, Reducer, TaskContext,
     TaskStats,
+};
+pub use mrmc_chaos::{
+    ChaosProfile, FaultInjector, FaultPlan, NoFaults, Phase, PlanInjector, RecoveryCounters,
+    TaskFault,
 };
 pub use pipeline::Pipeline;
 pub use simcluster::{ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask, SimJobReport};

@@ -7,7 +7,9 @@
 
 use std::time::Duration;
 
-use crate::engine::{run_job, run_map_only};
+use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
+
+use crate::engine::{run_job_with_faults, run_map_only_with_faults};
 use crate::error::MrError;
 use crate::job::{JobConfig, Mapper, Reducer, TaskStats};
 use crate::simcluster::{ClusterSpec, JobCostModel, SimJobReport};
@@ -25,6 +27,8 @@ pub struct StageReport {
     pub shuffled_pairs: u64,
     /// Real wall-clock spent executing the stage in-process.
     pub wall: Duration,
+    /// Recovery work the stage performed (all zero without faults).
+    pub recovery: RecoveryCounters,
 }
 
 impl StageReport {
@@ -81,14 +85,34 @@ impl Pipeline {
         M::InValue: Clone + Sync,
         R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
     {
+        self.run_stage_with_faults(input, num_map_tasks, mapper, reducer, config, &NoFaults)
+    }
+
+    /// [`Pipeline::run_stage`] under a fault injector.
+    pub fn run_stage_with_faults<M, R>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        reducer: &R,
+        config: &JobConfig,
+        injector: &dyn FaultInjector,
+    ) -> Result<StageOutput<R::OutKey, R::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    {
         let start = std::time::Instant::now();
-        let result = run_job(input, num_map_tasks, mapper, reducer, config)?;
+        let result = run_job_with_faults(input, num_map_tasks, mapper, reducer, config, injector)?;
         self.stages.push(StageReport {
             name: config.name.clone(),
             map_stats: result.map_stats,
             reduce_stats: result.reduce_stats,
             shuffled_pairs: result.shuffled_pairs,
             wall: start.elapsed(),
+            recovery: result.recovery,
         });
         Ok(result.output)
     }
@@ -106,14 +130,32 @@ impl Pipeline {
         M::InKey: Clone + Sync,
         M::InValue: Clone + Sync,
     {
+        self.run_map_stage_with_faults(input, num_map_tasks, mapper, config, &NoFaults)
+    }
+
+    /// [`Pipeline::run_map_stage`] under a fault injector.
+    pub fn run_map_stage_with_faults<M>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        config: &JobConfig,
+        injector: &dyn FaultInjector,
+    ) -> Result<StageOutput<M::OutKey, M::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
         let start = std::time::Instant::now();
-        let result = run_map_only(input, num_map_tasks, mapper, config)?;
+        let result = run_map_only_with_faults(input, num_map_tasks, mapper, config, injector)?;
         self.stages.push(StageReport {
             name: config.name.clone(),
             map_stats: result.map_stats,
             reduce_stats: Vec::new(),
             shuffled_pairs: 0,
             wall: start.elapsed(),
+            recovery: result.recovery,
         });
         Ok(result.output)
     }
@@ -128,6 +170,15 @@ impl Pipeline {
         self.stages.iter().map(|s| s.wall).sum()
     }
 
+    /// Recovery work accumulated across every stage.
+    pub fn total_recovery(&self) -> RecoveryCounters {
+        let mut total = RecoveryCounters::new();
+        for s in &self.stages {
+            total.merge(&s.recovery);
+        }
+        total
+    }
+
     /// Re-schedule every stage's measured task costs onto a virtual
     /// cluster, returning per-stage simulated reports. The pipeline's
     /// simulated total is the sum (jobs run sequentially, as Pig does).
@@ -135,7 +186,13 @@ impl Pipeline {
         self.stages
             .iter()
             .map(|s| {
-                cluster.simulate_job(model, &s.map_costs(), s.shuffled_pairs, &s.reduce_costs())
+                cluster.simulate_job_recovered(
+                    model,
+                    &s.map_costs(),
+                    s.shuffled_pairs,
+                    &s.reduce_costs(),
+                    s.recovery,
+                )
             })
             .collect()
     }
@@ -275,5 +332,51 @@ mod tests {
             .unwrap();
         assert_eq!(out, vec![(0, 2), (1, 4)]);
         assert_eq!(p.stages()[0].shuffled_pairs, 0);
+        assert!(p.total_recovery().is_clean());
+    }
+
+    #[test]
+    fn injected_stage_recovers_and_accumulates_ledger() {
+        use mrmc_chaos::{FaultPlan, Phase};
+
+        let input = vec![(0usize, "a b a c".to_string()), (1, "b a".to_string())];
+        let mut clean = Pipeline::new("clean");
+        let mut expect = clean
+            .run_stage(
+                input.clone(),
+                2,
+                &Tokenize,
+                &Sum,
+                &JobConfig::named("wc").reducers(2),
+            )
+            .unwrap();
+        expect.sort();
+
+        let inj = FaultPlan::new()
+            .task_panic(0, Phase::Map, 0, 1)
+            .node_death_after_map(0, 1)
+            .injector();
+        let mut chaotic = Pipeline::new("chaotic");
+        let mut got = chaotic
+            .run_stage_with_faults(
+                input,
+                2,
+                &Tokenize,
+                &Sum,
+                &JobConfig::named("wc").reducers(2).attempts(4).nodes(2),
+                &inj,
+            )
+            .unwrap();
+        got.sort();
+        assert_eq!(got, expect);
+        let rec = chaotic.total_recovery();
+        assert_eq!(rec.tasks_retried, 1);
+        assert_eq!(rec.maps_reexecuted_node_loss, 1);
+        // The recovery ledger rides into the simulated reports.
+        let cluster = ClusterSpec::m1_large(4);
+        let model = JobCostModel::default();
+        let reports = chaotic.simulate_on(&cluster, &model);
+        assert_eq!(reports[0].recovery, rec);
+        assert!(clean.simulate_on(&cluster, &model)[0].recovery.is_clean());
     }
 }

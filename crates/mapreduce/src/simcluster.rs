@@ -113,6 +113,9 @@ pub struct SimJobReport {
     pub reduce_time: f64,
     /// Fixed job overhead (seconds).
     pub overhead: f64,
+    /// Recovery work the real engine performed producing the measured
+    /// task costs (zero for purely synthetic simulations).
+    pub recovery: mrmc_chaos::RecoveryCounters,
 }
 
 impl SimJobReport {
@@ -156,11 +159,44 @@ impl ClusterSpec {
         shuffled_records: u64,
         reduce_costs: &[f64],
     ) -> SimJobReport {
+        self.simulate_job_recovered(
+            model,
+            map_costs,
+            shuffled_records,
+            reduce_costs,
+            mrmc_chaos::RecoveryCounters::new(),
+        )
+    }
+
+    /// [`ClusterSpec::simulate_job`] for a job that performed recovery
+    /// work: every retried or re-executed map attempt is scheduled as
+    /// an extra mean-cost map task (the cluster really ran it), and the
+    /// ledger is carried on the report.
+    pub fn simulate_job_recovered(
+        &self,
+        model: &JobCostModel,
+        map_costs: &[f64],
+        shuffled_records: u64,
+        reduce_costs: &[f64],
+        recovery: mrmc_chaos::RecoveryCounters,
+    ) -> SimJobReport {
         let with_task_overhead =
             |costs: &[f64]| -> Vec<f64> { costs.iter().map(|c| c + model.task_overhead).collect() };
         // Straggler injection: the longest map task is slowed (and
         // possibly rescued by speculation).
         let mut map_costs = with_task_overhead(map_costs);
+        // Recovery work is real work: every extra map execution the
+        // engine ran (retries, node-loss and fetch-failure
+        // re-executions, winning backups) occupies a slot for a
+        // mean-cost task.
+        let extra_execs = recovery.tasks_retried
+            + recovery.maps_reexecuted_node_loss
+            + recovery.maps_reexecuted_fetch_fail
+            + recovery.speculative_wins;
+        if extra_execs > 0 && !map_costs.is_empty() {
+            let mean = map_costs.iter().sum::<f64>() / map_costs.len() as f64;
+            map_costs.extend(std::iter::repeat_n(mean, extra_execs as usize));
+        }
         if model.straggler_slowdown > 1.0 {
             if let Some(idx) = map_costs
                 .iter()
@@ -180,6 +216,7 @@ impl ClusterSpec {
             shuffle_time,
             reduce_time,
             overhead: model.job_overhead,
+            recovery,
         }
     }
 }
@@ -439,6 +476,35 @@ mod tests {
             c.simulate_job(&base, &costs, 10, &[]).total(),
             c.simulate_job(&with_spec, &costs, 10, &[]).total()
         );
+    }
+
+    #[test]
+    fn recovered_simulation_charges_extra_work() {
+        let model = JobCostModel::default();
+        let cluster = ClusterSpec::m1_large(2);
+        let costs = vec![2.0; 8];
+        let clean = cluster.simulate_job(&model, &costs, 0, &[]);
+        let recovery = mrmc_chaos::RecoveryCounters {
+            tasks_retried: 2,
+            maps_reexecuted_node_loss: 4,
+            ..mrmc_chaos::RecoveryCounters::new()
+        };
+        let recovered = cluster.simulate_job_recovered(&model, &costs, 0, &[], recovery);
+        assert!(
+            recovered.map_time > clean.map_time,
+            "6 extra executions on 4 slots must lengthen the map phase"
+        );
+        assert_eq!(recovered.recovery, recovery);
+        assert!(clean.recovery.is_clean());
+        // Zero recovery must be the identity.
+        let same = cluster.simulate_job_recovered(
+            &model,
+            &costs,
+            0,
+            &[],
+            mrmc_chaos::RecoveryCounters::new(),
+        );
+        assert_eq!(same, clean);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use bytes::Bytes;
 use mrmc_mapreduce::dfs::{Dfs, DfsConfig, FastaSplitReader};
 use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
 use mrmc_mapreduce::job::{Combiner, JobConfig, Mapper, Reducer, TaskContext};
-use mrmc_mapreduce::simcluster::lpt_makespan;
+use mrmc_mapreduce::simcluster::{lpt_makespan, ClusterSpec, JobCostModel};
+use mrmc_mapreduce::RecoveryCounters;
 use std::collections::HashMap;
 
 struct WcMapper;
@@ -147,5 +148,81 @@ proptest! {
             prop_assert!(mk <= prev + 1e-9);
             prev = mk;
         }
+    }
+
+    /// Simulated job phases respect the classic scheduling lower
+    /// bounds: no phase beats its longest task (plus launch overhead),
+    /// nor the total work spread over the available slots.
+    #[test]
+    fn sim_job_lower_bounds(
+        map_costs in proptest::collection::vec(0.01f64..20.0, 1..30),
+        reduce_costs in proptest::collection::vec(0.01f64..20.0, 0..12),
+        shuffled in 0u64..2_000_000,
+        nodes in 1usize..13,
+    ) {
+        let model = JobCostModel::default();
+        let cluster = ClusterSpec::m1_large(nodes);
+        let report = cluster.simulate_job(&model, &map_costs, shuffled, &reduce_costs);
+
+        let max_map = map_costs.iter().cloned().fold(0.0, f64::max);
+        let map_work: f64 =
+            map_costs.iter().sum::<f64>() + map_costs.len() as f64 * model.task_overhead;
+        prop_assert!(report.map_time >= max_map + model.task_overhead - 1e-9);
+        prop_assert!(report.map_time >= map_work / cluster.map_slots() as f64 - 1e-9);
+
+        if !reduce_costs.is_empty() {
+            let max_red = reduce_costs.iter().cloned().fold(0.0, f64::max);
+            let red_work: f64 =
+                reduce_costs.iter().sum::<f64>() + reduce_costs.len() as f64 * model.task_overhead;
+            prop_assert!(report.reduce_time >= max_red + model.task_overhead - 1e-9);
+            prop_assert!(report.reduce_time >= red_work / cluster.reduce_slots() as f64 - 1e-9);
+        }
+        prop_assert!(report.total() >= model.job_overhead - 1e-9);
+    }
+
+    /// Adding nodes never makes a simulated job slower (every term —
+    /// map makespan, reduce makespan, shuffle bandwidth — improves or
+    /// stays put).
+    #[test]
+    fn sim_job_total_non_increasing_in_nodes(
+        map_costs in proptest::collection::vec(0.01f64..20.0, 1..30),
+        reduce_costs in proptest::collection::vec(0.01f64..20.0, 0..12),
+        shuffled in 0u64..2_000_000,
+    ) {
+        let model = JobCostModel::default();
+        let mut prev = f64::INFINITY;
+        for nodes in 1..=12 {
+            let total = ClusterSpec::m1_large(nodes)
+                .simulate_job(&model, &map_costs, shuffled, &reduce_costs)
+                .total();
+            prop_assert!(total <= prev + 1e-9, "{nodes} nodes: {total} > {prev}");
+            prev = total;
+        }
+    }
+
+    /// Recovery work is never free: a job that retried or re-executed
+    /// maps takes at least as long as its clean counterpart, and a
+    /// clean ledger changes nothing.
+    #[test]
+    fn sim_job_recovery_never_cheaper(
+        map_costs in proptest::collection::vec(0.01f64..20.0, 1..30),
+        nodes in 1usize..13,
+        retried in 0u64..6,
+        reexecuted in 0u64..6,
+    ) {
+        let model = JobCostModel::default();
+        let cluster = ClusterSpec::m1_large(nodes);
+        let clean = cluster.simulate_job(&model, &map_costs, 0, &[]);
+        let ledger = RecoveryCounters {
+            tasks_retried: retried,
+            maps_reexecuted_node_loss: reexecuted,
+            ..RecoveryCounters::new()
+        };
+        let recovered = cluster.simulate_job_recovered(&model, &map_costs, 0, &[], ledger);
+        prop_assert!(recovered.total() >= clean.total() - 1e-9);
+        let idle = cluster.simulate_job_recovered(
+            &model, &map_costs, 0, &[], RecoveryCounters::new(),
+        );
+        prop_assert!((idle.total() - clean.total()).abs() < 1e-12);
     }
 }

@@ -3,12 +3,13 @@
 use std::time::{Duration, Instant};
 
 use mrmc_cluster::{agglomerative, greedy_cluster, ClusterAssignment, Dendrogram};
+use mrmc_mapreduce::chaos::{FaultInjector, NoFaults, RecoveryCounters};
 use mrmc_mapreduce::pipeline::Pipeline;
 use mrmc_mapreduce::MrError;
 use mrmc_seqio::SeqRecord;
 
 use crate::config::{Mode, MrMcConfig};
-use crate::stages::{similarity_matrix_stage, sketch_similarity, sketch_stage};
+use crate::stages::{similarity_matrix_stage_with, sketch_similarity, sketch_stage_with};
 
 /// Result of a MrMC-MinH run.
 #[derive(Debug)]
@@ -29,6 +30,12 @@ impl MrMcResult {
     /// Convenience: cluster count.
     pub fn num_clusters(&self) -> usize {
         self.assignment.num_clusters()
+    }
+
+    /// Recovery work performed across all Map-Reduce stages of the run
+    /// (all zero unless faults were injected — or genuinely occurred).
+    pub fn recovery(&self) -> RecoveryCounters {
+        self.pipeline.total_recovery()
     }
 
     /// Re-cut the stored dendrogram at a different θ without
@@ -87,6 +94,18 @@ impl MrMcMinH {
 
     /// Cluster the reads.
     pub fn run(&self, reads: &[SeqRecord]) -> Result<MrMcResult, MrError> {
+        self.run_with_injector(reads, &NoFaults)
+    }
+
+    /// Cluster the reads while a [`FaultInjector`] disrupts the
+    /// Map-Reduce substrate. The clustering output must be bit-identical
+    /// to a fault-free run whenever recovery succeeds; the price paid
+    /// is visible in [`MrMcResult::recovery`].
+    pub fn run_with_injector(
+        &self,
+        reads: &[SeqRecord],
+        injector: &dyn FaultInjector,
+    ) -> Result<MrMcResult, MrError> {
         let start = Instant::now();
         let mut pipeline = Pipeline::new(match self.config.mode {
             Mode::Greedy => "mrmc-minh-g",
@@ -94,7 +113,7 @@ impl MrMcMinH {
         });
 
         // Stage 1: minwise sketches (map-only over records).
-        let sketches = sketch_stage(reads, &self.config, &mut pipeline)?;
+        let sketches = sketch_stage_with(reads, &self.config, &mut pipeline, injector)?;
 
         let cluster_start = Instant::now();
         let (assignment, dendrogram) = match self.config.mode {
@@ -110,7 +129,8 @@ impl MrMcMinH {
             Mode::Hierarchical => {
                 // Algorithm 2 — all-pairs matrix via row partitioning,
                 // then agglomerative clustering with θ cutoff.
-                let matrix = similarity_matrix_stage(sketches, &self.config, &mut pipeline)?;
+                let matrix =
+                    similarity_matrix_stage_with(sketches, &self.config, &mut pipeline, injector)?;
                 let (assignment, dendro) =
                     agglomerative(&matrix, self.config.linkage, self.config.theta);
                 (assignment.compact(), Some(dendro))
@@ -334,6 +354,31 @@ mod tests {
             .sketch_sequence(&reverse_complement(&reads[0].seq))
             .unwrap();
         assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn chaos_run_bit_identical_to_clean_run() {
+        use mrmc_mapreduce::chaos::{FaultPlan, Phase};
+
+        let (reads, _) = two_species(40, 8);
+        let runner = MrMcMinH::new(config(Mode::Hierarchical, 0.55));
+        let clean = runner.run(&reads).unwrap();
+        // Job 0 = sketch, job 1 = similarity: panics in both stages, a
+        // straggler, a node death, all at once.
+        let inj = FaultPlan::new()
+            .task_panic(0, Phase::Map, 1, 2)
+            .task_panic(1, Phase::Map, 3, 1)
+            .task_slowdown(1, Phase::Map, 0, 15)
+            .node_death_after_map(0, 2)
+            .injector();
+        let chaotic = runner.run_with_injector(&reads, &inj).unwrap();
+        assert_eq!(chaotic.assignment, clean.assignment);
+        assert_eq!(chaotic.dendrogram, clean.dendrogram);
+        let rec = chaotic.recovery();
+        assert_eq!(rec.tasks_retried, 3);
+        assert_eq!(rec.speculative_wins, 1);
+        assert!(rec.maps_reexecuted_node_loss >= 1);
+        assert!(clean.recovery().is_clean());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! rows of the condensed matrix.
 
 use mrmc_cluster::CondensedMatrix;
+use mrmc_mapreduce::chaos::{FaultInjector, NoFaults};
 use mrmc_mapreduce::job::{JobConfig, Mapper, TaskContext};
 use mrmc_mapreduce::pipeline::Pipeline;
 use mrmc_mapreduce::MrError;
@@ -53,17 +54,29 @@ pub fn sketch_stage(
     config: &MrMcConfig,
     pipeline: &mut Pipeline,
 ) -> Result<Vec<Sketch>, MrError> {
+    sketch_stage_with(reads, config, pipeline, &NoFaults)
+}
+
+/// [`sketch_stage`] under a fault injector. Tasks get the Hadoop
+/// default attempt budget (4), so injected panics are survivable.
+pub fn sketch_stage_with(
+    reads: &[SeqRecord],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+    injector: &dyn FaultInjector,
+) -> Result<Vec<Sketch>, MrError> {
     let mut hasher = MinHasher::for_kmer_size(config.kmer, config.num_hashes, config.seed);
     if config.canonical {
         hasher = hasher.canonical();
     }
     let mapper = SketchMapper { hasher, reads };
     let input: Vec<(usize, ())> = (0..reads.len()).map(|i| (i, ())).collect();
-    let mut job = JobConfig::named("minwise-sketch");
+    let mut job = JobConfig::named("minwise-sketch").attempts(4);
     if let Some(w) = config.workers {
         job = job.workers(w);
     }
-    let out = pipeline.run_map_stage(input, config.map_tasks, &mapper, &job)?;
+    let out =
+        pipeline.run_map_stage_with_faults(input, config.map_tasks, &mapper, &job, injector)?;
     Ok(out.into_iter().map(|(_, s)| s).collect())
 }
 
@@ -160,12 +173,23 @@ pub fn similarity_matrix_stage(
     config: &MrMcConfig,
     pipeline: &mut Pipeline,
 ) -> Result<CondensedMatrix, MrError> {
+    similarity_matrix_stage_with(sketches, config, pipeline, &NoFaults)
+}
+
+/// [`similarity_matrix_stage`] under a fault injector. Tasks get the
+/// Hadoop default attempt budget (4).
+pub fn similarity_matrix_stage_with(
+    sketches: Vec<Sketch>,
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+    injector: &dyn FaultInjector,
+) -> Result<CondensedMatrix, MrError> {
     let n = sketches.len();
     let mapper = RowBlockMapper {
         sketches: &sketches,
         estimator: config.estimator,
     };
-    let mut job = JobConfig::named("pairwise-similarity");
+    let mut job = JobConfig::named("pairwise-similarity").attempts(4);
     if let Some(w) = config.workers {
         job = job.workers(w);
     }
@@ -175,7 +199,7 @@ pub fn similarity_matrix_stage(
     let blocks = balanced_row_blocks(n, tasks);
     let input: Vec<(usize, (usize, usize))> = blocks.into_iter().enumerate().collect();
     let num_tasks = input.len().max(1);
-    let rows = pipeline.run_map_stage(input, num_tasks, &mapper, &job)?;
+    let rows = pipeline.run_map_stage_with_faults(input, num_tasks, &mapper, &job, injector)?;
 
     // Assemble the condensed matrix from row strips, keyed by row (the
     // engine preserves task order, but keying by row makes assembly
