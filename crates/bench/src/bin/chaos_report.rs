@@ -44,6 +44,12 @@ struct Cell {
     /// jittery for sub-millisecond subjects — informational only).
     overhead: f64,
     recovery: RecoveryCounters,
+    /// Similarity evaluations the faulty run performed.
+    pairs_computed: u64,
+    /// Candidate pairs the banded stages emitted (0 off the banded path).
+    candidates_emitted: u64,
+    /// Shuffle volume of the faulty run, bytes.
+    shuffle_bytes: u64,
 }
 
 impl Cell {
@@ -71,6 +77,11 @@ impl Cell {
              {fp}  \"shuffle_fetch_retries\": {},\n\
              {fp}  \"blocks_rereplicated\": {},\n\
              {fp}  \"corrupt_replicas_detected\": {}\n\
+             {fp}}},\n\
+             {fp}\"counters\": {{\n\
+             {fp}  \"pairs_computed\": {},\n\
+             {fp}  \"candidates_emitted\": {},\n\
+             {fp}  \"shuffle_bytes\": {}\n\
              {fp}}}\n\
              {pad}}}",
             self.subject,
@@ -86,6 +97,9 @@ impl Cell {
             r.shuffle_fetch_retries,
             r.blocks_rereplicated,
             r.corrupt_replicas_detected,
+            self.pairs_computed,
+            self.candidates_emitted,
+            self.shuffle_bytes,
         )
     }
 }
@@ -136,13 +150,18 @@ fn pipeline_cell(
     let t = Instant::now();
     let run = runner.run_with_injector(reads, &plan.injector());
     let secs = t.elapsed().as_secs_f64();
-    let (completed, identical, recovery) = match &run {
+    let (completed, identical, recovery, counters) = match &run {
         Ok(r) => (
             true,
             r.assignment == clean.assignment && r.dendrogram == clean.dendrogram,
             r.recovery(),
+            (
+                r.pipeline.counter_total("PAIRS_COMPUTED"),
+                r.pipeline.counter_total("CANDIDATES_EMITTED"),
+                r.pipeline.counter_total("SHUFFLE_BYTES"),
+            ),
         ),
-        Err(_) => (false, false, RecoveryCounters::new()),
+        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0)),
     };
     Cell {
         subject: "mrmc-pipeline",
@@ -152,6 +171,63 @@ fn pipeline_cell(
         identical,
         overhead: secs / clean_secs.max(1e-9),
         recovery,
+        pairs_computed: counters.0,
+        candidates_emitted: counters.1,
+        shuffle_bytes: counters.2,
+    }
+}
+
+/// The banded pipeline under faults aimed at its *reducers* (the
+/// dense MrMC stages are map-only, so this is the only subject with a
+/// reduce-phase recovery surface). The run must match its own clean
+/// banded baseline, which in greedy mode is itself bit-identical to
+/// dense (the exactness contract).
+fn banded_cell(
+    fault: &'static str,
+    intensity: impl Into<String>,
+    reads: &[mrmc_seqio::SeqRecord],
+    plan: FaultPlan,
+) -> Cell {
+    let cfg = mrmc_config().greedy().banded();
+    let runner = MrMcMinH::new(cfg);
+    let t = Instant::now();
+    let clean = runner.run(reads).expect("clean banded run");
+    let clean_secs = t.elapsed().as_secs_f64().max(1e-9);
+    let dense = MrMcMinH::new(mrmc_config().greedy())
+        .run(reads)
+        .expect("clean dense run");
+    assert_eq!(
+        clean.assignment, dense.assignment,
+        "banded greedy must match dense greedy bit-for-bit"
+    );
+
+    let t = Instant::now();
+    let run = runner.run_with_injector(reads, &plan.injector());
+    let secs = t.elapsed().as_secs_f64();
+    let (completed, identical, recovery, counters) = match &run {
+        Ok(r) => (
+            true,
+            r.assignment == clean.assignment,
+            r.recovery(),
+            (
+                r.pipeline.counter_total("PAIRS_COMPUTED"),
+                r.pipeline.counter_total("CANDIDATES_EMITTED"),
+                r.pipeline.counter_total("SHUFFLE_BYTES"),
+            ),
+        ),
+        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0)),
+    };
+    Cell {
+        subject: "banded-pipeline",
+        fault,
+        intensity: intensity.into(),
+        completed,
+        identical,
+        overhead: secs / clean_secs,
+        recovery,
+        pairs_computed: counters.0,
+        candidates_emitted: counters.1,
+        shuffle_bytes: counters.2,
     }
 }
 
@@ -220,13 +296,13 @@ fn shuffle_cell(fault: &'static str, intensity: impl Into<String>, plan: FaultPl
         &plan.injector(),
     );
     let secs = t.elapsed().as_secs_f64();
-    let (completed, identical, recovery) = match run {
+    let (completed, identical, recovery, shuffle_bytes) = match run {
         Ok(r) => {
             let mut got = r.output;
             got.sort();
-            (true, got == expect, r.recovery)
+            (true, got == expect, r.recovery, r.shuffled_bytes)
         }
-        Err(_) => (false, false, RecoveryCounters::new()),
+        Err(_) => (false, false, RecoveryCounters::new(), 0),
     };
     Cell {
         subject: "wordcount-job",
@@ -236,6 +312,9 @@ fn shuffle_cell(fault: &'static str, intensity: impl Into<String>, plan: FaultPl
         identical,
         overhead: secs / clean_secs.max(1e-9),
         recovery,
+        pairs_computed: 0,
+        candidates_emitted: 0,
+        shuffle_bytes,
     }
 }
 
@@ -270,6 +349,9 @@ fn dfs_cell(intensity: impl Into<String>, corruptions: &[(usize, usize)]) -> Cel
         identical,
         overhead: 1.0,
         recovery: dfs.recovery(),
+        pairs_computed: 0,
+        candidates_emitted: 0,
+        shuffle_bytes: 0,
     }
 }
 
@@ -371,6 +453,24 @@ fn main() {
                 .task_panic(0, Phase::Map, 1, 2)
                 .task_slowdown(1, Phase::Map, 0, 15)
                 .node_death_after_map(0, 2),
+        ),
+        // Banded candidate pipeline: reduce-phase panics in the bucket
+        // and dedup reducers (jobs: 0 sketch, 1 band-signatures,
+        // 2 candidate-dedup, 3 verify).
+        banded_cell(
+            "task_panic",
+            "bucket reducer, 2 failed attempts",
+            &reads,
+            FaultPlan::new().task_panic(1, Phase::Reduce, 0, 2),
+        ),
+        banded_cell(
+            "task_panic",
+            "bucket + dedup reducers + verify map",
+            &reads,
+            FaultPlan::new()
+                .task_panic(1, Phase::Reduce, 1, 2)
+                .task_panic(2, Phase::Reduce, 0, 1)
+                .task_panic(3, Phase::Map, 0, 1),
         ),
         // Shuffle fetch failures (needs a reduce phase).
         shuffle_cell(

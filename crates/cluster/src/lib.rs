@@ -20,8 +20,10 @@ pub mod assignment;
 pub mod greedy;
 pub mod linkage;
 pub mod matrix;
+pub mod sparse;
 
 pub use assignment::ClusterAssignment;
 pub use greedy::greedy_cluster;
 pub use linkage::{agglomerative, cut_dendrogram, cut_levels, Dendrogram, Linkage, Merge};
 pub use matrix::CondensedMatrix;
+pub use sparse::{agglomerative_sparse, greedy_cluster_sparse, SparseSimGraph};

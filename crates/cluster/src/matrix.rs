@@ -17,26 +17,56 @@ pub struct CondensedMatrix {
 }
 
 impl CondensedMatrix {
-    /// Build from a similarity oracle, in parallel over rows.
+    /// Build from a similarity oracle, in parallel over contiguous
+    /// pair-balanced row blocks.
+    ///
+    /// Row `i` owns entries `(i, i+1..n)` — a contiguous slice of the
+    /// condensed layout — so a *run* of rows is contiguous too. Rather
+    /// than materializing one split borrow per row (an O(n) `Vec` that
+    /// degenerate inputs built and immediately discarded), rows are
+    /// cut into a handful of blocks with near-equal pair counts, one
+    /// split borrow each.
     pub fn build_parallel<F>(n: usize, sim: F) -> CondensedMatrix
     where
         F: Fn(usize, usize) -> f64 + Sync,
     {
         let mut data = vec![0f32; n * n.saturating_sub(1) / 2];
-        // Row i owns entries (i, i+1..n): a contiguous slice of the
-        // condensed layout, so rows can be filled independently.
-        let mut slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.saturating_sub(1));
-        let mut rest: &mut [f32] = &mut data;
-        for i in 0..n.saturating_sub(1) {
-            let row_len = n - i - 1;
-            let (row, tail) = rest.split_at_mut(row_len);
-            slices.push((i, row));
-            rest = tail;
+        if n < 2 {
+            return CondensedMatrix { n, data };
         }
-        slices.into_par_iter().for_each(|(i, row)| {
-            for (k, slot) in row.iter_mut().enumerate() {
-                let j = i + 1 + k;
-                *slot = sim(i, j) as f32;
+        let total = n * (n - 1) / 2;
+        // A few blocks per worker keeps the tail balanced without
+        // recreating the per-row slice list.
+        let tasks = std::thread::available_parallelism()
+            .map(|p| p.get() * 4)
+            .unwrap_or(32)
+            .min(n - 1);
+        let target = total.div_ceil(tasks).max(1);
+
+        let mut blocks: Vec<(usize, &mut [f32])> = Vec::with_capacity(tasks + 1);
+        let mut rest: &mut [f32] = &mut data;
+        let mut block_start = 0usize;
+        let mut block_len = 0usize;
+        for r in 0..n - 1 {
+            block_len += n - 1 - r;
+            if block_len >= target || r == n - 2 {
+                let (chunk, tail) = rest.split_at_mut(block_len);
+                blocks.push((block_start, chunk));
+                rest = tail;
+                block_start = r + 1;
+                block_len = 0;
+            }
+        }
+        blocks.into_par_iter().for_each(|(first_row, chunk)| {
+            let mut offset = 0usize;
+            let mut i = first_row;
+            while offset < chunk.len() {
+                let row_len = n - 1 - i;
+                for (k, slot) in chunk[offset..offset + row_len].iter_mut().enumerate() {
+                    *slot = sim(i, i + 1 + k) as f32;
+                }
+                offset += row_len;
+                i += 1;
             }
         });
         CondensedMatrix { n, data }

@@ -1,0 +1,253 @@
+//! Sparse similarity graphs (CSR adjacency).
+//!
+//! The banded-LSH candidate pipeline emits only the pairs whose
+//! verified similarity reaches θ — a near-linear edge set instead of
+//! the O(n²) condensed matrix. [`SparseSimGraph`] stores those edges
+//! in compressed sparse rows; every absent pair reads as similarity
+//! 0.0, which is exactly the single-linkage-at-θ semantics the banded
+//! pipeline promises: edges at or above θ are exact, everything below
+//! θ is indistinguishable from "no edge" for a θ-cut.
+
+use crate::assignment::ClusterAssignment;
+use crate::greedy::greedy_cluster;
+use crate::linkage::{agglomerative, Dendrogram, Linkage};
+use crate::matrix::CondensedMatrix;
+
+/// An undirected similarity graph over `n` items, CSR layout, missing
+/// edges read as 0.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSimGraph {
+    n: usize,
+    /// Row offsets into `neighbors`/`sims`, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Column indices, sorted within each row.
+    neighbors: Vec<u32>,
+    /// Edge similarities, parallel to `neighbors`.
+    sims: Vec<f32>,
+}
+
+impl SparseSimGraph {
+    /// Build from undirected edges `(i, j, sim)`. Self-loops are
+    /// dropped; duplicate pairs keep their first similarity. Panics if
+    /// an endpoint is ≥ `n`.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> SparseSimGraph {
+        // Each undirected edge appears in both endpoints' rows.
+        let mut directed: Vec<(u32, u32, f32)> = Vec::new();
+        for (i, j, s) in edges {
+            assert!(
+                (i as usize) < n && (j as usize) < n,
+                "edge ({i}, {j}) out of bounds for {n} items"
+            );
+            if i == j {
+                continue;
+            }
+            directed.push((i, j, s));
+            directed.push((j, i, s));
+        }
+        directed.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        directed.dedup_by_key(|&mut (i, j, _)| (i, j));
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(i, _, _) in &directed {
+            offsets[i as usize + 1] += 1;
+        }
+        for r in 0..n {
+            offsets[r + 1] += offsets[r];
+        }
+        let mut neighbors = Vec::with_capacity(directed.len());
+        let mut sims = Vec::with_capacity(directed.len());
+        for (_, j, s) in directed {
+            neighbors.push(j);
+            sims.push(s);
+        }
+        SparseSimGraph {
+            n,
+            offsets,
+            neighbors,
+            sims,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the 0-item graph.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Edge density relative to the full `n·(n−1)/2` pair set.
+    pub fn density(&self) -> f64 {
+        let pairs = self.n * self.n.saturating_sub(1) / 2;
+        if pairs == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / pairs as f64
+        }
+    }
+
+    /// Similarity of `(i, j)`: the stored edge value, 0.0 when absent,
+    /// 1.0 on the diagonal. Panics out of bounds.
+    #[inline]
+    pub fn sim(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 1.0;
+        }
+        let row = &self.neighbors[self.offsets[i]..self.offsets[i + 1]];
+        match row.binary_search(&(j as u32)) {
+            Ok(k) => f64::from(self.sims[self.offsets[i] + k]),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Neighbours of `i` with their similarities, ascending by index.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.offsets[i]..self.offsets[i + 1];
+        self.neighbors[range.clone()]
+            .iter()
+            .zip(&self.sims[range])
+            .map(|(&j, &s)| (j as usize, f64::from(s)))
+    }
+
+    /// Every undirected edge `(i, j, sim)` with `i < j`, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            let range = self.offsets[i]..self.offsets[i + 1];
+            self.neighbors[range.clone()]
+                .iter()
+                .zip(&self.sims[range])
+                .filter(move |(&j, _)| (i as u32) < j)
+                .map(move |(&j, &s)| (i as u32, j, s))
+        })
+    }
+
+    /// Materialize the condensed matrix this graph represents, with
+    /// 0.0 for every missing pair. O(n²/2) memory — only for the
+    /// hierarchical path, whose dendrogram construction is O(n²)
+    /// anyway; the greedy path never calls this.
+    pub fn to_condensed(&self) -> CondensedMatrix {
+        let mut m = CondensedMatrix::build(self.n, |_, _| 0.0);
+        for (i, j, s) in self.edges() {
+            m.set(i as usize, j as usize, f64::from(s));
+        }
+        m
+    }
+}
+
+/// Algorithm 1 over a sparse graph: identical to the dense run
+/// whenever the graph holds every pair at or above θ (the banded
+/// pipeline's exactness contract), because greedy only ever tests
+/// `sim ≥ θ` and missing edges read 0.0 < θ.
+pub fn greedy_cluster_sparse(graph: &SparseSimGraph, theta: f64) -> ClusterAssignment {
+    greedy_cluster(graph.len(), theta, |i, j| graph.sim(i, j))
+}
+
+/// Algorithm 2 over a sparse graph: builds the dendrogram on the
+/// zero-filled matrix (missing pairs = 0.0 similarity). Cuts at or
+/// above θ match the dense run on corpora whose clusters are
+/// θ-separated; merges *below* θ use 0 for pruned pairs, so the
+/// sub-θ portion of the dendrogram follows single-linkage-at-θ
+/// semantics rather than the dense averages.
+pub fn agglomerative_sparse(
+    graph: &SparseSimGraph,
+    linkage: Linkage,
+    theta: f64,
+) -> (ClusterAssignment, Dendrogram) {
+    agglomerative(&graph.to_condensed(), linkage, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SparseSimGraph {
+        // 0–1 strong, 1–2 strong, 2–3 weak, 3–0 absent.
+        SparseSimGraph::from_edges(4, vec![(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.3)])
+    }
+
+    #[test]
+    fn csr_lookup_and_symmetry() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.sim(0, 1), f64::from(0.9f32));
+        assert_eq!(g.sim(1, 0), f64::from(0.9f32));
+        assert_eq!(g.sim(0, 3), 0.0);
+        assert_eq!(g.sim(2, 2), 1.0);
+        let n1: Vec<usize> = g.neighbors(1).map(|(j, _)| j).collect();
+        assert_eq!(n1, vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_handled() {
+        let g =
+            SparseSimGraph::from_edges(3, vec![(0, 1, 0.5), (1, 0, 0.7), (0, 1, 0.9), (2, 2, 1.0)]);
+        assert_eq!(g.num_edges(), 1);
+        // First occurrence wins, in both directions.
+        assert_eq!(g.sim(0, 1), f64::from(0.5f32));
+        assert_eq!(g.sim(1, 0), f64::from(0.5f32));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.3)]);
+        let rebuilt = SparseSimGraph::from_edges(4, edges);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn to_condensed_zero_fills() {
+        let g = diamond();
+        let m = g.to_condensed();
+        assert_eq!(m.get(0, 1), f64::from(0.9f32));
+        assert_eq!(m.get(0, 3), 0.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn greedy_sparse_matches_dense_oracle_above_theta() {
+        let g = diamond();
+        let sparse = greedy_cluster_sparse(&g, 0.75).compact();
+        let dense = greedy_cluster(4, 0.75, |i, j| g.sim(i, j)).compact();
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse.labels(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn agglomerative_sparse_cuts_at_theta() {
+        let g = diamond();
+        let (a, dendro) = agglomerative_sparse(&g, Linkage::Single, 0.75);
+        assert_eq!(a.compact().labels(), &[0, 0, 0, 1]);
+        assert_eq!(dendro.merges.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = SparseSimGraph::from_edges(0, vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+        let g = SparseSimGraph::from_edges(1, vec![]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(greedy_cluster_sparse(&g, 0.5).num_clusters(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_edge_rejected() {
+        SparseSimGraph::from_edges(2, vec![(0, 2, 0.5)]);
+    }
+}

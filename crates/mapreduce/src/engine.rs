@@ -522,6 +522,7 @@ where
         map_stats,
         reduce_stats: Vec::new(),
         shuffled_pairs: 0,
+        shuffled_bytes: 0,
         recovery,
     })
 }
@@ -769,6 +770,8 @@ where
         }
     }
     counters.add("SHUFFLED_PAIRS", shuffled_pairs);
+    let shuffled_bytes = shuffled_pairs * std::mem::size_of::<(M::OutKey, M::OutValue)>() as u64;
+    counters.add("SHUFFLE_BYTES", shuffled_bytes);
 
     // ---- Reduce phase ----
     let partition_slots: Vec<Vec<(M::OutKey, M::OutValue)>> = partitions;
@@ -831,6 +834,7 @@ where
         map_stats,
         reduce_stats,
         shuffled_pairs,
+        shuffled_bytes,
         recovery,
     })
 }

@@ -258,6 +258,12 @@ pub struct JobResult<K, V> {
     pub reduce_stats: Vec<TaskStats>,
     /// Total intermediate pairs that crossed the shuffle (post-combine).
     pub shuffled_pairs: u64,
+    /// Bytes those pairs occupy on the wire, modelled as the shallow
+    /// in-memory record width `size_of::<(K, V)>()` per pair (heap
+    /// payloads of boxed values are not chased — the counter tracks
+    /// *relative* shuffle volume across stages, which is what the
+    /// simulated cluster's bandwidth term consumes).
+    pub shuffled_bytes: u64,
     /// Everything the runtime did to survive faults while producing
     /// this result (all zero on a clean run).
     pub recovery: mrmc_chaos::RecoveryCounters,

@@ -25,6 +25,13 @@ pub struct StageReport {
     pub reduce_stats: Vec<TaskStats>,
     /// Intermediate pairs crossing the shuffle.
     pub shuffled_pairs: u64,
+    /// Shuffle volume in (shallow record-width) bytes.
+    pub shuffled_bytes: u64,
+    /// Snapshot of the job's named counters, sorted by name. This is
+    /// where algorithm-level accounting (PAIRS_COMPUTED,
+    /// CANDIDATES_EMITTED, …) survives past the job, so benchmark
+    /// binaries can report it per stage.
+    pub counters: Vec<(String, u64)>,
     /// Real wall-clock spent executing the stage in-process.
     pub wall: Duration,
     /// Recovery work the stage performed (all zero without faults).
@@ -46,6 +53,14 @@ impl StageReport {
             .iter()
             .map(|s| s.duration.as_secs_f64())
             .collect()
+    }
+
+    /// Read a named counter from the stage snapshot (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
     }
 }
 
@@ -111,6 +126,8 @@ impl Pipeline {
             map_stats: result.map_stats,
             reduce_stats: result.reduce_stats,
             shuffled_pairs: result.shuffled_pairs,
+            shuffled_bytes: result.shuffled_bytes,
+            counters: result.counters.snapshot(),
             wall: start.elapsed(),
             recovery: result.recovery,
         });
@@ -154,6 +171,8 @@ impl Pipeline {
             map_stats: result.map_stats,
             reduce_stats: Vec::new(),
             shuffled_pairs: 0,
+            shuffled_bytes: 0,
+            counters: result.counters.snapshot(),
             wall: start.elapsed(),
             recovery: result.recovery,
         });
@@ -168,6 +187,11 @@ impl Pipeline {
     /// Total in-process wall-clock across stages.
     pub fn total_wall(&self) -> Duration {
         self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Sum of a named counter across every stage.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.stages.iter().map(|s| s.counter(name)).sum()
     }
 
     /// Recovery work accumulated across every stage.
@@ -186,10 +210,11 @@ impl Pipeline {
         self.stages
             .iter()
             .map(|s| {
-                cluster.simulate_job_recovered(
+                cluster.simulate_job_bytes(
                     model,
                     &s.map_costs(),
                     s.shuffled_pairs,
+                    s.shuffled_bytes,
                     &s.reduce_costs(),
                     s.recovery,
                 )
@@ -286,6 +311,17 @@ mod tests {
         assert_eq!(hist, vec![(1, 1), (2, 1), (3, 1)]);
         assert_eq!(p.stages().len(), 2);
         assert!(p.total_wall() > Duration::ZERO);
+        // Counter snapshots and shuffle-byte accounting ride on the
+        // stage reports.
+        let wc = &p.stages()[0];
+        assert_eq!(wc.counter("SHUFFLED_PAIRS"), wc.shuffled_pairs);
+        assert_eq!(wc.counter("SHUFFLE_BYTES"), wc.shuffled_bytes);
+        assert!(wc.shuffled_bytes > wc.shuffled_pairs, "bytes > records");
+        assert_eq!(wc.counter("NOT_A_COUNTER"), 0);
+        assert_eq!(
+            p.counter_total("SHUFFLED_PAIRS"),
+            p.stages().iter().map(|s| s.shuffled_pairs).sum::<u64>()
+        );
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct JobCostModel {
     /// Seconds to move one shuffled record between nodes, *per node* of
     /// aggregate bandwidth (total shuffle time = records × cost / nodes).
     pub shuffle_record_cost: f64,
+    /// Seconds per shuffled *byte*, per node of aggregate bandwidth —
+    /// the volume term that separates wide records (sketch rows) from
+    /// narrow ones (band buckets) which a pure per-record cost cannot.
+    pub shuffle_byte_cost: f64,
     /// Straggler model: the slowest map task runs this many times its
     /// nominal cost (1.0 = no stragglers). EMR-era Hadoop commonly saw
     /// 5–10× stragglers from contended spot instances.
@@ -77,6 +81,7 @@ impl Default for JobCostModel {
             job_overhead: 20.0,
             task_overhead: 1.5,
             shuffle_record_cost: 2e-6,
+            shuffle_byte_cost: 1e-8,
             straggler_slowdown: 1.0,
             speculative_execution: false,
         }
@@ -171,12 +176,38 @@ impl ClusterSpec {
     /// [`ClusterSpec::simulate_job`] for a job that performed recovery
     /// work: every retried or re-executed map attempt is scheduled as
     /// an extra mean-cost map task (the cluster really ran it), and the
-    /// ledger is carried on the report.
+    /// ledger is carried on the report. Shuffle volume is charged per
+    /// record only; see [`ClusterSpec::simulate_job_bytes`] for the
+    /// bandwidth-aware variant.
     pub fn simulate_job_recovered(
         &self,
         model: &JobCostModel,
         map_costs: &[f64],
         shuffled_records: u64,
+        reduce_costs: &[f64],
+        recovery: mrmc_chaos::RecoveryCounters,
+    ) -> SimJobReport {
+        self.simulate_job_bytes(
+            model,
+            map_costs,
+            shuffled_records,
+            0,
+            reduce_costs,
+            recovery,
+        )
+    }
+
+    /// Full-fidelity simulation: like
+    /// [`ClusterSpec::simulate_job_recovered`] but also charges the
+    /// shuffle's byte volume against per-node aggregate bandwidth, so
+    /// stages that move many narrow records price differently from
+    /// stages that move few wide ones.
+    pub fn simulate_job_bytes(
+        &self,
+        model: &JobCostModel,
+        map_costs: &[f64],
+        shuffled_records: u64,
+        shuffled_bytes: u64,
         reduce_costs: &[f64],
         recovery: mrmc_chaos::RecoveryCounters,
     ) -> SimJobReport {
@@ -209,8 +240,9 @@ impl ClusterSpec {
         }
         let map_time = lpt_makespan(&map_costs, self.map_slots());
         let reduce_time = lpt_makespan(&with_task_overhead(reduce_costs), self.reduce_slots());
-        let shuffle_time =
-            shuffled_records as f64 * model.shuffle_record_cost / self.nodes.max(1) as f64;
+        let shuffle_time = (shuffled_records as f64 * model.shuffle_record_cost
+            + shuffled_bytes as f64 * model.shuffle_byte_cost)
+            / self.nodes.max(1) as f64;
         SimJobReport {
             map_time,
             shuffle_time,
@@ -505,6 +537,23 @@ mod tests {
             mrmc_chaos::RecoveryCounters::new(),
         );
         assert_eq!(same, clean);
+    }
+
+    #[test]
+    fn byte_volume_prices_into_shuffle() {
+        let model = JobCostModel {
+            shuffle_record_cost: 0.0,
+            shuffle_byte_cost: 1e-6,
+            ..Default::default()
+        };
+        let cluster = ClusterSpec::m1_large(4);
+        let clean = mrmc_chaos::RecoveryCounters::new();
+        let narrow = cluster.simulate_job_bytes(&model, &[], 1_000, 8_000, &[], clean);
+        let wide = cluster.simulate_job_bytes(&model, &[], 1_000, 80_000, &[], clean);
+        assert!((wide.shuffle_time / narrow.shuffle_time - 10.0).abs() < 1e-9);
+        // Zero bytes reduces to the record-only model.
+        let record_only = cluster.simulate_job(&model, &[], 1_000, &[]);
+        assert_eq!(record_only.shuffle_time, 0.0);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! LSH banding of minwise sketches (candidate pruning).
+//!
+//! The all-pairs similarity stage is O(n²) in the read count, but the
+//! number of pairs above the clustering threshold θ stays near-linear.
+//! Banding turns the sketch into `b` *band signatures* of `r` hashed
+//! positions each (`b·r ≤ n`); two sketches become a candidate pair
+//! when any band signature collides. With positional agreement `s`,
+//! the collision probability is the classic S-curve
+//!
+//! ```text
+//! P(candidate) = 1 − (1 − s^r)^b
+//! ```
+//!
+//! whose inflection sits near `s* = (1/b)^(1/r)`.
+//!
+//! # Exactness contract
+//!
+//! Probabilistic recall is not good enough here: the banded pipeline
+//! must reproduce the dense path bit-identically. The guarantee is
+//! combinatorial, not statistical. A pair with positional similarity
+//! `≥ θ` over `n` positions agrees (literally, value-for-value) in at
+//! least `⌈θ·n⌉` positions, so it *disagrees* in at most
+//! `d = n − ⌈θ·n⌉` positions. Split the sketch into `d + 1` bands: by
+//! pigeonhole some band contains no disagreeing position, its two
+//! slices are byte-identical, and the pair collides with certainty.
+//! [`BandingScheme::tune`] picks exactly `b = d + 1` bands (and
+//! `r = ⌊n / b⌋` rows), so every pair at or above θ is a candidate —
+//! recall 1.0 by construction, checked by
+//! [`BandingScheme::guarantees_recall`]. Bucket collisions below θ are
+//! false positives only; the verify stage filters them with the exact
+//! similarity kernels.
+//!
+//! `EMPTY_SLOT` positions hash like any other value, so two sketches
+//! that are both empty at a position still agree at the band level.
+//! That can only *add* candidates (the positional estimator does not
+//! count empty agreement), never lose one, so the contract holds for
+//! degenerate sketches too.
+
+use crate::sketch::Sketch;
+
+/// A banding layout: `bands` signatures of `rows` sketch positions.
+/// Positions beyond `bands × rows` are ignored by the banding (they
+/// still participate in verification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandingScheme {
+    /// Number of bands `b` (≥ 1).
+    pub bands: usize,
+    /// Rows (sketch positions) hashed into each band signature (≥ 1).
+    pub rows: usize,
+}
+
+/// splitmix64 finalizer — a strong, dependency-free 64-bit mixer.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Smallest agreement count `a` with `a / n ≥ θ` under the *same* f64
+/// comparison the positional estimator performs. `⌈θ·n⌉` is almost
+/// right, but θ·n carries rounding error (0.9 × 50 ≠ 45 exactly in
+/// binary), and an off-by-one here would silently break the exact
+/// recall contract — so the candidate is corrected against the real
+/// division.
+fn min_agreeing(n: usize, theta: f64) -> usize {
+    let mut a = ((theta * n as f64).ceil() as usize).min(n);
+    while a > 0 && (a - 1) as f64 / n as f64 >= theta {
+        a -= 1;
+    }
+    while a < n && (a as f64 / n as f64) < theta {
+        a += 1;
+    }
+    a
+}
+
+impl BandingScheme {
+    /// Build a scheme; panics unless `bands ≥ 1` and `rows ≥ 1`.
+    pub fn new(bands: usize, rows: usize) -> BandingScheme {
+        assert!(bands >= 1, "bands must be ≥ 1");
+        assert!(rows >= 1, "rows must be ≥ 1");
+        BandingScheme { bands, rows }
+    }
+
+    /// The exact-recall tuning rule: `b = n − ⌈θ·n⌉ + 1` bands (the
+    /// pigeonhole count for pairs at θ), `r = ⌊n / b⌋` rows. For any
+    /// `θ > 0` the resulting scheme satisfies
+    /// [`BandingScheme::guarantees_recall`]; at θ close to 1 it
+    /// degenerates to one band over the whole sketch (only identical
+    /// sketches collide), at low θ to many narrow bands.
+    pub fn tune(num_hashes: usize, theta: f64) -> BandingScheme {
+        let n = num_hashes.max(1);
+        let theta = theta.clamp(0.0, 1.0);
+        let max_disagree = n - min_agreeing(n, theta);
+        let bands = (max_disagree + 1).min(n);
+        BandingScheme {
+            bands,
+            rows: n / bands,
+        }
+    }
+
+    /// Sketch positions covered by the banding (`b × r ≤ n`).
+    pub fn covered(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// The S-curve midpoint `(1/b)^(1/r)`: the similarity at which the
+    /// *per-position-agreement* model gives ≈ 63 % candidate
+    /// probability. Pairs well above it almost surely collide; the
+    /// hard guarantee is [`BandingScheme::exact_recall_threshold`].
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// The S-curve itself: `1 − (1 − s^r)^b` for positional agreement
+    /// `s ∈ [0, 1]` under the independent-position model.
+    pub fn collision_probability(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, 1.0);
+        1.0 - (1.0 - s.powi(self.rows as i32)).powi(self.bands as i32)
+    }
+
+    /// Similarity at which collision becomes *certain* (pigeonhole):
+    /// any pair with positional similarity `≥ (n − b + 1)/n` has at
+    /// most `b − 1` disagreeing positions, so at least one of the `b`
+    /// bands is disagreement-free and byte-identical.
+    pub fn exact_recall_threshold(&self, num_hashes: usize) -> f64 {
+        let n = num_hashes.max(1) as f64;
+        ((n - self.bands as f64 + 1.0) / n).max(0.0)
+    }
+
+    /// Whether this scheme guarantees recall 1.0 for pairs with
+    /// positional similarity ≥ θ over `num_hashes`-position sketches.
+    /// A pair passing `agree/n ≥ θ` disagrees in at most
+    /// `n − min_agree` positions; the pigeonhole needs strictly more
+    /// bands than that.
+    pub fn guarantees_recall(&self, num_hashes: usize, theta: f64) -> bool {
+        let n = num_hashes.max(1);
+        n - min_agreeing(n, theta.clamp(0.0, 1.0)) < self.bands
+    }
+
+    /// Signature of band `band` over raw sketch values: the `rows`
+    /// values starting at `band × rows`, folded through splitmix64
+    /// with the band index as the seed (so identical content in
+    /// *different* bands lands in different buckets).
+    #[inline]
+    pub fn signature(&self, band: usize, values: &[u64]) -> u64 {
+        debug_assert!(band < self.bands);
+        let start = band * self.rows;
+        let slice = &values[start..(start + self.rows).min(values.len())];
+        let mut h = mix64(0x6261_6e64 ^ (band as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for &v in slice {
+            h = mix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        h
+    }
+
+    /// All `b` band signatures of a sketch, in band order.
+    pub fn signatures(&self, sketch: &Sketch) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.bands);
+        self.signatures_into(sketch, &mut out);
+        out
+    }
+
+    /// [`BandingScheme::signatures`] into a reused buffer.
+    pub fn signatures_into(&self, sketch: &Sketch, out: &mut Vec<u64>) {
+        out.clear();
+        let values = sketch.values();
+        for band in 0..self.bands {
+            out.push(self.signature(band, values));
+        }
+    }
+
+    /// Whether two sketches collide in at least one band — the naive
+    /// reference for the MR candidate stages (compares band *content*,
+    /// which signature equality follows from).
+    pub fn collides(&self, a: &Sketch, b: &Sketch) -> bool {
+        let (va, vb) = (a.values(), b.values());
+        (0..self.bands).any(|band| {
+            let s = band * self.rows;
+            let e = (s + self.rows).min(va.len().min(vb.len()));
+            s < e && va[s..e] == vb[s..e]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::EMPTY_SLOT;
+
+    fn sketch(values: Vec<u64>) -> Sketch {
+        Sketch::from_values(values)
+    }
+
+    #[test]
+    fn tune_matches_pigeonhole_rule() {
+        // Paper defaults: n = 50, θ = 0.95 ⇒ ⌈47.5⌉ = 48 agreements,
+        // ≤ 2 disagreements, 3 bands of 16 rows.
+        let s = BandingScheme::tune(50, 0.95);
+        assert_eq!((s.bands, s.rows), (3, 16));
+        assert!(s.guarantees_recall(50, 0.95));
+        // n = 100, θ = 0.95 ⇒ ≤ 5 disagreements, 6 bands of 16 rows.
+        let s = BandingScheme::tune(100, 0.95);
+        assert_eq!((s.bands, s.rows), (6, 16));
+        assert!(s.guarantees_recall(100, 0.95));
+        // θ = 1 ⇒ one band over the whole sketch.
+        let s = BandingScheme::tune(64, 1.0);
+        assert_eq!((s.bands, s.rows), (1, 64));
+        // θ = 0 cannot be guaranteed (d = n).
+        let s = BandingScheme::tune(8, 0.0);
+        assert_eq!((s.bands, s.rows), (8, 1));
+        assert!(!s.guarantees_recall(8, 0.0));
+    }
+
+    #[test]
+    fn s_curve_shape() {
+        let s = BandingScheme::new(4, 8);
+        assert_eq!(s.collision_probability(0.0), 0.0);
+        assert_eq!(s.collision_probability(1.0), 1.0);
+        // Monotone increasing.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let p = s.collision_probability(i as f64 / 20.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+        // The midpoint is where one band's match probability is 1/b.
+        let mid = s.threshold();
+        let per_band = mid.powi(8);
+        assert!((per_band - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signatures_deterministic_and_band_distinct() {
+        let sk = sketch((0..32).collect());
+        let scheme = BandingScheme::new(4, 8);
+        let a = scheme.signatures(&sk);
+        let b = scheme.signatures(&sk);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        // A sketch with identical content in every band still gets
+        // distinct per-band signatures (band index is in the seed).
+        let flat = sketch(vec![7u64; 32]);
+        let sigs = scheme.signatures(&flat);
+        for i in 0..sigs.len() {
+            for j in (i + 1)..sigs.len() {
+                assert_ne!(sigs[i], sigs[j], "bands {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_band_content_implies_equal_signature() {
+        let scheme = BandingScheme::new(3, 4);
+        let a = sketch(vec![1, 2, 3, 4, 9, 9, 9, 9, 5, 6, 7, 8]);
+        let b = sketch(vec![1, 2, 3, 4, 0, 0, 0, 0, 5, 6, 7, 8]);
+        assert_eq!(
+            scheme.signature(0, a.values()),
+            scheme.signature(0, b.values())
+        );
+        assert_ne!(
+            scheme.signature(1, a.values()),
+            scheme.signature(1, b.values())
+        );
+        assert_eq!(
+            scheme.signature(2, a.values()),
+            scheme.signature(2, b.values())
+        );
+        assert!(scheme.collides(&a, &b));
+    }
+
+    #[test]
+    fn pigeonhole_recall_on_mutated_sketches() {
+        // n = 50, θ = 0.95: up to 2 mutated positions must always
+        // collide under the tuned scheme, wherever they fall.
+        let scheme = BandingScheme::tune(50, 0.95);
+        let base: Vec<u64> = (0..50).map(|i| i * 31 + 7).collect();
+        let a = sketch(base.clone());
+        for p1 in 0..50 {
+            for p2 in 0..50 {
+                let mut m = base.clone();
+                m[p1] ^= 0xdead;
+                m[p2] ^= 0xbeef;
+                assert!(
+                    scheme.collides(&a, &sketch(m)),
+                    "mutations at {p1},{p2} must still collide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_positions_agree_at_band_level() {
+        let scheme = BandingScheme::new(2, 4);
+        let a = sketch(vec![
+            1, EMPTY_SLOT, 3, 4, EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT,
+        ]);
+        let b = sketch(vec![
+            1, EMPTY_SLOT, 3, 4, EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT, EMPTY_SLOT,
+        ]);
+        assert!(scheme.collides(&a, &b));
+        assert_eq!(scheme.signatures(&a), scheme.signatures(&b));
+    }
+
+    #[test]
+    fn covered_and_truncation() {
+        let s = BandingScheme::tune(50, 0.95);
+        assert_eq!(s.covered(), 48); // 2 tail positions unbanded
+        assert!(s.covered() <= 50);
+        // Signature of a band entirely in range works on exactly-n
+        // value vectors.
+        let sk = sketch((0..50).collect());
+        assert_eq!(s.signatures(&sk).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bands must be ≥ 1")]
+    fn zero_bands_rejected() {
+        BandingScheme::new(0, 4);
+    }
+}

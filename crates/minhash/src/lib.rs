@@ -17,12 +17,14 @@
 //! writes (`|s̄_a ∩ s̄_b| / |s̄_a ∪ s̄_b|` on sketch values). Benches in
 //! `crates/bench` compare their estimation error as an ablation.
 
+pub mod banding;
 pub mod hash;
 pub mod jaccard;
 pub mod prime;
 pub mod reference;
 pub mod sketch;
 
+pub use banding::BandingScheme;
 pub use hash::{HashParams, UniversalHashFamily};
 pub use jaccard::{exact_jaccard, positional_similarity, set_similarity};
 pub use prime::{is_prime, next_prime};

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use mrmc_minhash::{
-    exact_jaccard, is_prime, next_prime, positional_similarity, set_similarity, MinHasher,
-    UniversalHashFamily,
+    exact_jaccard, is_prime, next_prime, positional_similarity, set_similarity, BandingScheme,
+    MinHasher, Sketch, UniversalHashFamily,
 };
 
 fn dna(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -101,6 +101,61 @@ proptest! {
         // Disjoint sets → 0 (when at least one non-empty).
         if !av.is_empty() && a.intersection(&b).count() == 0 {
             prop_assert_eq!(j, 0.0);
+        }
+    }
+
+    /// The banding superset property the whole candidate pipeline
+    /// rests on: under a tuned scheme, *every* pair with positional
+    /// similarity ≥ θ collides in some band (pigeonhole exactness) —
+    /// wherever the disagreements fall and whatever θ and the sketch
+    /// width are. The candidate relation is also symmetric and
+    /// reflexive.
+    #[test]
+    fn banding_candidates_cover_every_theta_pair(
+        base in proptest::collection::vec(0u64..1_000_000, 10..80),
+        flip_at in proptest::collection::vec(any::<usize>(), 0..10),
+        flip_with in proptest::collection::vec(1u64..1_000_000, 0..10),
+        theta in 0.5f64..=1.0,
+    ) {
+        let n = base.len();
+        let scheme = BandingScheme::tune(n, theta);
+        prop_assert!(scheme.guarantees_recall(n, theta));
+        let mut other = base.clone();
+        for (idx, delta) in flip_at.iter().zip(&flip_with) {
+            let i = idx % n;
+            other[i] = base[i] ^ delta;
+        }
+        let a = Sketch::from_values(base);
+        let b = Sketch::from_values(other);
+        let sim = positional_similarity(&a, &b);
+        if sim >= theta {
+            prop_assert!(
+                scheme.collides(&a, &b),
+                "sim {} ≥ θ {} must be a candidate under {:?}",
+                sim, theta, scheme
+            );
+        }
+        prop_assert_eq!(scheme.collides(&a, &b), scheme.collides(&b, &a));
+        prop_assert!(scheme.collides(&a, &a));
+    }
+
+    /// Tuned schemes are well-formed for any width and threshold:
+    /// `b·r ≤ n`, recall is guaranteed at the tuned θ, and the
+    /// advertised exact-recall threshold is the smallest *achievable*
+    /// similarity at or above θ (agreement counts are integers, so the
+    /// two differ only by ceil-to-1/n discretization).
+    #[test]
+    fn tuned_scheme_well_formed(n in 1usize..257, theta in 0.0f64..=1.0) {
+        let s = BandingScheme::tune(n, theta);
+        prop_assert!(s.bands >= 1);
+        prop_assert!(s.rows >= 1);
+        prop_assert!(s.covered() <= n);
+        if theta > 0.0 {
+            prop_assert!(s.guarantees_recall(n, theta));
+            let exact = s.exact_recall_threshold(n);
+            prop_assert!(exact >= theta);
+            // At most one agreement step above θ.
+            prop_assert!(exact - theta < 1.0 / n as f64 + 1e-12);
         }
     }
 

@@ -1,0 +1,314 @@
+//! Banded-LSH candidate pruning (DESIGN.md §kernels, "candidate
+//! pruning").
+//!
+//! Replaces the O(n²) all-pairs stage with three Map-Reduce stages:
+//!
+//! 1. **band-signatures** — each mapper cuts a read's sketch into `b`
+//!    bands of `r` rows and emits `(band, signature) → read_id`; the
+//!    *real* hash-partitioned shuffle groups reads by bucket, and the
+//!    reducer emits every in-bucket pair;
+//! 2. **candidate-dedup** — pairs found by several bands are collapsed
+//!    to one candidate by a second shuffle keyed on the pair itself;
+//! 3. **candidate-verify** — a map-only stage evaluates the exact
+//!    sketch similarity of each candidate and keeps only edges with
+//!    `sim ≥ θ`, yielding a [`SparseSimGraph`].
+//!
+//! With the auto-tuned scheme ([`BandingScheme::tune`]) every pair at
+//! or above θ shares at least one literally-equal band, so the graph
+//! holds *exactly* the pairs a dense run would accept — pruning is
+//! lossless at the θ cut and clustering results match bit for bit.
+
+use mrmc_cluster::SparseSimGraph;
+use mrmc_mapreduce::chaos::{FaultInjector, NoFaults};
+use mrmc_mapreduce::job::{JobConfig, Mapper, Reducer, TaskContext};
+use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_mapreduce::MrError;
+use mrmc_minhash::{BandingScheme, Sketch};
+
+use crate::config::MrMcConfig;
+use crate::stages::sketch_similarity;
+
+/// Stage-1 mapper: read index → `(band, signature) → read_id` pairs.
+/// Borrows the sketch list (scoped-thread engine), so map input is
+/// just the index even across task retries.
+struct BandSignatureMapper<'a> {
+    scheme: BandingScheme,
+    sketches: &'a [Sketch],
+}
+
+impl Mapper for BandSignatureMapper<'_> {
+    type InKey = usize;
+    type InValue = ();
+    type OutKey = (u32, u64);
+    type OutValue = u32;
+
+    fn map(&self, key: usize, _v: (), ctx: &mut TaskContext<(u32, u64), u32>) {
+        let values = self.sketches[key].values();
+        for band in 0..self.scheme.bands {
+            let sig = self.scheme.signature(band, values);
+            ctx.emit((band as u32, sig), key as u32);
+        }
+        ctx.count("BAND_SIGNATURES", self.scheme.bands as u64);
+    }
+}
+
+/// Stage-1 reducer: one bucket's reads → all in-bucket pairs. Ids are
+/// sorted and deduped first (a retried map attempt must not double a
+/// read), so output is deterministic regardless of shuffle arrival
+/// order.
+struct BucketPairReducer;
+
+impl Reducer for BucketPairReducer {
+    type InKey = (u32, u64);
+    type InValue = u32;
+    type OutKey = (u32, u32);
+    type OutValue = ();
+
+    fn reduce(&self, _key: (u32, u64), mut ids: Vec<u32>, ctx: &mut TaskContext<(u32, u32), ()>) {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut pairs = 0u64;
+        for (a, &i) in ids.iter().enumerate() {
+            for &j in &ids[a + 1..] {
+                ctx.emit((i, j), ());
+                pairs += 1;
+            }
+        }
+        ctx.count("BUCKET_PAIRS", pairs);
+    }
+}
+
+/// Stage-2 mapper: identity on pairs — the work is the shuffle, which
+/// regroups by pair so duplicates across bands land in one reducer.
+struct PairIdentityMapper;
+
+impl Mapper for PairIdentityMapper {
+    type InKey = (u32, u32);
+    type InValue = ();
+    type OutKey = (u32, u32);
+    type OutValue = ();
+
+    fn map(&self, key: (u32, u32), _v: (), ctx: &mut TaskContext<(u32, u32), ()>) {
+        ctx.emit(key, ());
+    }
+}
+
+/// Stage-2 reducer: collapse a pair's occurrences (one per colliding
+/// band) to a single candidate.
+struct DedupReducer;
+
+impl Reducer for DedupReducer {
+    type InKey = (u32, u32);
+    type InValue = ();
+    type OutKey = (u32, u32);
+    type OutValue = ();
+
+    fn reduce(&self, key: (u32, u32), hits: Vec<()>, ctx: &mut TaskContext<(u32, u32), ()>) {
+        ctx.emit(key, ());
+        ctx.count("CANDIDATES_EMITTED", 1);
+        ctx.count("CANDIDATE_DUPLICATES", hits.len() as u64 - 1);
+    }
+}
+
+/// Stage-3 mapper: verify one candidate with the exact sketch
+/// estimator, emitting the edge only when it clears θ.
+struct VerifyMapper<'a> {
+    sketches: &'a [Sketch],
+    config: MrMcConfig,
+}
+
+impl Mapper for VerifyMapper<'_> {
+    type InKey = usize;
+    type InValue = (u32, u32);
+    type OutKey = (u32, u32);
+    type OutValue = f32;
+
+    fn map(&self, _k: usize, (i, j): (u32, u32), ctx: &mut TaskContext<(u32, u32), f32>) {
+        let sim = sketch_similarity(
+            &self.sketches[i as usize],
+            &self.sketches[j as usize],
+            self.config.estimator,
+        );
+        ctx.count("PAIRS_COMPUTED", 1);
+        if sim >= self.config.theta {
+            ctx.emit((i, j), sim as f32);
+            ctx.count("EDGES_EMITTED", 1);
+        }
+    }
+}
+
+fn job_for(config: &MrMcConfig, name: &str) -> JobConfig {
+    let mut job = JobConfig::named(name)
+        .attempts(4)
+        .reducers(config.map_tasks);
+    if let Some(w) = config.workers {
+        job = job.workers(w);
+    }
+    job
+}
+
+/// Run stages 1–2: band the sketches and return the deduped candidate
+/// pair list, sorted.
+pub fn banded_candidates(
+    sketches: &[Sketch],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+) -> Result<Vec<(u32, u32)>, MrError> {
+    banded_candidates_with(sketches, config, pipeline, &NoFaults)
+}
+
+/// [`banded_candidates`] under a fault injector.
+pub fn banded_candidates_with(
+    sketches: &[Sketch],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+    injector: &dyn FaultInjector,
+) -> Result<Vec<(u32, u32)>, MrError> {
+    let scheme = config.banding_scheme();
+    let mapper = BandSignatureMapper { scheme, sketches };
+    let input: Vec<(usize, ())> = (0..sketches.len()).map(|i| (i, ())).collect();
+    let bucket_pairs = pipeline.run_stage_with_faults(
+        input,
+        config.map_tasks,
+        &mapper,
+        &BucketPairReducer,
+        &job_for(config, "band-signatures"),
+        injector,
+    )?;
+    let deduped = pipeline.run_stage_with_faults(
+        bucket_pairs,
+        config.map_tasks,
+        &PairIdentityMapper,
+        &DedupReducer,
+        &job_for(config, "candidate-dedup"),
+        injector,
+    )?;
+    let mut candidates: Vec<(u32, u32)> = deduped.into_iter().map(|(p, ())| p).collect();
+    candidates.sort_unstable();
+    Ok(candidates)
+}
+
+/// Run the full candidate pipeline (stages 1–3) and return the sparse
+/// θ-graph: exactly the pairs whose verified similarity clears θ,
+/// restricted to banding candidates — the full truth set under the
+/// exact-recall scheme.
+pub fn banded_graph_stage(
+    sketches: &[Sketch],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+) -> Result<SparseSimGraph, MrError> {
+    banded_graph_stage_with(sketches, config, pipeline, &NoFaults)
+}
+
+/// [`banded_graph_stage`] under a fault injector.
+pub fn banded_graph_stage_with(
+    sketches: &[Sketch],
+    config: &MrMcConfig,
+    pipeline: &mut Pipeline,
+    injector: &dyn FaultInjector,
+) -> Result<SparseSimGraph, MrError> {
+    let candidates = banded_candidates_with(sketches, config, pipeline, injector)?;
+    let mapper = VerifyMapper {
+        sketches,
+        config: *config,
+    };
+    let input: Vec<(usize, (u32, u32))> = candidates.into_iter().enumerate().collect();
+    // More, smaller tasks than the banding stages — verification is
+    // the compute-heavy step, like the dense row blocks.
+    let tasks = (config.map_tasks * 4).min(input.len().max(1));
+    let edges = pipeline.run_map_stage_with_faults(
+        input,
+        tasks,
+        &mapper,
+        &job_for(config, "candidate-verify"),
+        injector,
+    )?;
+    Ok(SparseSimGraph::from_edges(
+        sketches.len(),
+        edges.into_iter().map(|((i, j), s)| (i, j, s)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use crate::stages::sketch_stage;
+    use mrmc_seqio::SeqRecord;
+
+    fn reads() -> Vec<SeqRecord> {
+        // Two identical pairs and one outlier.
+        vec![
+            SeqRecord::new("a1", b"ACGTACGTACGTACGTTTTTGGGG".to_vec()),
+            SeqRecord::new("a2", b"ACGTACGTACGTACGTTTTTGGGG".to_vec()),
+            SeqRecord::new("b1", b"TTGGCCAATTGGCCAATTGGCCAA".to_vec()),
+            SeqRecord::new("b2", b"TTGGCCAATTGGCCAATTGGCCAA".to_vec()),
+        ]
+    }
+
+    fn config() -> MrMcConfig {
+        MrMcConfig {
+            kmer: 5,
+            num_hashes: 32,
+            theta: 0.95,
+            mode: Mode::Greedy,
+            map_tasks: 2,
+            ..Default::default()
+        }
+        .banded()
+    }
+
+    #[test]
+    fn candidates_match_naive_collision_scan() {
+        let cfg = config();
+        let mut p = Pipeline::new("t");
+        let sketches = sketch_stage(&reads(), &cfg, &mut p).unwrap();
+        let got = banded_candidates(&sketches, &cfg, &mut p).unwrap();
+        let scheme = cfg.banding_scheme();
+        let mut want = Vec::new();
+        for i in 0..sketches.len() {
+            for j in i + 1..sketches.len() {
+                if scheme.collides(&sketches[i], &sketches[j]) {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(got, want);
+        // The identical pairs must be candidates.
+        assert!(got.contains(&(0, 1)));
+        assert!(got.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn graph_holds_exactly_the_verified_edges() {
+        let cfg = config();
+        let mut p = Pipeline::new("t");
+        let sketches = sketch_stage(&reads(), &cfg, &mut p).unwrap();
+        let graph = banded_graph_stage(&sketches, &cfg, &mut p).unwrap();
+        assert_eq!(graph.len(), 4);
+        assert_eq!(graph.sim(0, 1), 1.0);
+        assert_eq!(graph.sim(2, 3), 1.0);
+        assert_eq!(graph.sim(0, 2), 0.0, "cross-species pair pruned");
+        // Stage accounting: 3 banded stages after the sketch stage.
+        assert_eq!(p.stages().len(), 4);
+        let verified = p.counter_total("PAIRS_COMPUTED");
+        assert_eq!(verified, p.counter_total("CANDIDATES_EMITTED"));
+        assert!(verified <= 6, "pruning cannot exceed all pairs");
+        assert_eq!(p.counter_total("EDGES_EMITTED"), 2);
+        // Banding stages really shuffle.
+        assert!(p.stages()[1].shuffled_pairs > 0);
+        assert!(p.stages()[1].shuffled_bytes > 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let cfg = config();
+        let mut p = Pipeline::new("t");
+        let g = banded_graph_stage(&[], &cfg, &mut p).unwrap();
+        assert!(g.is_empty());
+        let sketches = sketch_stage(&reads()[..1], &cfg, &mut p).unwrap();
+        let g = banded_graph_stage(&sketches, &cfg, &mut p).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Configuration of a MrMC-MinH run.
 
 use mrmc_cluster::Linkage;
+use mrmc_minhash::BandingScheme;
 
 /// Which clustering algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +21,26 @@ pub enum Estimator {
     /// `|values_a ∩ values_b| / |values_a ∪ values_b|` on sketch
     /// values, as literally written in Algorithm 1 line 9.
     SetBased,
+}
+
+/// How the pipeline finds the pairs whose similarity it evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateGen {
+    /// Evaluate every pair (the paper's all-pairs stage). Exact by
+    /// construction; O(n²) similarity evaluations.
+    Dense,
+    /// Banded-LSH pruning: sketches are cut into `bands` bands of
+    /// `rows` hash values, reads sharing any band signature become
+    /// candidates, and only candidates are verified. With the
+    /// auto-tuned `(bands, rows)` (see [`BandingScheme::tune`]) every
+    /// pair at or above θ is guaranteed to collide, so the pruning is
+    /// lossless at the θ cut.
+    Banded {
+        /// Number of bands `b`.
+        bands: usize,
+        /// Hash values per band `r` (`b·r ≤ num_hashes`).
+        rows: usize,
+    },
 }
 
 /// All knobs of a run. The paper's defaults: k = 5 and n = 100 for
@@ -49,6 +70,9 @@ pub struct MrMcConfig {
     pub map_tasks: usize,
     /// Worker threads (None = machine parallelism).
     pub workers: Option<usize>,
+    /// Candidate generation: dense all-pairs (default, the paper's
+    /// stage 2) or banded-LSH pruning.
+    pub candidates: CandidateGen,
 }
 
 impl Default for MrMcConfig {
@@ -64,6 +88,7 @@ impl Default for MrMcConfig {
             canonical: false,
             map_tasks: 16,
             workers: None,
+            candidates: CandidateGen::Dense,
         }
     }
 }
@@ -103,6 +128,41 @@ impl MrMcConfig {
         self
     }
 
+    /// Switch to banded-LSH candidate pruning with `(bands, rows)`
+    /// auto-tuned from `num_hashes` and θ so that recall at the θ cut
+    /// is exactly 1 (the pigeonhole rule of [`BandingScheme::tune`]).
+    pub fn banded(mut self) -> MrMcConfig {
+        let scheme = BandingScheme::tune(self.num_hashes, self.theta);
+        self.candidates = CandidateGen::Banded {
+            bands: scheme.bands,
+            rows: scheme.rows,
+        };
+        self
+    }
+
+    /// Switch to banded-LSH pruning with explicit `(bands, rows)` —
+    /// for studying the recall/pruning trade-off off the exact point.
+    pub fn banded_with(mut self, bands: usize, rows: usize) -> MrMcConfig {
+        self.candidates = CandidateGen::Banded { bands, rows };
+        self
+    }
+
+    /// Switch back to dense all-pairs candidates.
+    pub fn dense(mut self) -> MrMcConfig {
+        self.candidates = CandidateGen::Dense;
+        self
+    }
+
+    /// The banding scheme this config implies: the configured
+    /// `(bands, rows)` in banded mode, the auto-tuned exact scheme
+    /// otherwise.
+    pub fn banding_scheme(&self) -> BandingScheme {
+        match self.candidates {
+            CandidateGen::Banded { bands, rows } => BandingScheme::new(bands, rows),
+            CandidateGen::Dense => BandingScheme::tune(self.num_hashes, self.theta),
+        }
+    }
+
     /// Validate the knob ranges.
     pub fn validate(&self) -> Result<(), String> {
         if self.kmer == 0 || self.kmer > 31 {
@@ -116,6 +176,17 @@ impl MrMcConfig {
         }
         if self.map_tasks == 0 {
             return Err("map_tasks must be ≥ 1".to_string());
+        }
+        if let CandidateGen::Banded { bands, rows } = self.candidates {
+            if bands == 0 || rows == 0 {
+                return Err("banding needs bands ≥ 1 and rows ≥ 1".to_string());
+            }
+            if bands * rows > self.num_hashes {
+                return Err(format!(
+                    "banding {bands}×{rows} exceeds the {} sketch positions",
+                    self.num_hashes
+                ));
+            }
         }
         Ok(())
     }
@@ -140,6 +211,43 @@ mod tests {
         assert_eq!(c.mode, Mode::Greedy);
         assert_eq!(c.theta, 0.8);
         assert_eq!(c.hierarchical().mode, Mode::Hierarchical);
+    }
+
+    #[test]
+    fn banded_builders_and_scheme() {
+        assert_eq!(MrMcConfig::default().candidates, CandidateGen::Dense);
+        // 16S preset: n = 50, θ = 0.95 → the exact pigeonhole scheme
+        // is b = 3, r = 16.
+        let c = MrMcConfig::sixteen_s().banded();
+        assert_eq!(c.candidates, CandidateGen::Banded { bands: 3, rows: 16 });
+        let s = c.banding_scheme();
+        assert!(s.guarantees_recall(c.num_hashes, c.theta));
+        assert!(c.validate().is_ok());
+        assert_eq!(c.dense().candidates, CandidateGen::Dense);
+
+        let manual = MrMcConfig::sixteen_s().banded_with(5, 10);
+        assert_eq!(
+            manual.candidates,
+            CandidateGen::Banded { bands: 5, rows: 10 }
+        );
+        assert!(manual.validate().is_ok());
+    }
+
+    #[test]
+    fn banded_validation() {
+        // b·r beyond the sketch length is rejected.
+        assert!(MrMcConfig::sixteen_s()
+            .banded_with(10, 6)
+            .validate()
+            .is_err());
+        assert!(MrMcConfig::sixteen_s()
+            .banded_with(0, 5)
+            .validate()
+            .is_err());
+        assert!(MrMcConfig::sixteen_s()
+            .banded_with(5, 0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! on the [`mrmc_pig`] engine; [`scaling`] drives the Figure 2
 //! cluster-scaling experiment on the simulated-time model.
 
+pub mod banded;
 pub mod config;
 pub mod incremental;
 pub mod pipeline;
@@ -47,7 +48,8 @@ pub mod stages;
 pub mod threshold;
 pub mod udfs;
 
-pub use config::{Estimator, Mode, MrMcConfig};
+pub use banded::{banded_candidates, banded_graph_stage};
+pub use config::{CandidateGen, Estimator, Mode, MrMcConfig};
 pub use incremental::IncrementalClusterer;
 pub use pipeline::{MrMcMinH, MrMcResult};
 pub use scaling::{CostCalibration, ScalingPoint};

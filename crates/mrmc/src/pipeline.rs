@@ -2,13 +2,17 @@
 
 use std::time::{Duration, Instant};
 
-use mrmc_cluster::{agglomerative, greedy_cluster, ClusterAssignment, Dendrogram};
+use mrmc_cluster::{
+    agglomerative, agglomerative_sparse, greedy_cluster, greedy_cluster_sparse, ClusterAssignment,
+    Dendrogram,
+};
 use mrmc_mapreduce::chaos::{FaultInjector, NoFaults, RecoveryCounters};
 use mrmc_mapreduce::pipeline::Pipeline;
 use mrmc_mapreduce::MrError;
 use mrmc_seqio::SeqRecord;
 
-use crate::config::{Mode, MrMcConfig};
+use crate::banded::banded_graph_stage_with;
+use crate::config::{CandidateGen, Mode, MrMcConfig};
 use crate::stages::{similarity_matrix_stage_with, sketch_similarity, sketch_stage_with};
 
 /// Result of a MrMC-MinH run.
@@ -116,8 +120,8 @@ impl MrMcMinH {
         let sketches = sketch_stage_with(reads, &self.config, &mut pipeline, injector)?;
 
         let cluster_start = Instant::now();
-        let (assignment, dendrogram) = match self.config.mode {
-            Mode::Greedy => {
+        let (assignment, dendrogram) = match (self.config.mode, self.config.candidates) {
+            (Mode::Greedy, CandidateGen::Dense) => {
                 // Algorithm 1 — iterative, representative-based; runs
                 // on the driver like the paper's GreedyClustering UDF
                 // (invoked once on the grouped relation).
@@ -126,13 +130,36 @@ impl MrMcMinH {
                 });
                 (assignment.compact(), None)
             }
-            Mode::Hierarchical => {
+            (Mode::Greedy, CandidateGen::Banded { .. }) => {
+                // Algorithm 1 over the pruned θ-graph: greedy only ever
+                // tests `sim ≥ θ`, so the sparse run is identical to
+                // dense whenever the graph holds every θ-pair (the
+                // auto-tuned scheme's guarantee).
+                let graph =
+                    banded_graph_stage_with(&sketches, &self.config, &mut pipeline, injector)?;
+                (
+                    greedy_cluster_sparse(&graph, self.config.theta).compact(),
+                    None,
+                )
+            }
+            (Mode::Hierarchical, CandidateGen::Dense) => {
                 // Algorithm 2 — all-pairs matrix via row partitioning,
                 // then agglomerative clustering with θ cutoff.
                 let matrix =
                     similarity_matrix_stage_with(sketches, &self.config, &mut pipeline, injector)?;
                 let (assignment, dendro) =
                     agglomerative(&matrix, self.config.linkage, self.config.theta);
+                (assignment.compact(), Some(dendro))
+            }
+            (Mode::Hierarchical, CandidateGen::Banded { .. }) => {
+                // Algorithm 2 over the pruned graph (missing pairs read
+                // as similarity 0): the θ-cut matches dense on corpora
+                // whose clusters are θ-separated; sub-θ merges follow
+                // single-linkage-at-θ semantics.
+                let graph =
+                    banded_graph_stage_with(&sketches, &self.config, &mut pipeline, injector)?;
+                let (assignment, dendro) =
+                    agglomerative_sparse(&graph, self.config.linkage, self.config.theta);
                 (assignment.compact(), Some(dendro))
             }
         };

@@ -24,6 +24,8 @@ pub struct CostCalibration {
     pub sketch_per_read: f64,
     /// Seconds to compare one sketch pair.
     pub sim_per_pair: f64,
+    /// Seconds to compute one read's full set of band signatures.
+    pub sig_per_read: f64,
     /// Bytes shuffled per read (sketch size).
     pub shuffle_bytes_per_read: f64,
 }
@@ -60,9 +62,21 @@ impl CostCalibration {
         std::hint::black_box(acc);
         let sim_per_pair = t1.elapsed().as_secs_f64() / pairs as f64;
 
+        let scheme = config.banding_scheme();
+        let t2 = Instant::now();
+        let mut sigs = Vec::new();
+        let mut folded = 0u64;
+        for s in &sketches {
+            scheme.signatures_into(s, &mut sigs);
+            folded ^= sigs.iter().copied().fold(0, u64::wrapping_add);
+        }
+        std::hint::black_box(folded);
+        let sig_per_read = t2.elapsed().as_secs_f64() / sketches.len() as f64;
+
         CostCalibration {
             sketch_per_read,
             sim_per_pair,
+            sig_per_read,
             shuffle_bytes_per_read: (config.num_hashes * 8) as f64,
         }
     }
@@ -75,10 +89,19 @@ impl CostCalibration {
         // 64k reads, at least 2 per node slot for balance.
         let map_tasks = ((num_reads / 65_536).max(1) as usize).max(cluster.map_slots() * 2);
 
-        // Job 1: sketching.
+        // Job 1: sketching. The sketches themselves are the shuffle
+        // payload (n hash values of 8 bytes per read).
         let total_sketch = num_reads as f64 * self.sketch_per_read;
         let sketch_costs = vec![total_sketch / map_tasks as f64; map_tasks];
-        let job1 = cluster.simulate_job(model, &sketch_costs, num_reads, &[]);
+        let sketch_bytes = (num_reads as f64 * self.shuffle_bytes_per_read) as u64;
+        let job1 = cluster.simulate_job_bytes(
+            model,
+            &sketch_costs,
+            num_reads,
+            sketch_bytes,
+            &[],
+            mrmc_mapreduce::chaos::RecoveryCounters::new(),
+        );
 
         // Job 2: all-pairs similarity, row-partitioned. The real stage
         // cuts row blocks on pair counts (`balanced_row_blocks` in
@@ -91,6 +114,70 @@ impl CostCalibration {
         let job2 = cluster.simulate_job(model, &sim_costs, num_reads, &[]);
 
         job1.total() + job2.total()
+    }
+
+    /// Simulated total runtime (seconds) of the *banded* hierarchical
+    /// pipeline: sketch → band-signatures → candidate-dedup → verify.
+    /// `bands` is the scheme's band count (shuffle fan-out per read)
+    /// and `candidates` the surviving candidate-pair count — take it
+    /// from a measured pruning ratio at a feasible size, it grows
+    /// ~linearly in reads for fixed community structure.
+    pub fn simulate_banded(
+        &self,
+        num_reads: u64,
+        bands: usize,
+        candidates: u64,
+        nodes: usize,
+        model: &JobCostModel,
+    ) -> f64 {
+        let cluster = ClusterSpec::m1_large(nodes);
+        let clean = mrmc_mapreduce::chaos::RecoveryCounters::new;
+        let map_tasks = ((num_reads / 65_536).max(1) as usize).max(cluster.map_slots() * 2);
+
+        // Job 1: sketching (as in the dense pipeline).
+        let total_sketch = num_reads as f64 * self.sketch_per_read;
+        let sketch_costs = vec![total_sketch / map_tasks as f64; map_tasks];
+        let sketch_bytes = (num_reads as f64 * self.shuffle_bytes_per_read) as u64;
+        let job1 =
+            cluster.simulate_job_bytes(model, &sketch_costs, num_reads, sketch_bytes, &[], clean());
+
+        // Job 2: band signatures — `bands` narrow records per read
+        // cross the shuffle (a (band, signature) key plus a read id,
+        // ~16 B), in place of the dense stage's O(n²) compute.
+        let sig_records = num_reads * bands.max(1) as u64;
+        let total_sig = num_reads as f64 * self.sig_per_read;
+        let sig_costs = vec![total_sig / map_tasks as f64; map_tasks];
+        let job2 = cluster.simulate_job_bytes(
+            model,
+            &sig_costs,
+            sig_records,
+            sig_records * 16,
+            &[],
+            clean(),
+        );
+
+        // Job 3: candidate dedup — shuffle-bound, one narrow record
+        // per bucket pair (duplicates across bands included; the
+        // candidate count is the post-dedup floor, so this is a mild
+        // underestimate biased *against* the banded path's win).
+        let dedup_costs = vec![0.0; map_tasks];
+        let job3 = cluster.simulate_job_bytes(
+            model,
+            &dedup_costs,
+            candidates,
+            candidates * 8,
+            &[],
+            clean(),
+        );
+
+        // Job 4: verification — the dense similarity kernel, but only
+        // over candidates (map-only, no shuffle).
+        let total_verify = candidates as f64 * self.sim_per_pair;
+        let verify_tasks = (map_tasks * 4).max(1);
+        let verify_costs = vec![total_verify / verify_tasks as f64; verify_tasks];
+        let job4 = cluster.simulate_job(model, &verify_costs, 0, &[]);
+
+        job1.total() + job2.total() + job3.total() + job4.total()
     }
 }
 
@@ -135,6 +222,7 @@ mod tests {
         CostCalibration {
             sketch_per_read: 50e-6,
             sim_per_pair: 0.2e-6,
+            sig_per_read: 1e-6,
             shuffle_bytes_per_read: 800.0,
         }
     }
@@ -175,6 +263,26 @@ mod tests {
             assert!(t >= prev, "reads={reads}: {t} < {prev}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn banded_simulation_beats_dense_at_scale() {
+        let model = JobCostModel::default();
+        let c = calib();
+        let reads = 1_000_000u64;
+        // ~50 surviving candidates per read — far denser than real 16S
+        // corpora, still a ×10⁴ pruning of the 5·10¹¹ pair set.
+        let banded = c.simulate_banded(reads, 3, reads * 50, 8, &model);
+        let dense = c.simulate(reads, 8, &model);
+        assert!(
+            banded < dense * 0.1,
+            "banded {banded:.0}s should be well under dense {dense:.0}s"
+        );
+        // At tiny sizes the fixed four-job overhead makes banding a
+        // *loss* — the README's "when dense is still right".
+        let banded_small = c.simulate_banded(1_000, 3, 1_000 * 50, 8, &model);
+        let dense_small = c.simulate(1_000, 8, &model);
+        assert!(banded_small > dense_small);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Integration tests of the banded-LSH candidate pipeline: the
+//! exactness contract (banded == dense, bit for bit), the candidate
+//! oracle, dedup completeness, and fault recovery through the banding
+//! reducers.
+
+use mrmc::banded::{banded_candidates, banded_graph_stage, banded_graph_stage_with};
+use mrmc::stages::{sketch_similarity, sketch_stage};
+use mrmc::{Mode, MrMcConfig, MrMcMinH};
+use mrmc_mapreduce::chaos::{FaultPlan, Phase};
+use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_minhash::Sketch;
+use mrmc_simulate::huse_16s;
+
+fn corpus(reads: f64, seed: u64) -> Vec<mrmc_seqio::SeqRecord> {
+    huse_16s(0.03, reads / 345_000.0, seed).reads
+}
+
+fn sketches_of(reads: &[mrmc_seqio::SeqRecord], cfg: &MrMcConfig) -> Vec<Sketch> {
+    let mut p = Pipeline::new("test-sketch");
+    sketch_stage(reads, cfg, &mut p).expect("sketch stage")
+}
+
+/// The tentpole contract: on the seed 16S corpus, the banded pipeline
+/// produces *bit-identical* cluster assignments to the dense oracle in
+/// both clustering modes, at the default auto-tuned scheme.
+#[test]
+fn banded_clustering_identical_to_dense() {
+    let reads = corpus(280.0, 9);
+    for mode in [Mode::Greedy, Mode::Hierarchical] {
+        let dense = MrMcMinH::new(MrMcConfig {
+            mode,
+            ..MrMcConfig::sixteen_s()
+        })
+        .run(&reads)
+        .expect("dense run");
+        let banded = MrMcMinH::new(
+            MrMcConfig {
+                mode,
+                ..MrMcConfig::sixteen_s()
+            }
+            .banded(),
+        )
+        .run(&reads)
+        .expect("banded run");
+        assert_eq!(
+            banded.assignment, dense.assignment,
+            "{mode:?}: banded assignments must match dense"
+        );
+        assert_eq!(banded.num_clusters(), dense.num_clusters());
+    }
+}
+
+/// Stages 1–2 emit exactly the pairs the collision oracle accepts:
+/// no false drops (the superset property survives the shuffle) and no
+/// duplicates (the dedup stage emits each pair once).
+#[test]
+fn candidates_match_collision_oracle_and_are_unique() {
+    let cfg = MrMcConfig::sixteen_s().banded();
+    let reads = corpus(200.0, 11);
+    let sketches = sketches_of(&reads, &cfg);
+
+    let mut p = Pipeline::new("test-candidates");
+    let candidates = banded_candidates(&sketches, &cfg, &mut p).expect("banded stages");
+
+    let scheme = cfg.banding_scheme();
+    let mut oracle = Vec::new();
+    for i in 0..sketches.len() {
+        for j in (i + 1)..sketches.len() {
+            if scheme.collides(&sketches[i], &sketches[j]) {
+                oracle.push((i as u32, j as u32));
+            }
+        }
+    }
+    assert_eq!(candidates, oracle, "candidate list must equal the oracle");
+
+    let mut deduped = candidates.clone();
+    deduped.dedup();
+    assert_eq!(deduped.len(), candidates.len(), "no duplicate pairs");
+    assert!(candidates.windows(2).all(|w| w[0] < w[1]), "sorted output");
+}
+
+/// The sparse graph holds exactly the θ-edges of the dense truth scan:
+/// recall 1.0 (pigeonhole guarantee) and precision 1.0 (the verify
+/// stage applies the same `sim ≥ θ` test), with identical weights.
+#[test]
+fn sparse_graph_equals_dense_truth() {
+    let cfg = MrMcConfig::sixteen_s().banded();
+    let reads = corpus(200.0, 13);
+    let sketches = sketches_of(&reads, &cfg);
+
+    let mut p = Pipeline::new("test-graph");
+    let graph = banded_graph_stage(&sketches, &cfg, &mut p).expect("banded stages");
+
+    let mut truth = 0usize;
+    for i in 0..sketches.len() {
+        for j in (i + 1)..sketches.len() {
+            let sim = sketch_similarity(&sketches[i], &sketches[j], cfg.estimator);
+            if sim >= cfg.theta {
+                truth += 1;
+                assert_eq!(
+                    graph.sim(i, j),
+                    (sim as f32) as f64,
+                    "edge ({i},{j}) must carry the verified similarity"
+                );
+            } else {
+                assert_eq!(graph.sim(i, j), 0.0, "({i},{j}) is below θ");
+            }
+        }
+    }
+    assert_eq!(graph.num_edges(), truth, "recall and precision 1.0");
+}
+
+/// Task panics in the banding *reducers* (bucket collection and pair
+/// dedup) and the verify mappers must be recovered with a
+/// bit-identical graph — the pipeline's new reduce-phase recovery
+/// surface.
+#[test]
+fn reducer_faults_recover_bit_identical() {
+    let cfg = MrMcConfig::sixteen_s().banded();
+    let reads = corpus(150.0, 17);
+    let sketches = sketches_of(&reads, &cfg);
+
+    let mut clean_p = Pipeline::new("test-clean");
+    let clean = banded_graph_stage(&sketches, &cfg, &mut clean_p).expect("clean run");
+
+    // Job ordinals under this injector: 0 = band-signatures,
+    // 1 = candidate-dedup, 2 = verify.
+    let inj = FaultPlan::new()
+        .task_panic(0, Phase::Reduce, 0, 2)
+        .task_panic(1, Phase::Reduce, 1, 1)
+        .task_panic(2, Phase::Map, 0, 1)
+        .injector();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut faulty_p = Pipeline::new("test-faulty");
+    let faulty = banded_graph_stage_with(&sketches, &cfg, &mut faulty_p, &inj);
+    std::panic::set_hook(hook);
+
+    let faulty = faulty.expect("faults within the retry budget must recover");
+    assert_eq!(faulty, clean, "recovered graph must be bit-identical");
+    assert!(
+        faulty_p.total_recovery().tasks_retried >= 4,
+        "the injected failures must show up in the ledger"
+    );
+}
+
+/// Degenerate inputs: empty and single-read corpora produce empty
+/// graphs without panicking, in both the candidate and graph APIs.
+#[test]
+fn degenerate_inputs() {
+    let cfg = MrMcConfig::sixteen_s().banded();
+    for n in [0usize, 1] {
+        let reads = corpus(200.0, 3);
+        let sketches = sketches_of(&reads[..n.min(reads.len())], &cfg);
+        let mut p = Pipeline::new("test-degenerate");
+        let candidates = banded_candidates(&sketches, &cfg, &mut p).expect("candidates");
+        assert!(candidates.is_empty());
+        let graph = banded_graph_stage(&sketches, &cfg, &mut p).expect("graph");
+        assert_eq!(graph.num_edges(), 0);
+    }
+}
