@@ -29,7 +29,7 @@ use mrmc_bench::HarnessArgs;
 use mrmc_mapreduce::chaos::{ChaosProfile, FaultPlan, Phase};
 use mrmc_mapreduce::{
     run_job_with_faults, Dfs, DfsConfig, JobConfig, Mapper, NoFaults, RecoveryCounters, Reducer,
-    TaskContext,
+    ShuffleSized, TaskContext,
 };
 use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
 
@@ -48,8 +48,10 @@ struct Cell {
     pairs_computed: u64,
     /// Candidate pairs the banded stages emitted (0 off the banded path).
     candidates_emitted: u64,
-    /// Shuffle volume of the faulty run, bytes.
+    /// Shuffle volume of the faulty run, payload bytes.
     shuffle_bytes: u64,
+    /// Sorted map-side runs the faulty run's reducers fetched.
+    shuffle_runs: u64,
 }
 
 impl Cell {
@@ -81,7 +83,8 @@ impl Cell {
              {fp}\"counters\": {{\n\
              {fp}  \"pairs_computed\": {},\n\
              {fp}  \"candidates_emitted\": {},\n\
-             {fp}  \"shuffle_bytes\": {}\n\
+             {fp}  \"shuffle_bytes\": {},\n\
+             {fp}  \"shuffle_runs\": {}\n\
              {fp}}}\n\
              {pad}}}",
             self.subject,
@@ -100,6 +103,7 @@ impl Cell {
             self.pairs_computed,
             self.candidates_emitted,
             self.shuffle_bytes,
+            self.shuffle_runs,
         )
     }
 }
@@ -159,9 +163,10 @@ fn pipeline_cell(
                 r.pipeline.counter_total("PAIRS_COMPUTED"),
                 r.pipeline.counter_total("CANDIDATES_EMITTED"),
                 r.pipeline.counter_total("SHUFFLE_BYTES"),
+                r.pipeline.counter_total("SHUFFLE_RUNS"),
             ),
         ),
-        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0)),
+        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0, 0)),
     };
     Cell {
         subject: "mrmc-pipeline",
@@ -174,6 +179,7 @@ fn pipeline_cell(
         pairs_computed: counters.0,
         candidates_emitted: counters.1,
         shuffle_bytes: counters.2,
+        shuffle_runs: counters.3,
     }
 }
 
@@ -213,9 +219,10 @@ fn banded_cell(
                 r.pipeline.counter_total("PAIRS_COMPUTED"),
                 r.pipeline.counter_total("CANDIDATES_EMITTED"),
                 r.pipeline.counter_total("SHUFFLE_BYTES"),
+                r.pipeline.counter_total("SHUFFLE_RUNS"),
             ),
         ),
-        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0)),
+        Err(_) => (false, false, RecoveryCounters::new(), (0, 0, 0, 0)),
     };
     Cell {
         subject: "banded-pipeline",
@@ -228,6 +235,7 @@ fn banded_cell(
         pairs_computed: counters.0,
         candidates_emitted: counters.1,
         shuffle_bytes: counters.2,
+        shuffle_runs: counters.3,
     }
 }
 
@@ -243,6 +251,11 @@ impl Mapper for Tokenize {
         for w in v.split_whitespace() {
             ctx.emit(w.to_string(), 1);
         }
+    }
+
+    // String keys are heap-backed: charge their real payload width.
+    fn shuffle_size(&self, key: &String, value: &u64) -> usize {
+        key.shuffle_size() + value.shuffle_size()
     }
 }
 
@@ -296,13 +309,19 @@ fn shuffle_cell(fault: &'static str, intensity: impl Into<String>, plan: FaultPl
         &plan.injector(),
     );
     let secs = t.elapsed().as_secs_f64();
-    let (completed, identical, recovery, shuffle_bytes) = match run {
+    let (completed, identical, recovery, shuffle_bytes, shuffle_runs) = match run {
         Ok(r) => {
             let mut got = r.output;
             got.sort();
-            (true, got == expect, r.recovery, r.shuffled_bytes)
+            (
+                true,
+                got == expect,
+                r.recovery,
+                r.shuffled_bytes,
+                r.shuffle_runs,
+            )
         }
-        Err(_) => (false, false, RecoveryCounters::new(), 0),
+        Err(_) => (false, false, RecoveryCounters::new(), 0, 0),
     };
     Cell {
         subject: "wordcount-job",
@@ -315,6 +334,7 @@ fn shuffle_cell(fault: &'static str, intensity: impl Into<String>, plan: FaultPl
         pairs_computed: 0,
         candidates_emitted: 0,
         shuffle_bytes,
+        shuffle_runs,
     }
 }
 
@@ -352,6 +372,7 @@ fn dfs_cell(intensity: impl Into<String>, corruptions: &[(usize, usize)]) -> Cel
         pairs_computed: 0,
         candidates_emitted: 0,
         shuffle_bytes: 0,
+        shuffle_runs: 0,
     }
 }
 

@@ -88,10 +88,12 @@ fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCos
     let cand_per_read = candidates as f64 / reads.len() as f64;
     eprintln!(
         "\nbanded calibration: {} reads → {candidates} candidates \
-         ({cand_per_read:.1}/read), {} pairs verified, {} B shuffled",
+         ({cand_per_read:.1}/read), {} pairs verified, {} B shuffled \
+         across {} sorted runs",
         reads.len(),
         run.pipeline.counter_total("PAIRS_COMPUTED"),
         run.pipeline.counter_total("SHUFFLE_BYTES"),
+        run.pipeline.counter_total("SHUFFLE_RUNS"),
     );
 
     println!(
@@ -200,10 +202,11 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel) {
     }
     println!(
         "\ncounters (clean run): PAIRS_COMPUTED = {}, SHUFFLED_PAIRS = {}, \
-         SHUFFLE_BYTES = {}",
+         SHUFFLE_BYTES = {}, SHUFFLE_RUNS = {}",
         clean.pipeline.counter_total("PAIRS_COMPUTED"),
         clean.pipeline.counter_total("SHUFFLED_PAIRS"),
         clean.pipeline.counter_total("SHUFFLE_BYTES"),
+        clean.pipeline.counter_total("SHUFFLE_RUNS"),
     );
     println!(
         "\ncheck: output bit-identical under stragglers; overhead shrinks as\n\

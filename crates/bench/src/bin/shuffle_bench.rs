@@ -1,0 +1,326 @@
+//! `shuffle_bench` — the sort-merge shuffle microbench.
+//!
+//! Runs the same shuffle-heavy word-count-shaped job (short string
+//! keys, ~256 values per key, `--scale 1` = 1M pairs, 8 reducers)
+//! through two data planes:
+//!
+//! * **merged** — the engine's sort-merge shuffle (map-side grouped
+//!   sorted runs, move-based barrier, k-way merge reduce);
+//! * **legacy** — the pre-overhaul plane, reimplemented here verbatim:
+//!   every map attempt clones its chunk, partitions are gathered by a
+//!   single-threaded flat `extend`, and every reduce task clones its
+//!   whole partition, stable-sorts it, and groups with a per-group
+//!   `vec![first]` allocation (with a combiner, the map side pays the
+//!   same stable sort + grouping a second time).
+//!
+//! Both planes consume an owned copy of the input (the engines own
+//! their input and drop it inside the job), run the same mapper and
+//! reducer with the same worker pool, and are measured with and
+//! without a combiner; outputs are asserted bit-identical and the
+//! best-of-N times reported. The JSON summary (stdout, plus
+//! `--json <path>`) is what CI uploads as `BENCH_shuffle.json`.
+//!
+//! ```sh
+//! cargo run -p mrmc-bench --release --bin shuffle_bench -- --json BENCH_shuffle.json
+//! ```
+
+use std::time::Instant;
+
+use mrmc_bench::HarnessArgs;
+use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
+use mrmc_mapreduce::job::{
+    partition_of, Combiner, JobConfig, Mapper, Reducer, ShuffleSized, TaskContext,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAPS: usize = 16;
+const REDUCERS: usize = 8;
+const ITERS: usize = 7;
+
+/// One small pair per record: the input carries a short heap-backed
+/// key (the case the old plane's byte accounting got wrong) that the
+/// map emits as-is, so the run measures the data plane, not key
+/// construction. Heap-backed input is also where the old plane's
+/// per-task chunk clone hurts.
+struct PairMapper;
+impl Mapper for PairMapper {
+    type InKey = u32;
+    type InValue = String;
+    type OutKey = String;
+    type OutValue = u32;
+    fn map(&self, id: u32, key: String, ctx: &mut TaskContext<String, u32>) {
+        ctx.emit(key, id);
+    }
+    fn shuffle_size(&self, key: &String, value: &u32) -> usize {
+        key.shuffle_size() + value.shuffle_size()
+    }
+}
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    type Key = String;
+    type Value = u32;
+    fn combine(&self, _k: &String, vs: Vec<u32>) -> Vec<u32> {
+        vec![vs.iter().sum()]
+    }
+}
+
+struct SumReducer;
+impl Reducer for SumReducer {
+    type InKey = String;
+    type InValue = u32;
+    type OutKey = String;
+    type OutValue = u64;
+    fn reduce(&self, k: String, vs: Vec<u32>, ctx: &mut TaskContext<String, u64>) {
+        ctx.emit(k, vs.iter().map(|&v| u64::from(v)).sum());
+    }
+}
+
+/// The old engine's `chunk_input`: contiguous chunks moved (not
+/// copied) out of the owned input via `split_off`.
+fn chunk_input(mut input: Vec<(u32, String)>, n: usize) -> Vec<Vec<(u32, String)>> {
+    let total = input.len();
+    let (base, extra) = (total / n, total % n);
+    let mut sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    let mut chunks = Vec::with_capacity(n);
+    for size in sizes {
+        let tail = input.split_off(input.len() - size);
+        chunks.push(tail);
+    }
+    chunks.reverse();
+    chunks
+}
+
+/// The old engine's one-result-per-task slot vector.
+type TaskSlots<T> = Vec<std::sync::Mutex<Option<T>>>;
+
+/// The pre-overhaul data plane: parallel map over per-attempt cloned
+/// chunks, optional map-side stable-sort + group + combine, a
+/// single-threaded flat-Vec gather, and a parallel reduce that clones
+/// its whole partition, stable-sorts it, and groups with `vec![first]`.
+/// Consumes its input like the old engine did (chunks drop with the
+/// job).
+fn legacy_run(input: Vec<(u32, String)>, workers: usize, combine: bool) -> Vec<(String, u64)> {
+    let chunks = chunk_input(input, MAPS);
+    let workers = workers.max(1);
+
+    // ---- Map: each attempt clones its chunk, partitions in emission
+    // order (post-combine order when combining).
+    let map_slots: TaskSlots<Vec<Vec<(String, u32)>>> =
+        (0..MAPS).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let chunks = &chunks;
+            let map_slots = &map_slots;
+            s.spawn(move || {
+                for i in (w..MAPS).step_by(workers) {
+                    let chunk = chunks[i].clone();
+                    let mut ctx = TaskContext::new();
+                    for (k, v) in chunk {
+                        PairMapper.map(k, v, &mut ctx);
+                    }
+                    let (mut pairs, _) = ctx.into_parts();
+                    if combine {
+                        // Old combiner path: stable sort, peekable
+                        // grouping, key.clone() per combined value.
+                        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                        let mut combined = Vec::with_capacity(pairs.len());
+                        let mut iter = pairs.into_iter().peekable();
+                        while let Some((key, first)) = iter.next() {
+                            let mut group = vec![first];
+                            while iter.peek().is_some_and(|(k, _)| *k == key) {
+                                group.push(iter.next().expect("peeked").1);
+                            }
+                            for v in SumCombiner.combine(&key, group) {
+                                combined.push((key.clone(), v));
+                            }
+                        }
+                        pairs = combined;
+                    }
+                    let mut partitions: Vec<Vec<(String, u32)>> =
+                        (0..REDUCERS).map(|_| Vec::new()).collect();
+                    for (k, v) in pairs {
+                        partitions[partition_of(&k, REDUCERS)].push((k, v));
+                    }
+                    *map_slots[i].lock().expect("slot") = Some(partitions);
+                }
+            });
+        }
+    });
+
+    // ---- Shuffle: single-threaded flat extend, map order.
+    let mut partitions: Vec<Vec<(String, u32)>> = (0..REDUCERS).map(|_| Vec::new()).collect();
+    for slot in map_slots {
+        let task_parts = slot.into_inner().expect("slot").expect("map ran");
+        for (p, pairs) in task_parts.into_iter().enumerate() {
+            partitions[p].extend(pairs);
+        }
+    }
+
+    // ---- Reduce: clone, stable sort, peekable vec![first] grouping.
+    let reduce_slots: TaskSlots<Vec<(String, u64)>> =
+        (0..REDUCERS).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let partitions = &partitions;
+            let reduce_slots = &reduce_slots;
+            s.spawn(move || {
+                for p in (w..REDUCERS).step_by(workers) {
+                    let mut pairs = partitions[p].clone();
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut ctx = TaskContext::new();
+                    let mut iter = pairs.into_iter().peekable();
+                    while let Some((key, first)) = iter.next() {
+                        let mut group = vec![first];
+                        while iter.peek().is_some_and(|(k, _)| *k == key) {
+                            group.push(iter.next().expect("peeked").1);
+                        }
+                        SumReducer.reduce(key, group, &mut ctx);
+                    }
+                    let (out, _) = ctx.into_parts();
+                    *reduce_slots[p].lock().expect("slot") = Some(out);
+                }
+            });
+        }
+    });
+    let mut output = Vec::new();
+    for slot in reduce_slots {
+        output.extend(slot.into_inner().expect("slot").expect("reduce ran"));
+    }
+    output
+}
+
+struct ModeResult {
+    legacy_secs: f64,
+    merged_secs: f64,
+    shuffled_pairs: u64,
+    shuffled_bytes: u64,
+    shuffle_runs: u64,
+}
+
+impl ModeResult {
+    fn speedup(&self) -> f64 {
+        self.legacy_secs / self.merged_secs
+    }
+}
+
+fn measure(
+    label: &str,
+    input: &[(u32, String)],
+    cfg: &JobConfig,
+    workers: usize,
+    combine: bool,
+) -> ModeResult {
+    let mut legacy_best = f64::INFINITY;
+    let mut merged_best = f64::INFINITY;
+    let mut merged_result = None;
+    let mut legacy_output = Vec::new();
+    // Interleave the planes so neither systematically benefits from a
+    // warm allocator; keep the best time of each.
+    for iter in 0..ITERS {
+        let owned = input.to_vec();
+        let t = Instant::now();
+        legacy_output = legacy_run(owned, workers, combine);
+        let legacy_secs = t.elapsed().as_secs_f64();
+        legacy_best = legacy_best.min(legacy_secs);
+
+        let owned = input.to_vec();
+        let t = Instant::now();
+        let run = if combine {
+            run_job_with_combiner(owned, MAPS, &PairMapper, &SumCombiner, &SumReducer, cfg)
+        } else {
+            run_job(owned, MAPS, &PairMapper, &SumReducer, cfg)
+        }
+        .expect("merged-plane job");
+        let merged_secs = t.elapsed().as_secs_f64();
+        merged_best = merged_best.min(merged_secs);
+        eprintln!("{label} iter {iter}: legacy {legacy_secs:.3}s, merged {merged_secs:.3}s");
+        merged_result = Some(run);
+    }
+    let run = merged_result.expect("ITERS > 0");
+    assert_eq!(
+        run.output, legacy_output,
+        "{label}: sort-merge plane must be bit-identical to the legacy plane"
+    );
+    ModeResult {
+        legacy_secs: legacy_best,
+        merged_secs: merged_best,
+        shuffled_pairs: run.shuffled_pairs,
+        shuffled_bytes: run.shuffled_bytes,
+        shuffle_runs: run.shuffle_runs,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let pairs = ((1_000_000.0 * args.scale).round() as usize).max(1_000);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // ~4k distinct keys at full scale — every reduce group gathers
+    // ~256 values, the grouping-heavy shape a shuffle exists for.
+    let key_space = (pairs / 256).max(16);
+    let keys: Vec<String> = (0..key_space).map(|k| format!("k{k:06}")).collect();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let input: Vec<(u32, String)> = (0..pairs as u32)
+        .map(|id| (id, keys[rng.random_range(0..key_space)].clone()))
+        .collect();
+    eprintln!(
+        "shuffle_bench: {pairs} pairs, {key_space} keys, {MAPS} maps, {REDUCERS} reducers, \
+         {workers} workers, {ITERS} iters, seed {}",
+        args.seed
+    );
+
+    let cfg = JobConfig::named("shuffle-bench")
+        .reducers(REDUCERS)
+        .workers(workers);
+
+    let plain = measure("no-combiner", &input, &cfg, workers, false);
+    let combined = measure("combiner", &input, &cfg, workers, true);
+
+    println!("\nshuffle microbench — legacy concat-sort plane vs sort-merge plane\n");
+    println!(
+        "{:>14} {:>12} {:>12} {:>9}",
+        "mode", "legacy (s)", "merged (s)", "speedup"
+    );
+    for (name, m) in [("no-combiner", &plain), ("combiner", &combined)] {
+        println!(
+            "{name:>14} {:>12.3} {:>12.3} {:>8.2}x",
+            m.legacy_secs,
+            m.merged_secs,
+            m.speedup()
+        );
+    }
+    println!(
+        "\nshuffle accounting (no-combiner): {} pairs, {} payload bytes, {} sorted runs",
+        plain.shuffled_pairs, plain.shuffled_bytes, plain.shuffle_runs
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"pairs\": {pairs},\n  \
+         \"keys\": {key_space},\n  \"maps\": {MAPS},\n  \"reducers\": {REDUCERS},\n  \
+         \"workers\": {workers},\n  \"iters\": {ITERS},\n  \
+         \"legacy_secs\": {:.6},\n  \"merged_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
+         \"legacy_combiner_secs\": {:.6},\n  \"merged_combiner_secs\": {:.6},\n  \
+         \"speedup_combiner\": {:.3},\n  \"identical\": true,\n  \
+         \"shuffled_pairs\": {},\n  \"shuffle_bytes\": {},\n  \"shuffle_runs\": {}\n}}",
+        args.scale,
+        args.seed,
+        plain.legacy_secs,
+        plain.merged_secs,
+        plain.speedup(),
+        combined.legacy_secs,
+        combined.merged_secs,
+        combined.speedup(),
+        plain.shuffled_pairs,
+        plain.shuffled_bytes,
+        plain.shuffle_runs,
+    );
+    println!("\n{json}");
+    if let Some(path) = &args.json {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote shuffle microbench summary to {path}");
+    }
+}

@@ -1,10 +1,26 @@
 //! The multi-threaded job executor.
 //!
 //! Runs map tasks on a bounded worker pool (sized like the simulated
-//! cluster's task slots), performs a hash-partitioned, sort-based
-//! shuffle, then runs reduce tasks per partition. Task wall-times are
+//! cluster's task slots), performs a hash-partitioned **sort-merge
+//! shuffle**, then runs reduce tasks per partition. Task wall-times are
 //! recorded so the [`crate::simcluster`] layer can re-schedule the same
 //! work onto a virtual 2–12 node cluster.
+//!
+//! The data plane mirrors Hadoop's spill/merge design (see DESIGN.md
+//! §3a): map tasks read their input through `Arc`-shared chunks (so
+//! retries and speculative backups never re-clone the chunk buffer)
+//! and hash-group their emissions into per-key value blocks, so each
+//! pair is touched once instead of sort-moved `log n` times and the
+//! per-key value order is exactly what a stable spill sort would
+//! produce. The combiner consumes whole groups in place (Hadoop's
+//! combine-on-spill), then each task emits one *sorted run of distinct
+//! keys per reduce partition* — the sort prices by distinct keys, not
+//! pairs. The shuffle barrier **moves** those runs into per-reducer
+//! slots; nothing is concatenated or copied. Each reduce task then
+//! k-way-merges its runs group-at-a-time with a binary heap, breaking
+//! key ties toward the lowest map index, which reproduces
+//! bit-identically the order the old concatenate-then-stable-sort path
+//! produced.
 //!
 //! # Fault tolerance
 //!
@@ -31,9 +47,9 @@
 //! Everything the runtime did to survive is tallied in
 //! [`RecoveryCounters`] on the [`JobResult`].
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use mrmc_chaos::{FaultInjector, NoFaults, Phase, RecoveryCounters, TaskFault};
@@ -422,8 +438,62 @@ fn chunk_input<T>(mut input: Vec<T>, n: usize) -> Vec<Vec<T>> {
     chunks
 }
 
+/// K-way merge of key-sorted grouped runs, streamed group-at-a-time
+/// into `f` without ever materializing a merged pair list. The runs are
+/// shared read-only (retried or speculative reduce attempts re-read
+/// them), so value blocks are cloned out — but each *key* is cloned
+/// once per merged group, not once per pair. Ties break toward the
+/// lowest run index, so a key's values concatenate in map-task order —
+/// exactly the order the old concat-then-stable-sort path produced.
+fn merge_groups<K: Ord + Clone, V: Clone>(runs: &[Vec<(K, Vec<V>)>], mut f: impl FnMut(K, Vec<V>)) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap: BinaryHeap<Reverse<(&K, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, run)| !run.is_empty())
+        .map(|(r, run)| Reverse((&run[0].0, r)))
+        .collect();
+    while let Some(Reverse((key, r))) = heap.pop() {
+        let mut values = runs[r][pos[r]].1.clone();
+        pos[r] += 1;
+        if let Some(next) = runs[r].get(pos[r]) {
+            heap.push(Reverse((&next.0, r)));
+        }
+        // Later runs holding the same key append their value blocks in
+        // run (= map task) order.
+        while let Some(Reverse((next_key, r2))) = heap.peek().copied() {
+            if next_key != key {
+                break;
+            }
+            heap.pop();
+            values.extend_from_slice(&runs[r2][pos[r2]].1);
+            pos[r2] += 1;
+            if let Some(next) = runs[r2].get(pos[r2]) {
+                heap.push(Reverse((&next.0, r2)));
+            }
+        }
+        f(key.clone(), values);
+    }
+}
+
+/// An input chunk shared by every attempt of a map task (retries,
+/// speculative backups, post-death re-executions).
+type SharedChunk<M> = Arc<[(<M as Mapper>::InKey, <M as Mapper>::InValue)]>;
+
+/// One map-side sorted run: distinct keys, each with its value block
+/// in the map task's emission order.
+type SortedRun<K, V> = Vec<(K, Vec<V>)>;
+
 struct MapTaskOutput<K, V> {
-    partitions: Vec<Vec<(K, V)>>,
+    /// One key-sorted run of `(key, values)` groups per reduce
+    /// partition; keys are distinct within a run and values keep the
+    /// map task's emission order.
+    runs: Vec<SortedRun<K, V>>,
+    /// Payload bytes across all runs, per [`Mapper::shuffle_size`].
+    bytes: u64,
     stats: TaskStats,
     counters: Counters,
 }
@@ -462,16 +532,21 @@ where
 {
     injector.begin_job(&config.name);
     let workers = config.worker_threads.unwrap_or_else(default_workers);
-    // Chunks stay intact so a retried attempt can re-read its input.
-    let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
+    // Chunks are Arc-shared: every attempt (retry, speculative backup,
+    // post-death re-execution) reads the same buffer through its own
+    // handle instead of cloning the chunk.
+    let chunks: Vec<SharedChunk<M>> = chunk_input(input, num_map_tasks)
+        .into_iter()
+        .map(Arc::from)
+        .collect();
 
     let map_task = |i: usize| {
-        let chunk = chunks[i].clone();
+        let chunk = Arc::clone(&chunks[i]);
         let start = Instant::now();
         let records_in = chunk.len() as u64;
         let mut ctx = TaskContext::new();
-        for (k, v) in chunk {
-            mapper.map(k, v, &mut ctx);
+        for (k, v) in chunk.iter() {
+            mapper.map(k.clone(), v.clone(), &mut ctx);
         }
         let (pairs, counters) = ctx.into_parts();
         let stats = TaskStats {
@@ -523,6 +598,7 @@ where
         reduce_stats: Vec::new(),
         shuffled_pairs: 0,
         shuffled_bytes: 0,
+        shuffle_runs: 0,
         recovery,
     })
 }
@@ -643,44 +719,62 @@ where
     let workers = config.worker_threads.unwrap_or_else(default_workers);
 
     // ---- Map phase ----
-    let chunks: Vec<Vec<(M::InKey, M::InValue)>> = chunk_input(input, num_map_tasks);
+    // Chunks are Arc-shared: every attempt (retry, speculative backup,
+    // post-death re-execution) reads the same buffer through its own
+    // handle instead of cloning the chunk.
+    let chunks: Vec<SharedChunk<M>> = chunk_input(input, num_map_tasks)
+        .into_iter()
+        .map(Arc::from)
+        .collect();
 
     let map_task = |i: usize| {
-        let chunk = chunks[i].clone();
+        let chunk = Arc::clone(&chunks[i]);
         let start = Instant::now();
         let records_in = chunk.len() as u64;
         let mut ctx = TaskContext::new();
-        for (k, v) in chunk {
-            mapper.map(k, v, &mut ctx);
+        for (k, v) in chunk.iter() {
+            mapper.map(k.clone(), v.clone(), &mut ctx);
         }
-        let (mut pairs, counters) = ctx.into_parts();
-        // Local combine: sort + group + combine, like Hadoop's
-        // in-memory combiner on spill.
-        if let Some(c) = combiner {
-            pairs.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut combined = Vec::with_capacity(pairs.len());
-            let mut iter = pairs.into_iter().peekable();
-            while let Some((key, first)) = iter.next() {
-                let mut group = vec![first];
-                while iter.peek().is_some_and(|(k, _)| *k == key) {
-                    group.push(iter.next().expect("peeked").1);
-                }
-                for v in c.combine(&key, group) {
-                    combined.push((key.clone(), v));
-                }
-            }
-            pairs = combined;
-        }
-        let records_out = pairs.len() as u64;
-        // Partition.
-        let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
-            (0..reducers).map(|_| Vec::new()).collect();
+        let (pairs, counters) = ctx.into_parts();
+        // Group map-side in emission order: the hash grouping touches
+        // each pair once instead of sort-moving it log n times, and the
+        // per-key value order it preserves is exactly what the old
+        // stable spill sort produced. The combiner then consumes whole
+        // groups in place — Hadoop's combine-on-spill.
+        let mut grouped: HashMap<M::OutKey, Vec<M::OutValue>> = HashMap::new();
         for (k, v) in pairs {
-            let p = partition_of(&k, reducers);
-            partitions[p].push((k, v));
+            grouped.entry(k).or_default().push(v);
+        }
+        let mut records_out = 0u64;
+        let mut bytes = 0u64;
+        let mut runs: Vec<SortedRun<M::OutKey, M::OutValue>> =
+            (0..reducers).map(|_| Vec::new()).collect();
+        for (k, vs) in grouped {
+            let vs = match combiner {
+                Some(c) => c.combine(&k, vs),
+                None => vs,
+            };
+            // A combiner may collapse a group to nothing; the old
+            // plane simply never emitted such keys.
+            if vs.is_empty() {
+                continue;
+            }
+            records_out += vs.len() as u64;
+            for v in &vs {
+                bytes += mapper.shuffle_size(&k, v) as u64;
+            }
+            runs[partition_of(&k, reducers)].push((k, vs));
+        }
+        // Keys are distinct within a run, so this cheap key-only sort
+        // is deterministic despite the hash map's iteration order —
+        // it prices by distinct keys, not by pairs. These are the
+        // sorted spill segments reducers will merge.
+        for run in &mut runs {
+            run.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         }
         MapTaskOutput {
-            partitions,
+            runs,
+            bytes,
             stats: TaskStats {
                 task: i,
                 duration: start.elapsed(),
@@ -753,45 +847,51 @@ where
         map_outputs[m] = redone.into_iter().next().expect("one task re-run");
     }
 
-    // ---- Shuffle: gather each partition across map tasks ----
+    // ---- Shuffle barrier: move each map's runs into reducer slots ----
+    // No concatenation, no copy: a run Vec is *moved* into its
+    // reducer's slot list, keeping map order (the merge's tie-break).
     let counters = Counters::new();
     let mut map_stats = Vec::with_capacity(map_outputs.len());
-    let mut partitions: Vec<Vec<(M::OutKey, M::OutValue)>> =
-        (0..reducers).map(|_| Vec::new()).collect();
+    let num_maps = map_outputs.len();
+    let mut partition_slots: Vec<Vec<SortedRun<M::OutKey, M::OutValue>>> = (0..reducers)
+        .map(|_| Vec::with_capacity(num_maps))
+        .collect();
     let mut shuffled_pairs = 0u64;
+    let mut shuffled_bytes = 0u64;
+    let mut shuffle_runs = 0u64;
     for out in map_outputs {
         counters.merge(&out.counters);
         counters.add("MAP_INPUT_RECORDS", out.stats.records_in);
         counters.add("MAP_OUTPUT_RECORDS", out.stats.records_out);
         shuffled_pairs += out.stats.records_out;
+        shuffled_bytes += out.bytes;
         map_stats.push(out.stats);
-        for (p, pairs) in out.partitions.into_iter().enumerate() {
-            partitions[p].extend(pairs);
+        for (p, run) in out.runs.into_iter().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            shuffle_runs += 1;
+            partition_slots[p].push(run);
         }
     }
     counters.add("SHUFFLED_PAIRS", shuffled_pairs);
-    let shuffled_bytes = shuffled_pairs * std::mem::size_of::<(M::OutKey, M::OutValue)>() as u64;
     counters.add("SHUFFLE_BYTES", shuffled_bytes);
+    counters.add("SHUFFLE_RUNS", shuffle_runs);
 
     // ---- Reduce phase ----
-    let partition_slots: Vec<Vec<(M::OutKey, M::OutValue)>> = partitions;
-
     let reduce_task = |p: usize| {
-        let mut pairs = partition_slots[p].clone();
         let start = Instant::now();
-        let records_in = pairs.len() as u64;
-        // Sort-based grouping (stable so value order is deterministic
-        // given task order).
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        // Runs stay shared read-only: a retried or speculative attempt
+        // merges the same slots again. Equal keys come out ordered by
+        // (map task, emission order) — the old stable sort's order.
+        let runs = &partition_slots[p];
+        let records_in = runs
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|(_, vs)| vs.len() as u64)
+            .sum();
         let mut ctx = TaskContext::new();
-        let mut iter = pairs.into_iter().peekable();
-        while let Some((key, first)) = iter.next() {
-            let mut group = vec![first];
-            while iter.peek().is_some_and(|(k, _)| *k == key) {
-                group.push(iter.next().expect("peeked").1);
-            }
-            reducer.reduce(key, group, &mut ctx);
-        }
+        merge_groups(runs, |key, values| reducer.reduce(key, values, &mut ctx));
         let (out, task_counters) = ctx.into_parts();
         let stats = TaskStats {
             task: p,
@@ -835,6 +935,7 @@ where
         reduce_stats,
         shuffled_pairs,
         shuffled_bytes,
+        shuffle_runs,
         recovery,
     })
 }

@@ -40,6 +40,84 @@ pub trait Mapper: Send + Sync {
         value: Self::InValue,
         ctx: &mut TaskContext<Self::OutKey, Self::OutValue>,
     );
+
+    /// Estimated wire size in bytes of one emitted pair, summed into
+    /// the job's `SHUFFLE_BYTES` counter. The default is the shallow
+    /// in-memory record width, which is exact for plain-old-data pairs;
+    /// jobs shuffling heap-backed keys or values (strings, vectors,
+    /// dynamic tuples) should override it — the [`ShuffleSized`] helper
+    /// trait makes that a one-liner:
+    /// `key.shuffle_size() + value.shuffle_size()`.
+    fn shuffle_size(&self, _key: &Self::OutKey, _value: &Self::OutValue) -> usize {
+        std::mem::size_of::<(Self::OutKey, Self::OutValue)>()
+    }
+}
+
+/// Serialized payload size of a key or value crossing the simulated
+/// shuffle wire: fixed-width scalars count their width; length-carrying
+/// types count a 4-byte length prefix plus their elements (the framing
+/// Hadoop's `Writable`s use). Implementations exist for the types jobs
+/// in this workspace actually shuffle; [`Mapper::shuffle_size`]
+/// overrides delegate to it.
+pub trait ShuffleSized {
+    /// Estimated serialized size in bytes.
+    fn shuffle_size(&self) -> usize;
+}
+
+macro_rules! impl_shuffle_sized_pod {
+    ($($t:ty),*) => {$(
+        impl ShuffleSized for $t {
+            fn shuffle_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_shuffle_sized_pod!(
+    u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, usize, isize, f32, f64, bool, char
+);
+
+impl ShuffleSized for () {
+    fn shuffle_size(&self) -> usize {
+        0
+    }
+}
+
+impl ShuffleSized for String {
+    fn shuffle_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: ShuffleSized> ShuffleSized for Vec<T> {
+    fn shuffle_size(&self) -> usize {
+        4 + self.iter().map(ShuffleSized::shuffle_size).sum::<usize>()
+    }
+}
+
+impl<T: ShuffleSized> ShuffleSized for Option<T> {
+    fn shuffle_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ShuffleSized::shuffle_size)
+    }
+}
+
+impl<A: ShuffleSized> ShuffleSized for (A,) {
+    fn shuffle_size(&self) -> usize {
+        self.0.shuffle_size()
+    }
+}
+
+impl<A: ShuffleSized, B: ShuffleSized> ShuffleSized for (A, B) {
+    fn shuffle_size(&self) -> usize {
+        self.0.shuffle_size() + self.1.shuffle_size()
+    }
+}
+
+impl<A: ShuffleSized, B: ShuffleSized, C: ShuffleSized> ShuffleSized for (A, B, C) {
+    fn shuffle_size(&self) -> usize {
+        self.0.shuffle_size() + self.1.shuffle_size() + self.2.shuffle_size()
+    }
 }
 
 /// A reduce function: `(key, values) → (out_key, out_value)*`.
@@ -258,12 +336,16 @@ pub struct JobResult<K, V> {
     pub reduce_stats: Vec<TaskStats>,
     /// Total intermediate pairs that crossed the shuffle (post-combine).
     pub shuffled_pairs: u64,
-    /// Bytes those pairs occupy on the wire, modelled as the shallow
-    /// in-memory record width `size_of::<(K, V)>()` per pair (heap
-    /// payloads of boxed values are not chased — the counter tracks
-    /// *relative* shuffle volume across stages, which is what the
-    /// simulated cluster's bandwidth term consumes).
+    /// Bytes those pairs occupy on the wire, as estimated by
+    /// [`Mapper::shuffle_size`]: real payload bytes for jobs that
+    /// override the hook (heap-backed keys/values included), the
+    /// shallow record width `size_of::<(K, V)>()` otherwise.
     pub shuffled_bytes: u64,
+    /// Sorted map-side runs moved through the shuffle barrier — one per
+    /// non-empty (map task, reducer) cell. Each run is a fetch on a
+    /// real cluster, so the count feeds the simulator's per-fetch
+    /// overhead term ([`crate::simcluster::JobCostModel::shuffle_run_cost`]).
+    pub shuffle_runs: u64,
     /// Everything the runtime did to survive faults while producing
     /// this result (all zero on a clean run).
     pub recovery: mrmc_chaos::RecoveryCounters,

@@ -47,12 +47,14 @@ pub use dfs::{Dfs, DfsConfig, FastaSplitReader, InputSplit};
 pub use engine::{run_job, run_job_with_faults, run_map_only, run_map_only_with_faults};
 pub use error::MrError;
 pub use job::{
-    Combiner, Counters, JobConfig, JobResult, Mapper, MrKey, MrValue, Reducer, TaskContext,
-    TaskStats,
+    Combiner, Counters, JobConfig, JobResult, Mapper, MrKey, MrValue, Reducer, ShuffleSized,
+    TaskContext, TaskStats,
 };
 pub use mrmc_chaos::{
     ChaosProfile, FaultInjector, FaultPlan, NoFaults, Phase, PlanInjector, RecoveryCounters,
     TaskFault,
 };
 pub use pipeline::Pipeline;
-pub use simcluster::{ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask, SimJobReport};
+pub use simcluster::{
+    ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask, ShuffleVolume, SimJobReport,
+};

@@ -12,7 +12,7 @@ use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
 use crate::engine::{run_job_with_faults, run_map_only_with_faults};
 use crate::error::MrError;
 use crate::job::{JobConfig, Mapper, Reducer, TaskStats};
-use crate::simcluster::{ClusterSpec, JobCostModel, SimJobReport};
+use crate::simcluster::{ClusterSpec, JobCostModel, ShuffleVolume, SimJobReport};
 
 /// Statistics for one executed stage.
 #[derive(Debug, Clone)]
@@ -25,8 +25,10 @@ pub struct StageReport {
     pub reduce_stats: Vec<TaskStats>,
     /// Intermediate pairs crossing the shuffle.
     pub shuffled_pairs: u64,
-    /// Shuffle volume in (shallow record-width) bytes.
+    /// Shuffle payload bytes (via [`Mapper::shuffle_size`]).
     pub shuffled_bytes: u64,
+    /// Sorted map-side runs fetched by reducers.
+    pub shuffle_runs: u64,
     /// Snapshot of the job's named counters, sorted by name. This is
     /// where algorithm-level accounting (PAIRS_COMPUTED,
     /// CANDIDATES_EMITTED, …) survives past the job, so benchmark
@@ -127,6 +129,7 @@ impl Pipeline {
             reduce_stats: result.reduce_stats,
             shuffled_pairs: result.shuffled_pairs,
             shuffled_bytes: result.shuffled_bytes,
+            shuffle_runs: result.shuffle_runs,
             counters: result.counters.snapshot(),
             wall: start.elapsed(),
             recovery: result.recovery,
@@ -172,6 +175,7 @@ impl Pipeline {
             reduce_stats: Vec::new(),
             shuffled_pairs: 0,
             shuffled_bytes: 0,
+            shuffle_runs: 0,
             counters: result.counters.snapshot(),
             wall: start.elapsed(),
             recovery: result.recovery,
@@ -210,11 +214,14 @@ impl Pipeline {
         self.stages
             .iter()
             .map(|s| {
-                cluster.simulate_job_bytes(
+                cluster.simulate_job_shuffle(
                     model,
                     &s.map_costs(),
-                    s.shuffled_pairs,
-                    s.shuffled_bytes,
+                    ShuffleVolume {
+                        records: s.shuffled_pairs,
+                        bytes: s.shuffled_bytes,
+                        runs: s.shuffle_runs,
+                    },
                     &s.reduce_costs(),
                     s.recovery,
                 )
@@ -246,6 +253,10 @@ mod tests {
             for w in v.split_whitespace() {
                 ctx.emit(w.to_string(), 1);
             }
+        }
+        fn shuffle_size(&self, key: &String, value: &u64) -> usize {
+            use crate::job::ShuffleSized;
+            key.shuffle_size() + value.shuffle_size()
         }
     }
 
@@ -317,6 +328,8 @@ mod tests {
         assert_eq!(wc.counter("SHUFFLED_PAIRS"), wc.shuffled_pairs);
         assert_eq!(wc.counter("SHUFFLE_BYTES"), wc.shuffled_bytes);
         assert!(wc.shuffled_bytes > wc.shuffled_pairs, "bytes > records");
+        assert_eq!(wc.counter("SHUFFLE_RUNS"), wc.shuffle_runs);
+        assert!(wc.shuffle_runs > 0, "a shuffling stage fetches runs");
         assert_eq!(wc.counter("NOT_A_COUNTER"), 0);
         assert_eq!(
             p.counter_total("SHUFFLED_PAIRS"),

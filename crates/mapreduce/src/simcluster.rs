@@ -64,6 +64,12 @@ pub struct JobCostModel {
     /// the volume term that separates wide records (sketch rows) from
     /// narrow ones (band buckets) which a pure per-record cost cannot.
     pub shuffle_byte_cost: f64,
+    /// Seconds per shuffled *run* (one sorted map-side spill segment
+    /// fetched by one reducer), per node of aggregate bandwidth. Models
+    /// the per-fetch overhead of Hadoop's copy phase — connection
+    /// setup, HTTP round-trip, merge bookkeeping — which scales with
+    /// `maps × reducers`, not with payload volume.
+    pub shuffle_run_cost: f64,
     /// Straggler model: the slowest map task runs this many times its
     /// nominal cost (1.0 = no stragglers). EMR-era Hadoop commonly saw
     /// 5–10× stragglers from contended spot instances.
@@ -82,6 +88,7 @@ impl Default for JobCostModel {
             task_overhead: 1.5,
             shuffle_record_cost: 2e-6,
             shuffle_byte_cost: 1e-8,
+            shuffle_run_cost: 1e-3,
             straggler_slowdown: 1.0,
             speculative_execution: false,
         }
@@ -105,6 +112,19 @@ impl JobCostModel {
             slowed
         }
     }
+}
+
+/// What one job pushed through its shuffle, as measured by the engine:
+/// the three axes the cost model prices independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShuffleVolume {
+    /// Intermediate pairs that crossed the barrier (post-combine).
+    pub records: u64,
+    /// Payload bytes those pairs occupy on the wire.
+    pub bytes: u64,
+    /// Sorted map-side runs fetched by reducers — one per non-empty
+    /// (map task, reducer) cell.
+    pub runs: u64,
 }
 
 /// Breakdown of a simulated job execution.
@@ -211,6 +231,33 @@ impl ClusterSpec {
         reduce_costs: &[f64],
         recovery: mrmc_chaos::RecoveryCounters,
     ) -> SimJobReport {
+        self.simulate_job_shuffle(
+            model,
+            map_costs,
+            ShuffleVolume {
+                records: shuffled_records,
+                bytes: shuffled_bytes,
+                runs: 0,
+            },
+            reduce_costs,
+            recovery,
+        )
+    }
+
+    /// Like [`ClusterSpec::simulate_job_bytes`] but also charges the
+    /// per-fetch overhead of the copy phase: each sorted map-side run a
+    /// reducer pulls costs [`JobCostModel::shuffle_run_cost`] seconds of
+    /// aggregate cluster bandwidth on top of the record and byte terms.
+    /// This is the entry point fed by the engine's per-run accounting
+    /// ([`crate::JobResult::shuffle_runs`]).
+    pub fn simulate_job_shuffle(
+        &self,
+        model: &JobCostModel,
+        map_costs: &[f64],
+        volume: ShuffleVolume,
+        reduce_costs: &[f64],
+        recovery: mrmc_chaos::RecoveryCounters,
+    ) -> SimJobReport {
         let with_task_overhead =
             |costs: &[f64]| -> Vec<f64> { costs.iter().map(|c| c + model.task_overhead).collect() };
         // Straggler injection: the longest map task is slowed (and
@@ -240,8 +287,9 @@ impl ClusterSpec {
         }
         let map_time = lpt_makespan(&map_costs, self.map_slots());
         let reduce_time = lpt_makespan(&with_task_overhead(reduce_costs), self.reduce_slots());
-        let shuffle_time = (shuffled_records as f64 * model.shuffle_record_cost
-            + shuffled_bytes as f64 * model.shuffle_byte_cost)
+        let shuffle_time = (volume.records as f64 * model.shuffle_record_cost
+            + volume.bytes as f64 * model.shuffle_byte_cost
+            + volume.runs as f64 * model.shuffle_run_cost)
             / self.nodes.max(1) as f64;
         SimJobReport {
             map_time,
@@ -554,6 +602,33 @@ mod tests {
         // Zero bytes reduces to the record-only model.
         let record_only = cluster.simulate_job(&model, &[], 1_000, &[]);
         assert_eq!(record_only.shuffle_time, 0.0);
+    }
+
+    #[test]
+    fn run_count_prices_into_shuffle() {
+        let model = JobCostModel {
+            shuffle_record_cost: 0.0,
+            shuffle_byte_cost: 0.0,
+            shuffle_run_cost: 1e-2,
+            ..Default::default()
+        };
+        let cluster = ClusterSpec::m1_large(4);
+        let clean = mrmc_chaos::RecoveryCounters::new();
+        let vol = |runs| ShuffleVolume {
+            records: 1_000,
+            bytes: 8_000,
+            runs,
+        };
+        let few = cluster.simulate_job_shuffle(&model, &[], vol(8), &[], clean);
+        let many = cluster.simulate_job_shuffle(&model, &[], vol(80), &[], clean);
+        assert!((many.shuffle_time / few.shuffle_time - 10.0).abs() < 1e-9);
+        // Zero runs reduces exactly to the bytes-aware model.
+        let zero = cluster.simulate_job_shuffle(&model, &[], vol(0), &[], clean);
+        let bytes_only = cluster.simulate_job_bytes(&model, &[], 1_000, 8_000, &[], clean);
+        assert_eq!(zero, bytes_only);
+        // The run term shares aggregate bandwidth: more nodes, faster copy.
+        let wide = ClusterSpec::m1_large(8).simulate_job_shuffle(&model, &[], vol(80), &[], clean);
+        assert!((many.shuffle_time / wide.shuffle_time - 2.0).abs() < 1e-9);
     }
 
     #[test]

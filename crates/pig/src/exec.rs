@@ -241,6 +241,11 @@ impl Mapper for DistinctMapper {
     fn map(&self, _key: usize, value: Value, ctx: &mut TaskContext<Value, ()>) {
         ctx.emit(value, ());
     }
+
+    fn shuffle_size(&self, key: &Value, _value: &()) -> usize {
+        use mrmc_mapreduce::ShuffleSized;
+        key.shuffle_size()
+    }
 }
 
 /// Reduce side of `DISTINCT`: one output per key group.
@@ -279,6 +284,11 @@ impl Mapper for GroupMapper {
                 .unwrap_or(Value::Null),
         };
         ctx.emit(key, value);
+    }
+
+    fn shuffle_size(&self, key: &Value, value: &Value) -> usize {
+        use mrmc_mapreduce::ShuffleSized;
+        key.shuffle_size() + value.shuffle_size()
     }
 }
 

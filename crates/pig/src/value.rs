@@ -123,6 +123,28 @@ impl Value {
     }
 }
 
+impl mrmc_mapreduce::ShuffleSized for Value {
+    /// Serialized width as Pig's binary tuple format would write it: a
+    /// one-byte type tag plus the payload (length-prefixed for
+    /// variable-width types). This is what `SHUFFLE_BYTES` charges when
+    /// a job shuffles dynamic values, instead of the shallow enum width.
+    fn shuffle_size(&self) -> usize {
+        1 + match self {
+            Value::Null => 0,
+            Value::Int(_) => 4,
+            Value::Long(_) | Value::Double(_) => 8,
+            Value::CharArray(s) => 4 + s.len(),
+            Value::ByteArray(b) => 4 + b.len(),
+            Value::Tuple(vs) | Value::Bag(vs) => {
+                4 + vs
+                    .iter()
+                    .map(mrmc_mapreduce::ShuffleSized::shuffle_size)
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Value) -> bool {
         self.cmp(other) == Ordering::Equal
