@@ -25,6 +25,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mrmc::{Mode, MrMcConfig, MrMcMinH};
+use mrmc_bench::json::Json;
 use mrmc_bench::HarnessArgs;
 use mrmc_mapreduce::chaos::{ChaosProfile, FaultPlan, Phase};
 use mrmc_mapreduce::{
@@ -59,52 +60,46 @@ impl Cell {
         self.completed && self.identical
     }
 
-    fn to_json(&self, indent: usize) -> String {
-        let pad = " ".repeat(indent);
-        let fp = " ".repeat(indent + 2);
+    fn to_json(&self) -> Json {
         let r = &self.recovery;
-        format!(
-            "{{\n\
-             {fp}\"subject\": \"{}\",\n\
-             {fp}\"fault\": \"{}\",\n\
-             {fp}\"intensity\": \"{}\",\n\
-             {fp}\"completed\": {},\n\
-             {fp}\"identical\": {},\n\
-             {fp}\"overhead\": {:.3},\n\
-             {fp}\"recovery\": {{\n\
-             {fp}  \"tasks_retried\": {},\n\
-             {fp}  \"maps_reexecuted_node_loss\": {},\n\
-             {fp}  \"maps_reexecuted_fetch_fail\": {},\n\
-             {fp}  \"speculative_wins\": {},\n\
-             {fp}  \"shuffle_fetch_retries\": {},\n\
-             {fp}  \"blocks_rereplicated\": {},\n\
-             {fp}  \"corrupt_replicas_detected\": {}\n\
-             {fp}}},\n\
-             {fp}\"counters\": {{\n\
-             {fp}  \"pairs_computed\": {},\n\
-             {fp}  \"candidates_emitted\": {},\n\
-             {fp}  \"shuffle_bytes\": {},\n\
-             {fp}  \"shuffle_runs\": {}\n\
-             {fp}}}\n\
-             {pad}}}",
-            self.subject,
-            self.fault,
-            self.intensity,
-            self.completed,
-            self.identical,
-            self.overhead,
-            r.tasks_retried,
-            r.maps_reexecuted_node_loss,
-            r.maps_reexecuted_fetch_fail,
-            r.speculative_wins,
-            r.shuffle_fetch_retries,
-            r.blocks_rereplicated,
-            r.corrupt_replicas_detected,
-            self.pairs_computed,
-            self.candidates_emitted,
-            self.shuffle_bytes,
-            self.shuffle_runs,
-        )
+        Json::obj([
+            ("subject", Json::from(self.subject)),
+            ("fault", self.fault.into()),
+            ("intensity", self.intensity.as_str().into()),
+            ("completed", self.completed.into()),
+            ("identical", self.identical.into()),
+            ("overhead", Json::fixed(self.overhead, 3)),
+            (
+                "recovery",
+                Json::obj([
+                    ("tasks_retried", Json::from(r.tasks_retried)),
+                    (
+                        "maps_reexecuted_node_loss",
+                        r.maps_reexecuted_node_loss.into(),
+                    ),
+                    (
+                        "maps_reexecuted_fetch_fail",
+                        r.maps_reexecuted_fetch_fail.into(),
+                    ),
+                    ("speculative_wins", r.speculative_wins.into()),
+                    ("shuffle_fetch_retries", r.shuffle_fetch_retries.into()),
+                    ("blocks_rereplicated", r.blocks_rereplicated.into()),
+                    (
+                        "corrupt_replicas_detected",
+                        r.corrupt_replicas_detected.into(),
+                    ),
+                ]),
+            ),
+            (
+                "counters",
+                Json::obj([
+                    ("pairs_computed", Json::from(self.pairs_computed)),
+                    ("candidates_emitted", self.candidates_emitted.into()),
+                    ("shuffle_bytes", self.shuffle_bytes.into()),
+                    ("shuffle_runs", self.shuffle_runs.into()),
+                ]),
+            ),
+        ])
     }
 }
 
@@ -556,23 +551,39 @@ fn main() {
 
     // JSON matrix on stdout.
     let all_recovered = cells.iter().all(Cell::recovered);
-    let body: Vec<String> = cells
-        .iter()
-        .map(|c| format!("    {}", c.to_json(4)))
-        .collect();
-    let json = format!(
-        "{{\n  \"seed\": {},\n  \"reads\": {},\n  \"deterministic\": {},\n  \
-         \"all_recovered\": {},\n  \"cells\": [\n{}\n  ]\n}}",
-        args.seed,
-        num_reads,
-        deterministic,
-        all_recovered,
-        body.join(",\n")
-    );
-    println!("{json}");
+    let doc = Json::obj([
+        ("seed", Json::from(args.seed)),
+        ("reads", num_reads.into()),
+        ("deterministic", deterministic.into()),
+        ("all_recovered", all_recovered.into()),
+        ("cells", Json::arr(cells.iter().map(Cell::to_json))),
+    ]);
+    println!("{}", doc.pretty());
     if let Some(path) = &args.json {
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        mrmc_bench::json::write_file(path, &doc);
         eprintln!("wrote recovery matrix to {path}");
+    }
+
+    // With `--trace`, replay the combined-fault cell with a tracer
+    // attached and dump the span ledger as a Chrome trace: the
+    // recovery actions the matrix counts, as a timeline.
+    if let Some(path) = &args.trace {
+        use mrmc_mapreduce::{chrome_trace, Tracer};
+        let tracer = Arc::new(Tracer::new());
+        let plan = FaultPlan::new()
+            .task_panic(0, Phase::Map, 1, 2)
+            .task_slowdown(1, Phase::Map, 0, 15)
+            .node_death_after_map(0, 2);
+        let traced = MrMcMinH::new(mrmc_config())
+            .run_traced(&reads, &plan.injector(), tracer.clone())
+            .expect("traced combined-fault run");
+        assert_eq!(
+            traced.assignment, clean.assignment,
+            "tracing must not perturb recovery"
+        );
+        std::fs::write(path, chrome_trace(&tracer.ledger()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote Chrome trace of the combined-fault run to {path}");
     }
 
     if !all_recovered || !deterministic {

@@ -11,16 +11,23 @@
 //! engine actually performed — onto the same virtual cluster, showing
 //! what Figure 2 looks like on a flaky cluster.
 //!
+//! `--json <path>` emits the full grid machine-readably; `--trace
+//! <path>` additionally writes a Chrome trace of the straggler run's
+//! simulated 6-node schedule (open in `chrome://tracing` / Perfetto).
+//!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin figure2
 //! ```
 
 use mrmc::{CostCalibration, Mode, MrMcConfig, MrMcMinH};
+use mrmc_bench::json::{write_file, Json};
+use mrmc_bench::HarnessArgs;
 use mrmc_mapreduce::chaos::{FaultPlan, Phase};
-use mrmc_mapreduce::{ClusterSpec, JobCostModel};
+use mrmc_mapreduce::{chrome_trace, ClusterSpec, JobCostModel, Tracer};
 use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
 
 fn main() {
+    let args = HarnessArgs::parse(1.0);
     let config = MrMcConfig::whole_metagenome();
     eprintln!("calibrating kernels on this machine...");
     let calibration = CostCalibration::measure(&config, 1000);
@@ -40,11 +47,17 @@ fn main() {
         print!("{n:>10}");
     }
     println!();
+    let mut grid = Vec::new();
     for reads in read_counts {
         print!("{reads:>12}");
         for &n in &nodes {
             let minutes = calibration.simulate(reads, n, &model) / 60.0;
             print!("{minutes:>10.2}");
+            grid.push(Json::obj([
+                ("reads", Json::from(reads)),
+                ("nodes", n.into()),
+                ("minutes", Json::fixed(minutes, 4)),
+            ]));
         }
         println!();
     }
@@ -64,14 +77,32 @@ fn main() {
         speedup_large
     );
 
-    banded_section(&calibration, &nodes, &model);
-    chaos_section(&nodes, &model);
+    let banded = banded_section(&calibration, &nodes, &model, args.seed);
+    let chaos = chaos_section(&nodes, &model, &args);
+
+    if let Some(path) = &args.json {
+        let doc = Json::obj([
+            ("seed", Json::from(args.seed)),
+            ("flat_small_rel_spread", Json::fixed(flat_small, 4)),
+            ("speedup_10m_2_to_12", Json::fixed(speedup_large, 3)),
+            ("grid", Json::Arr(grid)),
+            ("banded", banded),
+            ("chaos", chaos),
+        ]);
+        write_file(path, &doc);
+        eprintln!("wrote Figure 2 grid to {path}");
+    }
 }
 
 /// Figure 2 with banded-LSH candidate pruning: a real banded run at
 /// feasible size measures the surviving-candidate density, then both
 /// pipelines are re-scheduled at the paper's sizes.
-fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCostModel) {
+fn banded_section(
+    calibration: &CostCalibration,
+    nodes: &[usize],
+    model: &JobCostModel,
+    seed: u64,
+) -> Json {
     let config = MrMcConfig {
         theta: 0.95,
         mode: Mode::Greedy,
@@ -82,7 +113,7 @@ fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCos
     let mrmc::CandidateGen::Banded { bands, .. } = config.candidates else {
         unreachable!("banded() config");
     };
-    let reads = mrmc_simulate::huse_16s(0.03, 2_000.0 / 345_000.0, 42).reads;
+    let reads = mrmc_simulate::huse_16s(0.03, 2_000.0 / 345_000.0, seed).reads;
     let run = MrMcMinH::new(config).run(&reads).expect("banded run");
     let candidates = run.pipeline.counter_total("CANDIDATES_EMITTED");
     let cand_per_read = candidates as f64 / reads.len() as f64;
@@ -104,6 +135,7 @@ fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCos
         "{:>12} {:>12} {:>14} {:>14} {:>9}",
         "reads", "nodes", "dense (min)", "banded (min)", "speedup"
     );
+    let mut rows = Vec::new();
     for reads_n in [100_000u64, 1_000_000, 10_000_000] {
         for &n in nodes {
             let dense = calibration.simulate(reads_n, n, model);
@@ -122,12 +154,20 @@ fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCos
                 banded / 60.0,
                 dense / banded
             );
+            rows.push(Json::obj([
+                ("reads", Json::from(reads_n)),
+                ("nodes", n.into()),
+                ("dense_minutes", Json::fixed(dense / 60.0, 4)),
+                ("banded_minutes", Json::fixed(banded / 60.0, 4)),
+                ("speedup", Json::fixed(dense / banded, 3)),
+            ]));
         }
     }
     println!(
         "\ncheck: the banded pipeline turns the quadratic similarity job into\n\
          near-linear shuffle work; the dense column is the paper's Figure 2."
     );
+    Json::Arr(rows)
 }
 
 /// Figure 2 on a flaky cluster: the real engine runs the hierarchical
@@ -135,7 +175,7 @@ fn banded_section(calibration: &CostCalibration, nodes: &[usize], model: &JobCos
 /// stragglers rescued by speculative execution — and both runs'
 /// measured tasks (plus the engine's actual recovery work) are
 /// re-scheduled onto the virtual cluster.
-fn chaos_section(nodes: &[usize], model: &JobCostModel) {
+fn chaos_section(nodes: &[usize], model: &JobCostModel, args: &HarnessArgs) -> Json {
     let spec = CommunitySpec {
         species: vec![
             SpeciesSpec {
@@ -153,7 +193,7 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel) {
         genome_len: 50_000,
     };
     let sim = ReadSimulator::new(800, ErrorModel::with_total_rate(0.002));
-    let reads = spec.generate("f2", 120, &sim, 42).reads;
+    let reads = spec.generate("f2", 120, &sim, args.seed).reads;
 
     let runner = MrMcMinH::new(MrMcConfig {
         kmer: 5,
@@ -188,6 +228,7 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel) {
         "{:>12} {:>14} {:>14} {:>10}",
         "nodes", "clean (s)", "faulty (s)", "overhead"
     );
+    let mut rows = Vec::new();
     for &n in nodes {
         let cluster = ClusterSpec::m1_large(n);
         let t_clean = clean.pipeline.simulated_total(&cluster, model);
@@ -199,6 +240,12 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel) {
             t_faulty,
             (t_faulty / t_clean - 1.0) * 100.0
         );
+        rows.push(Json::obj([
+            ("nodes", Json::from(n)),
+            ("clean_seconds", Json::fixed(t_clean, 4)),
+            ("faulty_seconds", Json::fixed(t_faulty, 4)),
+            ("overhead", Json::fixed(t_faulty / t_clean - 1.0, 4)),
+        ]));
     }
     println!(
         "\ncounters (clean run): PAIRS_COMPUTED = {}, SHUFFLED_PAIRS = {}, \
@@ -213,4 +260,17 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel) {
          nodes absorb the speculative re-work (recovery rides the same\n\
          list schedule as real tasks)."
     );
+
+    // With `--trace`, dump the straggler run's simulated 6-node
+    // schedule (the recovery work visible as Recovery-category spans).
+    if let Some(path) = &args.trace {
+        let tracer = Tracer::new();
+        chaotic
+            .pipeline
+            .simulate_on_traced(&ClusterSpec::m1_large(6), model, &tracer);
+        std::fs::write(path, chrome_trace(&tracer.ledger()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote simulated 6-node Chrome trace of the straggler run to {path}");
+    }
+    Json::Arr(rows)
 }

@@ -26,6 +26,7 @@
 
 use std::time::Instant;
 
+use mrmc_bench::json::Json;
 use mrmc_bench::HarnessArgs;
 use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
 use mrmc_mapreduce::job::{
@@ -298,29 +299,29 @@ fn main() {
         plain.shuffled_pairs, plain.shuffled_bytes, plain.shuffle_runs
     );
 
-    let json = format!(
-        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"pairs\": {pairs},\n  \
-         \"keys\": {key_space},\n  \"maps\": {MAPS},\n  \"reducers\": {REDUCERS},\n  \
-         \"workers\": {workers},\n  \"iters\": {ITERS},\n  \
-         \"legacy_secs\": {:.6},\n  \"merged_secs\": {:.6},\n  \"speedup\": {:.3},\n  \
-         \"legacy_combiner_secs\": {:.6},\n  \"merged_combiner_secs\": {:.6},\n  \
-         \"speedup_combiner\": {:.3},\n  \"identical\": true,\n  \
-         \"shuffled_pairs\": {},\n  \"shuffle_bytes\": {},\n  \"shuffle_runs\": {}\n}}",
-        args.scale,
-        args.seed,
-        plain.legacy_secs,
-        plain.merged_secs,
-        plain.speedup(),
-        combined.legacy_secs,
-        combined.merged_secs,
-        combined.speedup(),
-        plain.shuffled_pairs,
-        plain.shuffled_bytes,
-        plain.shuffle_runs,
-    );
-    println!("\n{json}");
+    let doc = Json::obj([
+        ("scale", Json::from(args.scale)),
+        ("seed", args.seed.into()),
+        ("pairs", pairs.into()),
+        ("keys", key_space.into()),
+        ("maps", MAPS.into()),
+        ("reducers", REDUCERS.into()),
+        ("workers", workers.into()),
+        ("iters", ITERS.into()),
+        ("legacy_secs", Json::fixed(plain.legacy_secs, 6)),
+        ("merged_secs", Json::fixed(plain.merged_secs, 6)),
+        ("speedup", Json::fixed(plain.speedup(), 3)),
+        ("legacy_combiner_secs", Json::fixed(combined.legacy_secs, 6)),
+        ("merged_combiner_secs", Json::fixed(combined.merged_secs, 6)),
+        ("speedup_combiner", Json::fixed(combined.speedup(), 3)),
+        ("identical", true.into()),
+        ("shuffled_pairs", plain.shuffled_pairs.into()),
+        ("shuffle_bytes", plain.shuffled_bytes.into()),
+        ("shuffle_runs", plain.shuffle_runs.into()),
+    ]);
+    println!("\n{}", doc.pretty());
     if let Some(path) = &args.json {
-        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        mrmc_bench::json::write_file(path, &doc);
         eprintln!("wrote shuffle microbench summary to {path}");
     }
 }

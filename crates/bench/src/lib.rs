@@ -7,8 +7,11 @@
 //! for downstream plotting. Run them with
 //! `cargo run -p mrmc-bench --release --bin tableN`.
 
+pub mod json;
+
 use std::time::Instant;
 
+use json::Json;
 use mrmc::{Mode, MrMcConfig, MrMcMinH};
 use mrmc_baselines::{
     CdHitLike, Clusterer, DoturLike, EspritLike, McLsh, MetaClusterLike, MothurLike, UclustLike,
@@ -18,7 +21,7 @@ use mrmc_metrics::{weighted_accuracy, weighted_similarity, SimilarityOptions};
 use mrmc_seqio::SeqRecord;
 use mrmc_simulate::Dataset;
 
-/// Minimal CLI: `--scale`, `--seed`, `--samples`, `--json`.
+/// Minimal CLI: `--scale`, `--seed`, `--samples`, `--json`, `--trace`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Dataset shrink factor in (0, 1].
@@ -29,6 +32,9 @@ pub struct HarnessArgs {
     pub samples: Option<Vec<String>>,
     /// Optional path for a JSON copy of the rows.
     pub json: Option<String>,
+    /// Optional path for a Chrome trace of the run (binaries that run
+    /// the real engine attach a [`mrmc_mapreduce::Tracer`] when set).
+    pub trace: Option<String>,
 }
 
 impl HarnessArgs {
@@ -39,6 +45,7 @@ impl HarnessArgs {
             seed: 42,
             samples: None,
             json: None,
+            trace: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -72,8 +79,13 @@ impl HarnessArgs {
                     args.json = Some(argv.get(i + 1).expect("--json needs a file path").clone());
                     i += 2;
                 }
+                "--trace" => {
+                    args.trace = Some(argv.get(i + 1).expect("--trace needs a file path").clone());
+                    i += 2;
+                }
                 other => panic!(
-                    "unknown argument {other:?} (supported: --scale, --seed, --samples, --json)"
+                    "unknown argument {other:?} \
+                     (supported: --scale, --seed, --samples, --json, --trace)"
                 ),
             }
         }
@@ -272,58 +284,26 @@ pub struct JsonRow {
     pub seconds: f64,
 }
 
-/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// JSON number formatting: finite floats verbatim, non-finite as null
-/// (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        // Round-trippable shortest representation.
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 impl JsonRow {
-    /// Pretty-printed JSON object at the given indent depth.
-    fn to_json(&self, indent: usize) -> String {
-        let pad = " ".repeat(indent);
-        let field_pad = " ".repeat(indent + 2);
-        let mut fields = vec![
-            format!("\"sample\": \"{}\"", json_escape(&self.sample)),
-            format!("\"method\": \"{}\"", json_escape(&self.method)),
+    /// The row as a [`Json`] object; `None` optionals are omitted, not
+    /// null.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("sample".into(), self.sample.as_str().into()),
+            ("method".into(), self.method.as_str().into()),
         ];
         if let Some(variant) = &self.variant {
-            fields.push(format!("\"variant\": \"{}\"", json_escape(variant)));
+            fields.push(("variant".into(), variant.as_str().into()));
         }
-        fields.push(format!("\"clusters\": {}", self.clusters));
+        fields.push(("clusters".into(), self.clusters.into()));
         if let Some(acc) = self.w_acc {
-            fields.push(format!("\"w_acc\": {}", json_f64(acc)));
+            fields.push(("w_acc".into(), acc.into()));
         }
         if let Some(sim) = self.w_sim {
-            fields.push(format!("\"w_sim\": {}", json_f64(sim)));
+            fields.push(("w_sim".into(), sim.into()));
         }
-        fields.push(format!("\"seconds\": {}", json_f64(self.seconds)));
-        format!(
-            "{{\n{field_pad}{}\n{pad}}}",
-            fields.join(&format!(",\n{field_pad}"))
-        )
+        fields.push(("seconds".into(), self.seconds.into()));
+        Json::Obj(fields)
     }
 }
 
@@ -331,11 +311,7 @@ impl JsonRow {
 /// `serde_json::to_string_pretty` produced before the offline
 /// dependency stand-ins replaced serde).
 pub fn rows_to_json(rows: &[JsonRow]) -> String {
-    if rows.is_empty() {
-        return "[]".to_string();
-    }
-    let body: Vec<String> = rows.iter().map(|r| format!("  {}", r.to_json(2))).collect();
-    format!("[\n{}\n]", body.join(",\n"))
+    Json::arr(rows.iter().map(JsonRow::to_json)).pretty()
 }
 
 /// Write rows as pretty JSON when `--json` was given.
@@ -435,6 +411,7 @@ mod tests {
             seed: 0,
             samples: Some(vec!["S1".into(), "S3".into()]),
             json: None,
+            trace: None,
         };
         assert!(args.wants("S1"));
         assert!(!args.wants("S2"));

@@ -121,6 +121,9 @@ pub struct Dfs {
     injector: Arc<dyn FaultInjector>,
     corrupt_detected: AtomicU64,
     blocks_rereplicated: AtomicU64,
+    /// Optional trace sink: checksum repairs are recorded as instant
+    /// events under a dedicated "dfs" job lane.
+    traced: RwLock<Option<(Arc<mrmc_obs::Tracer>, u32)>>,
 }
 
 impl Dfs {
@@ -157,7 +160,24 @@ impl Dfs {
             injector,
             corrupt_detected: AtomicU64::new(0),
             blocks_rereplicated: AtomicU64::new(0),
+            traced: RwLock::new(None),
         })
+    }
+
+    /// Attach a trace sink. Subsequent corruption detections and
+    /// re-replications emit instant events into `tracer` under a
+    /// "dfs" job. Reads are sequenced by their callers, so event
+    /// order is as deterministic as the fault schedule.
+    pub fn set_tracer(&self, tracer: Arc<mrmc_obs::Tracer>) {
+        let job = tracer.begin_job("dfs");
+        *self.traced.write() = Some((tracer, job));
+    }
+
+    fn trace_event(&self, name: &str, meta: Vec<(String, String)>) {
+        if let Some((tracer, job)) = self.traced.read().as_ref() {
+            let ts = tracer.now_ns();
+            tracer.add_event(*job, name, ts, meta);
+        }
     }
 
     /// The configuration this DFS was built with.
@@ -288,6 +308,14 @@ impl Dfs {
             }
             self.corrupt_detected
                 .fetch_add(corrupt as u64, Ordering::Relaxed);
+            self.trace_event(
+                "dfs.corrupt_replica_detected",
+                vec![
+                    ("path".to_string(), path.to_string()),
+                    ("block".to_string(), i.to_string()),
+                    ("replicas".to_string(), corrupt.to_string()),
+                ],
+            );
             if corrupt == b.replicas.len() {
                 return Err(MrError::CorruptBlock {
                     path: path.to_string(),
@@ -300,6 +328,13 @@ impl Dfs {
             b.replicas.retain(|r| r.checksum == expected);
             replicate_onto_live(b, expected, &live, self.config.replication);
             self.blocks_rereplicated.fetch_add(1, Ordering::Relaxed);
+            self.trace_event(
+                "dfs.rereplicate",
+                vec![
+                    ("path".to_string(), path.to_string()),
+                    ("block".to_string(), i.to_string()),
+                ],
+            );
         }
         Ok(content)
     }

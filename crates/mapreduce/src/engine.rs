@@ -53,6 +53,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use mrmc_chaos::{FaultInjector, NoFaults, Phase, RecoveryCounters, TaskFault};
+use mrmc_obs::{Category, SpanDraft, SpanId, Tracer};
 
 use crate::error::MrError;
 use crate::job::{
@@ -110,6 +111,45 @@ struct PoolState<T> {
     live: usize,
     cells: Vec<TaskCell<T>>,
     retried: u64,
+    /// Completed executions, for the trace ledger. Workers push one
+    /// record inside the lock section they already take to commit
+    /// their result — tracing adds no extra lock traffic.
+    attempts: Vec<AttemptRec>,
+}
+
+/// One completed task-attempt execution. Collected by the pool in
+/// whatever order workers finish, then annotated and sorted by
+/// (task, attempt) before reaching the tracer — so the emitted span
+/// sequence depends only on the fault plan, never on thread timing.
+/// Executions found moot at pull time (their task already finished)
+/// never run a body and are *not* recorded: whether a queued retry
+/// goes moot is the one timing-dependent bit of the pool, and the
+/// ledger must stay deterministic.
+#[derive(Debug, Clone)]
+struct AttemptRec {
+    slot: usize,
+    task: usize,
+    attempt: usize,
+    backup: bool,
+    /// The injector stalled this execution (straggler model).
+    slowdown: bool,
+    /// This execution triggered the launch of a speculative backup.
+    spawned_backup: bool,
+    /// Succeeded, but a speculative backup's result was used instead.
+    superseded: bool,
+    /// This backup's result won over the straggling original.
+    won: bool,
+    error: Option<String>,
+    start: Instant,
+    end: Instant,
+}
+
+/// Everything one phase pass produced: per-task results, the recovery
+/// ledger, and the attempt records for tracing.
+struct PhaseOutput<T> {
+    results: Vec<T>,
+    recovery: RecoveryCounters,
+    attempts: Vec<AttemptRec>,
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -141,7 +181,7 @@ fn run_phase<T, F>(
     spec: &PhaseSpec<'_>,
     task_ids: &[usize],
     f: F,
-) -> Result<(Vec<T>, RecoveryCounters), MrError>
+) -> Result<PhaseOutput<T>, MrError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -156,7 +196,11 @@ where
     } = *spec;
     let n = task_ids.len();
     if n == 0 {
-        return Ok((Vec::new(), RecoveryCounters::new()));
+        return Ok(PhaseOutput {
+            results: Vec::new(),
+            recovery: RecoveryCounters::new(),
+            attempts: Vec::new(),
+        });
     }
     let attempts = attempts.max(1);
     let state = Mutex::new(PoolState {
@@ -183,6 +227,7 @@ where
             })
             .collect(),
         retried: 0,
+        attempts: Vec::new(),
     });
     let cvar = Condvar::new();
     let workers = threads.clamp(1, n);
@@ -215,6 +260,8 @@ where
 
                 // A straggling original gets a speculative backup
                 // queued *before* it stalls, then really stalls.
+                let exec_start = Instant::now();
+                let mut spawned_backup = false;
                 if let Some(TaskFault::Slowdown(delay)) = &fault {
                     if !item.backup && speculate {
                         let mut g = state.lock().expect("pool lock");
@@ -233,6 +280,7 @@ where
                             }
                         }
                         if let Some(it) = launch {
+                            spawned_backup = true;
                             g.queue.push_back(it);
                             g.live += 1;
                             cvar.notify_one();
@@ -254,8 +302,24 @@ where
                         .map_err(panic_message),
                     )
                 };
+                let exec_end = Instant::now();
 
                 let mut g = state.lock().expect("pool lock");
+                if let Some(res) = &exec {
+                    g.attempts.push(AttemptRec {
+                        slot: item.slot,
+                        task: task_id,
+                        attempt: item.attempt,
+                        backup: item.backup,
+                        slowdown: matches!(&fault, Some(TaskFault::Slowdown(_))),
+                        spawned_backup,
+                        superseded: false,
+                        won: false,
+                        error: res.as_ref().err().cloned(),
+                        start: exec_start,
+                        end: exec_end,
+                    });
+                }
                 let mut retry = None;
                 {
                     let cell = &mut g.cells[item.slot];
@@ -345,12 +409,150 @@ where
         speculative_wins: state.cells.iter().filter(|c| c.won_by_backup).count() as u64,
         ..RecoveryCounters::new()
     };
+    // Annotate winners/supersessions now that the race is settled,
+    // then put the records into canonical (task, attempt) order — the
+    // order the tracer will see, independent of worker scheduling.
+    let mut attempt_recs = state.attempts;
+    for rec in &mut attempt_recs {
+        if rec.error.is_none() && state.cells[rec.slot].won_by_backup {
+            if rec.backup {
+                rec.won = true;
+            } else {
+                rec.superseded = true;
+            }
+        }
+    }
+    attempt_recs.sort_by_key(|r| (r.task, r.attempt, r.backup));
     let results = state
         .cells
         .into_iter()
         .map(|c| c.result.expect("task completed"))
         .collect();
-    Ok((results, recovery))
+    Ok(PhaseOutput {
+        results,
+        recovery,
+        attempts: attempt_recs,
+    })
+}
+
+/// Per-job trace emission context: the job ordinal plus the span
+/// chain heads used to wire retry and barrier dependency edges.
+struct TraceCtx<'a> {
+    tracer: &'a Tracer,
+    job: u32,
+    /// Latest span per (phase, task): retries, speculative backups and
+    /// re-execution passes chain onto their predecessor through it,
+    /// and the map-phase entries become the shuffle barrier's deps.
+    last_span: HashMap<(u8, usize), SpanId>,
+}
+
+fn phase_key(phase: Phase) -> u8 {
+    match phase {
+        Phase::Map => 0,
+        Phase::Reduce => 1,
+    }
+}
+
+impl<'a> TraceCtx<'a> {
+    fn begin(tracer: &'a Tracer, job_name: &str) -> TraceCtx<'a> {
+        TraceCtx {
+            job: tracer.begin_job(job_name),
+            tracer,
+            last_span: HashMap::new(),
+        }
+    }
+
+    fn event(&self, name: &str, ts_ns: u64, meta: Vec<(String, String)>) {
+        self.tracer.add_event(self.job, name, ts_ns, meta);
+    }
+
+    /// Emit one span per attempt record of a finished phase pass.
+    /// Called from the single-threaded post-phase merge point with
+    /// records already in canonical order, so span ids and edges are
+    /// deterministic. `pass` labels re-execution passes ("node_loss" /
+    /// "fetch_fail"); `extra_deps` adds barrier edges (reduce ←
+    /// shuffle).
+    fn emit_phase(
+        &mut self,
+        phase: Phase,
+        pass: Option<&str>,
+        attempt_offset: usize,
+        recs: &[AttemptRec],
+        extra_deps: &[SpanId],
+    ) {
+        let key = phase_key(phase);
+        for rec in recs {
+            let attempt = attempt_offset + rec.attempt;
+            // First regular attempts of the primary pass are the real
+            // work; everything else only exists because of a fault.
+            let category = if rec.backup || rec.attempt > 0 || pass.is_some() {
+                Category::Recovery
+            } else {
+                Category::Compute
+            };
+            let start_ns = self.tracer.ns_of(rec.start);
+            let end_ns = self.tracer.ns_of(rec.end);
+            let mut draft = SpanDraft::new(self.job, phase.name(), category)
+                .task_attempt(rec.task, attempt)
+                .at(start_ns, end_ns.saturating_sub(start_ns))
+                .deps(self.last_span.get(&(key, rec.task)).copied())
+                .deps(extra_deps.iter().copied());
+            if rec.backup {
+                draft = draft.meta("backup", "true");
+            }
+            if rec.slowdown {
+                draft = draft.meta("straggler", "true");
+            }
+            if rec.superseded {
+                draft = draft.meta("superseded", "true");
+            }
+            if let Some(p) = pass {
+                draft = draft.meta("pass", p);
+            }
+            if let Some(err) = &rec.error {
+                draft = draft.meta("error", err.as_str());
+            }
+            let id = self.tracer.add_span(draft);
+            self.last_span.insert((key, rec.task), id);
+            if rec.spawned_backup {
+                self.event(
+                    "speculative_launch",
+                    start_ns,
+                    vec![("task".into(), rec.task.to_string())],
+                );
+            }
+            if rec.error.is_some() {
+                self.event(
+                    "panic",
+                    end_ns,
+                    vec![
+                        ("task".into(), rec.task.to_string()),
+                        ("attempt".into(), attempt.to_string()),
+                    ],
+                );
+            }
+            if rec.won {
+                self.event(
+                    "speculative_win",
+                    end_ns,
+                    vec![("task".into(), rec.task.to_string())],
+                );
+            }
+        }
+    }
+
+    /// The gating span of each map task (latest attempt), sorted by
+    /// task index: the shuffle barrier's dependency set.
+    fn map_frontier(&self) -> Vec<SpanId> {
+        let mut tasks: Vec<(usize, SpanId)> = self
+            .last_span
+            .iter()
+            .filter(|((k, _), _)| *k == phase_key(Phase::Map))
+            .map(|((_, task), &id)| (*task, id))
+            .collect();
+        tasks.sort_unstable();
+        tasks.into_iter().map(|(_, id)| id).collect()
+    }
 }
 
 /// Map tasks assigned to virtual nodes that died at the map→reduce
@@ -371,6 +573,7 @@ fn recover_node_deaths<T, F>(
     config: &JobConfig,
     workers: usize,
     injector: &dyn FaultInjector,
+    trace: &mut Option<TraceCtx<'_>>,
     f: F,
 ) -> Result<(), MrError>
 where
@@ -388,6 +591,12 @@ where
     if deaths.is_empty() {
         return Ok(());
     }
+    if let Some(ctx) = trace {
+        let now = ctx.tracer.now_ns();
+        for &d in &deaths {
+            ctx.event("node_death", now, vec![("node".into(), d.to_string())]);
+        }
+    }
     if deaths.len() >= nodes {
         return Err(MrError::BadConfig(format!(
             "chaos: all {nodes} virtual nodes died; no survivors to re-run on"
@@ -400,21 +609,42 @@ where
     // Surviving nodes re-run the lost maps; attempt ordinals are
     // offset past the primary pass so the injector can tell them
     // apart.
-    let (redone, re_recovery) = run_phase(
+    let attempt_offset = config.max_attempts + 2;
+    let redo = run_phase(
         &PhaseSpec {
             phase: Phase::Map,
             threads: workers,
             attempts: config.max_attempts,
-            attempt_offset: config.max_attempts + 2,
+            attempt_offset,
             speculate: config.speculative,
             injector,
         },
         &lost,
         f,
     )?;
-    recovery.merge(&re_recovery);
+    if let Some(ctx) = trace {
+        let now = ctx.tracer.now_ns();
+        for &task in &lost {
+            ctx.event(
+                "map_reexec",
+                now,
+                vec![
+                    ("task".into(), task.to_string()),
+                    ("cause".into(), "node_loss".into()),
+                ],
+            );
+        }
+        ctx.emit_phase(
+            Phase::Map,
+            Some("node_loss"),
+            attempt_offset,
+            &redo.attempts,
+            &[],
+        );
+    }
+    recovery.merge(&redo.recovery);
     recovery.maps_reexecuted_node_loss += lost.len() as u64;
-    for (&slot, out) in lost.iter().zip(redone) {
+    for (&slot, out) in lost.iter().zip(redo.results) {
         outputs[slot] = out;
     }
     Ok(())
@@ -494,6 +724,10 @@ struct MapTaskOutput<K, V> {
     runs: Vec<SortedRun<K, V>>,
     /// Payload bytes across all runs, per [`Mapper::shuffle_size`].
     bytes: u64,
+    /// Pairs the mapper emitted before the combiner ran (equals
+    /// `stats.records_out` when no combiner is configured); the
+    /// tracer's combiner-activity events report the in/out ratio.
+    raw_pairs: u64,
     stats: TaskStats,
     counters: Counters,
 }
@@ -532,6 +766,11 @@ where
 {
     injector.begin_job(&config.name);
     let workers = config.worker_threads.unwrap_or_else(default_workers);
+    let mut trace = config
+        .tracer
+        .as_deref()
+        .map(|t| TraceCtx::begin(t, &config.name));
+    let setup_start = trace.as_ref().map(|ctx| ctx.tracer.now_ns());
     // Chunks are Arc-shared: every attempt (retry, speculative backup,
     // post-death re-execution) reads the same buffer through its own
     // handle instead of cloning the chunk.
@@ -539,6 +778,14 @@ where
         .into_iter()
         .map(Arc::from)
         .collect();
+    if let (Some(ctx), Some(t0)) = (&trace, setup_start) {
+        let now = ctx.tracer.now_ns();
+        ctx.tracer.add_span(
+            SpanDraft::new(ctx.job, "job:setup", Category::Overhead)
+                .at(t0, now.saturating_sub(t0))
+                .meta("map_tasks", chunks.len()),
+        );
+    }
 
     let map_task = |i: usize| {
         let chunk = Arc::clone(&chunks[i]);
@@ -559,7 +806,7 @@ where
     };
 
     let ids: Vec<usize> = (0..chunks.len()).collect();
-    let (mut outputs, mut recovery) = run_phase(
+    let map_phase = run_phase(
         &PhaseSpec {
             phase: Phase::Map,
             threads: workers,
@@ -571,12 +818,18 @@ where
         &ids,
         map_task,
     )?;
+    let mut outputs = map_phase.results;
+    let mut recovery = map_phase.recovery;
+    if let Some(ctx) = &mut trace {
+        ctx.emit_phase(Phase::Map, None, 0, &map_phase.attempts, &[]);
+    }
     recover_node_deaths(
         &mut outputs,
         &mut recovery,
         config,
         workers,
         injector,
+        &mut trace,
         map_task,
     )?;
 
@@ -591,6 +844,12 @@ where
         map_stats.push(stats);
         all.extend(pairs);
     }
+    // Map-only jobs shuffle nothing, but report the shuffle counters
+    // anyway so every JobResult snapshot carries the same key set
+    // (consumers iterate counters uniformly across stage kinds).
+    counters.add("SHUFFLED_PAIRS", 0);
+    counters.add("SHUFFLE_BYTES", 0);
+    counters.add("SHUFFLE_RUNS", 0);
     Ok(JobResult {
         output: all,
         counters,
@@ -717,6 +976,11 @@ where
     injector.begin_job(&config.name);
     let reducers = config.num_reducers;
     let workers = config.worker_threads.unwrap_or_else(default_workers);
+    let mut trace = config
+        .tracer
+        .as_deref()
+        .map(|t| TraceCtx::begin(t, &config.name));
+    let setup_start = trace.as_ref().map(|ctx| ctx.tracer.now_ns());
 
     // ---- Map phase ----
     // Chunks are Arc-shared: every attempt (retry, speculative backup,
@@ -726,6 +990,15 @@ where
         .into_iter()
         .map(Arc::from)
         .collect();
+    if let (Some(ctx), Some(t0)) = (&trace, setup_start) {
+        let now = ctx.tracer.now_ns();
+        ctx.tracer.add_span(
+            SpanDraft::new(ctx.job, "job:setup", Category::Overhead)
+                .at(t0, now.saturating_sub(t0))
+                .meta("map_tasks", chunks.len())
+                .meta("reducers", reducers),
+        );
+    }
 
     let map_task = |i: usize| {
         let chunk = Arc::clone(&chunks[i]);
@@ -736,6 +1009,7 @@ where
             mapper.map(k.clone(), v.clone(), &mut ctx);
         }
         let (pairs, counters) = ctx.into_parts();
+        let raw_pairs = pairs.len() as u64;
         // Group map-side in emission order: the hash grouping touches
         // each pair once instead of sort-moving it log n times, and the
         // per-key value order it preserves is exactly what the old
@@ -775,6 +1049,7 @@ where
         MapTaskOutput {
             runs,
             bytes,
+            raw_pairs,
             stats: TaskStats {
                 task: i,
                 duration: start.elapsed(),
@@ -786,7 +1061,7 @@ where
     };
 
     let ids: Vec<usize> = (0..chunks.len()).collect();
-    let (mut map_outputs, mut recovery) = run_phase(
+    let map_phase = run_phase(
         &PhaseSpec {
             phase: Phase::Map,
             threads: workers,
@@ -798,6 +1073,11 @@ where
         &ids,
         map_task,
     )?;
+    let mut map_outputs = map_phase.results;
+    let mut recovery = map_phase.recovery;
+    if let Some(ctx) = &mut trace {
+        ctx.emit_phase(Phase::Map, None, 0, &map_phase.attempts, &[]);
+    }
 
     // ---- Node deaths at the map→reduce barrier ----
     recover_node_deaths(
@@ -806,6 +1086,7 @@ where
         config,
         workers,
         injector,
+        &mut trace,
         map_task,
     )?;
 
@@ -821,6 +1102,17 @@ where
                 continue;
             }
             recovery.shuffle_fetch_retries += u64::from(fails.min(FETCH_RETRY_LIMIT));
+            if let Some(ctx) = &trace {
+                ctx.event(
+                    "fetch_retry",
+                    ctx.tracer.now_ns(),
+                    vec![
+                        ("map".into(), m.to_string()),
+                        ("partition".into(), p.to_string()),
+                        ("failures".into(), fails.to_string()),
+                    ],
+                );
+            }
             if fails > FETCH_RETRY_LIMIT {
                 lost = true;
             }
@@ -830,21 +1122,39 @@ where
         }
     }
     for m in lost_maps {
-        let (redone, re_recovery) = run_phase(
+        let attempt_offset = config.max_attempts + 8;
+        let redo = run_phase(
             &PhaseSpec {
                 phase: Phase::Map,
                 threads: workers,
                 attempts: config.max_attempts,
-                attempt_offset: config.max_attempts + 8,
+                attempt_offset,
                 speculate: config.speculative,
                 injector,
             },
             &[m],
             map_task,
         )?;
-        recovery.merge(&re_recovery);
+        if let Some(ctx) = &mut trace {
+            ctx.event(
+                "map_reexec",
+                ctx.tracer.now_ns(),
+                vec![
+                    ("task".into(), m.to_string()),
+                    ("cause".into(), "fetch_fail".into()),
+                ],
+            );
+            ctx.emit_phase(
+                Phase::Map,
+                Some("fetch_fail"),
+                attempt_offset,
+                &redo.attempts,
+                &[],
+            );
+        }
+        recovery.merge(&redo.recovery);
         recovery.maps_reexecuted_fetch_fail += 1;
-        map_outputs[m] = redone.into_iter().next().expect("one task re-run");
+        map_outputs[m] = redo.results.into_iter().next().expect("one task re-run");
     }
 
     // ---- Shuffle barrier: move each map's runs into reducer slots ----
@@ -859,24 +1169,61 @@ where
     let mut shuffled_pairs = 0u64;
     let mut shuffled_bytes = 0u64;
     let mut shuffle_runs = 0u64;
+    let shuffle_start = trace.as_ref().map(|ctx| ctx.tracer.now_ns());
     for out in map_outputs {
         counters.merge(&out.counters);
         counters.add("MAP_INPUT_RECORDS", out.stats.records_in);
         counters.add("MAP_OUTPUT_RECORDS", out.stats.records_out);
         shuffled_pairs += out.stats.records_out;
         shuffled_bytes += out.bytes;
+        if let Some(ctx) = &trace {
+            if combiner.is_some() {
+                ctx.event(
+                    "combine",
+                    ctx.tracer.now_ns(),
+                    vec![
+                        ("task".into(), out.stats.task.to_string()),
+                        ("pairs_in".into(), out.raw_pairs.to_string()),
+                        ("pairs_out".into(), out.stats.records_out.to_string()),
+                    ],
+                );
+            }
+        }
+        let map_task_idx = out.stats.task;
         map_stats.push(out.stats);
         for (p, run) in out.runs.into_iter().enumerate() {
             if run.is_empty() {
                 continue;
             }
             shuffle_runs += 1;
+            if let Some(ctx) = &trace {
+                ctx.event(
+                    "shuffle_run",
+                    ctx.tracer.now_ns(),
+                    vec![
+                        ("map".into(), map_task_idx.to_string()),
+                        ("partition".into(), p.to_string()),
+                        ("groups".into(), run.len().to_string()),
+                    ],
+                );
+            }
             partition_slots[p].push(run);
         }
     }
     counters.add("SHUFFLED_PAIRS", shuffled_pairs);
     counters.add("SHUFFLE_BYTES", shuffled_bytes);
     counters.add("SHUFFLE_RUNS", shuffle_runs);
+    let shuffle_span = trace.as_ref().zip(shuffle_start).map(|(ctx, t0)| {
+        let now = ctx.tracer.now_ns();
+        ctx.tracer.add_span(
+            SpanDraft::new(ctx.job, "shuffle", Category::Shuffle)
+                .at(t0, now.saturating_sub(t0))
+                .deps(ctx.map_frontier())
+                .meta("pairs", shuffled_pairs)
+                .meta("bytes", shuffled_bytes)
+                .meta("runs", shuffle_runs),
+        )
+    });
 
     // ---- Reduce phase ----
     let reduce_task = |p: usize| {
@@ -903,7 +1250,7 @@ where
     };
 
     let reduce_ids: Vec<usize> = (0..reducers).collect();
-    let (reduce_outputs, reduce_recovery) = run_phase(
+    let reduce_phase = run_phase(
         &PhaseSpec {
             phase: Phase::Reduce,
             threads: workers,
@@ -915,12 +1262,16 @@ where
         &reduce_ids,
         reduce_task,
     )?;
-    recovery.merge(&reduce_recovery);
+    recovery.merge(&reduce_phase.recovery);
+    if let Some(ctx) = &mut trace {
+        let barrier: Vec<SpanId> = shuffle_span.into_iter().collect();
+        ctx.emit_phase(Phase::Reduce, None, 0, &reduce_phase.attempts, &barrier);
+    }
 
     counters.add("TASK_RETRIES", recovery.tasks_retried);
     let mut output = Vec::new();
     let mut reduce_stats = Vec::with_capacity(reducers);
-    for (out, stats, task_counters) in reduce_outputs {
+    for (out, stats, task_counters) in reduce_phase.results {
         counters.merge(&task_counters);
         counters.add("REDUCE_INPUT_RECORDS", stats.records_in);
         counters.add("REDUCE_OUTPUT_RECORDS", stats.records_out);

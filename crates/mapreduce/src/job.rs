@@ -262,6 +262,11 @@ pub struct JobConfig {
     /// Launch speculative backup attempts for straggling tasks
     /// (Hadoop's `mapreduce.map.speculative`, on by default there too).
     pub speculative: bool,
+    /// Optional structured trace sink. When set, the engine records
+    /// task attempt lifecycle, shuffle runs, combiner activity and
+    /// recovery actions into the shared ledger (our JobHistory
+    /// analogue — see `mrmc_obs`).
+    pub tracer: Option<std::sync::Arc<mrmc_obs::Tracer>>,
 }
 
 impl JobConfig {
@@ -275,6 +280,7 @@ impl JobConfig {
             max_attempts: 1,
             virtual_nodes: 8,
             speculative: true,
+            tracer: None,
         }
     }
 
@@ -305,6 +311,12 @@ impl JobConfig {
     /// Builder-style speculative-execution toggle.
     pub fn speculative(mut self, on: bool) -> JobConfig {
         self.speculative = on;
+        self
+    }
+
+    /// Builder-style trace sink.
+    pub fn traced(mut self, tracer: std::sync::Arc<mrmc_obs::Tracer>) -> JobConfig {
+        self.tracer = Some(tracer);
         self
     }
 }

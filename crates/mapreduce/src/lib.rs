@@ -33,6 +33,15 @@
 //! retries, speculative backups, lost-map-output re-execution after a
 //! node death, checksum fallback and re-replication — with the tally
 //! surfaced as [`RecoveryCounters`] on job results.
+//!
+//! Structured tracing lives in the [`mrmc_obs`] crate (re-exported
+//! here as [`obs`]): attach a [`Tracer`] via
+//! [`JobConfig::traced`](job::JobConfig::traced) or
+//! [`Pipeline::traced`](pipeline::Pipeline::traced) and the engine
+//! records task attempt lifecycle, shuffle movement and every
+//! recovery action as a deterministic span ledger; the simulated
+//! cluster produces an equivalent simulated-time trace
+//! ([`ClusterSpec::simulate_job_traced`]).
 
 pub mod dfs;
 pub mod engine;
@@ -42,6 +51,7 @@ pub mod pipeline;
 pub mod simcluster;
 
 pub use mrmc_chaos as chaos;
+pub use mrmc_obs as obs;
 
 pub use dfs::{Dfs, DfsConfig, FastaSplitReader, InputSplit};
 pub use engine::{run_job, run_job_with_faults, run_map_only, run_map_only_with_faults};
@@ -54,7 +64,9 @@ pub use mrmc_chaos::{
     ChaosProfile, FaultInjector, FaultPlan, NoFaults, Phase, PlanInjector, RecoveryCounters,
     TaskFault,
 };
+pub use mrmc_obs::{chrome_trace, critical_path, render_gantt, CriticalPath, TraceLedger, Tracer};
 pub use pipeline::Pipeline;
 pub use simcluster::{
-    ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask, ShuffleVolume, SimJobReport,
+    lpt_makespan, lpt_schedule, ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask,
+    ScheduledTask, ShuffleVolume, SimJobReport,
 };

@@ -5,9 +5,11 @@
 //! the whole pipeline can afterwards be re-scheduled on a simulated
 //! cluster ([`ClusterSpec`]) for the Figure 2 scaling study.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
+use mrmc_obs::Tracer;
 
 use crate::engine::{run_job_with_faults, run_map_only_with_faults};
 use crate::error::MrError;
@@ -64,6 +66,17 @@ impl StageReport {
             .map(|i| self.counters[i].1)
             .unwrap_or(0)
     }
+
+    /// The stage's shuffle traffic on all three axes the simulator
+    /// prices — the single source every consumer (simulation, report
+    /// bins, traces) should read instead of picking fields ad hoc.
+    pub fn shuffle_volume(&self) -> ShuffleVolume {
+        ShuffleVolume {
+            records: self.shuffled_pairs,
+            bytes: self.shuffled_bytes,
+            runs: self.shuffle_runs,
+        }
+    }
 }
 
 /// Output rows of a stage.
@@ -75,6 +88,7 @@ pub struct Pipeline {
     /// Pipeline name.
     pub name: String,
     stages: Vec<StageReport>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Pipeline {
@@ -83,7 +97,30 @@ impl Pipeline {
         Pipeline {
             name: name.into(),
             stages: Vec::new(),
+            tracer: None,
         }
+    }
+
+    /// Attach a trace sink: every stage's job runs with it, so one
+    /// ledger accumulates the whole chain in stage order.
+    pub fn traced(mut self, tracer: Arc<Tracer>) -> Pipeline {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The stage's effective config: the pipeline's tracer is injected
+    /// unless the caller already attached one of their own.
+    fn stage_config(&self, config: &JobConfig) -> JobConfig {
+        let mut config = config.clone();
+        if config.tracer.is_none() {
+            config.tracer = self.tracer.clone();
+        }
+        config
     }
 
     /// Run a full map/shuffle/reduce stage, recording its report, and
@@ -122,7 +159,8 @@ impl Pipeline {
         R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
     {
         let start = std::time::Instant::now();
-        let result = run_job_with_faults(input, num_map_tasks, mapper, reducer, config, injector)?;
+        let config = self.stage_config(config);
+        let result = run_job_with_faults(input, num_map_tasks, mapper, reducer, &config, injector)?;
         self.stages.push(StageReport {
             name: config.name.clone(),
             map_stats: result.map_stats,
@@ -168,14 +206,15 @@ impl Pipeline {
         M::InValue: Clone + Sync,
     {
         let start = std::time::Instant::now();
-        let result = run_map_only_with_faults(input, num_map_tasks, mapper, config, injector)?;
+        let config = self.stage_config(config);
+        let result = run_map_only_with_faults(input, num_map_tasks, mapper, &config, injector)?;
         self.stages.push(StageReport {
             name: config.name.clone(),
             map_stats: result.map_stats,
             reduce_stats: Vec::new(),
-            shuffled_pairs: 0,
-            shuffled_bytes: 0,
-            shuffle_runs: 0,
+            shuffled_pairs: result.shuffled_pairs,
+            shuffled_bytes: result.shuffled_bytes,
+            shuffle_runs: result.shuffle_runs,
             counters: result.counters.snapshot(),
             wall: start.elapsed(),
             recovery: result.recovery,
@@ -217,14 +256,48 @@ impl Pipeline {
                 cluster.simulate_job_shuffle(
                     model,
                     &s.map_costs(),
-                    ShuffleVolume {
-                        records: s.shuffled_pairs,
-                        bytes: s.shuffled_bytes,
-                        runs: s.shuffle_runs,
-                    },
+                    s.shuffle_volume(),
                     &s.reduce_costs(),
                     s.recovery,
                 )
+            })
+            .collect()
+    }
+
+    /// [`Pipeline::simulate_on`] that also writes a simulated-time
+    /// trace into `tracer`: one ledger job per stage, chained on the
+    /// simulated clock (stage N starts where stage N−1 ended, as Pig
+    /// runs jobs sequentially). Returns the same reports
+    /// `simulate_on` would.
+    pub fn simulate_on_traced(
+        &self,
+        cluster: &ClusterSpec,
+        model: &JobCostModel,
+        tracer: &Tracer,
+    ) -> Vec<SimJobReport> {
+        let mut clock_s = 0.0f64;
+        self.stages
+            .iter()
+            .map(|s| {
+                let report = cluster.simulate_job_traced(
+                    model,
+                    &s.map_costs(),
+                    s.shuffle_volume(),
+                    &s.reduce_costs(),
+                    s.recovery,
+                    tracer,
+                    &s.name,
+                    clock_s,
+                );
+                // Advance the clock with the same association the span
+                // emitter used, so the next stage's setup span starts
+                // exactly (bit-for-bit) where this stage's last span
+                // ended and the critical path can bridge the stages.
+                let setup_end = clock_s + report.overhead;
+                let shuffle_start = setup_end + report.map_time;
+                let reduce_start = shuffle_start + report.shuffle_time;
+                clock_s = reduce_start + report.reduce_time;
+                report
             })
             .collect()
     }

@@ -150,28 +150,59 @@ impl SimJobReport {
     }
 }
 
-/// Longest-processing-time list scheduling: sort tasks by decreasing
-/// cost, repeatedly assign to the least-loaded slot; returns the
-/// makespan. This is the classic (4/3 − 1/3m)-approximation, a faithful
-/// stand-in for Hadoop's greedy slot scheduler.
-pub fn lpt_makespan(costs: &[f64], slots: usize) -> f64 {
+/// One task's placement in a list schedule: which slot ran it and
+/// when, in seconds from the phase start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledTask {
+    /// Index into the phase's cost list.
+    pub task: usize,
+    /// Slot (virtual lane) the task ran on.
+    pub slot: usize,
+    /// Start offset within the phase, seconds.
+    pub start: f64,
+    /// End offset within the phase, seconds.
+    pub end: f64,
+}
+
+/// Longest-processing-time list scheduling with full placements: sort
+/// tasks by decreasing cost (stable, so equal costs keep index order),
+/// repeatedly assign to the least-loaded slot. Tasks stack contiguously
+/// on each slot from time zero — the schedule has no idle gaps below
+/// the makespan on the loaded lanes, which is what lets the trace
+/// layer attribute the whole simulated phase to task spans.
+pub fn lpt_schedule(costs: &[f64], slots: usize) -> Vec<ScheduledTask> {
     let slots = slots.max(1);
-    if costs.is_empty() {
-        return 0.0;
-    }
-    let mut sorted: Vec<f64> = costs.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite costs"));
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].partial_cmp(&costs[a]).expect("finite costs"));
     // A binary heap of loads would be O(n log m); for the task counts
     // here a linear scan over ≤ 24 slots is simpler and just as fast.
     let mut loads = vec![0.0f64; slots];
-    for c in sorted {
-        let min = loads
-            .iter_mut()
-            .min_by(|a, b| a.partial_cmp(b).expect("finite loads"))
+    let mut placed = Vec::with_capacity(costs.len());
+    for task in order {
+        let (slot, load) = loads
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
             .expect("slots ≥ 1");
-        *min += c;
+        placed.push(ScheduledTask {
+            task,
+            slot,
+            start: load,
+            end: load + costs[task],
+        });
+        loads[slot] = load + costs[task];
     }
-    loads.into_iter().fold(0.0, f64::max)
+    placed
+}
+
+/// Makespan of the LPT list schedule — the classic (4/3 − 1/3m)-
+/// approximation, a faithful stand-in for Hadoop's greedy slot
+/// scheduler.
+pub fn lpt_makespan(costs: &[f64], slots: usize) -> f64 {
+    lpt_schedule(costs, slots)
+        .into_iter()
+        .fold(0.0, |acc, t| acc.max(t.end))
 }
 
 impl ClusterSpec {
@@ -258,11 +289,41 @@ impl ClusterSpec {
         reduce_costs: &[f64],
         recovery: mrmc_chaos::RecoveryCounters,
     ) -> SimJobReport {
+        let eff = self.effective_costs(model, map_costs, reduce_costs, recovery);
+        let map_time = lpt_makespan(&eff.map_costs, self.map_slots());
+        let reduce_time = lpt_makespan(&eff.reduce_costs, self.reduce_slots());
+        SimJobReport {
+            map_time,
+            shuffle_time: self.shuffle_seconds(model, volume),
+            reduce_time,
+            overhead: model.job_overhead,
+            recovery,
+        }
+    }
+
+    /// Shuffle transfer time under the three-axis cost model, charged
+    /// against per-node aggregate bandwidth.
+    fn shuffle_seconds(&self, model: &JobCostModel, volume: ShuffleVolume) -> f64 {
+        (volume.records as f64 * model.shuffle_record_cost
+            + volume.bytes as f64 * model.shuffle_byte_cost
+            + volume.runs as f64 * model.shuffle_run_cost)
+            / self.nodes.max(1) as f64
+    }
+
+    /// The cost lists the scheduler actually sees: per-task launch
+    /// overhead added, recovery re-executions appended as mean-cost
+    /// map tasks, the straggler slowdown applied to the longest map.
+    fn effective_costs(
+        &self,
+        model: &JobCostModel,
+        map_costs: &[f64],
+        reduce_costs: &[f64],
+        recovery: mrmc_chaos::RecoveryCounters,
+    ) -> EffectiveCosts {
         let with_task_overhead =
             |costs: &[f64]| -> Vec<f64> { costs.iter().map(|c| c + model.task_overhead).collect() };
-        // Straggler injection: the longest map task is slowed (and
-        // possibly rescued by speculation).
-        let mut map_costs = with_task_overhead(map_costs);
+        let mut eff_map = with_task_overhead(map_costs);
+        let primary_maps = eff_map.len();
         // Recovery work is real work: every extra map execution the
         // engine ran (retries, node-loss and fetch-failure
         // re-executions, winning backups) occupies a slot for a
@@ -271,26 +332,171 @@ impl ClusterSpec {
             + recovery.maps_reexecuted_node_loss
             + recovery.maps_reexecuted_fetch_fail
             + recovery.speculative_wins;
-        if extra_execs > 0 && !map_costs.is_empty() {
-            let mean = map_costs.iter().sum::<f64>() / map_costs.len() as f64;
-            map_costs.extend(std::iter::repeat_n(mean, extra_execs as usize));
+        if extra_execs > 0 && !eff_map.is_empty() {
+            let mean = eff_map.iter().sum::<f64>() / eff_map.len() as f64;
+            eff_map.extend(std::iter::repeat_n(mean, extra_execs as usize));
         }
+        // Straggler injection: the longest map task is slowed (and
+        // possibly rescued by speculation).
+        let mut straggler = None;
         if model.straggler_slowdown > 1.0 {
-            if let Some(idx) = map_costs
+            if let Some(idx) = eff_map
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
                 .map(|(i, _)| i)
             {
-                map_costs[idx] = model.straggler_cost(map_costs[idx]);
+                eff_map[idx] = model.straggler_cost(eff_map[idx]);
+                straggler = Some(idx);
             }
         }
-        let map_time = lpt_makespan(&map_costs, self.map_slots());
-        let reduce_time = lpt_makespan(&with_task_overhead(reduce_costs), self.reduce_slots());
-        let shuffle_time = (volume.records as f64 * model.shuffle_record_cost
-            + volume.bytes as f64 * model.shuffle_byte_cost
-            + volume.runs as f64 * model.shuffle_run_cost)
-            / self.nodes.max(1) as f64;
+        EffectiveCosts {
+            map_costs: eff_map,
+            primary_maps,
+            straggler,
+            reduce_costs: with_task_overhead(reduce_costs),
+        }
+    }
+
+    /// [`ClusterSpec::simulate_job_shuffle`] that also emits a
+    /// *simulated-time* trace into `tracer`: per-job overhead as an
+    /// explicit span, one launch-overhead + body span pair per
+    /// scheduled task slot (recovery re-executions categorized as
+    /// recovery work), a shuffle span depending on every map lane, and
+    /// reduce lanes depending on the shuffle. Timestamps are simulated
+    /// seconds rendered as nanoseconds since `start_s` — fully
+    /// deterministic, and the spans tile every loaded lane without
+    /// gaps, so the critical path reconstructs the report's makespan
+    /// exactly. Returns the same report `simulate_job_shuffle` would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_job_traced(
+        &self,
+        model: &JobCostModel,
+        map_costs: &[f64],
+        volume: ShuffleVolume,
+        reduce_costs: &[f64],
+        recovery: mrmc_chaos::RecoveryCounters,
+        tracer: &mrmc_obs::Tracer,
+        job_name: &str,
+        start_s: f64,
+    ) -> SimJobReport {
+        use mrmc_obs::{Category, SpanDraft, SpanId};
+
+        let ns = |s: f64| -> u64 { (s * 1e9).round() as u64 };
+        let eff = self.effective_costs(model, map_costs, reduce_costs, recovery);
+        let job = tracer.begin_job(job_name);
+
+        let setup_end = start_s + model.job_overhead;
+        let setup = tracer.add_span(
+            SpanDraft::new(job, "job:setup", Category::Overhead)
+                .lane(0)
+                .at(ns(start_s), ns(setup_end).saturating_sub(ns(start_s)))
+                .meta("nodes", self.nodes),
+        );
+
+        // Emit one overhead + body span pair per scheduled task,
+        // chained along its lane so lane order becomes dependency
+        // order. Spans on a lane are contiguous (list scheduling
+        // stacks tasks from zero), so the longest lane's chain covers
+        // the whole phase makespan.
+        let emit_phase = |sched: &[ScheduledTask],
+                          base_s: f64,
+                          name: &str,
+                          recovery_from: usize,
+                          straggler: Option<usize>,
+                          entry_dep: SpanId|
+         -> (Vec<SpanId>, f64) {
+            let mut order: Vec<&ScheduledTask> = sched.iter().collect();
+            order.sort_by(|a, b| {
+                (a.slot, a.start)
+                    .partial_cmp(&(b.slot, b.start))
+                    .expect("finite times")
+            });
+            let mut lane_last: Vec<(usize, SpanId)> = Vec::new();
+            let mut makespan = 0.0f64;
+            for t in order {
+                makespan = makespan.max(t.end);
+                let prev = lane_last
+                    .iter()
+                    .find(|(slot, _)| *slot == t.slot)
+                    .map(|&(_, id)| id)
+                    .unwrap_or(entry_dep);
+                let launch_end = (base_s + t.start + model.task_overhead).min(base_s + t.end);
+                let launch = tracer.add_span(
+                    SpanDraft::new(job, format!("{name}:launch"), Category::Overhead)
+                        .task_attempt(t.task, 0)
+                        .lane(t.slot)
+                        .at(
+                            ns(base_s + t.start),
+                            ns(launch_end).saturating_sub(ns(base_s + t.start)),
+                        )
+                        .dep(prev),
+                );
+                let category = if t.task >= recovery_from {
+                    Category::Recovery
+                } else {
+                    Category::Compute
+                };
+                let mut body = SpanDraft::new(job, name, category)
+                    .task_attempt(t.task, 0)
+                    .lane(t.slot)
+                    .at(
+                        ns(launch_end),
+                        ns(base_s + t.end).saturating_sub(ns(launch_end)),
+                    )
+                    .dep(launch);
+                if straggler == Some(t.task) {
+                    body = body.meta("straggler", "true");
+                }
+                let id = tracer.add_span(body);
+                match lane_last.iter_mut().find(|(slot, _)| *slot == t.slot) {
+                    Some(entry) => entry.1 = id,
+                    None => lane_last.push((t.slot, id)),
+                }
+            }
+            lane_last.sort_unstable();
+            (lane_last.into_iter().map(|(_, id)| id).collect(), makespan)
+        };
+
+        let map_sched = lpt_schedule(&eff.map_costs, self.map_slots());
+        let (map_frontier, map_time) = emit_phase(
+            &map_sched,
+            setup_end,
+            "map",
+            eff.primary_maps,
+            eff.straggler,
+            setup,
+        );
+
+        let shuffle_time = self.shuffle_seconds(model, volume);
+        let shuffle_start = setup_end + map_time;
+        let shuffle = tracer.add_span(
+            SpanDraft::new(job, "shuffle", Category::Shuffle)
+                .lane(0)
+                .at(
+                    ns(shuffle_start),
+                    ns(shuffle_start + shuffle_time).saturating_sub(ns(shuffle_start)),
+                )
+                .deps(if map_frontier.is_empty() {
+                    vec![setup]
+                } else {
+                    map_frontier
+                })
+                .meta("records", volume.records)
+                .meta("bytes", volume.bytes)
+                .meta("runs", volume.runs),
+        );
+
+        let reduce_sched = lpt_schedule(&eff.reduce_costs, self.reduce_slots());
+        let (_, reduce_time) = emit_phase(
+            &reduce_sched,
+            shuffle_start + shuffle_time,
+            "reduce",
+            usize::MAX,
+            None,
+            shuffle,
+        );
+
         SimJobReport {
             map_time,
             shuffle_time,
@@ -299,6 +505,17 @@ impl ClusterSpec {
             recovery,
         }
     }
+}
+
+/// Output of [`ClusterSpec::effective_costs`].
+struct EffectiveCosts {
+    map_costs: Vec<f64>,
+    /// Map cost indices below this are primary executions; at or above
+    /// it, recovery re-executions.
+    primary_maps: usize,
+    /// Index of the straggler-slowed map task, if any.
+    straggler: Option<usize>,
+    reduce_costs: Vec<f64>,
 }
 
 /// A map task for locality-aware scheduling: its compute cost and the

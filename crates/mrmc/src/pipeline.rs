@@ -110,11 +110,36 @@ impl MrMcMinH {
         reads: &[SeqRecord],
         injector: &dyn FaultInjector,
     ) -> Result<MrMcResult, MrError> {
+        self.run_inner(reads, injector, None)
+    }
+
+    /// Cluster the reads while recording a structured trace of every
+    /// Map-Reduce stage into `tracer` (task attempts, shuffle runs,
+    /// combiner activity, recovery actions). Tracing is passive: the
+    /// clustering output is bit-identical to an untraced run.
+    pub fn run_traced(
+        &self,
+        reads: &[SeqRecord],
+        injector: &dyn FaultInjector,
+        tracer: std::sync::Arc<mrmc_mapreduce::Tracer>,
+    ) -> Result<MrMcResult, MrError> {
+        self.run_inner(reads, injector, Some(tracer))
+    }
+
+    fn run_inner(
+        &self,
+        reads: &[SeqRecord],
+        injector: &dyn FaultInjector,
+        tracer: Option<std::sync::Arc<mrmc_mapreduce::Tracer>>,
+    ) -> Result<MrMcResult, MrError> {
         let start = Instant::now();
         let mut pipeline = Pipeline::new(match self.config.mode {
             Mode::Greedy => "mrmc-minh-g",
             Mode::Hierarchical => "mrmc-minh-h",
         });
+        if let Some(tracer) = tracer {
+            pipeline = pipeline.traced(tracer);
+        }
 
         // Stage 1: minwise sketches (map-only over records).
         let sketches = sketch_stage_with(reads, &self.config, &mut pipeline, injector)?;
@@ -406,6 +431,49 @@ mod tests {
         assert_eq!(rec.speculative_wins, 1);
         assert!(rec.maps_reexecuted_node_loss >= 1);
         assert!(clean.recovery().is_clean());
+    }
+
+    #[test]
+    fn traced_run_bit_identical_with_deterministic_ledger() {
+        use mrmc_mapreduce::chaos::{FaultPlan, NoFaults, Phase};
+        use mrmc_mapreduce::Tracer;
+        use std::sync::Arc;
+
+        let (reads, _) = two_species(40, 8);
+        let runner = MrMcMinH::new(config(Mode::Hierarchical, 0.55));
+        let plain = runner.run(&reads).unwrap();
+
+        // Tracing a clean run is passive and its ledger replays.
+        let t1 = Arc::new(Tracer::new());
+        let traced = runner.run_traced(&reads, &NoFaults, t1.clone()).unwrap();
+        assert_eq!(traced.assignment, plain.assignment);
+        assert_eq!(traced.dendrogram, plain.dendrogram);
+        let t2 = Arc::new(Tracer::new());
+        runner.run_traced(&reads, &NoFaults, t2.clone()).unwrap();
+        assert_eq!(t1.ledger().signature(), t2.ledger().signature());
+        // One ledger job per MR stage (sketch + similarity).
+        assert_eq!(t1.ledger().jobs.len(), 2);
+
+        // Under a fault plan, the output is still bit-identical and
+        // the ledger is a pure function of the plan.
+        let plan = FaultPlan::new()
+            .task_panic(0, Phase::Map, 1, 2)
+            .task_slowdown(1, Phase::Map, 0, 15)
+            .node_death_after_map(0, 2);
+        let c1 = Arc::new(Tracer::new());
+        let chaotic = runner
+            .run_traced(&reads, &plan.clone().injector(), c1.clone())
+            .unwrap();
+        assert_eq!(chaotic.assignment, plain.assignment);
+        let c2 = Arc::new(Tracer::new());
+        runner
+            .run_traced(&reads, &plan.injector(), c2.clone())
+            .unwrap();
+        assert_eq!(c1.ledger().signature(), c2.ledger().signature());
+        // The chaotic ledger differs from the clean one (it carries
+        // the recovery spans) but shares the job structure.
+        assert_ne!(c1.ledger().signature(), t1.ledger().signature());
+        assert_eq!(c1.ledger().jobs, t1.ledger().jobs);
     }
 
     #[test]

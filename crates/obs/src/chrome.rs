@@ -1,0 +1,254 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Array Format variant wrapped in an object —
+//! `{"traceEvents": [...]}` — which both `chrome://tracing` and
+//! Perfetto accept. Mapping:
+//!
+//! * span → complete event (`"ph":"X"`) with microsecond `ts`/`dur`,
+//!   `pid` = job ordinal, `tid` = display lane;
+//! * instant event → `"ph":"i"` with thread scope;
+//! * job names → `process_name` metadata events (`"ph":"M"`);
+//! * span category, task/attempt and metadata land in `args` so they
+//!   show in the selection panel.
+//!
+//! Spans that carry no explicit lane (real-pool runs don't know which
+//! worker executed which attempt deterministically) are packed onto
+//! display lanes greedily: each span takes the lowest-numbered lane
+//! whose previous span has already ended. That keeps the rendering
+//! compact without inventing fake scheduling facts — the lane is a
+//! display hint, not a claim.
+
+use crate::trace::{Span, TraceLedger};
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_json(pairs: &[(String, String)]) -> String {
+    let body: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", esc(k), esc(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Assign display lanes to spans that don't carry one. Spans with an
+/// explicit lane keep it; the rest are packed greedily by start time
+/// onto lanes numbered after the largest explicit lane.
+pub(crate) fn display_lanes(spans: &[Span]) -> Vec<usize> {
+    let base = spans
+        .iter()
+        .filter_map(|s| s.lane)
+        .max()
+        .map_or(0, |l| l + 1);
+    let mut lanes = vec![0usize; spans.len()];
+    // (lane, busy_until) for auto-assigned lanes, per job.
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].job, spans[i].start_ns, spans[i].id));
+    let mut free: Vec<(u32, usize, u64)> = Vec::new(); // (job, lane, busy_until)
+    for i in order {
+        let s = &spans[i];
+        if let Some(l) = s.lane {
+            lanes[i] = l;
+            continue;
+        }
+        let slot = free
+            .iter_mut()
+            .filter(|(job, _, until)| *job == s.job && *until <= s.start_ns)
+            .min_by_key(|(_, lane, _)| *lane);
+        match slot {
+            Some(entry) => {
+                entry.2 = s.end_ns();
+                lanes[i] = entry.1;
+            }
+            None => {
+                let lane = base + free.iter().filter(|(job, _, _)| *job == s.job).count();
+                free.push((s.job, lane, s.end_ns()));
+                lanes[i] = lane;
+            }
+        }
+    }
+    lanes
+}
+
+/// Render the ledger as Chrome `trace_event` JSON
+/// (`{"traceEvents":[...]}`), loadable in `chrome://tracing` and
+/// Perfetto. Timestamps are converted from nanoseconds to the
+/// format's microseconds (fractional, so nothing is lost).
+pub fn chrome_trace(ledger: &TraceLedger) -> String {
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut events: Vec<String> =
+        Vec::with_capacity(ledger.spans.len() + ledger.events.len() + ledger.jobs.len());
+
+    for (i, name) in ledger.jobs.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{i},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    let lanes = display_lanes(&ledger.spans);
+    for (span, lane) in ledger.spans.iter().zip(&lanes) {
+        let mut args: Vec<(String, String)> =
+            vec![("category".into(), span.category.name().into())];
+        if let Some(task) = span.task {
+            args.push(("task".into(), task.to_string()));
+        }
+        if let Some(attempt) = span.attempt {
+            args.push(("attempt".into(), attempt.to_string()));
+        }
+        args.extend(span.meta.iter().cloned());
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":{}}}",
+            esc(&span.name),
+            span.category.name(),
+            us(span.start_ns),
+            us(span.dur_ns),
+            span.job,
+            lane,
+            args_json(&args)
+        ));
+    }
+
+    for ev in &ledger.events {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":{},\"tid\":0,\"args\":{}}}",
+            esc(&ev.name),
+            us(ev.ts_ns),
+            ev.job,
+            args_json(&ev.meta)
+        ));
+    }
+
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Category, SpanDraft, Tracer};
+
+    fn sample_ledger() -> TraceLedger {
+        let t = Tracer::new();
+        let j = t.begin_job("word\"count");
+        let a = t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .task_attempt(0, 0)
+                .at(0, 1500),
+        );
+        t.add_span(
+            SpanDraft::new(j, "shuffle", Category::Shuffle)
+                .dep(a)
+                .at(1500, 250)
+                .meta("runs", 3),
+        );
+        t.add_event(j, "panic", 700, vec![("task".into(), "0".into())]);
+        t.ledger()
+    }
+
+    #[test]
+    fn emits_wrapped_trace_events() {
+        let json = chrome_trace(&sample_ledger());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        // ns → µs conversion.
+        assert!(json.contains("\"ts\":1.5"));
+        // Escaped job name.
+        assert!(json.contains("word\\\"count"));
+        // Span metadata lands in args.
+        assert!(json.contains("\"runs\":\"3\""));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = chrome_trace(&sample_ledger());
+        let (mut depth, mut min_depth) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    min_depth = min_depth.min(depth);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(min_depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn lanes_pack_without_overlap() {
+        let t = Tracer::new();
+        let j = t.begin_job("j");
+        // Three overlapping spans → three lanes; a fourth after them
+        // reuses lane 0.
+        for i in 0..3 {
+            t.add_span(
+                SpanDraft::new(j, "map", Category::Compute)
+                    .task_attempt(i, 0)
+                    .at(0, 100),
+            );
+        }
+        t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .task_attempt(3, 0)
+                .at(100, 50),
+        );
+        let ledger = t.ledger();
+        let lanes = display_lanes(&ledger.spans);
+        let mut first_three = lanes[..3].to_vec();
+        first_three.sort_unstable();
+        assert_eq!(first_three, vec![0, 1, 2]);
+        assert_eq!(lanes[3], 0);
+    }
+
+    #[test]
+    fn explicit_lanes_preserved() {
+        let t = Tracer::new();
+        let j = t.begin_job("sim");
+        t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .lane(5)
+                .at(0, 10),
+        );
+        let ledger = t.ledger();
+        assert_eq!(display_lanes(&ledger.spans), vec![5]);
+        assert!(chrome_trace(&ledger).contains("\"tid\":5"));
+    }
+}

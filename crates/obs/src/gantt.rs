@@ -1,0 +1,142 @@
+//! ASCII Gantt rendering of a trace ledger.
+//!
+//! One row per (job, display lane); each span becomes a bar of
+//! category glyphs (`#` compute, `=` shuffle, `.` overhead, `!`
+//! recovery) scaled to a fixed terminal width. Useful as a quick
+//! sanity view in bench output and CI logs without opening Perfetto.
+
+use crate::chrome::display_lanes;
+use crate::trace::{Category, TraceLedger};
+
+fn glyph(cat: Category) -> char {
+    match cat {
+        Category::Compute => '#',
+        Category::Shuffle => '=',
+        Category::Overhead => '.',
+        Category::Recovery => '!',
+    }
+}
+
+/// Render the ledger as an ASCII Gantt chart `width` columns wide
+/// (clamped to at least 20). Rows are grouped by job in ordinal
+/// order, lanes ascending within a job.
+pub fn render_gantt(ledger: &TraceLedger, width: usize) -> String {
+    let width = width.max(20);
+    if ledger.spans.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let origin = ledger.origin_ns();
+    let span_total = ledger.makespan_ns().max(1);
+    let scale = |ns: u64| -> usize {
+        ((ns.saturating_sub(origin)) as u128 * width as u128 / span_total as u128) as usize
+    };
+
+    let lanes = display_lanes(&ledger.spans);
+    let mut rows: Vec<(u32, usize)> = ledger
+        .spans
+        .iter()
+        .zip(&lanes)
+        .map(|(s, &l)| (s.job, l))
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+
+    let label_w = rows
+        .iter()
+        .map(|(job, lane)| format!("j{job}/L{lane}").len())
+        .max()
+        .unwrap_or(6);
+
+    let mut out = String::new();
+    let total_ms = span_total as f64 / 1.0e6;
+    out.push_str(&format!(
+        "{:label_w$} |{}| {:.3} ms total  [#=compute ==shuffle .=overhead !=recovery]\n",
+        "lane",
+        "-".repeat(width),
+        total_ms
+    ));
+    let mut last_job = u32::MAX;
+    for (job, lane) in rows {
+        if job != last_job {
+            let name = ledger
+                .jobs
+                .get(job as usize)
+                .map(String::as_str)
+                .unwrap_or("?");
+            out.push_str(&format!("-- job {job}: {name}\n"));
+            last_job = job;
+        }
+        let mut line: Vec<char> = vec![' '; width];
+        for (span, &span_lane) in ledger.spans.iter().zip(&lanes) {
+            if span.job != job || span_lane != lane {
+                continue;
+            }
+            let a = scale(span.start_ns).min(width - 1);
+            let b = scale(span.end_ns()).clamp(a + 1, width);
+            for cell in line.iter_mut().take(b).skip(a) {
+                *cell = glyph(span.category);
+            }
+        }
+        let bar: String = line.into_iter().collect();
+        out.push_str(&format!("{:label_w$} |{bar}|\n", format!("j{job}/L{lane}")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanDraft, Tracer};
+
+    #[test]
+    fn empty_ledger_renders_placeholder() {
+        assert_eq!(render_gantt(&Tracer::new().ledger(), 60), "(empty trace)\n");
+    }
+
+    #[test]
+    fn bars_use_category_glyphs() {
+        let t = Tracer::new();
+        let j = t.begin_job("j");
+        let m = t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .task_attempt(0, 0)
+                .lane(0)
+                .at(0, 500),
+        );
+        t.add_span(
+            SpanDraft::new(j, "shuffle", Category::Shuffle)
+                .lane(0)
+                .dep(m)
+                .at(500, 500),
+        );
+        let chart = render_gantt(&t.ledger(), 40);
+        assert!(chart.contains("-- job 0: j"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains('='));
+        // Compute occupies the left half, shuffle the right.
+        let row = chart.lines().find(|l| l.contains("j0/L0")).unwrap();
+        let bar: &str = row.split('|').nth(1).unwrap();
+        assert_eq!(bar.len(), 40);
+        assert!(bar.trim_end().starts_with('#'));
+        assert!(bar.trim_end().ends_with('='));
+    }
+
+    #[test]
+    fn separate_lanes_get_separate_rows() {
+        let t = Tracer::new();
+        let j = t.begin_job("sim");
+        t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .lane(0)
+                .at(0, 100),
+        );
+        t.add_span(
+            SpanDraft::new(j, "map", Category::Compute)
+                .lane(1)
+                .at(0, 100),
+        );
+        let chart = render_gantt(&t.ledger(), 30);
+        assert!(chart.contains("j0/L0"));
+        assert!(chart.contains("j0/L1"));
+    }
+}

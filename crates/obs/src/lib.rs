@@ -1,0 +1,41 @@
+//! Structured job tracing for the simulated Hadoop substrate.
+//!
+//! The paper's central empirical claim (Figure 2) is a *timing* story —
+//! speedup that saturates when 2–12 nodes cannot be kept busy — but a
+//! flat per-task `TaskStats` list cannot say *why* a stage is slow:
+//! straggler, shuffle wait, or recovery re-execution. Hadoop answers
+//! this with the JobHistory / timeline server; this crate is our
+//! equivalent:
+//!
+//! * [`Tracer`] — a structured event ledger. The engine records task
+//!   attempt lifecycle (start/finish/panic/retry/speculative win),
+//!   shuffle run movement, combiner activity and every chaos recovery
+//!   action as [`Span`]s and instant [`Event`]s. Recording is
+//!   lock-cheap: workers buffer per-attempt records locally and the
+//!   engine merges them into the ledger once per phase, in canonical
+//!   (task, attempt) order, so two runs with the same seed produce
+//!   ledgers that are identical modulo wall-clock timestamps
+//!   ([`TraceLedger::signature`]).
+//! * [`chrome_trace`] — a Chrome `trace_event`-format JSON exporter;
+//!   the output loads directly in `chrome://tracing` or Perfetto, for
+//!   real *and* simulated-time traces.
+//! * [`critical_path`] — walks the span dependency DAG (map → shuffle
+//!   barrier → reduce, plus retry edges and scheduling lanes) and
+//!   reports the longest chain with per-category attribution
+//!   (compute / shuffle / overhead / recovery).
+//! * [`render_gantt`] — an ASCII Gantt chart of the ledger, one row
+//!   per scheduling lane.
+//!
+//! The crate is dependency-free and sits *below* `mrmc-mapreduce` in
+//! the workspace graph: the engine, the simulated cluster and the
+//! bench binaries all emit into the same ledger types.
+
+pub mod chrome;
+pub mod critical;
+pub mod gantt;
+pub mod trace;
+
+pub use chrome::chrome_trace;
+pub use critical::{critical_path, CriticalPath, PathStep};
+pub use gantt::render_gantt;
+pub use trace::{Category, Event, Span, SpanDraft, SpanId, TraceLedger, Tracer};
