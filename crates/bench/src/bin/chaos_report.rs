@@ -249,8 +249,12 @@ impl Mapper for Tokenize {
     }
 
     // String keys are heap-backed: charge their real payload width.
-    fn shuffle_size(&self, key: &String, value: &u64) -> usize {
-        key.shuffle_size() + value.shuffle_size()
+    fn key_wire_size(&self, key: &String) -> usize {
+        key.shuffle_size()
+    }
+
+    fn value_wire_size(&self, value: &u64) -> usize {
+        value.shuffle_size()
     }
 }
 

@@ -20,18 +20,30 @@
 //! best-of-N times reported. The JSON summary (stdout, plus
 //! `--json <path>`) is what CI uploads as `BENCH_shuffle.json`.
 //!
+//! A second section runs the *banded clustering pipeline* end to end
+//! on the Huse 16S corpus (`--scale 1` = 50k reads) under both wire
+//! formats — raw (struct-width pricing, hash partitioning) and
+//! compact (bit-packed band keys, delta-encoded id runs, run-merging
+//! combiners, similarity-aware partitioning) — asserts the cluster
+//! assignments bit-identical, and reports the per-stage and total
+//! SHUFFLE_BYTES ratio. `--min-banded-ratio <r>` turns the ratio into
+//! a CI gate: the process exits non-zero if compaction regresses
+//! below `r`.
+//!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin shuffle_bench -- --json BENCH_shuffle.json
 //! ```
 
 use std::time::Instant;
 
+use mrmc::{MrMcConfig, MrMcMinH};
 use mrmc_bench::json::Json;
 use mrmc_bench::HarnessArgs;
 use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
 use mrmc_mapreduce::job::{
     partition_of, Combiner, JobConfig, Mapper, Reducer, ShuffleSized, TaskContext,
 };
+use mrmc_simulate::huse_16s;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,8 +65,11 @@ impl Mapper for PairMapper {
     fn map(&self, id: u32, key: String, ctx: &mut TaskContext<String, u32>) {
         ctx.emit(key, id);
     }
-    fn shuffle_size(&self, key: &String, value: &u32) -> usize {
-        key.shuffle_size() + value.shuffle_size()
+    fn key_wire_size(&self, key: &String) -> usize {
+        key.shuffle_size()
+    }
+    fn value_wire_size(&self, value: &u32) -> usize {
+        value.shuffle_size()
     }
 }
 
@@ -254,6 +269,71 @@ fn measure(
     }
 }
 
+struct BandedWire {
+    reads: usize,
+    /// `(stage, raw bytes, compact bytes)` for the two banding stages.
+    stages: Vec<(String, u64, u64)>,
+    raw_bytes: u64,
+    compact_bytes: u64,
+    raw_secs: f64,
+    compact_secs: f64,
+}
+
+impl BandedWire {
+    fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / (self.compact_bytes.max(1)) as f64
+    }
+}
+
+/// Run the banded clustering pipeline under both wire formats on the
+/// Huse 16S corpus and account the banding stages' shuffle traffic.
+/// Panics if the two formats disagree on a single cluster assignment.
+fn banded_wire_comparison(scale: f64, seed: u64) -> BandedWire {
+    let reads = huse_16s(0.03, (50_000.0 * scale / 345_000.0).min(1.0), seed).reads;
+    let compact_cfg = MrMcConfig::sixteen_s().banded();
+    let raw_cfg = compact_cfg.raw_wire();
+
+    let t = Instant::now();
+    let raw = MrMcMinH::new(raw_cfg).run(&reads).expect("raw-wire run");
+    let raw_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let compact = MrMcMinH::new(compact_cfg)
+        .run(&reads)
+        .expect("compact-wire run");
+    let compact_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        raw.assignment, compact.assignment,
+        "wire formats must produce bit-identical clusterings"
+    );
+
+    // The wire layer only changes the two banding stages; sketch and
+    // verify shuffle the same payloads either way.
+    let banding = ["band-signatures", "candidate-dedup"];
+    let mut stages = Vec::new();
+    let (mut raw_bytes, mut compact_bytes) = (0u64, 0u64);
+    for name in banding {
+        let by_name = |p: &mrmc_mapreduce::pipeline::Pipeline| {
+            p.stages()
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.shuffled_bytes)
+                .expect("banded pipeline stage")
+        };
+        let (r, c) = (by_name(&raw.pipeline), by_name(&compact.pipeline));
+        raw_bytes += r;
+        compact_bytes += c;
+        stages.push((name.to_string(), r, c));
+    }
+    BandedWire {
+        reads: reads.len(),
+        stages,
+        raw_bytes,
+        compact_bytes,
+        raw_secs,
+        compact_secs,
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse(1.0);
     let pairs = ((1_000_000.0 * args.scale).round() as usize).max(1_000);
@@ -299,6 +379,53 @@ fn main() {
         plain.shuffled_pairs, plain.shuffled_bytes, plain.shuffle_runs
     );
 
+    eprintln!("\nbanded pipeline wire comparison (Huse 16S, raw vs compact)…");
+    let banded = banded_wire_comparison(args.scale, args.seed);
+    println!(
+        "\nbanded pipeline — wire formats on {} reads (clusterings bit-identical)\n",
+        banded.reads
+    );
+    println!(
+        "{:>18} {:>14} {:>14} {:>9}",
+        "stage", "raw (B)", "compact (B)", "ratio"
+    );
+    for (name, r, c) in &banded.stages {
+        println!(
+            "{name:>18} {r:>14} {c:>14} {:>8.2}x",
+            *r as f64 / (*c).max(1) as f64
+        );
+    }
+    println!(
+        "{:>18} {:>14} {:>14} {:>8.2}x   (raw {:.2}s, compact {:.2}s)",
+        "total",
+        banded.raw_bytes,
+        banded.compact_bytes,
+        banded.ratio(),
+        banded.raw_secs,
+        banded.compact_secs,
+    );
+
+    let banded_json = Json::obj([
+        ("reads", banded.reads.into()),
+        ("raw_bytes", banded.raw_bytes.into()),
+        ("compact_bytes", banded.compact_bytes.into()),
+        ("ratio", Json::fixed(banded.ratio(), 3)),
+        ("raw_secs", Json::fixed(banded.raw_secs, 3)),
+        ("compact_secs", Json::fixed(banded.compact_secs, 3)),
+        ("identical_clusters", true.into()),
+        (
+            "stages",
+            Json::arr(banded.stages.iter().map(|(name, r, c)| {
+                Json::obj([
+                    ("stage", Json::from(name.as_str())),
+                    ("raw_bytes", (*r).into()),
+                    ("compact_bytes", (*c).into()),
+                    ("ratio", Json::fixed(*r as f64 / (*c).max(1) as f64, 3)),
+                ])
+            })),
+        ),
+    ]);
+
     let doc = Json::obj([
         ("scale", Json::from(args.scale)),
         ("seed", args.seed.into()),
@@ -318,10 +445,23 @@ fn main() {
         ("shuffled_pairs", plain.shuffled_pairs.into()),
         ("shuffle_bytes", plain.shuffled_bytes.into()),
         ("shuffle_runs", plain.shuffle_runs.into()),
+        ("banded_wire", banded_json),
     ]);
     println!("\n{}", doc.pretty());
     if let Some(path) = &args.json {
         mrmc_bench::json::write_file(path, &doc);
         eprintln!("wrote shuffle microbench summary to {path}");
+    }
+
+    if let Some(floor) = args.min_banded_ratio {
+        let ratio = banded.ratio();
+        if ratio < floor {
+            eprintln!(
+                "FAIL: banded raw/compact shuffle-byte ratio {ratio:.3} \
+                 fell below the --min-banded-ratio floor {floor:.3}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("banded wire ratio {ratio:.3} ≥ floor {floor:.3} — gate passed");
     }
 }

@@ -21,7 +21,8 @@ use mrmc_metrics::{weighted_accuracy, weighted_similarity, SimilarityOptions};
 use mrmc_seqio::SeqRecord;
 use mrmc_simulate::Dataset;
 
-/// Minimal CLI: `--scale`, `--seed`, `--samples`, `--json`, `--trace`.
+/// Minimal CLI: `--scale`, `--seed`, `--samples`, `--json`, `--trace`,
+/// `--min-banded-ratio`.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Dataset shrink factor in (0, 1].
@@ -35,6 +36,10 @@ pub struct HarnessArgs {
     /// Optional path for a Chrome trace of the run (binaries that run
     /// the real engine attach a [`mrmc_mapreduce::Tracer`] when set).
     pub trace: Option<String>,
+    /// Regression gate for `shuffle_bench`: exit non-zero if the
+    /// banded pipeline's raw/compact shuffle-byte ratio drops below
+    /// this floor.
+    pub min_banded_ratio: Option<f64>,
 }
 
 impl HarnessArgs {
@@ -46,6 +51,7 @@ impl HarnessArgs {
             samples: None,
             json: None,
             trace: None,
+            min_banded_ratio: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -83,9 +89,18 @@ impl HarnessArgs {
                     args.trace = Some(argv.get(i + 1).expect("--trace needs a file path").clone());
                     i += 2;
                 }
+                "--min-banded-ratio" => {
+                    args.min_banded_ratio = Some(
+                        argv.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .expect("--min-banded-ratio needs a number"),
+                    );
+                    i += 2;
+                }
                 other => panic!(
                     "unknown argument {other:?} \
-                     (supported: --scale, --seed, --samples, --json, --trace)"
+                     (supported: --scale, --seed, --samples, --json, --trace, \
+                     --min-banded-ratio)"
                 ),
             }
         }
@@ -412,6 +427,7 @@ mod tests {
             samples: Some(vec!["S1".into(), "S3".into()]),
             json: None,
             trace: None,
+            min_banded_ratio: None,
         };
         assert!(args.wants("S1"));
         assert!(!args.wants("S2"));

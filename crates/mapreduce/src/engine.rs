@@ -57,7 +57,7 @@ use mrmc_obs::{Category, SpanDraft, SpanId, Tracer};
 
 use crate::error::MrError;
 use crate::job::{
-    partition_of, Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext, TaskStats,
+    Combiner, Counters, JobConfig, JobResult, Mapper, Reducer, TaskContext, TaskStats,
 };
 
 /// Shuffle fetches retried per (map, partition) before the map output
@@ -722,7 +722,8 @@ struct MapTaskOutput<K, V> {
     /// partition; keys are distinct within a run and values keep the
     /// map task's emission order.
     runs: Vec<SortedRun<K, V>>,
-    /// Payload bytes across all runs, per [`Mapper::shuffle_size`].
+    /// Payload bytes across all runs, per the [`Mapper`] wire-size
+    /// hooks (key once per group, plus value count and values).
     bytes: u64,
     /// Pairs the mapper emitted before the combiner ran (equals
     /// `stats.records_out` when no combiner is configured); the
@@ -941,6 +942,34 @@ where
     )
 }
 
+/// [`run_job_with_combiner`] under a fault injector.
+pub fn run_job_with_combiner_and_faults<M, C, R>(
+    input: Vec<(M::InKey, M::InValue)>,
+    num_map_tasks: usize,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    config: &JobConfig,
+    injector: &dyn FaultInjector,
+) -> Result<JobResult<R::OutKey, R::OutValue>, MrError>
+where
+    M: Mapper,
+    M::InKey: Clone + Sync,
+    M::InValue: Clone + Sync,
+    C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+    R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+{
+    run_job_impl(
+        input,
+        num_map_tasks,
+        mapper,
+        Some(combiner),
+        reducer,
+        config,
+        injector,
+    )
+}
+
 /// A never-instantiated combiner standing in for `None`. The
 /// `fn() -> _` phantom keeps it `Send + Sync` regardless of `K`/`V`.
 struct NoCombiner<K, V>(std::marker::PhantomData<fn() -> (K, V)>);
@@ -1034,10 +1063,21 @@ where
                 continue;
             }
             records_out += vs.len() as u64;
+            // Price the group exactly as the sort-merge run frames it:
+            // the key once, a varint value count, then each surviving
+            // value. (The old per-pair pricing charged the key once per
+            // *value*, overstating SHUFFLE_BYTES for every multi-value
+            // group.)
+            bytes += (mapper.key_wire_size(&k) + crate::wire::uvarint_len(vs.len() as u64)) as u64;
             for v in &vs {
-                bytes += mapper.shuffle_size(&k, v) as u64;
+                bytes += mapper.value_wire_size(v) as u64;
             }
-            runs[partition_of(&k, reducers)].push((k, vs));
+            let p = mapper.partition(&k, reducers);
+            assert!(
+                p < reducers,
+                "Mapper::partition returned {p} for {reducers} reducers"
+            );
+            runs[p].push((k, vs));
         }
         // Keys are distinct within a run, so this cheap key-only sort
         // is deterministic despite the hash map's iteration order —

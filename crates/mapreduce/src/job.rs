@@ -41,24 +41,46 @@ pub trait Mapper: Send + Sync {
         ctx: &mut TaskContext<Self::OutKey, Self::OutValue>,
     );
 
-    /// Estimated wire size in bytes of one emitted pair, summed into
-    /// the job's `SHUFFLE_BYTES` counter. The default is the shallow
-    /// in-memory record width, which is exact for plain-old-data pairs;
-    /// jobs shuffling heap-backed keys or values (strings, vectors,
-    /// dynamic tuples) should override it — the [`ShuffleSized`] helper
-    /// trait makes that a one-liner:
-    /// `key.shuffle_size() + value.shuffle_size()`.
-    fn shuffle_size(&self, _key: &Self::OutKey, _value: &Self::OutValue) -> usize {
-        std::mem::size_of::<(Self::OutKey, Self::OutValue)>()
+    /// Wire size in bytes of one intermediate *key*. Keys cross the
+    /// shuffle once per post-combine group (the sort-merge runs store
+    /// each distinct key once, followed by its value block), so the
+    /// engine charges this exactly once per group:
+    /// `key + varint(value_count) + Σ values`. The default is the
+    /// shallow in-memory width — exact for plain-old-data keys; jobs
+    /// shuffling heap-backed or encoded keys override it, usually by
+    /// delegating to [`ShuffleSized`].
+    fn key_wire_size(&self, _key: &Self::OutKey) -> usize {
+        std::mem::size_of::<Self::OutKey>()
+    }
+
+    /// Wire size in bytes of one intermediate *value*, charged once
+    /// per value surviving the combiner. Same default/override rules
+    /// as [`Mapper::key_wire_size`].
+    fn value_wire_size(&self, _value: &Self::OutValue) -> usize {
+        std::mem::size_of::<Self::OutValue>()
+    }
+
+    /// Assign an intermediate key to a reduce partition in
+    /// `0..reducers`. Defaults to the Hadoop-style hash partitioner
+    /// ([`partition_of`]); jobs with structure in their key space
+    /// override it to colocate related keys (e.g. range-partitioning
+    /// candidate pairs by read id so each read's similarity
+    /// neighborhood lands on one reducer). Must be a pure function of
+    /// `(key, reducers)` — retried and speculative attempts recompute
+    /// it and must agree.
+    fn partition(&self, key: &Self::OutKey, reducers: usize) -> usize {
+        partition_of(key, reducers)
     }
 }
 
 /// Serialized payload size of a key or value crossing the simulated
 /// shuffle wire: fixed-width scalars count their width; length-carrying
 /// types count a 4-byte length prefix plus their elements (the framing
-/// Hadoop's `Writable`s use). Implementations exist for the types jobs
-/// in this workspace actually shuffle; [`Mapper::shuffle_size`]
-/// overrides delegate to it.
+/// Hadoop's `Writable`s use); compact-encoded payloads (see
+/// [`crate::wire`]) count their exact encoded bytes. Implementations
+/// exist for the types jobs in this workspace actually shuffle;
+/// [`Mapper::key_wire_size`]/[`Mapper::value_wire_size`] overrides
+/// delegate to it.
 pub trait ShuffleSized {
     /// Estimated serialized size in bytes.
     fn shuffle_size(&self) -> usize;
@@ -348,10 +370,13 @@ pub struct JobResult<K, V> {
     pub reduce_stats: Vec<TaskStats>,
     /// Total intermediate pairs that crossed the shuffle (post-combine).
     pub shuffled_pairs: u64,
-    /// Bytes those pairs occupy on the wire, as estimated by
-    /// [`Mapper::shuffle_size`]: real payload bytes for jobs that
-    /// override the hook (heap-backed keys/values included), the
-    /// shallow record width `size_of::<(K, V)>()` otherwise.
+    /// Bytes the post-combine groups occupy on the wire, priced
+    /// exactly once per group as
+    /// `key_wire_size + varint(value_count) + Σ value_wire_size`
+    /// (the sort-merge run framing: each distinct key appears once,
+    /// followed by its length-prefixed value block). Jobs that
+    /// override the [`Mapper`] size hooks get real payload bytes;
+    /// the defaults charge shallow record widths.
     pub shuffled_bytes: u64,
     /// Sorted map-side runs moved through the shuffle barrier — one per
     /// non-empty (map task, reducer) cell. Each run is a fetch on a

@@ -49,6 +49,7 @@ pub mod error;
 pub mod job;
 pub mod pipeline;
 pub mod simcluster;
+pub mod wire;
 
 pub use mrmc_chaos as chaos;
 pub use mrmc_obs as obs;
@@ -70,3 +71,4 @@ pub use simcluster::{
     lpt_makespan, lpt_schedule, ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask,
     ScheduledTask, ShuffleVolume, SimJobReport,
 };
+pub use wire::{BandKeyCodec, IdRun, WireError};

@@ -11,9 +11,11 @@ use std::time::Duration;
 use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
 use mrmc_obs::Tracer;
 
-use crate::engine::{run_job_with_faults, run_map_only_with_faults};
+use crate::engine::{
+    run_job_with_combiner_and_faults, run_job_with_faults, run_map_only_with_faults,
+};
 use crate::error::MrError;
-use crate::job::{JobConfig, Mapper, Reducer, TaskStats};
+use crate::job::{Combiner, JobConfig, Mapper, Reducer, TaskStats};
 use crate::simcluster::{ClusterSpec, JobCostModel, ShuffleVolume, SimJobReport};
 
 /// Statistics for one executed stage.
@@ -27,7 +29,8 @@ pub struct StageReport {
     pub reduce_stats: Vec<TaskStats>,
     /// Intermediate pairs crossing the shuffle.
     pub shuffled_pairs: u64,
-    /// Shuffle payload bytes (via [`Mapper::shuffle_size`]).
+    /// Shuffle payload bytes (via the [`Mapper`] wire-size hooks;
+    /// each post-combine group priced exactly once).
     pub shuffled_bytes: u64,
     /// Sorted map-side runs fetched by reducers.
     pub shuffle_runs: u64,
@@ -161,6 +164,79 @@ impl Pipeline {
         let start = std::time::Instant::now();
         let config = self.stage_config(config);
         let result = run_job_with_faults(input, num_map_tasks, mapper, reducer, &config, injector)?;
+        self.stages.push(StageReport {
+            name: config.name.clone(),
+            map_stats: result.map_stats,
+            reduce_stats: result.reduce_stats,
+            shuffled_pairs: result.shuffled_pairs,
+            shuffled_bytes: result.shuffled_bytes,
+            shuffle_runs: result.shuffle_runs,
+            counters: result.counters.snapshot(),
+            wall: start.elapsed(),
+            recovery: result.recovery,
+        });
+        Ok(result.output)
+    }
+
+    /// Run a full stage with a combiner applied to each map task's
+    /// local output before the shuffle (Hadoop's combine-on-spill).
+    pub fn run_stage_with_combiner<M, C, R>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        combiner: &C,
+        reducer: &R,
+        config: &JobConfig,
+    ) -> Result<StageOutput<R::OutKey, R::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    {
+        self.run_stage_with_combiner_and_faults(
+            input,
+            num_map_tasks,
+            mapper,
+            combiner,
+            reducer,
+            config,
+            &NoFaults,
+        )
+    }
+
+    /// [`Pipeline::run_stage_with_combiner`] under a fault injector.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_stage_with_combiner_and_faults<M, C, R>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        combiner: &C,
+        reducer: &R,
+        config: &JobConfig,
+        injector: &dyn FaultInjector,
+    ) -> Result<StageOutput<R::OutKey, R::OutValue>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+        C: Combiner<Key = M::OutKey, Value = M::OutValue>,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    {
+        let start = std::time::Instant::now();
+        let config = self.stage_config(config);
+        let result = run_job_with_combiner_and_faults(
+            input,
+            num_map_tasks,
+            mapper,
+            combiner,
+            reducer,
+            &config,
+            injector,
+        )?;
         self.stages.push(StageReport {
             name: config.name.clone(),
             map_stats: result.map_stats,
@@ -327,9 +403,13 @@ mod tests {
                 ctx.emit(w.to_string(), 1);
             }
         }
-        fn shuffle_size(&self, key: &String, value: &u64) -> usize {
+        fn key_wire_size(&self, key: &String) -> usize {
             use crate::job::ShuffleSized;
-            key.shuffle_size() + value.shuffle_size()
+            key.shuffle_size()
+        }
+        fn value_wire_size(&self, value: &u64) -> usize {
+            use crate::job::ShuffleSized;
+            value.shuffle_size()
         }
     }
 

@@ -1,0 +1,447 @@
+//! Compact wire formats for the shuffle data plane.
+//!
+//! The sort-merge shuffle (DESIGN.md §3a) moves *runs* of
+//! `(key, value-block)` groups between map and reduce tasks. For the
+//! similarity plane those payloads are extremely regular — sorted read
+//! ids and bit-packed `(band, signature)` bucket keys — and the wire
+//! representation exploits that:
+//!
+//! * **Varints** ([`put_uvarint`]/[`get_uvarint`]): LEB128, 7 bits per
+//!   byte, little-endian groups, so small integers (counts, read ids,
+//!   deltas) cost 1–3 bytes instead of a fixed 4 or 8.
+//! * **[`IdRun`]**: a strictly-increasing run of `u32` ids stored as
+//!   `varint(count) · varint(first) · varint(delta)*` — consecutive ids
+//!   cost one byte each. This is the typed payload the banded stages
+//!   shuffle instead of raw `u32` ids or `(u32, u32)` pairs.
+//! * **[`BandKeyCodec`]**: packs a `(band, signature)` bucket key into
+//!   the low `band_bits + sig_bits` bits of a `u64` (band in the top
+//!   bits, signature truncated to the low bits) and prices it at the
+//!   packed byte width.
+//!
+//! Pricing rule: every encoder here reports its size through
+//! [`ShuffleSized`], so `SHUFFLE_BYTES` equals the *encoded* bytes of
+//! the post-combine groups — priced exactly once, at the moment the
+//! group enters its sorted run.
+
+use crate::job::ShuffleSized;
+
+/// Decode errors. Encoding is infallible; decoding validates framing
+/// so a corrupted or mis-typed payload fails loudly instead of
+/// yielding wrong groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended inside a varint or before the declared count.
+    Truncated,
+    /// A varint ran past 10 bytes / 64 bits.
+    Overflow,
+    /// The ids were not strictly increasing (a delta of 0 on the wire,
+    /// or unsorted input handed to a strict encoder).
+    NonMonotonic,
+    /// Bytes remained after the declared run was decoded.
+    TrailingBytes,
+    /// An id exceeded `u32::MAX` after delta accumulation.
+    IdRange,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire payload truncated"),
+            WireError::Overflow => write!(f, "varint overflows u64"),
+            WireError::NonMonotonic => write!(f, "id run is not strictly increasing"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after id run"),
+            WireError::IdRange => write!(f, "decoded id exceeds u32::MAX"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append `v` to `buf` as a LEB128 varint. Returns the encoded width.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut n = 0;
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+        n += 1;
+    }
+    buf.push(v as u8);
+    n + 1
+}
+
+/// Decode one LEB128 varint from the front of `buf`, returning the
+/// value and the bytes consumed.
+pub fn get_uvarint(buf: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(WireError::Overflow);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(WireError::Truncated)
+}
+
+/// Encoded width of `v` as a LEB128 varint (1–10 bytes).
+pub fn uvarint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// A delta/varint-encoded run of strictly-increasing `u32` ids — the
+/// typed shuffle payload of the banded similarity plane.
+///
+/// Wire layout: `varint(count) · varint(ids[0]) · varint(ids[i] −
+/// ids[i−1])*`. The struct stores exactly the encoded bytes, so the
+/// value a combiner forwards is the value the reducer fetches, and
+/// [`ShuffleSized`] pricing is the true on-the-wire size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdRun {
+    buf: Vec<u8>,
+}
+
+impl IdRun {
+    /// A run holding the single id `id`.
+    pub fn singleton(id: u32) -> IdRun {
+        let mut buf = Vec::with_capacity(1 + uvarint_len(u64::from(id)));
+        put_uvarint(&mut buf, 1);
+        put_uvarint(&mut buf, u64::from(id));
+        IdRun { buf }
+    }
+
+    /// Encode an arbitrary id list: sorts and dedups first.
+    pub fn from_ids(mut ids: Vec<u32>) -> IdRun {
+        ids.sort_unstable();
+        ids.dedup();
+        IdRun::from_sorted(&ids).expect("sorted+deduped ids are strictly increasing")
+    }
+
+    /// Encode a strictly-increasing id slice; rejects unsorted or
+    /// duplicated ids instead of silently re-ordering.
+    pub fn from_sorted(ids: &[u32]) -> Result<IdRun, WireError> {
+        if ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(WireError::NonMonotonic);
+        }
+        let mut buf = Vec::with_capacity(1 + 2 * ids.len());
+        put_uvarint(&mut buf, ids.len() as u64);
+        let mut prev = 0u64;
+        for (i, &id) in ids.iter().enumerate() {
+            let id = u64::from(id);
+            if i == 0 {
+                put_uvarint(&mut buf, id);
+            } else {
+                put_uvarint(&mut buf, id - prev);
+            }
+            prev = id;
+        }
+        Ok(IdRun { buf })
+    }
+
+    /// Wrap already-encoded bytes without validating them — the shape
+    /// of a run arriving off the wire. [`IdRun::decode`] performs the
+    /// full validation, so corrupt bytes surface as a [`WireError`]
+    /// at the consumer, never as silently wrong ids.
+    pub fn from_encoded_unchecked(buf: Vec<u8>) -> IdRun {
+        IdRun { buf }
+    }
+
+    /// Decode back to the id list, validating framing, monotonicity
+    /// and the `u32` id range.
+    pub fn decode(&self) -> Result<Vec<u32>, WireError> {
+        let buf = &self.buf;
+        let (count, mut at) = get_uvarint(buf)?;
+        let mut ids = Vec::with_capacity(count.min(1 << 20) as usize);
+        let mut prev = 0u64;
+        for i in 0..count {
+            let (v, n) = get_uvarint(&buf[at..])?;
+            at += n;
+            let id = if i == 0 {
+                v
+            } else {
+                if v == 0 {
+                    return Err(WireError::NonMonotonic);
+                }
+                prev + v
+            };
+            if id > u64::from(u32::MAX) {
+                return Err(WireError::IdRange);
+            }
+            prev = id;
+            ids.push(id as u32);
+        }
+        if at != buf.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(ids)
+    }
+
+    /// Number of ids in the run (the wire count prefix).
+    pub fn count(&self) -> u64 {
+        get_uvarint(&self.buf).map(|(c, _)| c).unwrap_or(0)
+    }
+
+    /// Exact on-the-wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Merge several runs into one sorted, deduped run — the combiner
+    /// and reducer primitive. Decoding failures propagate.
+    pub fn merge(runs: &[IdRun]) -> Result<IdRun, WireError> {
+        let mut ids = Vec::new();
+        for run in runs {
+            ids.extend(run.decode()?);
+        }
+        Ok(IdRun::from_ids(ids))
+    }
+}
+
+/// The encoded size *is* the shuffle size — this is what makes
+/// `SHUFFLE_BYTES` equal the sum of encoded run lengths.
+impl ShuffleSized for IdRun {
+    fn shuffle_size(&self) -> usize {
+        self.wire_len()
+    }
+}
+
+/// Bit-packer for `(band, signature)` bucket keys.
+///
+/// The band index occupies the top `band_bits` bits (just enough for
+/// the scheme's band count), the signature is truncated to the low
+/// `sig_bits` bits. Truncation can only *merge* buckets, never split
+/// them, so banding recall is preserved; the (rare) spurious merges
+/// add candidates that the verify stage discards, leaving clustering
+/// output bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandKeyCodec {
+    band_bits: u32,
+    sig_bits: u32,
+}
+
+impl BandKeyCodec {
+    /// Codec for `bands` bands keeping `sig_bits` signature bits.
+    /// Fails when the packed key would not fit in 64 bits or either
+    /// width is degenerate.
+    pub fn new(bands: usize, sig_bits: u32) -> Result<BandKeyCodec, String> {
+        if bands == 0 {
+            return Err("band key codec needs ≥ 1 band".into());
+        }
+        if sig_bits == 0 || sig_bits > 64 {
+            return Err(format!("sig_bits {sig_bits} outside 1..=64"));
+        }
+        let band_bits = if bands == 1 {
+            0
+        } else {
+            64 - (bands as u64 - 1).leading_zeros()
+        };
+        if band_bits + sig_bits > 64 {
+            return Err(format!(
+                "packed band key needs {band_bits}+{sig_bits} bits > 64"
+            ));
+        }
+        Ok(BandKeyCodec {
+            band_bits,
+            sig_bits,
+        })
+    }
+
+    /// Signature mask: the low `sig_bits` bits.
+    pub fn sig_mask(&self) -> u64 {
+        if self.sig_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.sig_bits) - 1
+        }
+    }
+
+    /// Pack `(band, signature)` into one key. The signature is
+    /// truncated to `sig_bits`; the band must be within the codec's
+    /// range (checked — this is where a silent `usize` truncation
+    /// would otherwise corrupt bucket identity).
+    pub fn pack(&self, band: u32, sig: u64) -> u64 {
+        let max_band = if self.band_bits == 0 {
+            1
+        } else {
+            1u64 << self.band_bits
+        };
+        assert!(
+            u64::from(band) < max_band,
+            "band {band} does not fit in {} band bits",
+            self.band_bits
+        );
+        let band_part = if self.sig_bits == 64 {
+            0 // band_bits is 0 here, so band is always 0
+        } else {
+            u64::from(band) << self.sig_bits
+        };
+        band_part | (sig & self.sig_mask())
+    }
+
+    /// Recover `(band, truncated signature)` from a packed key.
+    pub fn unpack(&self, key: u64) -> (u32, u64) {
+        let band = if self.sig_bits == 64 {
+            0
+        } else {
+            (key >> self.sig_bits) as u32
+        };
+        (band, key & self.sig_mask())
+    }
+
+    /// On-the-wire width of a packed key in whole bytes.
+    pub fn wire_bytes(&self) -> usize {
+        (((self.band_bits + self.sig_bits) as usize).div_ceil(8)).max(1)
+    }
+
+    /// Configured signature width in bits.
+    pub fn sig_bits(&self) -> u32 {
+        self.sig_bits
+    }
+
+    /// Bits used for the band index.
+    pub fn band_bits(&self) -> u32 {
+        self.band_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_widths() {
+        for (v, w) in [
+            (0u64, 1),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = Vec::new();
+            assert_eq!(put_uvarint(&mut buf, v), w, "width of {v}");
+            assert_eq!(uvarint_len(v), w, "predicted width of {v}");
+            assert_eq!(get_uvarint(&buf).unwrap(), (v, w));
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert_eq!(get_uvarint(&[]), Err(WireError::Truncated));
+        assert_eq!(get_uvarint(&[0x80]), Err(WireError::Truncated));
+        // 11 continuation bytes: past 64 bits.
+        assert_eq!(get_uvarint(&[0xff; 11]), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn idrun_roundtrip_and_pricing() {
+        for ids in [
+            vec![],
+            vec![0u32],
+            vec![5],
+            vec![0, 1, 2, 3],
+            vec![7, 1000, 1001, 4_000_000],
+            vec![u32::MAX - 1, u32::MAX],
+        ] {
+            let run = IdRun::from_sorted(&ids).unwrap();
+            assert_eq!(run.decode().unwrap(), ids);
+            assert_eq!(run.count(), ids.len() as u64);
+            assert_eq!(run.wire_len(), run.as_bytes().len());
+            assert_eq!(run.shuffle_size(), run.wire_len());
+        }
+        // Consecutive ids cost one byte each after the first.
+        let run = IdRun::from_sorted(&(100..200).collect::<Vec<u32>>()).unwrap();
+        assert_eq!(run.wire_len(), 1 + 1 + 99, "count + first + 99 deltas");
+    }
+
+    #[test]
+    fn idrun_rejects_bad_input_and_bad_wire() {
+        assert_eq!(
+            IdRun::from_sorted(&[3, 3]).unwrap_err(),
+            WireError::NonMonotonic
+        );
+        assert_eq!(
+            IdRun::from_sorted(&[5, 2]).unwrap_err(),
+            WireError::NonMonotonic
+        );
+        assert_eq!(IdRun::from_ids(vec![5, 2, 5]).decode().unwrap(), vec![2, 5]);
+
+        // Hand-rolled corrupt payloads.
+        let truncated = IdRun {
+            buf: vec![2, 1], // count 2, only one id
+        };
+        assert_eq!(truncated.decode().unwrap_err(), WireError::Truncated);
+        let trailing = IdRun {
+            buf: vec![1, 1, 9], // count 1, one id, junk byte
+        };
+        assert_eq!(trailing.decode().unwrap_err(), WireError::TrailingBytes);
+        let zero_delta = IdRun {
+            buf: vec![2, 4, 0], // delta 0 ⇒ duplicate id
+        };
+        assert_eq!(zero_delta.decode().unwrap_err(), WireError::NonMonotonic);
+        let mut overflow = Vec::new();
+        put_uvarint(&mut overflow, 2);
+        put_uvarint(&mut overflow, u64::from(u32::MAX));
+        put_uvarint(&mut overflow, 1); // accumulates past u32::MAX
+        assert_eq!(
+            IdRun { buf: overflow }.decode().unwrap_err(),
+            WireError::IdRange
+        );
+    }
+
+    #[test]
+    fn idrun_merge_sorts_and_dedups() {
+        let a = IdRun::from_sorted(&[1, 5, 9]).unwrap();
+        let b = IdRun::from_sorted(&[2, 5, 10]).unwrap();
+        let c = IdRun::singleton(5);
+        let merged = IdRun::merge(&[a, b, c]).unwrap();
+        assert_eq!(merged.decode().unwrap(), vec![1, 2, 5, 9, 10]);
+    }
+
+    #[test]
+    fn band_key_pack_unpack() {
+        let codec = BandKeyCodec::new(3, 22).unwrap();
+        assert_eq!(codec.band_bits(), 2);
+        assert_eq!(codec.wire_bytes(), 3);
+        for band in 0..3u32 {
+            for sig in [0u64, 1, 0xdead_beef_dead_beef, u64::MAX] {
+                let key = codec.pack(band, sig);
+                let (b, s) = codec.unpack(key);
+                assert_eq!(b, band);
+                assert_eq!(s, sig & codec.sig_mask());
+                assert!(key < 1 << 24, "packed key confined to 24 bits");
+            }
+        }
+    }
+
+    #[test]
+    fn band_key_full_width_and_degenerate() {
+        // One band needs zero band bits; 64 signature bits survive.
+        let codec = BandKeyCodec::new(1, 64).unwrap();
+        assert_eq!(codec.pack(0, u64::MAX), u64::MAX);
+        assert_eq!(codec.unpack(u64::MAX), (0, u64::MAX));
+        assert_eq!(codec.wire_bytes(), 8);
+
+        assert!(BandKeyCodec::new(0, 8).is_err());
+        assert!(BandKeyCodec::new(2, 0).is_err());
+        assert!(BandKeyCodec::new(2, 64).is_err(), "65 bits cannot pack");
+        assert!(BandKeyCodec::new(3, 65).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "band 4 does not fit")]
+    fn band_key_out_of_range_band_panics() {
+        let codec = BandKeyCodec::new(3, 22).unwrap();
+        codec.pack(4, 0);
+    }
+}

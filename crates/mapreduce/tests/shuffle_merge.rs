@@ -247,7 +247,8 @@ proptest! {
 
 /// Heap-backed string keys through the merge: comparison and clone
 /// paths differ from `u32`, and the payload-byte accounting must equal
-/// a hand summed `4 + len` per key plus 8 per value.
+/// a hand-summed group pricing — each distinct key per map task charged
+/// once (`4 + len`), plus a varint value count, plus 4 per value.
 #[test]
 fn string_keys_bit_identical_with_payload_bytes() {
     struct WordMapper;
@@ -260,9 +261,12 @@ fn string_keys_bit_identical_with_payload_bytes() {
             ctx.emit(format!("k{}", x % 7), id);
             ctx.emit(format!("key-{}", x % 13), id);
         }
-        fn shuffle_size(&self, key: &String, _value: &u32) -> usize {
+        fn key_wire_size(&self, key: &String) -> usize {
             use mrmc_mapreduce::ShuffleSized;
-            key.shuffle_size() + 4
+            key.shuffle_size()
+        }
+        fn value_wire_size(&self, _value: &u32) -> usize {
+            4
         }
     }
     struct JoinReducer;
@@ -290,13 +294,31 @@ fn string_keys_bit_identical_with_payload_bytes() {
     let got = run_job(input.clone(), 5, &WordMapper, &JoinReducer, &cfg).unwrap();
     assert_eq!(got.output, expect);
 
-    // Payload accounting: every emitted pair charges 4 + key len + 4.
-    let mut ctx = TaskContext::new();
-    for (id, x) in &input {
-        WordMapper.map(*id, *x, &mut ctx);
+    // Payload accounting: replay the engine's chunking and map-side
+    // grouping, then price each group once — key (4 + len), varint
+    // value count, 4 per value. This is the on-the-wire framing of a
+    // sorted run, so SHUFFLE_BYTES must equal it exactly.
+    let (num_maps, n) = (5usize, input.len());
+    let (base, extra) = (n / num_maps, n % num_maps);
+    let mut bytes = 0u64;
+    let mut offset = 0;
+    for i in 0..num_maps {
+        let size = base + usize::from(i < extra);
+        let mut ctx = TaskContext::new();
+        for (id, x) in &input[offset..offset + size] {
+            WordMapper.map(*id, *x, &mut ctx);
+        }
+        offset += size;
+        let (pairs, _) = ctx.into_parts();
+        let mut groups: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+        for (k, _) in pairs {
+            *groups.entry(k).or_insert(0) += 1;
+        }
+        for (k, count) in groups {
+            bytes +=
+                4 + k.len() as u64 + mrmc_mapreduce::wire::uvarint_len(count) as u64 + 4 * count;
+        }
     }
-    let (pairs, _) = ctx.into_parts();
-    let bytes: u64 = pairs.iter().map(|(k, _)| 4 + k.len() as u64 + 4).sum();
     assert_eq!(got.shuffled_bytes, bytes);
 
     // A never-used combiner type to satisfy the oracle's generics.

@@ -36,8 +36,11 @@ impl Mapper for Tokenize {
         }
         ctx.count("WORDS_SEEN", v.split_whitespace().count() as u64);
     }
-    fn shuffle_size(&self, key: &String, value: &u64) -> usize {
-        key.shuffle_size() + value.shuffle_size()
+    fn key_wire_size(&self, key: &String) -> usize {
+        key.shuffle_size()
+    }
+    fn value_wire_size(&self, value: &u64) -> usize {
+        value.shuffle_size()
     }
 }
 
@@ -264,8 +267,11 @@ impl Mapper for Passthrough {
     fn map(&self, k: String, v: u64, ctx: &mut TaskContext<String, u64>) {
         ctx.emit(k, v);
     }
-    fn shuffle_size(&self, key: &String, value: &u64) -> usize {
-        key.shuffle_size() + value.shuffle_size()
+    fn key_wire_size(&self, key: &String) -> usize {
+        key.shuffle_size()
+    }
+    fn value_wire_size(&self, value: &u64) -> usize {
+        value.shuffle_size()
     }
 }
 

@@ -142,11 +142,36 @@ impl BandingScheme {
     /// values starting at `band × rows`, folded through splitmix64
     /// with the band index as the seed (so identical content in
     /// *different* bands lands in different buckets).
+    ///
+    /// Boundary behavior is explicit, not incidental:
+    ///
+    /// * `band ≥ bands` panics (always, not only in debug builds) —
+    ///   a silently wrapped band index would corrupt bucket identity;
+    /// * `band × rows` is computed with checked arithmetic, so a
+    ///   pathological scheme cannot overflow `usize` into a bogus
+    ///   small offset;
+    /// * a band that starts at or past `values.len()` hashes the empty
+    ///   slice (seed only) — short sketches get the same signature for
+    ///   a given out-of-range band, which matches [`collides`]'s
+    ///   "`s < e`" treatment of bands with no content: equality there
+    ///   can only come from equally-empty bands.
+    ///
+    /// [`collides`]: BandingScheme::collides
     #[inline]
     pub fn signature(&self, band: usize, values: &[u64]) -> u64 {
-        debug_assert!(band < self.bands);
-        let start = band * self.rows;
-        let slice = &values[start..(start + self.rows).min(values.len())];
+        assert!(
+            band < self.bands,
+            "band {band} out of range for {} bands",
+            self.bands
+        );
+        let start = band
+            .checked_mul(self.rows)
+            .expect("band × rows overflows usize");
+        let slice = if start >= values.len() {
+            &[]
+        } else {
+            &values[start..(start + self.rows).min(values.len())]
+        };
         let mut h = mix64(0x6261_6e64 ^ (band as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         for &v in slice {
             h = mix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -317,5 +342,34 @@ mod tests {
     #[should_panic(expected = "bands must be ≥ 1")]
     fn zero_bands_rejected() {
         BandingScheme::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "band 3 out of range for 3 bands")]
+    fn out_of_range_band_panics_in_release_too() {
+        let s = BandingScheme::new(3, 4);
+        s.signature(3, &[0; 12]);
+    }
+
+    #[test]
+    fn short_value_slices_hash_defined_empty_bands() {
+        let s = BandingScheme::new(3, 4);
+        // Band 2 starts at 8, past a 6-value sketch: defined (empty
+        // slice), deterministic, and equal across equally-short inputs.
+        let a = s.signature(2, &[1, 2, 3, 4, 5, 6]);
+        let b = s.signature(2, &[9, 9, 9, 9, 9, 9]);
+        assert_eq!(a, b, "out-of-range bands hash only the band seed");
+        assert_eq!(a, s.signature(2, &[]));
+        // A partially covered band hashes just its in-range prefix.
+        let partial = s.signature(1, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(partial, s.signature(1, &[1, 2, 3, 4, 5, 6, 7, 8][..6]));
+        assert_ne!(partial, s.signature(1, &[1, 2, 3, 4, 5, 7]));
+    }
+
+    #[test]
+    fn band_times_rows_overflow_is_checked() {
+        let s = BandingScheme::new(usize::MAX, 2);
+        let caught = std::panic::catch_unwind(|| s.signature(usize::MAX / 2 + 1, &[]));
+        assert!(caught.is_err(), "overflowing band × rows must panic");
     }
 }

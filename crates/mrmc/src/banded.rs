@@ -17,16 +17,48 @@
 //! or above θ shares at least one literally-equal band, so the graph
 //! holds *exactly* the pairs a dense run would accept — pruning is
 //! lossless at the θ cut and clustering results match bit for bit.
+//!
+//! # Wire formats
+//!
+//! The stages run in one of two shuffle encodings, selected by
+//! [`WireFormat`] on the config (DESIGN.md §3a "wire format"):
+//!
+//! * **Raw** — the stages above, shuffling `(band u32, sig u64)` keys,
+//!   raw `u32` ids and `(u32, u32)` pairs at fixed widths;
+//! * **Compact** (default) — bucket keys bit-packed by a
+//!   [`BandKeyCodec`] (band index in the top bits, signature truncated
+//!   to `sig_bits` low bits), read ids and candidate partners carried
+//!   as delta/varint-encoded [`IdRun`] payloads merged by a map-side
+//!   combiner, and the candidate-dedup stage re-keyed on the *lower
+//!   read id* with range partitioning, so a read's whole similarity
+//!   neighborhood lands on one reducer as a single compressed run.
+//!
+//! Signature truncation can only merge buckets, never split them, so
+//! compact recall is still exactly 1.0; spurious merges add candidates
+//! which the verify stage discards, leaving the final graph (and the
+//! clustering built from it) bit-identical across formats.
 
 use mrmc_cluster::SparseSimGraph;
 use mrmc_mapreduce::chaos::{FaultInjector, NoFaults};
-use mrmc_mapreduce::job::{JobConfig, Mapper, Reducer, TaskContext};
+use mrmc_mapreduce::job::{Combiner, JobConfig, Mapper, Reducer, TaskContext};
 use mrmc_mapreduce::pipeline::Pipeline;
+use mrmc_mapreduce::wire::{uvarint_len, BandKeyCodec, IdRun};
 use mrmc_mapreduce::MrError;
 use mrmc_minhash::{BandingScheme, Sketch};
 
-use crate::config::MrMcConfig;
+use crate::config::{MrMcConfig, WireFormat};
 use crate::stages::sketch_similarity;
+
+/// Read indices travel the banded shuffle as `u32`; reject inputs the
+/// packing cannot represent instead of silently truncating them.
+pub fn ensure_read_ids_fit(num_reads: usize) -> Result<(), MrError> {
+    if num_reads > u32::MAX as usize {
+        return Err(MrError::BadConfig(format!(
+            "{num_reads} reads exceed the u32 read-id space of the banded shuffle"
+        )));
+    }
+    Ok(())
+}
 
 /// Stage-1 mapper: read index → `(band, signature) → read_id` pairs.
 /// Borrows the sketch list (scoped-thread engine), so map input is
@@ -137,6 +169,161 @@ impl Mapper for VerifyMapper<'_> {
     }
 }
 
+/// Compact stage-1 mapper: read index → packed bucket key with a
+/// singleton [`IdRun`] payload. Key bytes are the packed width, value
+/// bytes the exact run encoding — so SHUFFLE_BYTES is the true
+/// compact-wire volume.
+struct CompactBandMapper<'a> {
+    scheme: BandingScheme,
+    codec: BandKeyCodec,
+    sketches: &'a [Sketch],
+}
+
+impl Mapper for CompactBandMapper<'_> {
+    type InKey = usize;
+    type InValue = ();
+    type OutKey = u64;
+    type OutValue = IdRun;
+
+    fn map(&self, key: usize, _v: (), ctx: &mut TaskContext<u64, IdRun>) {
+        let id = u32::try_from(key).expect("read ids checked against u32 upstream");
+        let values = self.sketches[key].values();
+        for band in 0..self.scheme.bands {
+            let sig = self.scheme.signature(band, values);
+            ctx.emit(self.codec.pack(band as u32, sig), IdRun::singleton(id));
+        }
+        ctx.count("BAND_SIGNATURES", self.scheme.bands as u64);
+    }
+
+    fn key_wire_size(&self, _key: &u64) -> usize {
+        self.codec.wire_bytes()
+    }
+
+    fn value_wire_size(&self, value: &IdRun) -> usize {
+        value.wire_len()
+    }
+
+    fn partition(&self, key: &u64, reducers: usize) -> usize {
+        // Similarity-aware assignment: partition by the signature bits
+        // alone (mask the band off), so co-bucketed keys — buckets
+        // carrying the same signature value — always land on the same
+        // reducer, deterministically and without hashing.
+        (key & self.codec.sig_mask()) as usize % reducers
+    }
+}
+
+/// Map-side combiner for [`IdRun`] payloads: collapse a key's local
+/// singleton runs into one sorted, deduped run before the shuffle.
+/// Idempotent with the reducers, which re-merge across map tasks.
+struct IdRunCombiner;
+
+impl Combiner for IdRunCombiner {
+    type Key = u64;
+    type Value = IdRun;
+
+    fn combine(&self, _key: &u64, values: Vec<IdRun>) -> Vec<IdRun> {
+        vec![IdRun::merge(&values).expect("combiner input runs are well-formed")]
+    }
+}
+
+/// [`IdRunCombiner`] keyed by a `u32` read id (stage 2).
+struct IdRunCombinerU32;
+
+impl Combiner for IdRunCombinerU32 {
+    type Key = u32;
+    type Value = IdRun;
+
+    fn combine(&self, _key: &u32, values: Vec<IdRun>) -> Vec<IdRun> {
+        vec![IdRun::merge(&values).expect("combiner input runs are well-formed")]
+    }
+}
+
+/// Compact stage-1 reducer: decode and merge one bucket's id runs,
+/// then emit every in-bucket pair — the fetch-retry path re-fetches
+/// these *encoded* runs, and a re-executed map re-encodes them
+/// deterministically, so a retry decodes to identical groups.
+struct CompactBucketReducer;
+
+impl Reducer for CompactBucketReducer {
+    type InKey = u64;
+    type InValue = IdRun;
+    type OutKey = (u32, u32);
+    type OutValue = ();
+
+    fn reduce(&self, _key: u64, runs: Vec<IdRun>, ctx: &mut TaskContext<(u32, u32), ()>) {
+        let merged = IdRun::merge(&runs).expect("shuffled runs decode");
+        let ids = merged.decode().expect("merged run decodes");
+        let mut pairs = 0u64;
+        for (a, &i) in ids.iter().enumerate() {
+            for &j in &ids[a + 1..] {
+                ctx.emit((i, j), ());
+                pairs += 1;
+            }
+        }
+        ctx.count("BUCKET_PAIRS", pairs);
+    }
+}
+
+/// Compact stage-2 mapper: re-key each bucket pair `(i, j)` on its
+/// lower read id, carrying the partner as a singleton run. With the
+/// combiner this turns a read's candidate list into one delta-encoded
+/// run per map task instead of a raw `(u32, u32)` per occurrence.
+struct NeighborRunMapper {
+    total_reads: usize,
+}
+
+impl Mapper for NeighborRunMapper {
+    type InKey = (u32, u32);
+    type InValue = ();
+    type OutKey = u32;
+    type OutValue = IdRun;
+
+    fn map(&self, (i, j): (u32, u32), _v: (), ctx: &mut TaskContext<u32, IdRun>) {
+        ctx.emit(i, IdRun::singleton(j));
+    }
+
+    fn key_wire_size(&self, key: &u32) -> usize {
+        uvarint_len(u64::from(*key))
+    }
+
+    fn value_wire_size(&self, value: &IdRun) -> usize {
+        value.wire_len()
+    }
+
+    fn partition(&self, key: &u32, reducers: usize) -> usize {
+        // Range partitioning by read id: every candidate of read `i`
+        // colocates on one reducer (its similarity neighborhood), and
+        // reduce output comes out globally sorted by `(i, j)`.
+        ((*key as usize * reducers) / self.total_reads.max(1)).min(reducers - 1)
+    }
+}
+
+/// Compact stage-2 reducer: merge a read's partner runs, dedup, and
+/// emit one candidate per distinct partner. The duplicate count is the
+/// cross-band collisions the combiner could not see (different map
+/// tasks), matching the raw path's CANDIDATE_DUPLICATES semantics.
+struct NeighborDedupReducer;
+
+impl Reducer for NeighborDedupReducer {
+    type InKey = u32;
+    type InValue = IdRun;
+    type OutKey = (u32, u32);
+    type OutValue = ();
+
+    fn reduce(&self, i: u32, runs: Vec<IdRun>, ctx: &mut TaskContext<(u32, u32), ()>) {
+        let total: u64 = runs.iter().map(IdRun::count).sum();
+        let partners = IdRun::merge(&runs)
+            .expect("shuffled runs decode")
+            .decode()
+            .expect("merged run decodes");
+        ctx.count("CANDIDATES_EMITTED", partners.len() as u64);
+        ctx.count("CANDIDATE_DUPLICATES", total - partners.len() as u64);
+        for j in partners {
+            ctx.emit((i, j), ());
+        }
+    }
+}
+
 fn job_for(config: &MrMcConfig, name: &str) -> JobConfig {
     let mut job = JobConfig::named(name)
         .attempts(4)
@@ -164,25 +351,63 @@ pub fn banded_candidates_with(
     pipeline: &mut Pipeline,
     injector: &dyn FaultInjector,
 ) -> Result<Vec<(u32, u32)>, MrError> {
+    ensure_read_ids_fit(sketches.len())?;
     let scheme = config.banding_scheme();
-    let mapper = BandSignatureMapper { scheme, sketches };
     let input: Vec<(usize, ())> = (0..sketches.len()).map(|i| (i, ())).collect();
-    let bucket_pairs = pipeline.run_stage_with_faults(
-        input,
-        config.map_tasks,
-        &mapper,
-        &BucketPairReducer,
-        &job_for(config, "band-signatures"),
-        injector,
-    )?;
-    let deduped = pipeline.run_stage_with_faults(
-        bucket_pairs,
-        config.map_tasks,
-        &PairIdentityMapper,
-        &DedupReducer,
-        &job_for(config, "candidate-dedup"),
-        injector,
-    )?;
+    let deduped = match config.wire {
+        WireFormat::Raw => {
+            let mapper = BandSignatureMapper { scheme, sketches };
+            let bucket_pairs = pipeline.run_stage_with_faults(
+                input,
+                config.map_tasks,
+                &mapper,
+                &BucketPairReducer,
+                &job_for(config, "band-signatures"),
+                injector,
+            )?;
+            pipeline.run_stage_with_faults(
+                bucket_pairs,
+                config.map_tasks,
+                &PairIdentityMapper,
+                &DedupReducer,
+                &job_for(config, "candidate-dedup"),
+                injector,
+            )?
+        }
+        WireFormat::Compact { sig_bits } => {
+            let codec = BandKeyCodec::new(scheme.bands, sig_bits).map_err(MrError::BadConfig)?;
+            let mapper = CompactBandMapper {
+                scheme,
+                codec,
+                sketches,
+            };
+            let mut bucket_pairs = pipeline.run_stage_with_combiner_and_faults(
+                input,
+                config.map_tasks,
+                &mapper,
+                &IdRunCombiner,
+                &CompactBucketReducer,
+                &job_for(config, "band-signatures"),
+                injector,
+            )?;
+            // Total-order handoff: sorting the pair stream makes
+            // cross-band duplicates of the same pair adjacent, so the
+            // stage-2 input splits hand them to one map task and the
+            // combiner eliminates them before they reach the wire.
+            bucket_pairs.sort_unstable();
+            pipeline.run_stage_with_combiner_and_faults(
+                bucket_pairs,
+                config.map_tasks,
+                &NeighborRunMapper {
+                    total_reads: sketches.len(),
+                },
+                &IdRunCombinerU32,
+                &NeighborDedupReducer,
+                &job_for(config, "candidate-dedup"),
+                injector,
+            )?
+        }
+    };
     let mut candidates: Vec<(u32, u32)> = deduped.into_iter().map(|(p, ())| p).collect();
     candidates.sort_unstable();
     Ok(candidates)

@@ -242,9 +242,13 @@ impl Mapper for DistinctMapper {
         ctx.emit(value, ());
     }
 
-    fn shuffle_size(&self, key: &Value, _value: &()) -> usize {
+    fn key_wire_size(&self, key: &Value) -> usize {
         use mrmc_mapreduce::ShuffleSized;
         key.shuffle_size()
+    }
+
+    fn value_wire_size(&self, _value: &()) -> usize {
+        0
     }
 }
 
@@ -286,9 +290,14 @@ impl Mapper for GroupMapper {
         ctx.emit(key, value);
     }
 
-    fn shuffle_size(&self, key: &Value, value: &Value) -> usize {
+    fn key_wire_size(&self, key: &Value) -> usize {
         use mrmc_mapreduce::ShuffleSized;
-        key.shuffle_size() + value.shuffle_size()
+        key.shuffle_size()
+    }
+
+    fn value_wire_size(&self, value: &Value) -> usize {
+        use mrmc_mapreduce::ShuffleSized;
+        value.shuffle_size()
     }
 }
 
