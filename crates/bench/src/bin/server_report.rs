@@ -1,0 +1,237 @@
+//! `server_report` — the serving-layer smoke and counter emitter.
+//!
+//! Boots an in-process `mrmc-server` daemon on an ephemeral loopback
+//! port and drives it over real TCP through the full request
+//! lifecycle: seed → submit → query → stats → shutdown. Every
+//! assignment is checked against the sequential
+//! [`IncrementalClusterer`] oracle, the ledger is checked to contain
+//! only `serve`-category spans (the request path must never re-run
+//! the batch pipeline), and a second daemon with hostile limits
+//! exercises both admission refusals (`Busy`, `QuotaExceeded`).
+//!
+//! The JSON report carries per-session admission counters and
+//! micro-batch latency (p50 / max). Any oracle deviation, counter
+//! mismatch or hung drain exits non-zero — the CI `server-smoke` step
+//! checks exactly that, under a watchdog so a wedged drain fails
+//! instead of hanging the job.
+//!
+//! ```sh
+//! cargo run -p mrmc-bench --release --bin server_report -- --seed 7
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mrmc::{IncrementalClusterer, MrMcMinH};
+use mrmc_bench::json::Json;
+use mrmc_bench::HarnessArgs;
+use mrmc_obs::{Category, Tracer};
+use mrmc_seqio::SeqRecord;
+use mrmc_server::{
+    AdmissionLimits, Client, SeedConfig, Server, ServerConfig, SessionStats, SubmitOutcome,
+};
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+/// Hard ceiling on the whole smoke; a hung drain must fail, not hang.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn corpus(n: usize, seed: u64) -> Vec<SeqRecord> {
+    let spec = CommunitySpec {
+        species: vec![
+            SpeciesSpec {
+                name: "a".into(),
+                gc: 0.40,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "b".into(),
+                gc: 0.60,
+                abundance: 1.0,
+            },
+        ],
+        rank: TaxRank::Phylum,
+        genome_len: 20_000,
+    };
+    let sim = ReadSimulator::new(400, ErrorModel::with_total_rate(0.002));
+    spec.generate("smoke", n, &sim, seed).reads
+}
+
+fn seed_cfg(seed: u64) -> SeedConfig {
+    SeedConfig {
+        kmer: 5,
+        num_hashes: 64,
+        theta: 0.55,
+        greedy: true,
+        seed,
+        canonical: false,
+    }
+}
+
+fn check(ok: bool, what: &str, failures: &mut u32) {
+    if ok {
+        eprintln!("server_report: ok   {what}");
+    } else {
+        eprintln!("server_report: FAIL {what}");
+        *failures += 1;
+    }
+}
+
+fn stats_json(s: &SessionStats) -> Json {
+    Json::obj([
+        ("tenant", Json::Str(s.tenant.clone())),
+        ("clusters", Json::UInt(s.clusters)),
+        ("seeded_clusters", Json::UInt(s.seeded_clusters)),
+        ("reads_admitted", Json::UInt(s.reads_admitted)),
+        ("batches_admitted", Json::UInt(s.batches_admitted)),
+        ("bytes_admitted", Json::UInt(s.bytes_admitted)),
+        ("reads_rejected", Json::UInt(s.reads_rejected)),
+        ("busy_rejections", Json::UInt(s.busy_rejections)),
+        ("quota_rejections", Json::UInt(s.quota_rejections)),
+        ("queue_depth", Json::UInt(s.queue_depth)),
+        ("max_queue_depth", Json::UInt(s.max_queue_depth)),
+    ])
+}
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    // The watchdog turns a wedged drain into a loud nonzero exit.
+    std::thread::spawn(|| {
+        std::thread::sleep(WATCHDOG);
+        eprintln!("server_report: watchdog expired after {WATCHDOG:?} — daemon hung");
+        exit(3);
+    });
+
+    let mut failures = 0u32;
+    let n = ((120.0 * args.scale).round() as usize).max(20);
+    let reads = corpus(n, args.seed);
+    let (batch, streamed) = reads.split_at(n * 2 / 3);
+    let cfg = seed_cfg(args.seed);
+
+    // The oracle the daemon must agree with, computed up front.
+    let mrmc_cfg = cfg.to_mrmc();
+    let run = MrMcMinH::new(mrmc_cfg)
+        .run(batch)
+        .expect("oracle batch run");
+    let mut oracle = IncrementalClusterer::from_run(mrmc_cfg, batch, &run).expect("oracle seed");
+    let expected: Vec<u64> = streamed
+        .iter()
+        .map(|r| oracle.push(r).expect("oracle push") as u64)
+        .collect();
+
+    // Daemon one: the well-behaved roundtrip.
+    let handle = Server::spawn(&ServerConfig::default(), Arc::new(Tracer::new()))
+        .expect("bind loopback daemon");
+    let tracer = handle.tracer();
+    let mut client = Client::connect(handle.addr(), "smoke").expect("connect");
+    let clusters = client.seed_from_batch(&cfg, batch).expect("seed");
+    check(clusters >= 1, "seeded at least one cluster", &mut failures);
+
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut got: Vec<u64> = Vec::new();
+    for chunk in streamed.chunks(8) {
+        let t0 = Instant::now();
+        got.extend(client.submit_labels(chunk).expect("submit"));
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+    }
+    check(
+        got == expected,
+        "assignments match the oracle",
+        &mut failures,
+    );
+    let last = streamed.last().expect("streamed reads");
+    check(
+        client.query(&last.id).expect("query") == expected.last().copied(),
+        "query returns the streamed read's label",
+        &mut failures,
+    );
+    let stats = client.stats().expect("stats");
+    check(
+        stats.reads_admitted == streamed.len() as u64 && stats.reads_rejected == 0,
+        "admission counters account every read",
+        &mut failures,
+    );
+    let ledger = tracer.ledger();
+    check(
+        !ledger.spans.is_empty() && ledger.spans.iter().all(|s| s.category == Category::Serve),
+        "ledger holds serve spans only (no MR jobs on the request path)",
+        &mut failures,
+    );
+    let drained = client.shutdown().expect("shutdown ack");
+    handle.join();
+    check(drained == 0, "drain found an empty backlog", &mut failures);
+
+    // Daemon two: hostile limits exercise both refusal paths. A tiny
+    // byte quota rejects the big batch permanently; a zero-depth
+    // queue answers Busy to the small one that fits the quota.
+    let refusals = Server::spawn(
+        &ServerConfig {
+            limits: AdmissionLimits {
+                max_queue_depth: 0,
+                max_queued_bytes: 8 * 1024 * 1024,
+                max_session_bytes: 600,
+            },
+            ..ServerConfig::default()
+        },
+        Arc::new(Tracer::new()),
+    )
+    .expect("bind refusal daemon");
+    let mut hostile = Client::connect(refusals.addr(), "hostile").expect("connect");
+    hostile.seed_from_batch(&cfg, batch).expect("seed");
+    let quota = matches!(
+        hostile.submit(&streamed[..2]).expect("submit big"),
+        SubmitOutcome::QuotaExceeded { .. }
+    );
+    check(quota, "oversize batch answers QuotaExceeded", &mut failures);
+    let tiny = SeqRecord::new("tiny", b"ACGTACGTAC".to_vec());
+    let busy = matches!(
+        hostile
+            .submit(std::slice::from_ref(&tiny))
+            .expect("submit tiny"),
+        SubmitOutcome::Busy { .. }
+    );
+    check(busy, "zero-depth queue answers Busy", &mut failures);
+    let hostile_stats = hostile.stats().expect("stats");
+    check(
+        hostile_stats.quota_rejections == 1
+            && hostile_stats.busy_rejections == 1
+            && hostile_stats.reads_admitted == 0,
+        "refusals tallied, nothing admitted",
+        &mut failures,
+    );
+    hostile.shutdown().expect("shutdown refusal daemon");
+    refusals.join();
+
+    latencies_us.sort_unstable();
+    let p50 = latencies_us
+        .get(latencies_us.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    let max = latencies_us.last().copied().unwrap_or(0);
+
+    let doc = Json::obj([
+        ("seed", Json::UInt(args.seed)),
+        ("reads_total", Json::UInt(reads.len() as u64)),
+        ("reads_batch", Json::UInt(batch.len() as u64)),
+        ("reads_streamed", Json::UInt(streamed.len() as u64)),
+        ("clusters", Json::UInt(clusters)),
+        (
+            "latency_us",
+            Json::obj([("p50", Json::UInt(p50)), ("max", Json::UInt(max))]),
+        ),
+        (
+            "sessions",
+            Json::arr([stats_json(&stats), stats_json(&hostile_stats)]),
+        ),
+        ("failures", Json::UInt(failures as u64)),
+    ]);
+    println!("{}", doc.pretty());
+    if let Some(path) = &args.json {
+        std::fs::write(path, doc.pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("server_report: wrote {path}");
+    }
+    if failures > 0 {
+        eprintln!("server_report: {failures} check(s) failed");
+        exit(1);
+    }
+}

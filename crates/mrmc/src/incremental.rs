@@ -79,6 +79,38 @@ impl IncrementalClusterer {
         Ok(label)
     }
 
+    /// Assign a micro-batch of reads in one call, returning their
+    /// labels in input order. Semantically identical to calling
+    /// [`IncrementalClusterer::push`] once per read (reads earlier in
+    /// the batch can found clusters that later reads join), but the
+    /// batch entry point lets callers — the `mrmc-server` admission
+    /// path in particular — amortize per-read dispatch: sketches are
+    /// computed up front for the whole batch, then assignment runs
+    /// over the sketch slice without re-entering the codec per read.
+    /// On a sketching error nothing is recorded (all-or-nothing).
+    pub fn push_batch(&mut self, reads: &[SeqRecord]) -> Result<Vec<usize>, SeqIoError> {
+        let sketches = reads
+            .iter()
+            .map(|r| self.hasher.sketch_sequence(&r.seq))
+            .collect::<Result<Vec<Sketch>, SeqIoError>>()?;
+        let mut out = Vec::with_capacity(sketches.len());
+        for sketch in sketches {
+            let label = self
+                .representatives
+                .iter()
+                .position(|rep| {
+                    sketch_similarity(&sketch, rep, self.config.estimator) >= self.config.theta
+                })
+                .unwrap_or_else(|| {
+                    self.representatives.push(sketch.clone());
+                    self.representatives.len() - 1
+                });
+            self.labels.push(label);
+            out.push(label);
+        }
+        Ok(out)
+    }
+
     /// Current cluster count (including seeded clusters).
     pub fn num_clusters(&self) -> usize {
         self.representatives.len()
@@ -185,6 +217,39 @@ mod tests {
             "seeded {k}, after stream {}",
             inc.num_clusters()
         );
+    }
+
+    #[test]
+    fn push_batch_matches_repeated_push() {
+        let (reads, _) = two_species(50, 4);
+        let theta = 0.5;
+
+        // Oracle: one read at a time.
+        let mut one = IncrementalClusterer::new(config(theta));
+        let mut expect = Vec::new();
+        for r in &reads {
+            expect.push(one.push(r).unwrap());
+        }
+
+        // Same reads through micro-batches of varying size, including
+        // an empty batch and a batch larger than the remainder.
+        let mut batched = IncrementalClusterer::new(config(theta));
+        let mut got = Vec::new();
+        let mut at = 0;
+        for size in [1, 0, 7, 3, 20, reads.len()] {
+            let end = (at + size).min(reads.len());
+            got.extend(batched.push_batch(&reads[at..end]).unwrap());
+            at = end;
+        }
+        assert_eq!(at, reads.len(), "batch schedule covers every read");
+        assert_eq!(got, expect, "batched labels differ from sequential push");
+        assert_eq!(batched.labels(), one.labels());
+        assert_eq!(batched.num_clusters(), one.num_clusters());
+
+        // A batch where later reads join clusters founded earlier in
+        // the *same* batch (all reads at once) still matches.
+        let mut whole = IncrementalClusterer::new(config(theta));
+        assert_eq!(whole.push_batch(&reads).unwrap(), expect);
     }
 
     #[test]

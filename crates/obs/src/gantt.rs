@@ -2,7 +2,7 @@
 //!
 //! One row per (job, display lane); each span becomes a bar of
 //! category glyphs (`#` compute, `=` shuffle, `.` overhead, `!`
-//! recovery) scaled to a fixed terminal width. Useful as a quick
+//! recovery, `@` serve) scaled to a fixed terminal width. Useful as a quick
 //! sanity view in bench output and CI logs without opening Perfetto.
 
 use crate::chrome::display_lanes;
@@ -14,6 +14,7 @@ fn glyph(cat: Category) -> char {
         Category::Shuffle => '=',
         Category::Overhead => '.',
         Category::Recovery => '!',
+        Category::Serve => '@',
     }
 }
 

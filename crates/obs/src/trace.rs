@@ -32,14 +32,21 @@ pub enum Category {
     /// Work that exists only because something failed: retries,
     /// speculative backups, re-executed maps, fetch retries.
     Recovery,
+    /// Request-path work in the serving layer (`mrmc-server`):
+    /// micro-batch admission waits and incremental assignment. Serve
+    /// spans are emitted from concurrent connection/worker threads, so
+    /// unlike engine spans they carry no determinism contract — they
+    /// are excluded from signature-equality tests.
+    Serve,
 }
 
 /// All categories, in attribution-report order.
-pub const CATEGORIES: [Category; 4] = [
+pub const CATEGORIES: [Category; 5] = [
     Category::Compute,
     Category::Shuffle,
     Category::Overhead,
     Category::Recovery,
+    Category::Serve,
 ];
 
 impl Category {
@@ -50,6 +57,7 @@ impl Category {
             Category::Shuffle => "shuffle",
             Category::Overhead => "overhead",
             Category::Recovery => "recovery",
+            Category::Serve => "serve",
         }
     }
 }
@@ -431,6 +439,9 @@ mod tests {
     #[test]
     fn category_names_stable() {
         let names: Vec<&str> = CATEGORIES.iter().map(|c| c.name()).collect();
-        assert_eq!(names, vec!["compute", "shuffle", "overhead", "recovery"]);
+        assert_eq!(
+            names,
+            vec!["compute", "shuffle", "overhead", "recovery", "serve"]
+        );
     }
 }

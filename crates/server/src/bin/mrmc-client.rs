@@ -1,0 +1,160 @@
+//! The thin client binary.
+//!
+//! ```text
+//! mrmc-client --addr HOST:PORT [--tenant T] <command>
+//!   seed   --fasta F [--kmer K] [--num-hashes N] [--theta X] [--greedy] [--seed S]
+//!   submit --fasta F
+//!   query  --id ID
+//!   stats
+//!   shutdown
+//! ```
+
+use std::process::ExitCode;
+
+use mrmc_seqio::read_fasta_path;
+use mrmc_server::{Client, SeedConfig, SubmitOutcome};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mrmc-client --addr HOST:PORT [--tenant T] <command>\n\
+         commands:\n\
+         \x20 seed   --fasta F [--kmer K] [--num-hashes N] [--theta X] [--greedy] [--seed S]\n\
+         \x20 submit --fasta F\n\
+         \x20 query  --id ID\n\
+         \x20 stats\n\
+         \x20 shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn need(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("mrmc-client: missing {flag}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut tenant = "default".to_string();
+    let mut command: Option<String> = None;
+    let mut fasta: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut config = SeedConfig {
+        kmer: 5,
+        num_hashes: 64,
+        theta: 0.9,
+        greedy: true,
+        seed: 7,
+        canonical: false,
+    };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--tenant" => tenant = need(args.next(), "--tenant"),
+            "--fasta" => fasta = args.next(),
+            "--id" => id = args.next(),
+            "--kmer" => config.kmer = need(args.next(), "--kmer").parse().unwrap_or(5),
+            "--num-hashes" => {
+                config.num_hashes = need(args.next(), "--num-hashes").parse().unwrap_or(64)
+            }
+            "--theta" => config.theta = need(args.next(), "--theta").parse().unwrap_or(0.9),
+            "--seed" => config.seed = need(args.next(), "--seed").parse().unwrap_or(7),
+            "--greedy" => config.greedy = true,
+            "--hierarchical" => config.greedy = false,
+            "--canonical" => config.canonical = true,
+            "--help" | "-h" => usage(),
+            cmd if command.is_none() && !cmd.starts_with('-') => command = Some(cmd.to_string()),
+            other => {
+                eprintln!("mrmc-client: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let addr = need(addr, "--addr");
+    let command = need(command, "a command");
+
+    let mut client = match Client::connect(&addr, &tenant) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mrmc-client: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let load = |fasta: Option<String>| {
+        let path = need(fasta, "--fasta");
+        read_fasta_path(&path).unwrap_or_else(|e| {
+            eprintln!("mrmc-client: reading {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let outcome = match command.as_str() {
+        "seed" => {
+            let reads = load(fasta);
+            client.seed_from_batch(&config, &reads).map(|clusters| {
+                println!("seeded {} reads into {clusters} clusters", reads.len());
+            })
+        }
+        "submit" => {
+            let reads = load(fasta);
+            client.submit(&reads).map(|outcome| match outcome {
+                SubmitOutcome::Labels(labels) => {
+                    for (read, label) in reads.iter().zip(&labels) {
+                        println!("{}\t{label}", read.id);
+                    }
+                }
+                SubmitOutcome::Busy { queue_depth, limit } => {
+                    println!("busy: queue depth {queue_depth}/{limit}, retry later");
+                }
+                SubmitOutcome::QuotaExceeded { would_use, quota } => {
+                    println!("quota exceeded: {would_use} bytes > quota {quota}");
+                }
+            })
+        }
+        "query" => {
+            let id = need(id, "--id");
+            client.query(&id).map(|label| match label {
+                Some(l) => println!("{id}\t{l}"),
+                None => println!("{id}\t(unknown)"),
+            })
+        }
+        "stats" => client.stats().map(|s| {
+            println!(
+                "tenant={} clusters={} (seeded {}) admitted={} reads / {} batches / {} bytes \
+                 rejected={} reads (busy {}, quota {}) queue={}/{} max-depth={}",
+                s.tenant,
+                s.clusters,
+                s.seeded_clusters,
+                s.reads_admitted,
+                s.batches_admitted,
+                s.bytes_admitted,
+                s.reads_rejected,
+                s.busy_rejections,
+                s.quota_rejections,
+                s.queue_depth,
+                s.queued_bytes,
+                s.max_queue_depth
+            );
+        }),
+        "shutdown" => client.shutdown().map(|drained| {
+            println!("daemon drained ({drained} queued batches) and exited");
+        }),
+        other => {
+            eprintln!("mrmc-client: unknown command {other}");
+            usage();
+        }
+    };
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mrmc-client: {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! The `mrmc-server` daemon: TCP accept loop, per-tenant sessions, a
+//! bounded admission queue feeding a worker pool, and graceful drain.
+//!
+//! # Threading model
+//!
+//! * One **accept loop** (the thread that calls [`Server::run`])
+//!   spawns a handler thread per connection.
+//! * Connection threads do handshake, framing and admission control,
+//!   then hand admitted micro-batches to the shared work queue and
+//!   block on the reply channel. Seeding (`SeedFromBatch`) runs
+//!   inline on the connection thread — it is a one-time heavyweight
+//!   step that holds only its own session's lock.
+//! * A fixed **worker pool** drains the queue: lock the batch's
+//!   session, [`crate::session::Session::assign`] via
+//!   `IncrementalClusterer::push_batch`, reply. Different tenants
+//!   proceed concurrently; one tenant's batches serialize on its
+//!   session lock in admission order.
+//!
+//! Lock order is always session → queue (connections) or queue-pop →
+//! session (workers, queue lock released before the session lock is
+//! taken), so the two never deadlock.
+//!
+//! # Shutdown
+//!
+//! `Shutdown` flips the drain flag *under the queue lock* (so no new
+//! batch can slip in afterwards), waits until the queue is empty and
+//! nothing is in flight, acks with the number of batches that were
+//! still queued, wakes the workers to exit, and unblocks the accept
+//! loop with a loopback connection. Every admitted batch is answered
+//! before the ack; submissions arriving during the drain get an
+//! explicit `ShuttingDown` error.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use mrmc_obs::{Category, SpanDraft, Tracer};
+use mrmc_seqio::SeqRecord;
+
+use crate::protocol::{
+    read_frame, read_frame_after, write_frame, ErrorCode, ProtocolError, Request, Response,
+    PROTOCOL_VERSION,
+};
+use crate::quota::{AdmissionLimits, AdmissionReject};
+use crate::session::{Session, SessionError};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral loopback port.
+    pub addr: String,
+    /// Worker-pool threads draining the admission queue.
+    pub workers: usize,
+    /// Admission limits applied to every session.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// One admitted micro-batch travelling queue → worker.
+struct WorkItem {
+    session: Arc<Mutex<Session>>,
+    reads: Vec<SeqRecord>,
+    bytes: usize,
+    reply: mpsc::Sender<Result<Vec<u64>, SessionError>>,
+    enqueued_ns: u64,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    in_flight: usize,
+}
+
+struct Shared {
+    tracer: Arc<Tracer>,
+    limits: AdmissionLimits,
+    addr: Mutex<Option<SocketAddr>>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    drained_cv: Condvar,
+    shutting_down: AtomicBool,
+    server_job: u32,
+}
+
+impl Shared {
+    fn session(&self, tenant: &str) -> Arc<Mutex<Session>> {
+        let mut sessions = self.sessions.lock().expect("sessions lock");
+        if let Some(s) = sessions.get(tenant) {
+            return Arc::clone(s);
+        }
+        let job = self.tracer.begin_job(&format!("session:{tenant}"));
+        let s = Arc::new(Mutex::new(Session::new(tenant, self.limits, job)));
+        sessions.insert(tenant.to_string(), Arc::clone(&s));
+        s
+    }
+
+    /// Enqueue an admitted batch unless the drain already began.
+    /// Returns the item back on refusal so the caller can un-admit it.
+    fn enqueue(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let mut q = self.queue.lock().expect("queue lock");
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        self.queue_cv.notify_one();
+        Ok(())
+    }
+
+    /// Flip the drain flag, wait for the queue to empty and all
+    /// in-flight work to finish, then wake idle workers so they exit.
+    /// Returns how many batches were still queued when drain began.
+    fn drain(&self) -> u64 {
+        let mut q = self.queue.lock().expect("queue lock");
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let backlog = q.items.len() as u64;
+        while !(q.items.is_empty() && q.in_flight == 0) {
+            let (guard, _) = self
+                .drained_cv
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("drained cv");
+            q = guard;
+        }
+        self.queue_cv.notify_all();
+        self.tracer.add_event(
+            self.server_job,
+            "drain",
+            self.tracer.now_ns(),
+            vec![("backlog".into(), backlog.to_string())],
+        );
+        backlog
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let item = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(item) = q.items.pop_front() {
+                    q.in_flight += 1;
+                    break item;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.queue_cv.wait(q).expect("queue cv");
+            }
+        };
+        let dequeued_ns = shared.tracer.now_ns();
+        let result = {
+            let mut s = item.session.lock().expect("session lock");
+            let result = s.assign(&item.reads);
+            s.complete(item.bytes);
+            let done_ns = shared.tracer.now_ns();
+            shared.tracer.add_span(
+                SpanDraft::new(s.job, "serve:queue", Category::Serve)
+                    .at(
+                        item.enqueued_ns,
+                        dequeued_ns.saturating_sub(item.enqueued_ns),
+                    )
+                    .meta("reads", item.reads.len()),
+            );
+            shared.tracer.add_span(
+                SpanDraft::new(s.job, "serve:assign", Category::Serve)
+                    .at(dequeued_ns, done_ns.saturating_sub(dequeued_ns))
+                    .meta("reads", item.reads.len())
+                    .meta("queue_depth", s.queue_depth())
+                    .meta(
+                        "ok",
+                        match &result {
+                            Ok(labels) => labels.len().to_string(),
+                            Err(e) => format!("error:{e}"),
+                        },
+                    ),
+            );
+            result
+        };
+        let _ = item.reply.send(result);
+        let mut q = shared.queue.lock().expect("queue lock");
+        q.in_flight -= 1;
+        if q.items.is_empty() && q.in_flight == 0 {
+            shared.drained_cv.notify_all();
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, &resp.encode()).is_ok()
+}
+
+fn error_response(e: &SessionError) -> Response {
+    let code = match e {
+        SessionError::NotSeeded => ErrorCode::NotSeeded,
+        SessionError::AlreadySeeded => ErrorCode::AlreadySeeded,
+        SessionError::BadConfig(_) => ErrorCode::BadConfig,
+        SessionError::Internal(_) => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Wait for the first header byte of the next frame, polling the
+/// drain flag between read timeouts. `None` ends the connection
+/// (peer closed, transport error, or daemon drain while idle).
+fn poll_first_byte(shared: &Shared, stream: &mut TcpStream) -> Option<u8> {
+    let mut b = [0u8; 1];
+    loop {
+        match stream.read(&mut b) {
+            Ok(0) => return None,
+            Ok(_) => return Some(b[0]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Handshake: the first frame must be `Hello` with a matching
+/// version and non-empty tenant. Returns the bound session.
+fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<Arc<Mutex<Session>>> {
+    let body = match read_frame(stream) {
+        Ok(Some(body)) => body,
+        Ok(None) | Err(_) => return None,
+    };
+    match Request::decode(&body) {
+        Ok(Request::Hello { version, tenant }) => {
+            if version != PROTOCOL_VERSION {
+                send(
+                    stream,
+                    &Response::Error {
+                        code: ErrorCode::VersionMismatch,
+                        message: ProtocolError::VersionMismatch {
+                            got: version,
+                            want: PROTOCOL_VERSION,
+                        }
+                        .to_string(),
+                    },
+                );
+                None
+            } else if tenant.is_empty() {
+                send(
+                    stream,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: "tenant must be non-empty".to_string(),
+                    },
+                );
+                None
+            } else {
+                let session = shared.session(&tenant);
+                if send(
+                    stream,
+                    &Response::HelloAck {
+                        version: PROTOCOL_VERSION,
+                    },
+                ) {
+                    Some(session)
+                } else {
+                    None
+                }
+            }
+        }
+        Ok(_) => {
+            send(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: "expected Hello as the first frame".to_string(),
+                },
+            );
+            None
+        }
+        Err(e) => {
+            send(
+                stream,
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                },
+            );
+            None
+        }
+    }
+}
+
+fn handle_submit(
+    shared: &Shared,
+    session: &Arc<Mutex<Session>>,
+    reads: Vec<crate::protocol::WireRead>,
+) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "daemon is draining".to_string(),
+        };
+    }
+    let bytes: usize = reads.iter().map(|r| r.payload_bytes()).sum();
+    let records: Vec<SeqRecord> = reads.into_iter().map(SeqRecord::from).collect();
+    let rx = {
+        let mut s = session.lock().expect("session lock");
+        if !s.is_seeded() {
+            return error_response(&SessionError::NotSeeded);
+        }
+        match s.try_admit(records.len(), bytes) {
+            Err(AdmissionReject::Busy { queue_depth, limit }) => {
+                shared.tracer.add_event(
+                    s.job,
+                    "admission_reject",
+                    shared.tracer.now_ns(),
+                    vec![
+                        ("kind".into(), "busy".into()),
+                        ("reads".into(), records.len().to_string()),
+                    ],
+                );
+                return Response::Busy { queue_depth, limit };
+            }
+            Err(AdmissionReject::QuotaExceeded { would_use, quota }) => {
+                shared.tracer.add_event(
+                    s.job,
+                    "admission_reject",
+                    shared.tracer.now_ns(),
+                    vec![
+                        ("kind".into(), "quota".into()),
+                        ("reads".into(), records.len().to_string()),
+                    ],
+                );
+                return Response::QuotaExceeded { would_use, quota };
+            }
+            Ok(()) => {
+                let (tx, rx) = mpsc::channel();
+                let item = WorkItem {
+                    session: Arc::clone(session),
+                    reads: records,
+                    bytes,
+                    reply: tx,
+                    enqueued_ns: shared.tracer.now_ns(),
+                };
+                // Admission and enqueue both happen before the session
+                // lock drops, so queue_depth never overshoots its bound.
+                match shared.enqueue(item) {
+                    Ok(()) => rx,
+                    Err(_refused) => {
+                        // Drain began between the flag check and the
+                        // enqueue: un-admit and refuse explicitly.
+                        s.complete(bytes);
+                        return Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "daemon is draining".to_string(),
+                        };
+                    }
+                }
+            }
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(labels)) => Response::Labels { labels },
+        Ok(Err(e)) => error_response(&e),
+        Err(_) => error_response(&SessionError::Internal("worker disappeared".to_string())),
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Generous timeout for the handshake frame, then short polls so
+    // the connection observes a drain while idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let session = match handshake(&shared, &mut stream) {
+        Some(s) => s,
+        None => return,
+    };
+    loop {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let first = match poll_first_byte(&shared, &mut stream) {
+            Some(b) => b,
+            None => return,
+        };
+        // Mid-frame: the peer is committed, read the rest blocking-ish.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let body = match read_frame_after(first, &mut stream) {
+            Ok(body) => body,
+            Err(e) => {
+                // Framing is lost — report and hang up.
+                send(
+                    &mut stream,
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let resp = match Request::decode(&body) {
+            Err(e) => Response::Error {
+                code: ErrorCode::Protocol,
+                message: e.to_string(),
+            },
+            Ok(Request::Hello { .. }) => Response::Error {
+                code: ErrorCode::Protocol,
+                message: "duplicate Hello".to_string(),
+            },
+            Ok(Request::SeedFromBatch { config, reads }) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "daemon is draining".to_string(),
+                    }
+                } else {
+                    let records: Vec<SeqRecord> = reads.into_iter().map(SeqRecord::from).collect();
+                    let start_ns = shared.tracer.now_ns();
+                    let mut s = session.lock().expect("session lock");
+                    match s.seed_from_batch(&config, &records) {
+                        Ok(clusters) => {
+                            let done_ns = shared.tracer.now_ns();
+                            shared.tracer.add_span(
+                                SpanDraft::new(s.job, "serve:seed", Category::Serve)
+                                    .at(start_ns, done_ns.saturating_sub(start_ns))
+                                    .meta("reads", records.len())
+                                    .meta("clusters", clusters),
+                            );
+                            Response::Seeded { clusters }
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+            Ok(Request::SubmitReads { reads }) => handle_submit(&shared, &session, reads),
+            Ok(Request::Query { id }) => {
+                let s = session.lock().expect("session lock");
+                Response::QueryResult {
+                    label: s.query(&id),
+                }
+            }
+            Ok(Request::ClusterStats) => {
+                let s = session.lock().expect("session lock");
+                Response::Stats(s.stats())
+            }
+            Ok(Request::Shutdown) => {
+                let drained = shared.drain();
+                let resp = Response::ShutdownAck { drained };
+                send(&mut stream, &resp);
+                // Unblock the accept loop so run() can return.
+                if let Some(addr) = *shared.addr.lock().expect("addr lock") {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+                }
+                return;
+            }
+        };
+        if !send(&mut stream, &resp) {
+            return;
+        }
+    }
+}
+
+/// The daemon. [`Server::bind`] claims the port and starts the worker
+/// pool; [`Server::run`] serves until a `Shutdown` request drains it.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listener and start the worker pool.
+    pub fn bind(config: &ServerConfig, tracer: Arc<Tracer>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let server_job = tracer.begin_job("mrmc-server");
+        tracer.add_event(
+            server_job,
+            "listening",
+            tracer.now_ns(),
+            vec![("addr".into(), addr.to_string())],
+        );
+        let shared = Arc::new(Shared {
+            tracer,
+            limits: config.limits,
+            addr: Mutex::new(Some(addr)),
+            sessions: Mutex::new(HashMap::new()),
+            queue: Mutex::new(QueueState::default()),
+            queue_cv: Condvar::new(),
+            drained_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            server_job,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("mrmc-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tracer the request path emits `serve` spans into.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
+    /// Serve until a client's `Shutdown` drains the daemon. Joins the
+    /// worker pool and every connection thread before returning, so
+    /// when this returns every admitted batch has been answered.
+    pub fn run(self) {
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                let shared = Arc::clone(&self.shared);
+                if let Ok(h) = thread::Builder::new()
+                    .name("mrmc-conn".to_string())
+                    .spawn(move || handle_conn(shared, stream))
+                {
+                    conns.push(h);
+                }
+            }
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+
+    /// Bind and serve on a background thread; the returned handle
+    /// exposes the bound address and tracer and joins on drop-site
+    /// demand via [`ServerHandle::join`].
+    pub fn spawn(config: &ServerConfig, tracer: Arc<Tracer>) -> io::Result<ServerHandle> {
+        let server = Server::bind(config, tracer)?;
+        let addr = server.local_addr();
+        let tracer = server.tracer();
+        let join = thread::Builder::new()
+            .name("mrmc-server".to_string())
+            .spawn(move || server.run())?;
+        Ok(ServerHandle { addr, tracer, join })
+    }
+}
+
+/// Handle to a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    tracer: Arc<Tracer>,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's tracer (shared; snapshot with `ledger()`).
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
+    }
+
+    /// Wait for the daemon to drain and exit.
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end loopback tests: a real daemon on an ephemeral port,
+//! real TCP clients, and a sequential [`IncrementalClusterer`] oracle.
+//!
+//! The acceptance property: two concurrent tenant sessions seeded via
+//! `SeedFromBatch` produce assignments identical to the oracle, and
+//! every read submitted after seeding is answered on the serving path
+//! — the daemon's ledger contains *only* `serve`-category spans, no
+//! Map-Reduce job spans.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mrmc::{IncrementalClusterer, MrMcMinH};
+use mrmc_obs::{Category, Tracer};
+use mrmc_seqio::SeqRecord;
+use mrmc_server::protocol::{read_frame, write_frame};
+use mrmc_server::{
+    AdmissionLimits, Client, ClientError, ErrorCode, Request, Response, SeedConfig, Server,
+    ServerConfig, ServerHandle, SubmitOutcome, PROTOCOL_VERSION,
+};
+use mrmc_simulate::{CommunitySpec, ErrorModel, ReadSimulator, SpeciesSpec, TaxRank};
+
+/// Deterministic two-species corpus (same generator as the
+/// incremental-clusterer tests).
+fn corpus(n: usize, seed: u64) -> Vec<SeqRecord> {
+    let spec = CommunitySpec {
+        species: vec![
+            SpeciesSpec {
+                name: "a".into(),
+                gc: 0.40,
+                abundance: 1.0,
+            },
+            SpeciesSpec {
+                name: "b".into(),
+                gc: 0.60,
+                abundance: 1.0,
+            },
+        ],
+        rank: TaxRank::Phylum,
+        genome_len: 20_000,
+    };
+    let sim = ReadSimulator::new(400, ErrorModel::with_total_rate(0.002));
+    spec.generate(&format!("s{seed}"), n, &sim, seed).reads
+}
+
+fn seed_cfg() -> SeedConfig {
+    SeedConfig {
+        kmer: 5,
+        num_hashes: 64,
+        theta: 0.55,
+        greedy: true,
+        seed: 7,
+        canonical: false,
+    }
+}
+
+fn spawn_server(limits: AdmissionLimits) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        limits,
+    };
+    Server::spawn(&config, Arc::new(Tracer::new())).expect("bind loopback")
+}
+
+/// What the daemon must agree with: seed the incremental clusterer
+/// from the same batch run, then push the streamed reads in order.
+fn oracle(cfg: &SeedConfig, batch: &[SeqRecord], streamed: &[SeqRecord]) -> Vec<u64> {
+    let mrmc_cfg = cfg.to_mrmc();
+    let run = MrMcMinH::new(mrmc_cfg).run(batch).expect("batch run");
+    let mut inc = IncrementalClusterer::from_run(mrmc_cfg, batch, &run).expect("from_run");
+    streamed
+        .iter()
+        .map(|r| inc.push(r).expect("push") as u64)
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_oracle_and_ledger_is_all_serve() {
+    let handle = spawn_server(AdmissionLimits::default());
+    let addr = handle.addr();
+    let tracer = handle.tracer();
+
+    // Two tenants with different corpora, driven concurrently.
+    let tenants: Vec<thread::JoinHandle<()>> = [("alpha", 11u64), ("beta", 22u64)]
+        .into_iter()
+        .map(|(tenant, seed)| {
+            thread::spawn(move || {
+                let reads = corpus(60, seed);
+                let (batch, streamed) = reads.split_at(40);
+                let expected = oracle(&seed_cfg(), batch, streamed);
+
+                let mut client = Client::connect(addr, tenant).expect("connect");
+                let clusters = client.seed_from_batch(&seed_cfg(), batch).expect("seed");
+                assert!(clusters >= 1, "{tenant}: seeded {clusters} clusters");
+
+                // Stream in uneven micro-batches; labels must match the
+                // sequential oracle read-for-read.
+                let mut got = Vec::new();
+                for chunk in streamed.chunks(7) {
+                    got.extend(client.submit_labels(chunk).expect("submit"));
+                }
+                assert_eq!(got, expected, "{tenant}: daemon deviates from oracle");
+
+                // Every submitted read is queryable at its oracle label.
+                let last = streamed.last().expect("streamed nonempty");
+                assert_eq!(
+                    client.query(&last.id).expect("query"),
+                    expected.last().copied(),
+                    "{tenant}: query disagrees"
+                );
+
+                let stats = client.stats().expect("stats");
+                assert_eq!(stats.tenant, tenant);
+                assert_eq!(stats.reads_admitted, streamed.len() as u64);
+                assert_eq!(stats.batches_admitted, streamed.chunks(7).count() as u64);
+                assert_eq!(stats.reads_rejected, 0);
+                assert_eq!(stats.queue_depth, 0, "{tenant}: work left queued");
+            })
+        })
+        .collect();
+    for t in tenants {
+        t.join().expect("tenant thread");
+    }
+
+    // The acceptance assertion: the request path never re-ran the
+    // batch pipeline. Seeding runs untraced, so the daemon's ledger
+    // must contain serve spans only — zero Map-Reduce job spans.
+    let ledger = tracer.ledger();
+    assert!(!ledger.spans.is_empty(), "serve spans were emitted");
+    for span in &ledger.spans {
+        assert_eq!(
+            span.category,
+            Category::Serve,
+            "non-serve span {} leaked into the daemon ledger",
+            span.name
+        );
+    }
+    assert!(
+        ledger.spans.iter().any(|s| s.name == "serve:assign"),
+        "assignment spans present"
+    );
+
+    // Graceful drain: shutdown acks, the daemon thread exits, and a
+    // late connection is refused or dropped without an answer.
+    let mut closer = Client::connect(addr, "alpha").expect("connect for shutdown");
+    closer.shutdown().expect("shutdown ack");
+    handle.join();
+    assert!(
+        Client::connect(addr, "late").is_err(),
+        "daemon still answering after drain"
+    );
+}
+
+#[test]
+fn zero_depth_queue_answers_busy() {
+    let handle = spawn_server(AdmissionLimits {
+        max_queue_depth: 0,
+        ..AdmissionLimits::default()
+    });
+    let reads = corpus(20, 3);
+    let mut client = Client::connect(handle.addr(), "t").expect("connect");
+    client
+        .seed_from_batch(&seed_cfg(), &reads[..10])
+        .expect("seed");
+    match client.submit(&reads[10..]).expect("submit") {
+        SubmitOutcome::Busy { queue_depth, limit } => {
+            assert_eq!((queue_depth, limit), (0, 0));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.busy_rejections, 1);
+    assert_eq!(stats.reads_rejected, 10);
+    assert_eq!(stats.reads_admitted, 0, "refusals record nothing");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn byte_quota_refusals_are_permanent() {
+    let handle = spawn_server(AdmissionLimits {
+        max_session_bytes: 64,
+        ..AdmissionLimits::default()
+    });
+    let reads = corpus(20, 4); // 400-base reads: any batch blows a 64-byte quota
+    let mut client = Client::connect(handle.addr(), "t").expect("connect");
+    client
+        .seed_from_batch(&seed_cfg(), &reads[..10])
+        .expect("seed");
+    for _ in 0..2 {
+        match client.submit(&reads[10..12]).expect("submit") {
+            SubmitOutcome::QuotaExceeded { would_use, quota } => {
+                assert_eq!(quota, 64);
+                assert!(would_use > quota);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.quota_rejections, 2, "quota refusal is permanent");
+    assert_eq!(stats.bytes_admitted, 0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn version_mismatch_is_refused_at_handshake() {
+    let handle = spawn_server(AdmissionLimits::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION + 999,
+        tenant: "t".to_string(),
+    };
+    write_frame(&mut stream, &hello.encode()).expect("write");
+    let body = read_frame(&mut stream).expect("read").expect("frame");
+    match Response::decode(&body).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
+        other => panic!("expected version-mismatch error, got {other:?}"),
+    }
+    drop(stream);
+    let mut closer = Client::connect(handle.addr(), "t").expect("connect");
+    closer.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn session_lifecycle_errors_are_typed() {
+    let handle = spawn_server(AdmissionLimits::default());
+    let reads = corpus(12, 5);
+    let mut client = Client::connect(handle.addr(), "t").expect("connect");
+
+    // Submitting before seeding is a typed NotSeeded error, and the
+    // refusal admits nothing.
+    match client.submit_labels(&reads[..4]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NotSeeded),
+        other => panic!("expected NotSeeded, got {other:?}"),
+    }
+    assert_eq!(client.stats().expect("stats").reads_admitted, 0);
+
+    client
+        .seed_from_batch(&seed_cfg(), &reads[..8])
+        .expect("seed");
+
+    // Re-seeding would discard live centroids: refused.
+    match client.seed_from_batch(&seed_cfg(), &reads[..8]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::AlreadySeeded),
+        other => panic!("expected AlreadySeeded, got {other:?}"),
+    }
+
+    // A second connection naming the same tenant shares the session.
+    let mut second = Client::connect(handle.addr(), "t").expect("connect");
+    let labels = second.submit_labels(&reads[8..]).expect("submit");
+    assert_eq!(labels.len(), 4);
+    assert_eq!(
+        client.query(&reads[8].id).expect("query"),
+        Some(labels[0]),
+        "sessions are shared across connections"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

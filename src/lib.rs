@@ -12,4 +12,5 @@ pub use mrmc_metrics as metrics;
 pub use mrmc_minhash as minhash;
 pub use mrmc_pig as pig;
 pub use mrmc_seqio as seqio;
+pub use mrmc_server as server;
 pub use mrmc_simulate as simulate;
