@@ -40,6 +40,10 @@ pub struct HarnessArgs {
     /// banded pipeline's raw/compact shuffle-byte ratio drops below
     /// this floor.
     pub min_banded_ratio: Option<f64>,
+    /// Regression gate for `pig_bench`: exit non-zero if the columnar
+    /// engine's wall-clock speedup over the row engine drops below
+    /// this floor.
+    pub min_speedup: Option<f64>,
 }
 
 impl HarnessArgs {
@@ -52,6 +56,7 @@ impl HarnessArgs {
             json: None,
             trace: None,
             min_banded_ratio: None,
+            min_speedup: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -97,10 +102,18 @@ impl HarnessArgs {
                     );
                     i += 2;
                 }
+                "--min-speedup" => {
+                    args.min_speedup = Some(
+                        argv.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .expect("--min-speedup needs a number"),
+                    );
+                    i += 2;
+                }
                 other => panic!(
                     "unknown argument {other:?} \
                      (supported: --scale, --seed, --samples, --json, --trace, \
-                     --min-banded-ratio)"
+                     --min-banded-ratio, --min-speedup)"
                 ),
             }
         }
@@ -428,6 +441,7 @@ mod tests {
             json: None,
             trace: None,
             min_banded_ratio: None,
+            min_speedup: None,
         };
         assert!(args.wants("S1"));
         assert!(!args.wants("S2"));

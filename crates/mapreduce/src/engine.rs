@@ -650,18 +650,33 @@ where
     Ok(())
 }
 
-/// Split `input` into `n` contiguous chunks of near-equal length.
+/// The contiguous near-equal ranges `chunk_input` splits a `len`-record
+/// input into across `tasks` map tasks (front-loaded remainder). Public
+/// so layers above the engine — e.g. the Pig columnar GROUP, which
+/// shuffles row *indices* and gathers from a shared batch — can
+/// partition side data exactly along the engine's map-task boundaries.
+pub fn chunk_ranges(len: usize, tasks: usize) -> Vec<std::ops::Range<usize>> {
+    let n = tasks.max(1);
+    let base = len / n;
+    let extra = len % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Split `input` into `n` contiguous chunks of near-equal length
+/// (boundaries per [`chunk_ranges`]).
 fn chunk_input<T>(mut input: Vec<T>, n: usize) -> Vec<Vec<T>> {
-    let n = n.max(1);
-    let total = input.len();
-    let base = total / n;
-    let extra = total % n;
-    let mut chunks = Vec::with_capacity(n);
+    let ranges = chunk_ranges(input.len(), n);
+    let mut chunks = Vec::with_capacity(ranges.len());
     // Pop from the back to avoid O(n²) moves, then reverse.
-    let mut sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < extra)).collect();
-    sizes.reverse();
-    for size in sizes {
-        let tail = input.split_off(input.len() - size);
+    for range in ranges.iter().rev() {
+        let tail = input.split_off(range.start);
         chunks.push(tail);
     }
     chunks.reverse();
@@ -1609,6 +1624,20 @@ mod tests {
         assert_eq!(chunks.len(), 5);
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn chunk_ranges_mirror_chunk_input_boundaries() {
+        for (len, tasks) in [(10, 3), (2, 5), (0, 4), (7, 1), (16, 4), (13, 8)] {
+            let ranges = chunk_ranges(len, tasks);
+            let chunks = chunk_input((0..len).collect::<Vec<_>>(), tasks);
+            assert_eq!(ranges.len(), chunks.len());
+            for (range, chunk) in ranges.iter().zip(&chunks) {
+                assert_eq!(&range.clone().collect::<Vec<_>>(), chunk);
+            }
+        }
+        // tasks = 0 is clamped like chunk_input clamps.
+        assert_eq!(chunk_ranges(3, 0), vec![0..3]);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use mrmc_chaos as chaos;
 pub use mrmc_obs as obs;
 
 pub use dfs::{Dfs, DfsConfig, FastaSplitReader, InputSplit};
-pub use engine::{run_job, run_job_with_faults, run_map_only, run_map_only_with_faults};
+pub use engine::{
+    chunk_ranges, run_job, run_job_with_faults, run_map_only, run_map_only_with_faults,
+};
 pub use error::MrError;
 pub use job::{
     Combiner, Counters, JobConfig, JobResult, Mapper, MrKey, MrValue, Reducer, ShuffleSized,
@@ -66,7 +68,7 @@ pub use mrmc_chaos::{
     TaskFault,
 };
 pub use mrmc_obs::{chrome_trace, critical_path, render_gantt, CriticalPath, TraceLedger, Tracer};
-pub use pipeline::Pipeline;
+pub use pipeline::{Gather, Pipeline};
 pub use simcluster::{
     lpt_makespan, lpt_schedule, ClusterSpec, JobCostModel, LocalitySchedule, LocalityTask,
     ScheduledTask, ShuffleVolume, SimJobReport,

@@ -15,7 +15,7 @@ use crate::engine::{
     run_job_with_combiner_and_faults, run_job_with_faults, run_map_only_with_faults,
 };
 use crate::error::MrError;
-use crate::job::{Combiner, JobConfig, Mapper, Reducer, TaskStats};
+use crate::job::{Combiner, JobConfig, Mapper, MrKey, MrValue, Reducer, TaskContext, TaskStats};
 use crate::simcluster::{ClusterSpec, JobCostModel, ShuffleVolume, SimJobReport};
 
 /// Statistics for one executed stage.
@@ -84,6 +84,39 @@ impl StageReport {
 
 /// Output rows of a stage.
 pub type StageOutput<K, V> = Vec<(K, V)>;
+
+/// The identity group reducer behind [`Pipeline::run_group_stage`]:
+/// emits each merged key group whole, moving the value block the
+/// k-way merge assembled rather than folding it.
+pub struct Gather<K, V> {
+    _types: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Gather<K, V> {
+    /// A fresh gatherer (stateless).
+    pub fn new() -> Gather<K, V> {
+        Gather {
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K, V> Default for Gather<K, V> {
+    fn default() -> Gather<K, V> {
+        Gather::new()
+    }
+}
+
+impl<K: MrKey, V: MrValue> Reducer for Gather<K, V> {
+    type InKey = K;
+    type InValue = V;
+    type OutKey = K;
+    type OutValue = Vec<V>;
+
+    fn reduce(&self, key: K, values: Vec<V>, ctx: &mut TaskContext<K, Vec<V>>) {
+        ctx.emit(key, values);
+    }
+}
 
 /// A chain of jobs executed in sequence.
 #[derive(Debug, Default)]
@@ -249,6 +282,28 @@ impl Pipeline {
             recovery: result.recovery,
         });
         Ok(result.output)
+    }
+
+    /// Run a group-by stage: map, shuffle, and hand back each key's
+    /// merged value block *as grouped by the sort-merge shuffle* —
+    /// `(key, Vec<value>)` rows in partition-then-key order. The
+    /// internal reducer just moves each merged group through
+    /// ([`Gather`]), so no per-value work happens reduce-side; this is
+    /// the zero-copy handoff the Pig columnar GROUP rides (it shuffles
+    /// row indices and gathers columns afterwards).
+    pub fn run_group_stage<M>(
+        &mut self,
+        input: Vec<(M::InKey, M::InValue)>,
+        num_map_tasks: usize,
+        mapper: &M,
+        config: &JobConfig,
+    ) -> Result<StageOutput<M::OutKey, Vec<M::OutValue>>, MrError>
+    where
+        M: Mapper,
+        M::InKey: Clone + Sync,
+        M::InValue: Clone + Sync,
+    {
+        self.run_stage(input, num_map_tasks, mapper, &Gather::new(), config)
     }
 
     /// Run a map-only stage (Pig `FOREACH` with no grouping).
@@ -509,6 +564,29 @@ mod tests {
         let total = p.simulated_total(&cluster, &model);
         assert!((total - reports[0].total()).abs() < 1e-12);
         assert!(total >= model.job_overhead);
+    }
+
+    #[test]
+    fn group_stage_hands_back_merged_value_blocks() {
+        let mut p = Pipeline::new("grp");
+        let input = vec![(0usize, "a b a c".to_string()), (1, "b a".to_string())];
+        let groups = p
+            .run_group_stage(input, 2, &Tokenize, &JobConfig::named("grp").reducers(2))
+            .unwrap();
+        let mut sorted: Vec<(String, Vec<u64>)> = groups;
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                ("a".to_string(), vec![1, 1, 1]),
+                ("b".to_string(), vec![1, 1]),
+                ("c".to_string(), vec![1]),
+            ]
+        );
+        // The stage shuffles like any grouping job: the handoff is on
+        // the reduce side only.
+        assert_eq!(p.stages()[0].shuffled_pairs, 6);
+        assert!(p.stages()[0].shuffled_bytes > 0);
     }
 
     #[test]

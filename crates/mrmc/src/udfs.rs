@@ -20,12 +20,15 @@ use std::sync::Arc;
 
 use mrmc_cluster::{agglomerative, greedy_cluster, CondensedMatrix, Linkage};
 use mrmc_minhash::hash::UniversalHashFamily;
-use mrmc_pig::udf::UdfError;
+use mrmc_pig::batch::{BagCol, Bitmap, Column, ColumnBatch, VarBytesBuilder};
+use mrmc_pig::udf::{BatchArg, BatchOut, BatchUdf, UdfError};
 use mrmc_pig::{Udf, UdfRegistry, Value};
 use mrmc_seqio::encode::KmerIter;
 use mrmc_seqio::fasta::read_fasta_bytes;
 
-/// Register every Algorithm 3 UDF.
+/// Register every Algorithm 3 UDF, scalar implementations plus the
+/// native batch kernels for the three hot per-row transforms
+/// (everything else goes through the registry's scalar-lift adapter).
 pub fn register_mrmc_udfs(registry: &mut UdfRegistry) {
     registry.register(Arc::new(FastaStorage));
     registry.register(Arc::new(StringGenerator));
@@ -34,6 +37,9 @@ pub fn register_mrmc_udfs(registry: &mut UdfRegistry) {
     registry.register(Arc::new(CalculatePairwiseSimilarity));
     registry.register(Arc::new(AgglomerativeHierarchicalClustering));
     registry.register(Arc::new(GreedyClustering));
+    registry.register_batch(Arc::new(BatchStringGenerator));
+    registry.register_batch(Arc::new(BatchTranslateToKmer));
+    registry.register_batch(Arc::new(BatchCalculateMinwiseHash));
 }
 
 /// Our canonical version of the paper's Algorithm 3 script.
@@ -154,7 +160,7 @@ impl Udf for FastaStorage {
                     Value::tuple([
                         Value::CharArray(r.id),
                         Value::Int(0),
-                        Value::ByteArray(r.seq),
+                        Value::ByteArray(r.seq.into()),
                         Value::CharArray(r.description),
                     ])
                 })
@@ -457,6 +463,296 @@ impl Udf for GreedyClustering {
     }
 }
 
+// ------------------------------------------------- native batch kernels
+//
+// Each kernel computes the exact per-row output of its scalar twin,
+// working directly on column storage (packed byte buffers, offset
+// vectors) instead of boxed `Value` trees. Any argument layout the
+// kernel does not vectorize falls back to the scalar implementation
+// row by row, so the batch path is bit-identical by construction.
+
+/// True when every row of the window `start..start + len` is valid.
+fn window_valid(validity: &Option<Bitmap>, start: usize, len: usize) -> bool {
+    validity
+        .as_ref()
+        .is_none_or(|v| (start..start + len).all(|i| v.get(i)))
+}
+
+/// Row-at-a-time fallback (mirrors the registry's scalar adapter).
+fn scalar_rows(udf: &dyn Udf, args: &[BatchArg<'_>], rows: usize) -> Result<BatchOut, UdfError> {
+    let mut buf: Vec<Value> = args
+        .iter()
+        .map(|a| a.as_scalar().cloned().unwrap_or(Value::Null))
+        .collect();
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        for (slot, arg) in buf.iter_mut().zip(args) {
+            if let Some((col, start, _)) = arg.as_column() {
+                *slot = col.value_at(start + i);
+            }
+        }
+        out.push(udf.exec(&buf)?);
+    }
+    Ok(BatchOut::Rows(out))
+}
+
+/// A chararray argument window usable byte-wise: `(bytes of row i)`.
+/// Returns `None` when the layout needs the scalar fallback.
+enum StrArg<'a> {
+    Col {
+        data: &'a mrmc_pig::batch::VarBytes,
+        start: usize,
+    },
+    Broadcast(&'a str),
+}
+
+impl StrArg<'_> {
+    fn get(&self, i: usize) -> &[u8] {
+        match self {
+            StrArg::Col { data, start } => data.get(start + i),
+            StrArg::Broadcast(s) => s.as_bytes(),
+        }
+    }
+}
+
+fn str_arg<'a>(arg: &BatchArg<'a>, len: usize) -> Option<StrArg<'a>> {
+    match arg {
+        BatchArg::Column { col, start, .. } => match col {
+            Column::Str { data, validity } if window_valid(validity, *start, len) => {
+                Some(StrArg::Col {
+                    data,
+                    start: *start,
+                })
+            }
+            _ => None,
+        },
+        BatchArg::Scalar { value, .. } => value.as_str().map(StrArg::Broadcast),
+    }
+}
+
+/// Normalize one DNA byte the way `StringGenerator` does.
+#[inline]
+fn norm_base(c: u8) -> u8 {
+    let up = c.to_ascii_uppercase();
+    if up == b'U' {
+        b'T'
+    } else {
+        up
+    }
+}
+
+/// Native `StringGenerator`: normalizes sequences in one pass over
+/// the packed byte buffer and re-emits the id column, producing a
+/// columnar two-field tuple (no per-row `String`/`Vec` boxing).
+pub struct BatchStringGenerator;
+impl BatchUdf for BatchStringGenerator {
+    fn name(&self) -> &str {
+        "StringGenerator"
+    }
+    fn eval_batch(&self, args: &[BatchArg<'_>], rows: usize) -> Result<BatchOut, UdfError> {
+        // Sequences arrive as bytearray or chararray columns.
+        let seq: Option<(&mrmc_pig::batch::VarBytes, usize)> = match args.first() {
+            Some(BatchArg::Column { col, start, .. }) => match col {
+                Column::Bin { data, validity } | Column::Str { data, validity }
+                    if window_valid(validity, *start, rows) =>
+                {
+                    Some((data, *start))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let (Some((seq, seq_start)), Some(ids)) = (seq, args.get(1).and_then(|a| str_arg(a, rows)))
+        else {
+            return scalar_rows(&StringGenerator, args, rows);
+        };
+        let mut norm = VarBytesBuilder::with_capacity(rows);
+        let mut out_ids = VarBytesBuilder::with_capacity(rows);
+        let mut buf = Vec::new();
+        for i in 0..rows {
+            let s = seq.get(seq_start + i);
+            buf.clear();
+            buf.extend(s.iter().map(|&c| norm_base(c)));
+            norm.push(&buf);
+            out_ids.push(ids.get(i));
+        }
+        Ok(BatchOut::Tup(ColumnBatch::from_cols(
+            vec![
+                Column::Str {
+                    data: norm.finish(),
+                    validity: None,
+                },
+                Column::Str {
+                    data: out_ids.finish(),
+                    validity: None,
+                },
+            ],
+            rows,
+        )))
+    }
+}
+
+/// Native `TranslateToKmer`: writes every row's k-mers straight into
+/// one packed `long` column and builds the `(kmer, seqid)` bag column
+/// over it — no per-k-mer tuple or bag allocation.
+pub struct BatchTranslateToKmer;
+impl BatchUdf for BatchTranslateToKmer {
+    fn name(&self) -> &str {
+        "TranslateToKmer"
+    }
+    fn eval_batch(&self, args: &[BatchArg<'_>], rows: usize) -> Result<BatchOut, UdfError> {
+        let (Some(seq), Some(ids), Some(k)) = (
+            args.first().and_then(|a| str_arg(a, rows)),
+            args.get(1).and_then(|a| str_arg(a, rows)),
+            args.get(2)
+                .and_then(BatchArg::as_scalar)
+                .and_then(Value::as_i64),
+        ) else {
+            return scalar_rows(&TranslateToKmer, args, rows);
+        };
+        let k = k as usize;
+        let mut offsets: Vec<u32> = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        let mut kmers: Vec<i64> = Vec::new();
+        let mut out_ids = VarBytesBuilder::with_capacity(rows * 8);
+        for i in 0..rows {
+            let iter = KmerIter::new(seq.get(i), k)
+                .map_err(|e| UdfError::new("TranslateToKmer", e.to_string()))?;
+            let id = ids.get(i);
+            for km in iter {
+                kmers.push(km as i64);
+                out_ids.push(id);
+            }
+            offsets.push(kmers.len() as u32);
+        }
+        let n = kmers.len();
+        let child = ColumnBatch::from_cols(
+            vec![
+                Column::Long {
+                    data: kmers,
+                    validity: None,
+                },
+                Column::Str {
+                    data: out_ids.finish(),
+                    validity: None,
+                },
+            ],
+            n,
+        );
+        Ok(BatchOut::Col(Column::Bag(BagCol::new(
+            offsets, child, true, None,
+        ))))
+    }
+}
+
+/// Native `CalculateMinwiseHash`: reads each group's k-mers straight
+/// out of the grouped bag column's packed `long` child (no `Value`
+/// materialization of the k-mer rows at all) and emits the sketches
+/// as one packed bag column.
+pub struct BatchCalculateMinwiseHash;
+impl BatchUdf for BatchCalculateMinwiseHash {
+    fn name(&self) -> &str {
+        "CalculateMinwiseHash"
+    }
+    fn eval_batch(&self, args: &[BatchArg<'_>], rows: usize) -> Result<BatchOut, UdfError> {
+        let fallback = || scalar_rows(&CalculateMinwiseHash, args, rows);
+        // The grouped `(kmer, seqid)` bag column.
+        let Some(BatchArg::Column { col, start, .. }) = args.first() else {
+            return fallback();
+        };
+        let Column::Bag(bag) = col else {
+            return fallback();
+        };
+        let (Some(numhash), Some(div)) = (
+            args.get(1)
+                .and_then(BatchArg::as_scalar)
+                .and_then(Value::as_i64),
+            args.get(2)
+                .and_then(BatchArg::as_scalar)
+                .and_then(Value::as_i64),
+        ) else {
+            return fallback();
+        };
+        if numhash < 1
+            || !bag.tuple_elems
+            || bag.elems.num_cols() < 2
+            || !window_valid(&bag.validity, *start, rows)
+            || (0..rows).any(|i| bag.bag_len(start + i) == 0)
+        {
+            return fallback();
+        }
+        let elem_lo = bag.offsets[*start] as usize;
+        let elem_hi = bag.offsets[start + rows] as usize;
+        let (kmer_col, id_col) = (bag.elems.col(0), bag.elems.col(1));
+        let Column::Long {
+            data: kmers,
+            validity: kv,
+        } = kmer_col
+        else {
+            return fallback();
+        };
+        let Column::Str {
+            data: ids,
+            validity: iv,
+        } = id_col
+        else {
+            return fallback();
+        };
+        if !window_valid(kv, elem_lo, elem_hi - elem_lo)
+            || !window_valid(iv, elem_lo, elem_hi - elem_lo)
+        {
+            return fallback();
+        }
+        let numhash = numhash as usize;
+        let family = family_for(numhash, div as u64);
+        let mut sketch: Vec<i64> = Vec::with_capacity(rows * numhash);
+        let mut offsets: Vec<u32> = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        let mut out_ids = VarBytesBuilder::with_capacity(rows);
+        let mut mins = vec![u64::MAX; numhash];
+        for i in 0..rows {
+            let (lo, hi) = (
+                bag.offsets[start + i] as usize,
+                bag.offsets[start + i + 1] as usize,
+            );
+            mins.iter_mut().for_each(|m| *m = u64::MAX);
+            for &km in &kmers[lo..hi] {
+                let km = km as u64;
+                for (h, slot) in mins.iter_mut().enumerate() {
+                    let v = family.hash(h, km);
+                    if v < *slot {
+                        *slot = v;
+                    }
+                }
+            }
+            sketch.extend(mins.iter().map(|&v| v as i64));
+            offsets.push(sketch.len() as u32);
+            out_ids.push(ids.get(lo));
+        }
+        let n = sketch.len();
+        let sketch_col = Column::Bag(BagCol::new(
+            offsets,
+            ColumnBatch::single(Column::Long {
+                data: sketch,
+                validity: None,
+            }),
+            false,
+            None,
+        ));
+        debug_assert_eq!(n, rows * numhash);
+        Ok(BatchOut::Tup(ColumnBatch::from_cols(
+            vec![
+                sketch_col,
+                Column::Str {
+                    data: out_ids.finish(),
+                    validity: None,
+                },
+            ],
+            rows,
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,7 +770,9 @@ mod tests {
     #[test]
     fn fasta_storage_loads_records() {
         let out = FastaStorage
-            .exec(&[Value::ByteArray(b">r1 desc\nACGT\n>r2\nTT\n".to_vec())])
+            .exec(&[Value::ByteArray(Bytes::from_static(
+                b">r1 desc\nACGT\n>r2\nTT\n",
+            ))])
             .unwrap();
         let bag = out.as_bag().unwrap();
         assert_eq!(bag.len(), 2);
@@ -488,7 +786,7 @@ mod tests {
     fn string_generator_normalizes() {
         let out = StringGenerator
             .exec(&[
-                Value::ByteArray(b"acgu".to_vec()),
+                Value::ByteArray(Bytes::from_static(b"acgu")),
                 Value::CharArray("r1".into()),
             ])
             .unwrap();
@@ -582,6 +880,171 @@ mod tests {
             assert_eq!(label_of["b1"], label_of["b2"], "{path}");
             assert_ne!(label_of["a1"], label_of["b1"], "{path}");
         }
+    }
+
+    /// Every native batch kernel must produce, per row, exactly the
+    /// scalar UDF's output (the BatchUdf contract).
+    #[test]
+    fn batch_kernels_match_scalar_udfs() {
+        use mrmc_pig::batch::Column;
+
+        // StringGenerator over a Bin sequence column + Str id column.
+        let seqs = Column::from_values(vec![
+            Value::ByteArray(Bytes::from_static(b"acgu")),
+            Value::ByteArray(Bytes::from_static(b"TTgA")),
+            Value::ByteArray(Bytes::from_static(b"")),
+        ]);
+        let ids = Column::from_values(vec![
+            Value::CharArray("r1".into()),
+            Value::CharArray("r2".into()),
+            Value::CharArray("r3".into()),
+        ]);
+        let args = [
+            BatchArg::Column {
+                col: &seqs,
+                start: 0,
+                len: 3,
+            },
+            BatchArg::Column {
+                col: &ids,
+                start: 0,
+                len: 3,
+            },
+        ];
+        let out = BatchStringGenerator.eval_batch(&args, 3).unwrap();
+        let BatchOut::Tup(batch) = out else {
+            panic!("expected columnar tuple output")
+        };
+        for i in 0..3 {
+            let scalar = StringGenerator
+                .exec(&[seqs.value_at(i), ids.value_at(i)])
+                .unwrap();
+            assert_eq!(batch.row_value(i), scalar);
+        }
+
+        // TranslateToKmer over a Str column; compare the bags.
+        let seqs = Column::from_values(vec![
+            Value::CharArray("ACGTT".into()),
+            Value::CharArray("GGGG".into()),
+        ]);
+        let ids = Column::from_values(vec![
+            Value::CharArray("a".into()),
+            Value::CharArray("b".into()),
+        ]);
+        let k = Value::Long(3);
+        let args = [
+            BatchArg::Column {
+                col: &seqs,
+                start: 0,
+                len: 2,
+            },
+            BatchArg::Column {
+                col: &ids,
+                start: 0,
+                len: 2,
+            },
+            BatchArg::Scalar { value: &k, len: 2 },
+        ];
+        let out = BatchTranslateToKmer.eval_batch(&args, 2).unwrap();
+        let BatchOut::Col(col) = out else {
+            panic!("expected bag column output")
+        };
+        for i in 0..2 {
+            let scalar = TranslateToKmer
+                .exec(&[seqs.value_at(i), ids.value_at(i), Value::Long(3)])
+                .unwrap();
+            assert_eq!(col.value_at(i), scalar);
+        }
+
+        // CalculateMinwiseHash over the grouped bag column exactly as
+        // the TranslateToKmer kernel shapes it.
+        let grouped = Column::from_values(vec![
+            Value::bag(vec![
+                Value::tuple([Value::Long(5), Value::CharArray("a".into())]),
+                Value::tuple([Value::Long(9), Value::CharArray("a".into())]),
+            ]),
+            Value::bag(vec![Value::tuple([
+                Value::Long(7),
+                Value::CharArray("b".into()),
+            ])]),
+        ]);
+        assert!(
+            matches!(grouped, Column::Bag(_)),
+            "test shapes a bag column"
+        );
+        let (nh, div) = (Value::Long(8), Value::Long(1_048_583));
+        let args = [
+            BatchArg::Column {
+                col: &grouped,
+                start: 0,
+                len: 2,
+            },
+            BatchArg::Scalar { value: &nh, len: 2 },
+            BatchArg::Scalar {
+                value: &div,
+                len: 2,
+            },
+        ];
+        let out = BatchCalculateMinwiseHash.eval_batch(&args, 2).unwrap();
+        let BatchOut::Tup(batch) = out else {
+            panic!("expected columnar tuple output")
+        };
+        for i in 0..2 {
+            let scalar = CalculateMinwiseHash
+                .exec(&[grouped.value_at(i), Value::Long(8), Value::Long(1_048_583)])
+                .unwrap();
+            assert_eq!(batch.row_value(i), scalar);
+        }
+    }
+
+    /// The full Algorithm 3 script must store byte-identical outputs
+    /// on the row and columnar engines.
+    #[test]
+    fn algorithm3_row_and_columnar_engines_agree() {
+        use mrmc_pig::exec::PigEngine;
+
+        let fasta = b">a1\nACGTACGTACGTACGTACGT\n>a2\nACGTACGTACGTACGTACGT\n\
+                      >b1\nGGTTCCAAGGTTCCAAGGTT\n>b2\nGGTTCCAAGGTTCCAAGGTT\n\
+                      >c1\nTTTTAAAACCCCGGGGTTTT\n";
+        let mut params = HashMap::new();
+        for (k, v) in [
+            ("INPUT", "/in.fa"),
+            ("KMER", "5"),
+            ("NUMHASH", "32"),
+            ("DIV", "1048583"),
+            ("LINK", "average"),
+            ("CUTOFF", "0.9"),
+            ("OUTPUT1", "/out/hier"),
+            ("OUTPUT2", "/out/greedy"),
+        ] {
+            params.insert(k.to_string(), v.to_string());
+        }
+        let script = parse_script(algorithm3_script(), &params).unwrap();
+
+        let mut outputs: Vec<Vec<u8>> = Vec::new();
+        for engine in [PigEngine::Row, PigEngine::Columnar] {
+            let dfs = std::sync::Arc::new(
+                Dfs::new(DfsConfig {
+                    block_size: 4096,
+                    replication: 1,
+                    nodes: 2,
+                })
+                .unwrap(),
+            );
+            dfs.put("/in.fa", Bytes::from_static(fasta), false).unwrap();
+            let runner =
+                PigRunner::new(std::sync::Arc::clone(&dfs), registry()).with_engine(engine);
+            runner.run(&script).unwrap();
+            let mut blob = Vec::new();
+            for path in ["/out/hier", "/out/greedy"] {
+                blob.extend_from_slice(&dfs.read(path).unwrap());
+            }
+            outputs.push(blob);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "row and columnar engines diverged on Algorithm 3"
+        );
     }
 
     #[test]

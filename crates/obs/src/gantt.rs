@@ -2,7 +2,8 @@
 //!
 //! One row per (job, display lane); each span becomes a bar of
 //! category glyphs (`#` compute, `=` shuffle, `.` overhead, `!`
-//! recovery, `@` serve) scaled to a fixed terminal width. Useful as a quick
+//! recovery, `@` serve, `%` pig operator) scaled to a fixed terminal
+//! width. Useful as a quick
 //! sanity view in bench output and CI logs without opening Perfetto.
 
 use crate::chrome::display_lanes;
@@ -15,6 +16,7 @@ fn glyph(cat: Category) -> char {
         Category::Overhead => '.',
         Category::Recovery => '!',
         Category::Serve => '@',
+        Category::Pig => '%',
     }
 }
 

@@ -38,15 +38,22 @@ pub enum Category {
     /// unlike engine spans they carry no determinism contract — they
     /// are excluded from signature-equality tests.
     Serve,
+    /// One Pig operator executing in the script driver
+    /// (FOREACH/FILTER/GROUP/…). Operator spans *wrap* the engine
+    /// spans of the Map-Reduce jobs they lower to, so a scripted run's
+    /// critical path can be attributed operator-by-operator (the span
+    /// name carries the operator and alias, e.g. `pig:foreach:C`).
+    Pig,
 }
 
 /// All categories, in attribution-report order.
-pub const CATEGORIES: [Category; 5] = [
+pub const CATEGORIES: [Category; 6] = [
     Category::Compute,
     Category::Shuffle,
     Category::Overhead,
     Category::Recovery,
     Category::Serve,
+    Category::Pig,
 ];
 
 impl Category {
@@ -58,6 +65,7 @@ impl Category {
             Category::Overhead => "overhead",
             Category::Recovery => "recovery",
             Category::Serve => "serve",
+            Category::Pig => "pig",
         }
     }
 }
@@ -441,7 +449,7 @@ mod tests {
         let names: Vec<&str> = CATEGORIES.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["compute", "shuffle", "overhead", "recovery", "serve"]
+            vec!["compute", "shuffle", "overhead", "recovery", "serve", "pig"]
         );
     }
 }

@@ -9,21 +9,44 @@
 //!   reduce job** producing `(group, bag)` tuples;
 //! * `STORE` serializes a relation back to the DFS.
 //!
+//! Two execution engines share this lowering ([`PigEngine`]):
+//!
+//! * **Row** — the original row-at-a-time interpreter over boxed
+//!   [`Value`] tuples;
+//! * **Columnar** (default) — relations held as [`ColumnBatch`]es,
+//!   operators evaluated on column windows through the batch UDF ABI
+//!   ([`crate::udf::BatchUdf`]), `FLATTEN` expanded with gather
+//!   vectors, and `GROUP` shuffling 4-byte **row indices** instead of
+//!   cloned row trees — the grouped runs come back through
+//!   [`Pipeline::run_group_stage`] and one columnar gather builds the
+//!   result bags. Chunks that the vectorizer cannot keep aligned
+//!   (mixed-type flatten inputs, ragged bag-element tuples) fall back
+//!   to the exact row-engine logic per chunk, so both engines are
+//!   bit-identical by construction *and* by the property tests in
+//!   `tests/columnar.rs`.
+//!
 //! Every stage's task statistics are recorded in a
 //! [`mrmc_mapreduce::Pipeline`], so a whole script run can afterwards
-//! be re-scheduled onto a virtual N-node cluster.
+//! be re-scheduled onto a virtual N-node cluster. Attach a tracer
+//! ([`PigRunner::traced`]) and each operator additionally records a
+//! `Category::Pig` span wrapping its engine spans, which lets
+//! critical-path analysis attribute scripted-run time to
+//! FOREACH/FILTER/GROUP operators.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use mrmc_mapreduce::dfs::Dfs;
+use mrmc_mapreduce::engine::chunk_ranges;
 use mrmc_mapreduce::job::{JobConfig, Mapper, Reducer, TaskContext};
+use mrmc_mapreduce::obs::{Category, SpanDraft, SpanId, Tracer};
 use mrmc_mapreduce::pipeline::Pipeline;
 use mrmc_mapreduce::MrError;
 
+use crate::batch::{BagCol, Column, ColumnBatch};
 use crate::parser::{CmpOp, Cond, Expr, GenItem, GroupBy, Operator, Script, Statement};
-use crate::udf::{Udf, UdfError, UdfRegistry};
+use crate::udf::{BatchArg, BatchOut, BatchUdf, Udf, UdfError, UdfRegistry};
 use crate::value::Value;
 
 /// Executor failure.
@@ -83,11 +106,66 @@ impl From<UdfError> for PigError {
     }
 }
 
+/// Which execution engine the runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PigEngine {
+    /// Row-at-a-time over boxed [`Value`] tuples (the reference
+    /// semantics; kept as the bit-identity oracle).
+    Row,
+    /// Columnar batches with vectorized operators (default).
+    #[default]
+    Columnar,
+}
+
+/// Relation storage. Both representations carry a logical `len` so
+/// `LIMIT` is a zero-copy prefix view over shared storage instead of
+/// a deep row copy.
+#[derive(Debug, Clone)]
+enum Store {
+    /// Boxed rows (the row engine, and any relation whose rows are
+    /// not tuples — columnarization never pretends).
+    Rows { data: Arc<Vec<Value>>, len: usize },
+    /// Columnar batch.
+    Batch { data: Arc<ColumnBatch>, len: usize },
+}
+
 /// A materialized relation: rows plus field names.
 #[derive(Debug, Clone)]
 struct Relation {
-    rows: Arc<Vec<Value>>,
+    store: Store,
     schema: Vec<String>,
+}
+
+impl Relation {
+    fn len(&self) -> usize {
+        match &self.store {
+            Store::Rows { len, .. } | Store::Batch { len, .. } => *len,
+        }
+    }
+
+    /// Row `i` as a boxed value (materializes from columns).
+    fn row(&self, i: usize) -> Value {
+        match &self.store {
+            Store::Rows { data, .. } => data[i].clone(),
+            Store::Batch { data, .. } => data.row_value(i),
+        }
+    }
+
+    /// All live rows, boxed (the row-path entry format).
+    fn rows_vec(&self) -> Vec<Value> {
+        match &self.store {
+            Store::Rows { data, len } => data[..*len].to_vec(),
+            Store::Batch { data, len } => (0..*len).map(|i| data.row_value(i)).collect(),
+        }
+    }
+
+    /// The columnar view, when this relation has one.
+    fn batch(&self) -> Option<(&Arc<ColumnBatch>, usize)> {
+        match &self.store {
+            Store::Batch { data, len } => Some((data, *len)),
+            Store::Rows { .. } => None,
+        }
+    }
 }
 
 /// Result of running a script.
@@ -98,6 +176,8 @@ pub struct RunReport {
     /// The Map-Reduce pipeline with per-stage task statistics.
     pub pipeline: Pipeline,
 }
+
+// ------------------------------------------------------------ row engine
 
 /// Expression with names resolved to indices and UDFs to handles.
 #[derive(Clone)]
@@ -130,6 +210,46 @@ struct RGenItem {
     flatten: bool,
 }
 
+/// Expand one row's evaluated items into output rows — the single
+/// definition of FOREACH/FLATTEN semantics. Bags under FLATTEN
+/// multiply rows (cross product, later items varying fastest);
+/// flattened tuples append their fields; everything else appends one
+/// field. The columnar engine's slow path calls this with
+/// pre-evaluated item values, so both engines share the semantics by
+/// construction.
+fn expand_row(evaled: Vec<(bool, Value)>) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+    for (flatten, v) in evaled {
+        match (flatten, v) {
+            (true, Value::Bag(elems)) => {
+                let mut next = Vec::with_capacity(rows.len() * elems.len().max(1));
+                for base in &rows {
+                    for e in &elems {
+                        let mut r = base.clone();
+                        match e {
+                            Value::Tuple(fields) => r.extend(fields.iter().cloned()),
+                            other => r.push(other.clone()),
+                        }
+                        next.push(r);
+                    }
+                }
+                rows = next;
+            }
+            (true, Value::Tuple(fields)) => {
+                for r in &mut rows {
+                    r.extend(fields.iter().cloned());
+                }
+            }
+            (_, v) => {
+                for r in &mut rows {
+                    r.push(v.clone());
+                }
+            }
+        }
+    }
+    rows
+}
+
 /// The map task for `FOREACH`: evaluates the generate items per row.
 struct ForeachMapper {
     items: Vec<RGenItem>,
@@ -143,45 +263,39 @@ impl Mapper for ForeachMapper {
 
     fn map(&self, key: usize, value: Value, ctx: &mut TaskContext<usize, Value>) {
         let row: &[Value] = value.as_tuple().unwrap_or(std::slice::from_ref(&value));
-        // Each item contributes one or more "row fragments"; bags under
-        // FLATTEN multiply rows (cross product), everything else
-        // appends fields.
-        let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
-        for item in &self.items {
-            let v = match item.expr.eval(row) {
-                Ok(v) => v,
+        let evaled: Vec<(bool, Value)> = self
+            .items
+            .iter()
+            .map(|item| match item.expr.eval(row) {
+                Ok(v) => (item.flatten, v),
                 Err(e) => panic!("{e}"),
-            };
-            match (item.flatten, v) {
-                (true, Value::Bag(elems)) => {
-                    let mut next = Vec::with_capacity(rows.len() * elems.len().max(1));
-                    for base in &rows {
-                        for e in &elems {
-                            let mut r = base.clone();
-                            match e {
-                                Value::Tuple(fields) => r.extend(fields.iter().cloned()),
-                                other => r.push(other.clone()),
-                            }
-                            next.push(r);
-                        }
-                    }
-                    rows = next;
-                }
-                (true, Value::Tuple(fields)) => {
-                    for r in &mut rows {
-                        r.extend(fields.iter().cloned());
-                    }
-                }
-                (_, v) => {
-                    for r in &mut rows {
-                        r.push(v.clone());
-                    }
-                }
-            }
-        }
-        for r in rows {
+            })
+            .collect();
+        for r in expand_row(evaled) {
             ctx.emit(key, Value::Tuple(r));
         }
+    }
+}
+
+/// Compare two values the way `FILTER` does: numeric comparisons
+/// coerce int/long/double; everything else falls back to the
+/// `Value` total order.
+fn filter_cmp(l: &Value, r: &Value) -> std::cmp::Ordering {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+        _ => l.cmp(r),
+    }
+}
+
+/// Apply a comparison operator to an ordering.
+fn cmp_matches(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
     }
 }
 
@@ -196,20 +310,7 @@ impl FilterMapper {
     fn matches(&self, row: &[Value]) -> Result<bool, UdfError> {
         let l = self.lhs.eval(row)?;
         let r = self.rhs.eval(row)?;
-        // Numeric comparisons coerce int/long/double; everything else
-        // falls back to the Value total order.
-        let ord = match (l.as_f64(), r.as_f64()) {
-            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
-            _ => l.cmp(&r),
-        };
-        Ok(match self.op {
-            CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-            CmpOp::Ne => ord != std::cmp::Ordering::Equal,
-            CmpOp::Lt => ord == std::cmp::Ordering::Less,
-            CmpOp::Le => ord != std::cmp::Ordering::Greater,
-            CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-            CmpOp::Ge => ord != std::cmp::Ordering::Less,
-        })
+        Ok(cmp_matches(self.op, filter_cmp(&l, &r)))
     }
 }
 
@@ -315,6 +416,441 @@ impl Reducer for GroupReducer {
     }
 }
 
+// ------------------------------------------------------- columnar engine
+
+/// Expression resolved against the batch ABI.
+#[derive(Clone)]
+enum BExpr {
+    Field(usize),
+    Const(Value),
+    Udf {
+        udf: Arc<dyn BatchUdf>,
+        args: Vec<BExpr>,
+    },
+}
+
+/// Resolved generate item, columnar flavor.
+#[derive(Clone)]
+struct BGenItem {
+    expr: BExpr,
+    flatten: bool,
+}
+
+/// One evaluated item over a chunk window.
+enum ItemCol<'a> {
+    /// Borrowed window `start..start + len` of an input column.
+    Ref(&'a Column),
+    /// Chunk-local owned column (`len` rows).
+    Owned(Column),
+    /// Chunk-local tuple-per-row output (`len` rows).
+    Tup(ColumnBatch),
+    /// One value broadcast to every row.
+    Scalar(Value),
+}
+
+impl ItemCol<'_> {
+    /// The value this item takes at chunk-local row `i`.
+    fn value_at(&self, start: usize, i: usize) -> Value {
+        match self {
+            ItemCol::Ref(c) => c.value_at(start + i),
+            ItemCol::Owned(c) => c.value_at(i),
+            ItemCol::Tup(b) => b.row_value(i),
+            ItemCol::Scalar(v) => v.clone(),
+        }
+    }
+}
+
+/// Evaluate a batch expression over rows `start..start + len`.
+fn eval_bexpr<'a>(
+    batch: &'a ColumnBatch,
+    start: usize,
+    len: usize,
+    expr: &BExpr,
+) -> Result<ItemCol<'a>, UdfError> {
+    Ok(match expr {
+        BExpr::Field(i) => {
+            if *i < batch.num_cols() {
+                ItemCol::Ref(batch.col(*i))
+            } else {
+                ItemCol::Scalar(Value::Null)
+            }
+        }
+        BExpr::Const(v) => ItemCol::Scalar(v.clone()),
+        BExpr::Udf { udf, args } => {
+            let children: Vec<ItemCol<'a>> = args
+                .iter()
+                .map(|a| {
+                    eval_bexpr(batch, start, len, a).map(|c| match c {
+                        // Tuple-valued arguments materialize (no UDF
+                        // in the suite takes tuple columns; keep the
+                        // corner correct, not fast).
+                        ItemCol::Tup(b) => {
+                            ItemCol::Owned(Column::Dyn((0..len).map(|i| b.row_value(i)).collect()))
+                        }
+                        other => other,
+                    })
+                })
+                .collect::<Result<_, UdfError>>()?;
+            let call_args: Vec<BatchArg<'_>> = children
+                .iter()
+                .map(|c| match c {
+                    ItemCol::Ref(col) => BatchArg::Column { col, start, len },
+                    ItemCol::Owned(col) => BatchArg::Column { col, start: 0, len },
+                    ItemCol::Scalar(v) => BatchArg::Scalar { value: v, len },
+                    ItemCol::Tup(_) => unreachable!("materialized above"),
+                })
+                .collect();
+            match udf.eval_batch(&call_args, len)? {
+                BatchOut::Col(c) => {
+                    debug_assert_eq!(c.len(), len);
+                    ItemCol::Owned(c)
+                }
+                BatchOut::Rows(v) => {
+                    debug_assert_eq!(v.len(), len);
+                    ItemCol::Owned(Column::from_values(v))
+                }
+                BatchOut::Tup(b) => {
+                    debug_assert_eq!(b.rows(), len);
+                    ItemCol::Tup(b)
+                }
+            }
+        }
+    })
+}
+
+/// How one evaluated item feeds the vectorized output assembly.
+enum ItemPlan<'a> {
+    /// Appends one column, replicated by the input-row gather.
+    Plain(ItemCol<'a>),
+    /// Flattened bag: multiplies rows; appends the bag's element
+    /// fields. `global` marks offsets indexed by batch-global rows
+    /// (borrowed input column) vs chunk-local rows (computed column).
+    FlatBag { bag: &'a BagCol, global: bool },
+    /// Owned flattened bag (same, but the column lives in this
+    /// chunk's eval results).
+    FlatBagOwned { col_idx: usize },
+    /// Flattened uniform tuple column: appends its columns.
+    FlatTup { col_idx: usize },
+    /// Flattened constant tuple: appends one constant per field.
+    FlatConstTuple(Vec<Value>),
+}
+
+/// Vectorized FOREACH over one chunk. Returns `None` when the chunk
+/// needs the row-at-a-time fallback (the caller then uses
+/// [`expand_row`] per row — bit-identical by sharing the row
+/// engine's expansion code).
+#[allow(clippy::too_many_lines)]
+fn foreach_chunk_fast(
+    start: usize,
+    len: usize,
+    evaled: &[ItemCol<'_>],
+    items: &[BGenItem],
+) -> Option<ColumnBatch> {
+    // Classify items; bail to the slow path on anything the gather
+    // assembly cannot keep aligned.
+    let window_valid = |b: &BagCol, global: bool| -> bool {
+        let (s, l) = if global { (start, len) } else { (0, len) };
+        b.validity
+            .as_ref()
+            .is_none_or(|v| (s..s + l).all(|i| v.get(i)))
+    };
+    let bag_uniform = |b: &BagCol| -> bool { !b.tuple_elems || b.elems.widths().is_none() };
+    let mut plans: Vec<ItemPlan<'_>> = Vec::with_capacity(items.len());
+    for (idx, (item, col)) in items.iter().zip(evaled).enumerate() {
+        if !item.flatten {
+            match col {
+                ItemCol::Tup(_) => return None,
+                other => plans.push(ItemPlan::Plain(copy_item_ref(other))),
+            }
+            continue;
+        }
+        match col {
+            ItemCol::Ref(Column::Bag(b)) => {
+                if !window_valid(b, true) || !bag_uniform(b) {
+                    return None;
+                }
+                plans.push(ItemPlan::FlatBag {
+                    bag: b,
+                    global: true,
+                });
+            }
+            ItemCol::Owned(Column::Bag(b)) => {
+                if !window_valid(b, false) || !bag_uniform(b) {
+                    return None;
+                }
+                plans.push(ItemPlan::FlatBagOwned { col_idx: idx });
+            }
+            // Dynamic columns may hide bags or tuples per row.
+            ItemCol::Ref(Column::Dyn(_)) | ItemCol::Owned(Column::Dyn(_)) => return None,
+            // Typed non-bag columns: FLATTEN of a non-bag non-tuple
+            // value appends the value itself — plain semantics.
+            ItemCol::Ref(_) | ItemCol::Owned(_) => plans.push(ItemPlan::Plain(copy_item_ref(col))),
+            ItemCol::Tup(b) => {
+                if b.widths().is_some() {
+                    return None;
+                }
+                plans.push(ItemPlan::FlatTup { col_idx: idx });
+            }
+            ItemCol::Scalar(Value::Tuple(fields)) => {
+                plans.push(ItemPlan::FlatConstTuple(fields.clone()))
+            }
+            ItemCol::Scalar(Value::Bag(_)) => return None,
+            ItemCol::Scalar(v) => plans.push(ItemPlan::Plain(ItemCol::Scalar(v.clone()))),
+        }
+    }
+
+    // Build the gather vectors: one pass over input rows, odometer
+    // over the flatten bags (later items vary fastest, matching the
+    // row engine's sequential expansion).
+    struct FlatRef<'b> {
+        bag: &'b BagCol,
+        global: bool,
+        take: Vec<u32>,
+    }
+    let mut flats: Vec<FlatRef<'_>> = Vec::new();
+    for plan in &plans {
+        match plan {
+            ItemPlan::FlatBag { bag, global } => flats.push(FlatRef {
+                bag,
+                global: *global,
+                take: Vec::new(),
+            }),
+            ItemPlan::FlatBagOwned { col_idx } => {
+                let ItemCol::Owned(Column::Bag(b)) = &evaled[*col_idx] else {
+                    unreachable!()
+                };
+                flats.push(FlatRef {
+                    bag: b,
+                    global: false,
+                    take: Vec::new(),
+                });
+            }
+            _ => {}
+        }
+    }
+    let k = flats.len();
+    let mut take_in: Vec<u32> = Vec::with_capacity(len);
+    let mut counts = vec![0usize; k];
+    let mut odo = vec![0usize; k];
+    for i in 0..len {
+        let mut total = 1usize;
+        for (f, fr) in flats.iter().enumerate() {
+            let row = if fr.global { start + i } else { i };
+            counts[f] = fr.bag.bag_len(row);
+            total *= counts[f];
+        }
+        if total == 0 {
+            continue;
+        }
+        odo.iter_mut().for_each(|x| *x = 0);
+        for _ in 0..total {
+            take_in.push(i as u32);
+            for (f, fr) in flats.iter_mut().enumerate() {
+                let row = if fr.global { start + i } else { i };
+                fr.take.push(fr.bag.offsets[row] + odo[f] as u32);
+            }
+            // Increment odometer, last item fastest.
+            for f in (0..k).rev() {
+                odo[f] += 1;
+                if odo[f] < counts[f] {
+                    break;
+                }
+                odo[f] = 0;
+            }
+        }
+    }
+    let out_rows = take_in.len();
+    let take_global: Vec<u32> = take_in.iter().map(|&i| i + start as u32).collect();
+
+    // Assemble output columns in item order.
+    let mut out_cols: Vec<Column> = Vec::new();
+    let mut flat_cursor = 0usize;
+    for plan in &plans {
+        match plan {
+            ItemPlan::Plain(ItemCol::Ref(c)) => out_cols.push(c.gather(&take_global)),
+            ItemPlan::Plain(ItemCol::Owned(c)) => out_cols.push(c.gather(&take_in)),
+            ItemPlan::Plain(ItemCol::Scalar(v)) => {
+                out_cols.push(Column::from_values(vec![v.clone(); out_rows]))
+            }
+            ItemPlan::Plain(ItemCol::Tup(_)) => unreachable!("rejected above"),
+            ItemPlan::FlatBag { .. } | ItemPlan::FlatBagOwned { .. } => {
+                let fr = &flats[flat_cursor];
+                flat_cursor += 1;
+                let child = fr.bag.elems.gather(&fr.take);
+                if fr.bag.tuple_elems {
+                    out_cols.extend(child.into_cols());
+                } else {
+                    out_cols.extend(child.into_cols().into_iter().take(1));
+                }
+            }
+            ItemPlan::FlatTup { col_idx } => {
+                let ItemCol::Tup(b) = &evaled[*col_idx] else {
+                    unreachable!()
+                };
+                for c in b.cols() {
+                    out_cols.push(c.gather(&take_in));
+                }
+            }
+            ItemPlan::FlatConstTuple(fields) => {
+                for f in fields {
+                    out_cols.push(Column::from_values(vec![f.clone(); out_rows]));
+                }
+            }
+        }
+    }
+    Some(ColumnBatch::from_cols(out_cols, out_rows))
+}
+
+/// Re-borrow an evaluated item for plan storage (cheap: `Ref` stays
+/// borrowed, `Owned`/`Scalar` values are plan-local anyway).
+fn copy_item_ref<'a>(col: &ItemCol<'a>) -> ItemCol<'a> {
+    match col {
+        ItemCol::Ref(c) => ItemCol::Ref(c),
+        ItemCol::Owned(c) => ItemCol::Owned(c.clone()),
+        ItemCol::Tup(b) => ItemCol::Tup(b.clone()),
+        ItemCol::Scalar(v) => ItemCol::Scalar(v.clone()),
+    }
+}
+
+/// Full FOREACH over one chunk: fast vectorized assembly when
+/// possible, else the shared row-expansion fallback.
+fn foreach_chunk(
+    batch: &ColumnBatch,
+    start: usize,
+    len: usize,
+    items: &[BGenItem],
+) -> Result<ColumnBatch, UdfError> {
+    if len == 0 {
+        // The row engine never invokes a UDF for zero rows; neither
+        // may the batch path.
+        return Ok(ColumnBatch::from_rows(&[]).expect("empty batch"));
+    }
+    let evaled: Vec<ItemCol<'_>> = items
+        .iter()
+        .map(|it| eval_bexpr(batch, start, len, &it.expr))
+        .collect::<Result<_, UdfError>>()?;
+    if let Some(out) = foreach_chunk_fast(start, len, &evaled, items) {
+        return Ok(out);
+    }
+    // Slow path: exact row-engine expansion per row, reusing the
+    // already-evaluated item values.
+    let mut rows: Vec<Value> = Vec::with_capacity(len);
+    for i in 0..len {
+        let evaled_row: Vec<(bool, Value)> = items
+            .iter()
+            .zip(&evaled)
+            .map(|(it, col)| (it.flatten, col.value_at(start, i)))
+            .collect();
+        for r in expand_row(evaled_row) {
+            rows.push(Value::Tuple(r));
+        }
+    }
+    Ok(ColumnBatch::from_rows(&rows).expect("tuple rows"))
+}
+
+/// The columnar map task for `FOREACH`: one chunk of rows per call.
+struct BatchForeachMapper {
+    batch: Arc<ColumnBatch>,
+    items: Vec<BGenItem>,
+}
+
+impl Mapper for BatchForeachMapper {
+    type InKey = usize;
+    type InValue = (u32, u32);
+    type OutKey = usize;
+    type OutValue = ColumnBatch;
+
+    fn map(&self, key: usize, (start, len): (u32, u32), ctx: &mut TaskContext<usize, ColumnBatch>) {
+        match foreach_chunk(&self.batch, start as usize, len as usize, &self.items) {
+            Ok(out) => ctx.emit(key, out),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// The columnar map task for `FILTER`: selection vector + gather.
+struct BatchFilterMapper {
+    batch: Arc<ColumnBatch>,
+    lhs: BExpr,
+    op: CmpOp,
+    rhs: BExpr,
+}
+
+impl Mapper for BatchFilterMapper {
+    type InKey = usize;
+    type InValue = (u32, u32);
+    type OutKey = usize;
+    type OutValue = ColumnBatch;
+
+    fn map(&self, key: usize, (start, len): (u32, u32), ctx: &mut TaskContext<usize, ColumnBatch>) {
+        let (start, len) = (start as usize, len as usize);
+        if len == 0 {
+            ctx.emit(key, ColumnBatch::from_rows(&[]).expect("empty batch"));
+            return;
+        }
+        let run = || -> Result<(ColumnBatch, u64), UdfError> {
+            let l = eval_bexpr(&self.batch, start, len, &self.lhs)?;
+            let r = eval_bexpr(&self.batch, start, len, &self.rhs)?;
+            let mut keep: Vec<u32> = Vec::with_capacity(len);
+            let mut dropped = 0u64;
+            for i in 0..len {
+                let lv = l.value_at(start, i);
+                let rv = r.value_at(start, i);
+                if cmp_matches(self.op, filter_cmp(&lv, &rv)) {
+                    keep.push((start + i) as u32);
+                } else {
+                    dropped += 1;
+                }
+            }
+            Ok((self.batch.gather(&keep), dropped))
+        };
+        match run() {
+            Ok((out, dropped)) => {
+                if dropped > 0 {
+                    ctx.count("FILTERED_OUT", dropped);
+                }
+                ctx.emit(key, out);
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// The columnar map side of `GROUP`: shuffles `(key, row index)` —
+/// 4-byte values instead of cloned row trees — while charging
+/// `SHUFFLE_BYTES` for the full row via the wire-size hook, so the
+/// accounting stays bit-identical to the value shuffle.
+struct BatchGroupMapper {
+    batch: Arc<ColumnBatch>,
+    key_field: Option<usize>,
+}
+
+impl Mapper for BatchGroupMapper {
+    type InKey = usize;
+    type InValue = u32;
+    type OutKey = Value;
+    type OutValue = u32;
+
+    fn map(&self, _key: usize, row: u32, ctx: &mut TaskContext<Value, u32>) {
+        let key = match self.key_field {
+            None => Value::CharArray("all".to_string()),
+            Some(i) => self.batch.value_at(row as usize, i),
+        };
+        ctx.emit(key, row);
+    }
+
+    fn key_wire_size(&self, key: &Value) -> usize {
+        use mrmc_mapreduce::ShuffleSized;
+        key.shuffle_size()
+    }
+
+    fn value_wire_size(&self, value: &u32) -> usize {
+        self.batch.row_shuffle_size(*value as usize)
+    }
+}
+
+// --------------------------------------------------------------- runner
+
 /// Script executor with a DFS, a UDF registry and job sizing knobs.
 pub struct PigRunner {
     dfs: Arc<Dfs>,
@@ -325,6 +861,10 @@ pub struct PigRunner {
     pub num_reducers: usize,
     /// Worker threads (None = machine parallelism).
     pub workers: Option<usize>,
+    /// Execution engine (columnar by default; `Row` keeps the boxed
+    /// row-at-a-time reference path).
+    pub engine: PigEngine,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl PigRunner {
@@ -336,7 +876,24 @@ impl PigRunner {
             num_map_tasks: 8,
             num_reducers: 4,
             workers: None,
+            engine: PigEngine::default(),
+            tracer: None,
         }
+    }
+
+    /// Select the execution engine.
+    pub fn with_engine(mut self, engine: PigEngine) -> PigRunner {
+        self.engine = engine;
+        self
+    }
+
+    /// Attach a trace sink: every engine stage's spans accumulate in
+    /// it, and each Pig operator records a wrapping `Category::Pig`
+    /// span chained operator-to-operator, so critical-path analysis
+    /// can attribute scripted-run time to FOREACH/FILTER/GROUP.
+    pub fn traced(mut self, tracer: Arc<Tracer>) -> PigRunner {
+        self.tracer = Some(tracer);
+        self
     }
 
     fn job_config(&self, name: &str) -> JobConfig {
@@ -347,14 +904,49 @@ impl PigRunner {
         cfg
     }
 
+    fn columnar(&self) -> bool {
+        self.engine == PigEngine::Columnar
+    }
+
+    /// Wrap row output into the engine's preferred representation.
+    fn make_relation(&self, rows: Vec<Value>, schema: Vec<String>) -> Relation {
+        let store = if self.columnar() {
+            match ColumnBatch::from_rows(&rows) {
+                Some(batch) => {
+                    let len = batch.rows();
+                    Store::Batch {
+                        data: Arc::new(batch),
+                        len,
+                    }
+                }
+                None => Store::Rows {
+                    len: rows.len(),
+                    data: Arc::new(rows),
+                },
+            }
+        } else {
+            Store::Rows {
+                len: rows.len(),
+                data: Arc::new(rows),
+            }
+        };
+        Relation { store, schema }
+    }
+
     /// Execute a parsed script against the DFS.
     pub fn run(&self, script: &Script) -> Result<RunReport, PigError> {
         let mut env: HashMap<String, Relation> = HashMap::new();
         let mut pipeline = Pipeline::new("pig-script");
+        if let Some(t) = &self.tracer {
+            pipeline = pipeline.traced(Arc::clone(t));
+        }
         let mut stored = Vec::new();
+        let pig_job = self.tracer.as_ref().map(|t| t.begin_job("pig-operators"));
+        let mut prev_span: Option<SpanId> = None;
 
         for stmt in &script.statements {
-            match stmt {
+            let t0 = self.tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
+            let (span_name, rows_out) = match stmt {
                 Statement::Assign { alias, op } => {
                     let rel = match op {
                         Operator::Load {
@@ -381,26 +973,59 @@ impl PigRunner {
                             let rel = env
                                 .get(input)
                                 .ok_or_else(|| PigError::UnknownRelation(input.clone()))?;
+                            // Zero-copy prefix view: shares the Arc'd
+                            // storage, only the logical length drops.
+                            let mut store = rel.store.clone();
+                            match &mut store {
+                                Store::Rows { len, .. } | Store::Batch { len, .. } => {
+                                    *len = (*len).min(*n);
+                                }
+                            }
                             Relation {
-                                rows: Arc::new(rel.rows.iter().take(*n).cloned().collect()),
+                                store,
                                 schema: rel.schema.clone(),
                             }
                         }
                     };
+                    let name = format!("{}:{alias}", op_kind(op));
+                    let rows_out = rel.len();
                     env.insert(alias.clone(), rel);
+                    (name, rows_out)
                 }
                 Statement::Store { alias, path } => {
                     let rel = env
                         .get(alias)
                         .ok_or_else(|| PigError::UnknownRelation(alias.clone()))?;
                     let mut text = String::new();
-                    for row in rel.rows.iter() {
-                        text.push_str(&row.to_string());
-                        text.push('\n');
+                    match &rel.store {
+                        Store::Rows { data, len } => {
+                            for row in &data[..*len] {
+                                text.push_str(&row.to_string());
+                                text.push('\n');
+                            }
+                        }
+                        Store::Batch { data, len } => {
+                            for i in 0..*len {
+                                text.push_str(&data.row_value(i).to_string());
+                                text.push('\n');
+                            }
+                        }
                     }
                     self.dfs.put(path, text.into_bytes(), true)?;
                     stored.push(path.clone());
+                    (format!("store:{alias}"), rel.len())
                 }
+            };
+            if let (Some(t), Some(job)) = (&self.tracer, pig_job) {
+                let dur = t.now_ns().saturating_sub(t0);
+                let mut draft = SpanDraft::new(job, span_name, Category::Pig)
+                    .at(t0, dur)
+                    .lane(0)
+                    .meta("rows_out", rows_out);
+                if let Some(p) = prev_span {
+                    draft = draft.dep(p);
+                }
+                prev_span = Some(t.add_span(draft));
             }
         }
         Ok(RunReport { stored, pipeline })
@@ -417,8 +1042,10 @@ impl PigRunner {
             .registry
             .get(loader_name)
             .ok_or_else(|| PigError::UnknownUdf(loader_name.to_string()))?;
+        // The DFS hands back shared bytes; the loader sees a zero-copy
+        // window, not a per-load heap copy.
         let bytes = self.dfs.read(path)?;
-        let out = udf.exec(&[Value::ByteArray(bytes.to_vec())])?;
+        let out = udf.exec(&[Value::ByteArray(bytes)])?;
         let rows = match out {
             Value::Bag(rows) => rows,
             other => vec![other],
@@ -428,10 +1055,7 @@ impl PigRunner {
         } else {
             schema.iter().map(|f| f.name.clone()).collect()
         };
-        Ok(Relation {
-            rows: Arc::new(rows),
-            schema: schema_names,
-        })
+        Ok(self.make_relation(rows, schema_names))
     }
 
     fn exec_foreach(
@@ -445,25 +1069,6 @@ impl PigRunner {
         let rel = env
             .get(input)
             .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
-        let resolved: Vec<RGenItem> = items
-            .iter()
-            .map(|it| {
-                Ok(RGenItem {
-                    expr: self.resolve(env, &rel.schema, &it.expr)?,
-                    flatten: it.flatten,
-                })
-            })
-            .collect::<Result<_, PigError>>()?;
-
-        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
-        let mapper = ForeachMapper { items: resolved };
-        let out = pipeline.run_map_stage(
-            input_rows,
-            self.num_map_tasks,
-            &mapper,
-            &self.job_config(&format!("foreach:{alias}")),
-        )?;
-        let rows: Vec<Value> = out.into_iter().map(|(_, v)| v).collect();
 
         // Output schema: declared names where given, else generated.
         let mut schema = Vec::new();
@@ -480,10 +1085,63 @@ impl PigRunner {
                 schema.extend(it.schema.iter().map(|f| f.name.clone()));
             }
         }
-        Ok(Relation {
-            rows: Arc::new(rows),
-            schema,
-        })
+
+        if let Some((batch, len)) = rel.batch() {
+            let resolved: Vec<BGenItem> = items
+                .iter()
+                .map(|it| {
+                    Ok(BGenItem {
+                        expr: self.resolve_batch(env, &rel.schema, &it.expr)?,
+                        flatten: it.flatten,
+                    })
+                })
+                .collect::<Result<_, PigError>>()?;
+            let chunks: Vec<(usize, (u32, u32))> = chunk_ranges(len, self.num_map_tasks)
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (i, (r.start as u32, (r.end - r.start) as u32)))
+                .collect();
+            let mapper = BatchForeachMapper {
+                batch: Arc::clone(batch),
+                items: resolved,
+            };
+            let out = pipeline.run_map_stage(
+                chunks,
+                self.num_map_tasks,
+                &mapper,
+                &self.job_config(&format!("foreach:{alias}")),
+            )?;
+            let parts: Vec<ColumnBatch> = out.into_iter().map(|(_, b)| b).collect();
+            let merged = ColumnBatch::concat(parts);
+            let len = merged.rows();
+            return Ok(Relation {
+                store: Store::Batch {
+                    data: Arc::new(merged),
+                    len,
+                },
+                schema,
+            });
+        }
+
+        let resolved: Vec<RGenItem> = items
+            .iter()
+            .map(|it| {
+                Ok(RGenItem {
+                    expr: self.resolve(env, &rel.schema, &it.expr)?,
+                    flatten: it.flatten,
+                })
+            })
+            .collect::<Result<_, PigError>>()?;
+        let input_rows: Vec<(usize, Value)> = rel.rows_vec().into_iter().enumerate().collect();
+        let mapper = ForeachMapper { items: resolved };
+        let out = pipeline.run_map_stage(
+            input_rows,
+            self.num_map_tasks,
+            &mapper,
+            &self.job_config(&format!("foreach:{alias}")),
+        )?;
+        let rows: Vec<Value> = out.into_iter().map(|(_, v)| v).collect();
+        Ok(self.make_relation(rows, schema))
     }
 
     fn exec_group(
@@ -501,7 +1159,53 @@ impl PigRunner {
             GroupBy::All => None,
             GroupBy::Field(name) => Some(field_index(&rel.schema, input, name)?),
         };
-        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
+        let schema = vec!["group".to_string(), input.to_string()];
+
+        if let Some((batch, len)) = rel.batch() {
+            // Shuffle row *indices*; the wire-size hook prices the
+            // full row so SHUFFLE_BYTES matches the value shuffle.
+            let input_rows: Vec<(usize, u32)> = (0..len).map(|i| (i, i as u32)).collect();
+            let mapper = BatchGroupMapper {
+                batch: Arc::clone(batch),
+                key_field,
+            };
+            let groups = pipeline.run_group_stage(
+                input_rows,
+                self.num_map_tasks,
+                &mapper,
+                &self.job_config(&format!("group:{alias}")),
+            )?;
+            // Deterministic group order (keys are unique, so sorting
+            // by key equals the row engine's whole-row sort).
+            let mut groups = groups;
+            groups.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut offsets = Vec::with_capacity(groups.len() + 1);
+            offsets.push(0u32);
+            let mut elem_idx: Vec<u32> = Vec::with_capacity(len);
+            let mut keys: Vec<Value> = Vec::with_capacity(groups.len());
+            for (key, rows) in groups {
+                keys.push(key);
+                elem_idx.extend(rows);
+                offsets.push(elem_idx.len() as u32);
+            }
+            // One gather materializes every group's member rows into
+            // the bag column's child batch — the grouped runs were
+            // moved, not cloned, all the way from the reducers.
+            let child = batch.gather(&elem_idx);
+            let rows = keys.len();
+            let key_col = Column::from_values(keys);
+            let bag_col = Column::Bag(BagCol::new(offsets, child, true, None));
+            let out = ColumnBatch::from_cols(vec![key_col, bag_col], rows);
+            return Ok(Relation {
+                store: Store::Batch {
+                    data: Arc::new(out),
+                    len: rows,
+                },
+                schema,
+            });
+        }
+
+        let input_rows: Vec<(usize, Value)> = rel.rows_vec().into_iter().enumerate().collect();
         let out = pipeline.run_stage(
             input_rows,
             self.num_map_tasks,
@@ -513,9 +1217,12 @@ impl PigRunner {
         // Deterministic group order.
         rows.sort();
         Ok(Relation {
-            rows: Arc::new(rows),
+            store: Store::Rows {
+                len: rows.len(),
+                data: Arc::new(rows),
+            },
             // Pig names the bag field after the grouped relation.
-            schema: vec!["group".to_string(), input.to_string()],
+            schema,
         })
     }
 
@@ -530,12 +1237,42 @@ impl PigRunner {
         let rel = env
             .get(input)
             .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
+
+        if let Some((batch, len)) = rel.batch() {
+            let mapper = BatchFilterMapper {
+                batch: Arc::clone(batch),
+                lhs: self.resolve_batch(env, &rel.schema, &cond.lhs)?,
+                op: cond.op,
+                rhs: self.resolve_batch(env, &rel.schema, &cond.rhs)?,
+            };
+            let chunks: Vec<(usize, (u32, u32))> = chunk_ranges(len, self.num_map_tasks)
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (i, (r.start as u32, (r.end - r.start) as u32)))
+                .collect();
+            let out = pipeline.run_map_stage(
+                chunks,
+                self.num_map_tasks,
+                &mapper,
+                &self.job_config(&format!("filter:{alias}")),
+            )?;
+            let merged = ColumnBatch::concat(out.into_iter().map(|(_, b)| b).collect());
+            let len = merged.rows();
+            return Ok(Relation {
+                store: Store::Batch {
+                    data: Arc::new(merged),
+                    len,
+                },
+                schema: rel.schema.clone(),
+            });
+        }
+
         let mapper = FilterMapper {
             lhs: self.resolve(env, &rel.schema, &cond.lhs)?,
             op: cond.op,
             rhs: self.resolve(env, &rel.schema, &cond.rhs)?,
         };
-        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows_vec().into_iter().enumerate().collect();
         let out = pipeline.run_map_stage(
             input_rows,
             self.num_map_tasks,
@@ -543,7 +1280,10 @@ impl PigRunner {
             &self.job_config(&format!("filter:{alias}")),
         )?;
         Ok(Relation {
-            rows: Arc::new(out.into_iter().map(|(_, v)| v).collect()),
+            store: Store::Rows {
+                len: out.len(),
+                data: Arc::new(out.into_iter().map(|(_, v)| v).collect()),
+            },
             schema: rel.schema.clone(),
         })
     }
@@ -558,7 +1298,7 @@ impl PigRunner {
         let rel = env
             .get(input)
             .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
-        let input_rows: Vec<(usize, Value)> = rel.rows.iter().cloned().enumerate().collect();
+        let input_rows: Vec<(usize, Value)> = rel.rows_vec().into_iter().enumerate().collect();
         let out = pipeline.run_stage(
             input_rows,
             self.num_map_tasks,
@@ -568,10 +1308,7 @@ impl PigRunner {
         )?;
         let mut rows: Vec<Value> = out.into_iter().map(|(k, ())| k).collect();
         rows.sort();
-        Ok(Relation {
-            rows: Arc::new(rows),
-            schema: rel.schema.clone(),
-        })
+        Ok(self.make_relation(rows, rel.schema.clone()))
     }
 
     /// `ORDER BY` runs on the driver: real Pig samples the key space
@@ -588,7 +1325,31 @@ impl PigRunner {
             .get(input)
             .ok_or_else(|| PigError::UnknownRelation(input.to_string()))?;
         let idx = field_index(&rel.schema, input, field)?;
-        let mut rows: Vec<Value> = rel.rows.as_ref().clone();
+
+        if let Some((batch, len)) = rel.batch() {
+            // Stable argsort on the key column, then one gather —
+            // no row materialization, no per-comparison key clones.
+            let keys: Vec<Value> = (0..len).map(|i| batch.value_at(i, idx)).collect();
+            let mut order: Vec<u32> = (0..len as u32).collect();
+            order.sort_by(|&a, &b| {
+                let ord = keys[a as usize].cmp(&keys[b as usize]);
+                if desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            let sorted = batch.gather(&order);
+            return Ok(Relation {
+                store: Store::Batch {
+                    data: Arc::new(sorted),
+                    len,
+                },
+                schema: rel.schema.clone(),
+            });
+        }
+
+        let mut rows: Vec<Value> = rel.rows_vec();
         let key = |v: &Value| -> Value {
             v.as_tuple()
                 .and_then(|t| t.get(idx))
@@ -604,7 +1365,10 @@ impl PigRunner {
             }
         });
         Ok(Relation {
-            rows: Arc::new(rows),
+            store: Store::Rows {
+                len: rows.len(),
+                data: Arc::new(rows),
+            },
             schema: rel.schema.clone(),
         })
     }
@@ -621,24 +1385,7 @@ impl PigRunner {
             Expr::LitString(s) => RExpr::Const(Value::CharArray(s.clone())),
             Expr::Field(name) => RExpr::Field(field_index(schema, "<current>", name)?),
             Expr::Dotted { relation, field } => {
-                // Scalar cross-relation reference: the relation must
-                // have exactly one row (true for GROUP ... ALL output).
-                let rel = env
-                    .get(relation)
-                    .ok_or_else(|| PigError::UnknownRelation(relation.clone()))?;
-                if rel.rows.len() != 1 {
-                    return Err(PigError::NotScalar {
-                        relation: relation.clone(),
-                        rows: rel.rows.len(),
-                    });
-                }
-                let idx = field_index(&rel.schema, relation, field)?;
-                let v = rel.rows[0]
-                    .as_tuple()
-                    .and_then(|t| t.get(idx))
-                    .cloned()
-                    .unwrap_or(Value::Null);
-                RExpr::Const(v)
+                RExpr::Const(self.resolve_scalar_ref(env, relation, field)?)
             }
             Expr::Udf { name, args } => {
                 let udf = self
@@ -652,6 +1399,74 @@ impl PigRunner {
                 RExpr::Udf { udf, args }
             }
         })
+    }
+
+    /// Resolve an expression against the batch ABI ([`BExpr`]).
+    fn resolve_batch(
+        &self,
+        env: &HashMap<String, Relation>,
+        schema: &[String],
+        expr: &Expr,
+    ) -> Result<BExpr, PigError> {
+        Ok(match expr {
+            Expr::LitLong(v) => BExpr::Const(Value::Long(*v)),
+            Expr::LitDouble(v) => BExpr::Const(Value::Double(*v)),
+            Expr::LitString(s) => BExpr::Const(Value::CharArray(s.clone())),
+            Expr::Field(name) => BExpr::Field(field_index(schema, "<current>", name)?),
+            Expr::Dotted { relation, field } => {
+                BExpr::Const(self.resolve_scalar_ref(env, relation, field)?)
+            }
+            Expr::Udf { name, args } => {
+                let udf = self
+                    .registry
+                    .get_batch(name)
+                    .ok_or_else(|| PigError::UnknownUdf(name.clone()))?;
+                let args = args
+                    .iter()
+                    .map(|a| self.resolve_batch(env, schema, a))
+                    .collect::<Result<_, PigError>>()?;
+                BExpr::Udf { udf, args }
+            }
+        })
+    }
+
+    /// Scalar cross-relation reference (`I.F`): the relation must
+    /// have exactly one row (true for `GROUP ... ALL` output).
+    fn resolve_scalar_ref(
+        &self,
+        env: &HashMap<String, Relation>,
+        relation: &str,
+        field: &str,
+    ) -> Result<Value, PigError> {
+        let rel = env
+            .get(relation)
+            .ok_or_else(|| PigError::UnknownRelation(relation.to_string()))?;
+        if rel.len() != 1 {
+            return Err(PigError::NotScalar {
+                relation: relation.to_string(),
+                rows: rel.len(),
+            });
+        }
+        let idx = field_index(&rel.schema, relation, field)?;
+        Ok(rel
+            .row(0)
+            .as_tuple()
+            .and_then(|t| t.get(idx))
+            .cloned()
+            .unwrap_or(Value::Null))
+    }
+}
+
+/// Operator kind label for span names.
+fn op_kind(op: &Operator) -> &'static str {
+    match op {
+        Operator::Load { .. } => "load",
+        Operator::Foreach { .. } => "foreach",
+        Operator::Group { .. } => "group",
+        Operator::Filter { .. } => "filter",
+        Operator::Distinct { .. } => "distinct",
+        Operator::OrderBy { .. } => "order",
+        Operator::Limit { .. } => "limit",
     }
 }
 
@@ -699,6 +1514,10 @@ mod tests {
         r
     }
 
+    fn row_runner(dfs: &Arc<Dfs>) -> PigRunner {
+        runner(dfs).with_engine(PigEngine::Row)
+    }
+
     #[test]
     fn load_foreach_store_word_upper() {
         let dfs = dfs();
@@ -716,6 +1535,37 @@ mod tests {
         assert_eq!(out.as_ref(), b"(HELLO)\n(WORLD)\n");
         // One FOREACH stage recorded.
         assert_eq!(report.pipeline.stages().len(), 1);
+    }
+
+    #[test]
+    fn both_engines_store_identical_bytes() {
+        for script_src in [
+            "A = LOAD '/in.txt' AS (line:chararray);\
+             B = FOREACH A GENERATE UPPER(line);\
+             STORE B INTO '/out.txt';",
+            "A = LOAD '/in.txt' AS (line:chararray);\
+             W = FOREACH A GENERATE FLATTEN(TOKENIZE(line)) AS (word:chararray);\
+             G = GROUP W BY word;\
+             C = FOREACH G GENERATE group, COUNT(W);\
+             O = ORDER C BY group;\
+             L = LIMIT O 3;\
+             STORE L INTO '/out.txt';",
+        ] {
+            let script = parse_script(script_src, &Map::new()).unwrap();
+            let mut outs = Vec::new();
+            for columnar in [false, true] {
+                let dfs = dfs();
+                dfs.put("/in.txt", &b"c a b\nb a\nz\n"[..], false).unwrap();
+                let r = if columnar {
+                    runner(&dfs)
+                } else {
+                    row_runner(&dfs)
+                };
+                r.run(&script).unwrap();
+                outs.push(dfs.read("/out.txt").unwrap());
+            }
+            assert_eq!(outs[0], outs[1], "engines diverged on: {script_src}");
+        }
     }
 
     #[test]
@@ -939,6 +1789,23 @@ mod tests {
     }
 
     #[test]
+    fn limit_shares_storage_instead_of_cloning() {
+        let dfs = dfs();
+        dfs.put("/s.txt", &b"a\nb\nc\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/s.txt' AS (v:chararray);\
+             L = LIMIT A 2;\
+             STORE L INTO '/two.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        for r in [runner(&dfs), row_runner(&dfs)] {
+            r.run(&script).unwrap();
+            assert_eq!(dfs.read("/two.txt").unwrap().as_ref(), b"(a)\n(b)\n");
+        }
+    }
+
+    #[test]
     fn pipeline_records_group_shuffle() {
         let dfs = dfs();
         dfs.put("/x", &b"a\nb\nc\n"[..], false).unwrap();
@@ -951,5 +1818,59 @@ mod tests {
         let stage = &report.pipeline.stages()[0];
         assert_eq!(stage.shuffled_pairs, 3);
         assert!(!stage.reduce_stats.is_empty());
+    }
+
+    #[test]
+    fn group_stage_stats_identical_across_engines() {
+        let dfs = dfs();
+        dfs.put("/kv.txt", &b"a 1\nb 2\na 3\nc 9\nb 4\n"[..], false)
+            .unwrap();
+        let script = parse_script(
+            "A = LOAD '/kv.txt' AS (line:chararray);\
+             B = FOREACH A GENERATE FLATTEN(TOKENIZE(line)) AS (tok:chararray);\
+             G = GROUP B BY tok;",
+            &Map::new(),
+        )
+        .unwrap();
+        let col = runner(&dfs).run(&script).unwrap();
+        let row = row_runner(&dfs).run(&script).unwrap();
+        let (cs, rs) = (&col.pipeline.stages()[1], &row.pipeline.stages()[1]);
+        assert_eq!(cs.shuffled_pairs, rs.shuffled_pairs);
+        // The index shuffle must charge the same SHUFFLE_BYTES as the
+        // value shuffle (wire-size hook prices the full row).
+        assert_eq!(cs.shuffled_bytes, rs.shuffled_bytes);
+        assert_eq!(cs.shuffle_runs, rs.shuffle_runs);
+    }
+
+    #[test]
+    fn operator_spans_recorded_with_tracer() {
+        let dfs = dfs();
+        dfs.put("/x", &b"a\nb\n"[..], false).unwrap();
+        let script = parse_script(
+            "A = LOAD '/x' AS (line:chararray);\
+             B = FOREACH A GENERATE UPPER(line);\
+             I = GROUP B ALL;\
+             STORE I INTO '/o.txt';",
+            &Map::new(),
+        )
+        .unwrap();
+        let tracer = Arc::new(Tracer::new());
+        runner(&dfs)
+            .traced(Arc::clone(&tracer))
+            .run(&script)
+            .unwrap();
+        let ledger = tracer.ledger();
+        let pig_spans: Vec<_> = ledger
+            .spans
+            .iter()
+            .filter(|s| s.category == Category::Pig)
+            .collect();
+        let names: Vec<&str> = pig_spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["load:A", "foreach:B", "group:I", "store:I"]);
+        // Operator spans chain so the critical path can walk them.
+        assert!(pig_spans[1].deps.contains(&pig_spans[0].id));
+        // Engine spans accumulate in the same ledger (FOREACH ran a
+        // real map stage under the hood).
+        assert!(ledger.spans.iter().any(|s| s.category == Category::Compute));
     }
 }

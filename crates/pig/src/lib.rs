@@ -15,6 +15,9 @@
 //! STORE K INTO '$OUTPUT';
 //! ```
 //!
+//! * [`batch`] — the columnar data plane: typed column vectors with
+//!   validity bitmaps and offset-based nested bags, behind the
+//!   vectorized executor (`PigEngine::Columnar`, the default);
 //! * [`value`] — Pig's dynamic data model (int, long, double,
 //!   chararray, bytearray, tuple, bag) with total ordering so values
 //!   can serve as shuffle keys;
@@ -28,13 +31,15 @@
 //!   per-stage task statistics feed the simulated-cluster scaling
 //!   model.
 
+pub mod batch;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod udf;
 pub mod value;
 
-pub use exec::{PigRunner, RunReport};
+pub use batch::{BagCol, Bitmap, Column, ColumnBatch, VarBytes, VarBytesBuilder};
+pub use exec::{PigEngine, PigRunner, RunReport};
 pub use parser::{parse_script, ParseError, Script, Statement};
-pub use udf::{Udf, UdfRegistry};
+pub use udf::{BatchArg, BatchOut, BatchUdf, Udf, UdfRegistry};
 pub use value::Value;

@@ -10,6 +10,8 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use bytes::Bytes;
+
 /// One Pig value.
 #[derive(Debug, Clone)]
 pub enum Value {
@@ -23,8 +25,12 @@ pub enum Value {
     Double(f64),
     /// UTF-8 string (`chararray`).
     CharArray(String),
-    /// Raw bytes (`bytearray`).
-    ByteArray(Vec<u8>),
+    /// Raw bytes (`bytearray`). [`Bytes`] is a cheaply cloneable
+    /// `Arc<[u8]>` window, so a bytearray sliced out of a loaded file
+    /// (or out of a column) shares the backing store instead of
+    /// copying — clones are O(1) and LOAD hands records to UDFs
+    /// without a per-record copy.
+    ByteArray(Bytes),
     /// Ordered fields (`tuple`).
     Tuple(Vec<Value>),
     /// Collection of tuples (`bag`).
@@ -241,7 +247,10 @@ mod tests {
         assert_eq!(Value::Double(2.5).as_i64(), None);
         assert_eq!(Value::Int(3).as_f64(), Some(3.0));
         assert_eq!(Value::CharArray("x".into()).as_str(), Some("x"));
-        assert_eq!(Value::ByteArray(vec![65]).as_bytes(), Some(&b"A"[..]));
+        assert_eq!(
+            Value::ByteArray(vec![65].into()).as_bytes(),
+            Some(&b"A"[..])
+        );
         assert_eq!(Value::CharArray("A".into()).as_bytes(), Some(&b"A"[..]));
     }
 
@@ -260,7 +269,7 @@ mod tests {
             Value::Long(0),
             Value::Double(0.0),
             Value::CharArray(String::new()),
-            Value::ByteArray(Vec::new()),
+            Value::ByteArray(Bytes::new()),
             Value::tuple([]),
             Value::bag([]),
         ];

@@ -16,7 +16,7 @@ fn value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Long),
         any::<f64>().prop_map(Value::Double),
         "[a-z]{0,6}".prop_map(Value::CharArray),
-        proptest::collection::vec(any::<u8>(), 0..8).prop_map(Value::ByteArray),
+        proptest::collection::vec(any::<u8>(), 0..8).prop_map(|v| Value::ByteArray(v.into())),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
