@@ -34,15 +34,17 @@
 //! cargo run -p mrmc-bench --release --bin shuffle_bench -- --json BENCH_shuffle.json
 //! ```
 
+use std::hint::black_box;
 use std::time::Instant;
 
 use mrmc::{MrMcConfig, MrMcMinH};
 use mrmc_bench::json::Json;
-use mrmc_bench::HarnessArgs;
+use mrmc_bench::{alloc, HarnessArgs};
 use mrmc_mapreduce::engine::{run_job, run_job_with_combiner};
 use mrmc_mapreduce::job::{
     partition_of, Combiner, JobConfig, Mapper, Reducer, ShuffleSized, TaskContext,
 };
+use mrmc_mapreduce::IdRun;
 use mrmc_simulate::huse_16s;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -269,6 +271,117 @@ fn measure(
     }
 }
 
+/// One merge-path measurement: the same input run set merged
+/// `iters` times through the legacy decode-concat-sort-reencode
+/// oracle (`IdRun::merge_via_decode`) and the streaming plane
+/// (`IdRun::merge`), with wall-clock and allocation counts from the
+/// global counting allocator. Outputs are asserted byte-identical
+/// before anything is timed.
+struct MergePathResult {
+    shape: &'static str,
+    runs_per_merge: usize,
+    ids_per_run: usize,
+    iters: usize,
+    legacy_allocs_per_merge: f64,
+    streaming_allocs_per_merge: f64,
+    legacy_secs: f64,
+    streaming_secs: f64,
+}
+
+impl MergePathResult {
+    fn alloc_ratio(&self) -> f64 {
+        self.legacy_allocs_per_merge / self.streaming_allocs_per_merge.max(1e-9)
+    }
+
+    fn streaming_allocs_per_run(&self) -> f64 {
+        self.streaming_allocs_per_merge / self.runs_per_merge as f64
+    }
+
+    fn speedup(&self) -> f64 {
+        self.legacy_secs / self.streaming_secs.max(1e-12)
+    }
+}
+
+fn bench_merge_shape(
+    shape: &'static str,
+    runs: Vec<IdRun>,
+    ids_per_run: usize,
+    iters: usize,
+) -> MergePathResult {
+    let legacy = IdRun::merge_via_decode(&runs).expect("legacy merge");
+    let streaming = IdRun::merge(&runs).expect("streaming merge");
+    assert_eq!(
+        streaming.as_bytes(),
+        legacy.as_bytes(),
+        "{shape}: streaming merge must be byte-identical to the decode-merge oracle"
+    );
+
+    let t = Instant::now();
+    let (_, legacy_allocs) = alloc::count_allocs(|| {
+        for _ in 0..iters {
+            black_box(IdRun::merge_via_decode(black_box(&runs)).expect("legacy merge"));
+        }
+    });
+    let legacy_secs = t.elapsed().as_secs_f64() / iters as f64;
+
+    let t = Instant::now();
+    let (_, streaming_allocs) = alloc::count_allocs(|| {
+        for _ in 0..iters {
+            black_box(IdRun::merge(black_box(&runs)).expect("streaming merge"));
+        }
+    });
+    let streaming_secs = t.elapsed().as_secs_f64() / iters as f64;
+
+    MergePathResult {
+        shape,
+        runs_per_merge: runs.len(),
+        ids_per_run,
+        iters,
+        legacy_allocs_per_merge: legacy_allocs as f64 / iters as f64,
+        streaming_allocs_per_merge: streaming_allocs as f64 / iters as f64,
+        legacy_secs,
+        streaming_secs,
+    }
+}
+
+/// Measure the combine/reduce merge primitive on its two hot shapes:
+///
+/// * **combiner** — one map task's local group for a hot bucket key:
+///   many ascending singleton runs (the splice fast path);
+/// * **reducer** — one reduce group across map tasks: a handful of
+///   post-combine runs with interleaved id ranges (the k-way heap
+///   path).
+fn merge_path_bench(seed: u64) -> Vec<MergePathResult> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d65_7267);
+
+    // Combiner shape: 256 strictly-ascending singletons, the order a
+    // map task emits a hot key's ids in.
+    let mut id = 0u32;
+    let singletons: Vec<IdRun> = (0..256)
+        .map(|_| {
+            id += rng.random_range(1u32..32);
+            IdRun::singleton(id)
+        })
+        .collect();
+
+    // Reducer shape: 16 runs of 128 ids whose ranges interleave, so
+    // the splice pre-scan passes (ascending firsts) but the heap merge
+    // must dedup-free interleave them — the worst case for the
+    // streaming path.
+    let stride = 16u32;
+    let overlapping: Vec<IdRun> = (0..16u32)
+        .map(|r| {
+            let ids: Vec<u32> = (0..128u32).map(|t| r + t * stride).collect();
+            IdRun::from_sorted(&ids).expect("strided ids are strictly increasing")
+        })
+        .collect();
+
+    vec![
+        bench_merge_shape("combiner-singletons", singletons, 1, 4_000),
+        bench_merge_shape("reducer-overlapping", overlapping, 128, 2_000),
+    ]
+}
+
 struct BandedWire {
     reads: usize,
     /// `(stage, raw bytes, compact bytes)` for the two banding stages.
@@ -379,6 +492,35 @@ fn main() {
         plain.shuffled_pairs, plain.shuffled_bytes, plain.shuffle_runs
     );
 
+    let merge_path = merge_path_bench(args.seed);
+    println!("\nmerge path — legacy decode-merge vs streaming cursor merge\n");
+    println!(
+        "{:>20} {:>6} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "shape", "runs", "legacy al/m", "stream al/m", "al ratio", "al/run", "speedup"
+    );
+    for m in &merge_path {
+        println!(
+            "{:>20} {:>6} {:>12.2} {:>12.2} {:>8.1}x {:>11.4} {:>8.2}x",
+            m.shape,
+            m.runs_per_merge,
+            m.legacy_allocs_per_merge,
+            m.streaming_allocs_per_merge,
+            m.alloc_ratio(),
+            m.streaming_allocs_per_run(),
+            m.speedup()
+        );
+    }
+    let merge_alloc_reduction = merge_path
+        .iter()
+        .map(|m| m.legacy_allocs_per_merge)
+        .sum::<f64>()
+        / merge_path
+            .iter()
+            .map(|m| m.streaming_allocs_per_merge)
+            .sum::<f64>()
+            .max(1e-9);
+    println!("merge-path allocation reduction (both shapes): {merge_alloc_reduction:.1}x");
+
     eprintln!("\nbanded pipeline wire comparison (Huse 16S, raw vs compact)…");
     let banded = banded_wire_comparison(args.scale, args.seed);
     println!(
@@ -445,6 +587,39 @@ fn main() {
         ("shuffled_pairs", plain.shuffled_pairs.into()),
         ("shuffle_bytes", plain.shuffled_bytes.into()),
         ("shuffle_runs", plain.shuffle_runs.into()),
+        (
+            "merge_path",
+            Json::obj([
+                ("alloc_reduction", Json::fixed(merge_alloc_reduction, 1)),
+                (
+                    "shapes",
+                    Json::arr(merge_path.iter().map(|m| {
+                        Json::obj([
+                            ("shape", Json::from(m.shape)),
+                            ("runs_per_merge", m.runs_per_merge.into()),
+                            ("ids_per_run", m.ids_per_run.into()),
+                            ("iters", m.iters.into()),
+                            (
+                                "legacy_allocs_per_merge",
+                                Json::fixed(m.legacy_allocs_per_merge, 2),
+                            ),
+                            (
+                                "streaming_allocs_per_merge",
+                                Json::fixed(m.streaming_allocs_per_merge, 2),
+                            ),
+                            ("alloc_ratio", Json::fixed(m.alloc_ratio(), 1)),
+                            (
+                                "streaming_allocs_per_run",
+                                Json::fixed(m.streaming_allocs_per_run(), 4),
+                            ),
+                            ("legacy_secs", Json::fixed(m.legacy_secs, 9)),
+                            ("streaming_secs", Json::fixed(m.streaming_secs, 9)),
+                            ("speedup", Json::fixed(m.speedup(), 2)),
+                        ])
+                    })),
+                ),
+            ]),
+        ),
         ("banded_wire", banded_json),
     ]);
     println!("\n{}", doc.pretty());
@@ -463,5 +638,23 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("banded wire ratio {ratio:.3} ≥ floor {floor:.3} — gate passed");
+    }
+
+    if let Some(cap) = args.max_merge_allocs_per_run {
+        for m in &merge_path {
+            let per_run = m.streaming_allocs_per_run();
+            if per_run > cap {
+                eprintln!(
+                    "FAIL: {} streaming merge performed {per_run:.4} allocations per \
+                     input run, above the --max-merge-allocs-per-run cap {cap:.4}",
+                    m.shape
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "merge-path allocations within the {cap:.4}/run cap \
+             (reduction {merge_alloc_reduction:.1}x) — gate passed"
+        );
     }
 }

@@ -7,9 +7,15 @@
 //! for downstream plotting. Run them with
 //! `cargo run -p mrmc-bench --release --bin tableN`.
 
+pub mod alloc;
 pub mod json;
 
 use std::time::Instant;
+
+/// Every bench binary runs under the counting allocator so allocation
+/// counts are reportable (and gate-able) next to wall-clock.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAllocator = alloc::CountingAllocator;
 
 use json::Json;
 use mrmc::{Mode, MrMcConfig, MrMcMinH};
@@ -44,6 +50,10 @@ pub struct HarnessArgs {
     /// engine's wall-clock speedup over the row engine drops below
     /// this floor.
     pub min_speedup: Option<f64>,
+    /// Regression gate for `shuffle_bench`: exit non-zero if the
+    /// streaming merge path performs more than this many allocations
+    /// per input run (fractional; the legacy decode-merge costs ≥ 1).
+    pub max_merge_allocs_per_run: Option<f64>,
 }
 
 impl HarnessArgs {
@@ -57,6 +67,7 @@ impl HarnessArgs {
             trace: None,
             min_banded_ratio: None,
             min_speedup: None,
+            max_merge_allocs_per_run: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -110,10 +121,18 @@ impl HarnessArgs {
                     );
                     i += 2;
                 }
+                "--max-merge-allocs-per-run" => {
+                    args.max_merge_allocs_per_run = Some(
+                        argv.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .expect("--max-merge-allocs-per-run needs a number"),
+                    );
+                    i += 2;
+                }
                 other => panic!(
                     "unknown argument {other:?} \
                      (supported: --scale, --seed, --samples, --json, --trace, \
-                     --min-banded-ratio, --min-speedup)"
+                     --min-banded-ratio, --min-speedup, --max-merge-allocs-per-run)"
                 ),
             }
         }
@@ -442,6 +461,7 @@ mod tests {
             trace: None,
             min_banded_ratio: None,
             min_speedup: None,
+            max_merge_allocs_per_run: None,
         };
         assert!(args.wants("S1"));
         assert!(!args.wants("S2"));

@@ -998,6 +998,44 @@ impl<K: crate::job::MrKey, V: crate::job::MrValue> Combiner for NoCombiner<K, V>
 // PhantomData<(K,V)> is not Send/Sync-friendly for raw pointers, but
 // K/V here are Send so the auto-impls apply.
 
+/// Map-side spill-buffer pool: emit buffers and grouping maps from
+/// finished map tasks are recycled into later tasks on the same job,
+/// so steady-state mapping reuses their capacity instead of
+/// reallocating per chunk. Purely an allocation optimization — a task
+/// always clears what it takes, and a task that panics simply never
+/// returns its buffers (losing capacity, never correctness).
+struct SpillPool<K, V> {
+    emit_bufs: Mutex<Vec<Vec<(K, V)>>>,
+    group_maps: Mutex<Vec<HashMap<K, Vec<V>>>>,
+}
+
+impl<K, V> SpillPool<K, V> {
+    fn new() -> SpillPool<K, V> {
+        SpillPool {
+            emit_bufs: Mutex::new(Vec::new()),
+            group_maps: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take_emit_buf(&self) -> Vec<(K, V)> {
+        self.emit_bufs.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put_emit_buf(&self, mut buf: Vec<(K, V)>) {
+        buf.clear();
+        self.emit_bufs.lock().unwrap().push(buf);
+    }
+
+    fn take_group_map(&self) -> HashMap<K, Vec<V>> {
+        self.group_maps.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put_group_map(&self, mut map: HashMap<K, Vec<V>>) {
+        map.clear();
+        self.group_maps.lock().unwrap().push(map);
+    }
+}
+
 fn run_job_impl<M, C, R>(
     input: Vec<(M::InKey, M::InValue)>,
     num_map_tasks: usize,
@@ -1044,30 +1082,32 @@ where
         );
     }
 
+    let spill_pool: SpillPool<M::OutKey, M::OutValue> = SpillPool::new();
     let map_task = |i: usize| {
         let chunk = Arc::clone(&chunks[i]);
         let start = Instant::now();
         let records_in = chunk.len() as u64;
-        let mut ctx = TaskContext::new();
+        let mut ctx = TaskContext::with_buffer(spill_pool.take_emit_buf());
         for (k, v) in chunk.iter() {
             mapper.map(k.clone(), v.clone(), &mut ctx);
         }
-        let (pairs, counters) = ctx.into_parts();
+        let (mut pairs, counters) = ctx.into_parts();
         let raw_pairs = pairs.len() as u64;
         // Group map-side in emission order: the hash grouping touches
         // each pair once instead of sort-moving it log n times, and the
         // per-key value order it preserves is exactly what the old
         // stable spill sort produced. The combiner then consumes whole
         // groups in place — Hadoop's combine-on-spill.
-        let mut grouped: HashMap<M::OutKey, Vec<M::OutValue>> = HashMap::new();
-        for (k, v) in pairs {
+        let mut grouped: HashMap<M::OutKey, Vec<M::OutValue>> = spill_pool.take_group_map();
+        for (k, v) in pairs.drain(..) {
             grouped.entry(k).or_default().push(v);
         }
+        spill_pool.put_emit_buf(pairs);
         let mut records_out = 0u64;
         let mut bytes = 0u64;
         let mut runs: Vec<SortedRun<M::OutKey, M::OutValue>> =
             (0..reducers).map(|_| Vec::new()).collect();
-        for (k, vs) in grouped {
+        for (k, vs) in grouped.drain() {
             let vs = match combiner {
                 Some(c) => c.combine(&k, vs),
                 None => vs,
@@ -1101,6 +1141,7 @@ where
         for run in &mut runs {
             run.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         }
+        spill_pool.put_group_map(grouped);
         MapTaskOutput {
             runs,
             bytes,

@@ -220,24 +220,68 @@ impl Counters {
 }
 
 /// Per-task emit buffer + local counters, handed to map/reduce calls.
+///
+/// Mappers whose value type is [`crate::wire::IdRun`] additionally get
+/// the arena-backed `emit_singleton_run` fast path (see
+/// `crate::wire`): runs accumulate in a per-task [`crate::wire::RunArena`]
+/// and are flushed — in emission order — before any plain `emit`, at
+/// chunk boundaries, and at [`TaskContext::into_parts`].
 pub struct TaskContext<K, V> {
-    emitted: Vec<(K, V)>,
-    counters: Counters,
+    pub(crate) emitted: Vec<(K, V)>,
+    pub(crate) counters: Counters,
+    /// Lazily-created arena for `emit_singleton_run` (wire.rs).
+    pub(crate) arena: Option<crate::wire::RunArena>,
+    /// Keys of arena runs appended since the last flush, in order.
+    pub(crate) pending_keys: Vec<K>,
+    /// Monomorphic flush hook installed by the arena emit path, so
+    /// the fully generic `emit`/`into_parts` can drain pending runs
+    /// without knowing `V = IdRun`.
+    pub(crate) flush_pending: Option<fn(&mut TaskContext<K, V>)>,
+    /// Chunk size for the lazily-created arena.
+    pub(crate) arena_chunk_bytes: usize,
 }
 
 impl<K, V> TaskContext<K, V> {
     /// Fresh context.
     pub fn new() -> TaskContext<K, V> {
+        TaskContext::with_buffer(Vec::new())
+    }
+
+    /// Fresh context reusing `buf` (cleared) as the emit buffer — the
+    /// engine's spill pool hands back buffers from finished tasks so
+    /// steady-state mapping stops reallocating them.
+    pub fn with_buffer(mut buf: Vec<(K, V)>) -> TaskContext<K, V> {
+        buf.clear();
         TaskContext {
-            emitted: Vec::new(),
+            emitted: buf,
             counters: Counters::new(),
+            arena: None,
+            pending_keys: Vec::new(),
+            flush_pending: None,
+            arena_chunk_bytes: crate::wire::DEFAULT_ARENA_CHUNK_BYTES,
         }
+    }
+
+    /// Override the arena chunk size used by `emit_singleton_run`
+    /// (bytes of encoded runs per shared allocation).
+    pub fn set_arena_chunk_bytes(&mut self, bytes: usize) {
+        self.arena_chunk_bytes = bytes.max(16);
     }
 
     /// Emit one pair.
     #[inline]
     pub fn emit(&mut self, key: K, value: V) {
+        if !self.pending_keys.is_empty() {
+            self.flush_runs();
+        }
         self.emitted.push((key, value));
+    }
+
+    /// Drain pending arena runs into the emit buffer.
+    fn flush_runs(&mut self) {
+        if let Some(flush) = self.flush_pending {
+            flush(self);
+        }
     }
 
     /// Bump a named counter.
@@ -246,13 +290,15 @@ impl<K, V> TaskContext<K, V> {
     }
 
     /// Consume the context.
-    pub fn into_parts(self) -> (Vec<(K, V)>, Counters) {
+    pub fn into_parts(mut self) -> (Vec<(K, V)>, Counters) {
+        self.flush_runs();
         (self.emitted, self.counters)
     }
 
-    /// Number of pairs emitted so far.
+    /// Number of pairs emitted so far (including arena runs not yet
+    /// flushed into the buffer).
     pub fn emitted_len(&self) -> usize {
-        self.emitted.len()
+        self.emitted.len() + self.pending_keys.len()
     }
 }
 

@@ -18,12 +18,28 @@
 //!   bits, signature truncated to the low bits) and prices it at the
 //!   packed byte width.
 //!
+//! The hot path is allocation-free (DESIGN.md §3a.1 addendum):
+//! map-side emission goes through a per-task [`RunArena`] (runs become
+//! O(1) slices of a shared chunk via [`TaskContext::emit_singleton_run`]),
+//! reduce-side consumption walks the varint stream in place with
+//! [`IdRunCursor`], and combiner/reducer merges stream N cursors into
+//! one output buffer ([`IdRun::merge_cursors`]) instead of decoding to
+//! `Vec<u32>` and re-encoding. The encoded bytes these paths produce
+//! are bit-identical to the materializing paths they replaced, which
+//! the property tests in `tests/wire.rs` pin against the retained
+//! [`IdRun::merge_via_decode`] oracle.
+//!
 //! Pricing rule: every encoder here reports its size through
 //! [`ShuffleSized`], so `SHUFFLE_BYTES` equals the *encoded* bytes of
 //! the post-combine groups — priced exactly once, at the moment the
 //! group enters its sorted run.
 
-use crate::job::ShuffleSized;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use crate::job::{ShuffleSized, TaskContext};
 
 /// Decode errors. Encoding is infallible; decoding validates framing
 /// so a corrupted or mis-typed payload fails loudly instead of
@@ -92,6 +108,17 @@ pub fn uvarint_len(v: u64) -> usize {
     (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
 }
 
+/// Storage behind an [`IdRun`]: either a run-owned buffer (wire
+/// ingress, merge outputs) or an O(1) window into a shared
+/// [`RunArena`] chunk (map-side emission). Both views hold exactly the
+/// encoded bytes; every comparison/hash below goes through the byte
+/// slice so the two reprs are indistinguishable to consumers.
+#[derive(Clone)]
+enum Repr {
+    Owned(Vec<u8>),
+    Shared(Bytes),
+}
+
 /// A delta/varint-encoded run of strictly-increasing `u32` ids — the
 /// typed shuffle payload of the banded similarity plane.
 ///
@@ -99,10 +126,50 @@ pub fn uvarint_len(v: u64) -> usize {
 /// ids[i−1])*`. The struct stores exactly the encoded bytes, so the
 /// value a combiner forwards is the value the reducer fetches, and
 /// [`ShuffleSized`] pricing is the true on-the-wire size.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct IdRun {
-    buf: Vec<u8>,
+    repr: Repr,
 }
+
+impl std::fmt::Debug for IdRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdRun").field("buf", &self.bytes()).finish()
+    }
+}
+
+// Equality/ordering/hashing are over the encoded bytes — the same
+// semantics the former `Vec<u8>` field derived, independent of repr.
+impl PartialEq for IdRun {
+    fn eq(&self, other: &IdRun) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for IdRun {}
+
+impl PartialOrd for IdRun {
+    fn partial_cmp(&self, other: &IdRun) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IdRun {
+    fn cmp(&self, other: &IdRun) -> std::cmp::Ordering {
+        self.bytes().cmp(other.bytes())
+    }
+}
+
+impl std::hash::Hash for IdRun {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bytes().hash(state);
+    }
+}
+
+/// Count varint headroom reserved at the front of streaming-merge
+/// output buffers: the final count is unknown until the merge
+/// finishes, so deltas are written after a 10-byte gap (the widest
+/// possible varint) and the count is backfilled into the gap's tail.
+const COUNT_GAP: usize = 10;
 
 impl IdRun {
     /// A run holding the single id `id`.
@@ -110,7 +177,9 @@ impl IdRun {
         let mut buf = Vec::with_capacity(1 + uvarint_len(u64::from(id)));
         put_uvarint(&mut buf, 1);
         put_uvarint(&mut buf, u64::from(id));
-        IdRun { buf }
+        IdRun {
+            repr: Repr::Owned(buf),
+        }
     }
 
     /// Encode an arbitrary id list: sorts and dedups first.
@@ -138,7 +207,9 @@ impl IdRun {
             }
             prev = id;
         }
-        Ok(IdRun { buf })
+        Ok(IdRun {
+            repr: Repr::Owned(buf),
+        })
     }
 
     /// Wrap already-encoded bytes without validating them — the shape
@@ -146,62 +217,242 @@ impl IdRun {
     /// full validation, so corrupt bytes surface as a [`WireError`]
     /// at the consumer, never as silently wrong ids.
     pub fn from_encoded_unchecked(buf: Vec<u8>) -> IdRun {
-        IdRun { buf }
+        IdRun {
+            repr: Repr::Owned(buf),
+        }
+    }
+
+    /// The encoded bytes, whichever repr holds them.
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Owned(buf) => buf,
+            Repr::Shared(bytes) => bytes,
+        }
+    }
+
+    /// Open a streaming cursor over the run. Parses (and validates)
+    /// only the count prefix; ids are validated lazily as
+    /// [`IdRunCursor::try_next`] walks the stream.
+    pub fn cursor(&self) -> Result<IdRunCursor<'_>, WireError> {
+        let buf = self.bytes();
+        let (count, at) = get_uvarint(buf)?;
+        Ok(IdRunCursor {
+            buf,
+            at,
+            remaining: count,
+            prev: 0,
+            started: false,
+            failed: false,
+        })
     }
 
     /// Decode back to the id list, validating framing, monotonicity
-    /// and the `u32` id range.
+    /// and the `u32` id range. Capacity is clamped to the remaining
+    /// buffer length (every id costs ≥ 1 wire byte), so a hostile
+    /// count prefix cannot force a large speculative allocation.
     pub fn decode(&self) -> Result<Vec<u32>, WireError> {
-        let buf = &self.buf;
-        let (count, mut at) = get_uvarint(buf)?;
-        let mut ids = Vec::with_capacity(count.min(1 << 20) as usize);
-        let mut prev = 0u64;
-        for i in 0..count {
-            let (v, n) = get_uvarint(&buf[at..])?;
-            at += n;
-            let id = if i == 0 {
-                v
-            } else {
-                if v == 0 {
-                    return Err(WireError::NonMonotonic);
-                }
-                prev + v
-            };
-            if id > u64::from(u32::MAX) {
-                return Err(WireError::IdRange);
-            }
-            prev = id;
-            ids.push(id as u32);
-        }
-        if at != buf.len() {
-            return Err(WireError::TrailingBytes);
+        let mut cur = self.cursor()?;
+        let mut ids = Vec::with_capacity((cur.remaining() as usize).min(cur.bytes_left()));
+        while let Some(id) = cur.try_next()? {
+            ids.push(id);
         }
         Ok(ids)
     }
 
+    /// Walk the whole run without materializing ids, surfacing any
+    /// framing/monotonicity/range error [`IdRun::decode`] would.
+    pub fn validate(&self) -> Result<(), WireError> {
+        let mut cur = self.cursor()?;
+        while cur.try_next()?.is_some() {}
+        Ok(())
+    }
+
     /// Number of ids in the run (the wire count prefix).
+    ///
+    /// Returns the sentinel `0` when the count prefix itself is
+    /// corrupt (truncated or overflowing) — indistinguishable from a
+    /// genuinely empty run. Use [`IdRun::try_count`] where that
+    /// distinction matters.
     pub fn count(&self) -> u64 {
-        get_uvarint(&self.buf).map(|(c, _)| c).unwrap_or(0)
+        self.try_count().unwrap_or(0)
+    }
+
+    /// Number of ids in the run, or the decode error for a corrupt
+    /// count prefix.
+    pub fn try_count(&self) -> Result<u64, WireError> {
+        get_uvarint(self.bytes()).map(|(c, _)| c)
     }
 
     /// Exact on-the-wire size in bytes.
     pub fn wire_len(&self) -> usize {
-        self.buf.len()
+        self.bytes().len()
     }
 
     /// The raw encoded bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.bytes()
     }
 
     /// Merge several runs into one sorted, deduped run — the combiner
     /// and reducer primitive. Decoding failures propagate.
+    ///
+    /// 0- and 1-run merges short-circuit: the empty merge is the
+    /// canonical empty run, and a single run is validated and returned
+    /// as-is (every encoder in this module produces canonical bytes,
+    /// so the input encoding *is* the merged encoding). Larger merges
+    /// stream through [`IdRun::merge_cursors`].
     pub fn merge(runs: &[IdRun]) -> Result<IdRun, WireError> {
+        match runs {
+            [] => Ok(IdRun::from_sorted(&[]).expect("empty run is sorted")),
+            [one] => {
+                one.validate()?;
+                Ok(one.clone())
+            }
+            many => IdRun::merge_cursors(many),
+        }
+    }
+
+    /// The legacy merge: decode every run to `Vec<u32>`, concatenate,
+    /// sort, dedup, re-encode. Kept as the byte-identity oracle for
+    /// the streaming merge (property tests, `shuffle_bench`).
+    pub fn merge_via_decode(runs: &[IdRun]) -> Result<IdRun, WireError> {
         let mut ids = Vec::new();
         for run in runs {
             ids.extend(run.decode()?);
         }
         Ok(IdRun::from_ids(ids))
+    }
+
+    /// K-way streaming merge: heap-merges N cursors, writing
+    /// `count · first · deltas` directly into one output buffer —
+    /// no intermediate `Vec<u32>`, no re-sort. When the runs are
+    /// pairwise disjoint and already ordered (the common combiner
+    /// shape: ascending singletons from one map task) a splice fast
+    /// path copies each run's delta tail verbatim.
+    ///
+    /// Output bytes are identical to [`IdRun::merge_via_decode`]: the
+    /// encoding of a sorted deduped id set is canonical, so any merge
+    /// that produces the same set produces the same bytes.
+    pub fn merge_cursors(runs: &[IdRun]) -> Result<IdRun, WireError> {
+        if let Some(spliced) = IdRun::try_splice(runs)? {
+            return Ok(spliced);
+        }
+
+        let mut cursors = Vec::with_capacity(runs.len());
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (i, run) in runs.iter().enumerate() {
+            let mut cur = run.cursor()?;
+            if let Some(first) = cur.try_next()? {
+                heap.push(Reverse((first, i)));
+            }
+            cursors.push(cur);
+        }
+
+        // Merging never widens an id's varint (the running prev only
+        // grows), so the inputs' total wire length plus the count gap
+        // bounds the output — one allocation, no growth.
+        let cap: usize = runs.iter().map(IdRun::wire_len).sum();
+        let mut out = Vec::with_capacity(cap + COUNT_GAP);
+        out.resize(COUNT_GAP, 0);
+        let mut count = 0u64;
+        let mut prev = 0u64;
+        // Replace-top instead of pop+push: advancing a cursor sifts
+        // the heap once (on PeekMut drop) rather than twice.
+        while let Some(mut top) = heap.peek_mut() {
+            let Reverse((id, i)) = *top;
+            let id = u64::from(id);
+            if count == 0 {
+                put_uvarint(&mut out, id);
+                count = 1;
+                prev = id;
+            } else if id > prev {
+                put_uvarint(&mut out, id - prev);
+                count += 1;
+                prev = id;
+            }
+            match cursors[i].try_next() {
+                Ok(Some(next)) => *top = Reverse((next, i)),
+                Ok(None) => {
+                    std::collections::binary_heap::PeekMut::pop(top);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(IdRun::backfill_count(out, count))
+    }
+
+    /// Splice fast path for [`IdRun::merge_cursors`]: when every
+    /// non-empty run starts strictly after the previous one ends, the
+    /// merged stream is `first-or-bridging-delta · verbatim tail` per
+    /// run. Returns `Ok(None)` when runs overlap (caller falls back to
+    /// the heap merge); decode errors propagate.
+    fn try_splice(runs: &[IdRun]) -> Result<Option<IdRun>, WireError> {
+        // Cheap pre-scan: first ids must be strictly ascending across
+        // the non-empty runs, else the full pass cannot succeed and
+        // its output buffer would be wasted.
+        let mut prev_first = None;
+        for run in runs {
+            let mut cur = run.cursor()?;
+            if let Some(first) = cur.try_next()? {
+                if prev_first.is_some_and(|p| first <= p) {
+                    return Ok(None);
+                }
+                prev_first = Some(first);
+            }
+        }
+
+        let cap: usize = runs.iter().map(IdRun::wire_len).sum();
+        let mut out = Vec::with_capacity(cap + COUNT_GAP);
+        out.resize(COUNT_GAP, 0);
+        let mut count = 0u64;
+        let mut prev_last = 0u64;
+        for run in runs {
+            let mut cur = run.cursor()?;
+            let Some(first) = cur.try_next()? else {
+                continue;
+            };
+            let first = u64::from(first);
+            if count == 0 {
+                put_uvarint(&mut out, first);
+            } else if first > prev_last {
+                put_uvarint(&mut out, first - prev_last);
+            } else {
+                return Ok(None);
+            }
+            // Validate the tail, then copy its already-encoded delta
+            // bytes verbatim — they are the same deltas the merged
+            // encoding needs.
+            let tail_start = cur.offset();
+            let mut last = first;
+            let mut tail_ids = 0u64;
+            while let Some(id) = cur.try_next()? {
+                last = u64::from(id);
+                tail_ids += 1;
+            }
+            out.extend_from_slice(&run.bytes()[tail_start..cur.offset()]);
+            count += 1 + tail_ids;
+            prev_last = last;
+        }
+        Ok(Some(IdRun::backfill_count(out, count)))
+    }
+
+    /// Finish a streaming-merge buffer: encode `count` into the tail
+    /// of the [`COUNT_GAP`] headroom and drop the unused prefix.
+    fn backfill_count(mut out: Vec<u8>, count: u64) -> IdRun {
+        let width = uvarint_len(count);
+        let mut at = COUNT_GAP - width;
+        let mut v = count;
+        while v >= 0x80 {
+            out[at] = (v as u8) | 0x80;
+            v >>= 7;
+            at += 1;
+        }
+        out[at] = v as u8;
+        out.drain(..COUNT_GAP - width);
+        IdRun {
+            repr: Repr::Owned(out),
+        }
     }
 }
 
@@ -210,6 +461,247 @@ impl IdRun {
 impl ShuffleSized for IdRun {
     fn shuffle_size(&self) -> usize {
         self.wire_len()
+    }
+}
+
+/// Streaming decoder over an [`IdRun`]'s varint stream: yields ids in
+/// place with the exact validation (and [`WireError`] taxonomy) of
+/// [`IdRun::decode`], without materializing a `Vec<u32>`.
+///
+/// `Clone` is cheap (a slice and a few counters), which is what lets
+/// the bucket reducer run its triangular pair expansion as nested
+/// cursors over one merged run.
+#[derive(Debug, Clone)]
+pub struct IdRunCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+    remaining: u64,
+    prev: u64,
+    started: bool,
+    failed: bool,
+}
+
+impl IdRunCursor<'_> {
+    /// Decode the next id, `Ok(None)` at a clean end of the run. The
+    /// cursor fuses after an error: subsequent calls return
+    /// `Ok(None)`.
+    pub fn try_next(&mut self) -> Result<Option<u32>, WireError> {
+        if self.failed {
+            return Ok(None);
+        }
+        if self.remaining == 0 {
+            if self.at != self.buf.len() {
+                self.failed = true;
+                return Err(WireError::TrailingBytes);
+            }
+            return Ok(None);
+        }
+        let (v, n) = match get_uvarint(&self.buf[self.at..]) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.failed = true;
+                return Err(e);
+            }
+        };
+        self.at += n;
+        let id = if !self.started {
+            v
+        } else {
+            if v == 0 {
+                self.failed = true;
+                return Err(WireError::NonMonotonic);
+            }
+            match self.prev.checked_add(v) {
+                Some(id) => id,
+                None => {
+                    self.failed = true;
+                    return Err(WireError::IdRange);
+                }
+            }
+        };
+        if id > u64::from(u32::MAX) {
+            self.failed = true;
+            return Err(WireError::IdRange);
+        }
+        self.prev = id;
+        self.started = true;
+        self.remaining -= 1;
+        Ok(Some(id as u32))
+    }
+
+    /// Ids left per the count prefix (assuming the stream is valid).
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Byte offset of the cursor within the encoded run.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+
+    /// Bytes left in the buffer from the cursor position.
+    pub fn bytes_left(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+impl Iterator for IdRunCursor<'_> {
+    type Item = Result<u32, WireError>;
+
+    fn next(&mut self) -> Option<Result<u32, WireError>> {
+        self.try_next().transpose()
+    }
+}
+
+/// Default [`RunArena`] chunk size. Big enough that a map task sealing
+/// thousands of singleton runs amortizes to ~2 allocations per chunk,
+/// small enough that a task with a handful of emissions doesn't hold
+/// pages it never touches.
+pub const DEFAULT_ARENA_CHUNK_BYTES: usize = 16 * 1024;
+
+/// Per-map-task append-only byte arena for run emission.
+///
+/// Emitting a run is a bump-pointer write into the current chunk plus
+/// an end-offset mark; [`RunArena::seal`] freezes the chunk into one
+/// shared [`Bytes`] allocation and hands back each marked run as an
+/// O(1) slice of it. A map task emitting N singleton runs therefore
+/// costs ~2 allocations per `chunk_size` bytes of encoded output
+/// instead of N `Vec` allocations.
+///
+/// The encoded bytes of a sealed run are exactly what
+/// [`IdRun::singleton`] (or [`IdRun::from_sorted`]) would have
+/// produced — only the allocation strategy differs.
+#[derive(Debug, Default)]
+pub struct RunArena {
+    chunk: Vec<u8>,
+    /// End offset in `chunk` of each pending (not yet sealed) run.
+    marks: Vec<usize>,
+    chunk_size: usize,
+}
+
+impl RunArena {
+    /// Arena with the default chunk size.
+    pub fn new() -> RunArena {
+        RunArena::with_chunk_size(DEFAULT_ARENA_CHUNK_BYTES)
+    }
+
+    /// Arena sealing chunks once they reach `chunk_size` bytes.
+    pub fn with_chunk_size(chunk_size: usize) -> RunArena {
+        RunArena {
+            chunk: Vec::new(),
+            marks: Vec::new(),
+            chunk_size: chunk_size.max(16),
+        }
+    }
+
+    /// Append a singleton run for `id`.
+    pub fn push_singleton(&mut self, id: u32) {
+        self.reserve_chunk();
+        put_uvarint(&mut self.chunk, 1);
+        put_uvarint(&mut self.chunk, u64::from(id));
+        self.marks.push(self.chunk.len());
+    }
+
+    /// Append a run of strictly-increasing ids; rejects unsorted or
+    /// duplicated ids (the chunk is left unchanged on error).
+    pub fn push_sorted(&mut self, ids: &[u32]) -> Result<(), WireError> {
+        if ids.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(WireError::NonMonotonic);
+        }
+        self.reserve_chunk();
+        put_uvarint(&mut self.chunk, ids.len() as u64);
+        let mut prev = 0u64;
+        for (i, &id) in ids.iter().enumerate() {
+            let id = u64::from(id);
+            if i == 0 {
+                put_uvarint(&mut self.chunk, id);
+            } else {
+                put_uvarint(&mut self.chunk, id - prev);
+            }
+            prev = id;
+        }
+        self.marks.push(self.chunk.len());
+        Ok(())
+    }
+
+    /// Runs appended since the last [`RunArena::seal`].
+    pub fn pending(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Whether the current chunk is due for sealing.
+    pub fn is_full(&self) -> bool {
+        self.chunk.len() >= self.chunk_size
+    }
+
+    /// Freeze the current chunk into one shared allocation and emit
+    /// each pending run, in append order, as an O(1) slice of it.
+    pub fn seal(&mut self, mut sink: impl FnMut(IdRun)) {
+        if self.marks.is_empty() {
+            return;
+        }
+        let shared = Bytes::from(std::mem::take(&mut self.chunk));
+        let mut start = 0usize;
+        for &end in &self.marks {
+            sink(IdRun {
+                repr: Repr::Shared(shared.slice(start..end)),
+            });
+            start = end;
+        }
+        self.marks.clear();
+    }
+
+    fn reserve_chunk(&mut self) {
+        if self.chunk.capacity() == 0 {
+            self.chunk.reserve(self.chunk_size);
+        }
+    }
+}
+
+/// Arena-backed emission for mappers whose value type is [`IdRun`].
+///
+/// [`TaskContext::emit`] stays fully generic; this inherent impl adds
+/// the hot-path entry point the banded mappers use. Pending arena runs
+/// are flushed (in emission order) before any interleaved plain
+/// `emit`, at chunk-full boundaries, and at `into_parts`, so the
+/// emitted pair sequence is identical to calling
+/// `emit(key, IdRun::singleton(id))` — only the allocation count
+/// differs.
+impl<K> TaskContext<K, IdRun> {
+    /// Emit `(key, IdRun::singleton(id))` through the per-task arena.
+    pub fn emit_singleton_run(&mut self, key: K, id: u32) {
+        let chunk_bytes = self.arena_chunk_bytes;
+        let arena = self
+            .arena
+            .get_or_insert_with(|| RunArena::with_chunk_size(chunk_bytes));
+        arena.push_singleton(id);
+        self.pending_keys.push(key);
+        self.flush_pending = Some(TaskContext::<K, IdRun>::flush_arena_runs);
+        if self.arena.as_ref().is_some_and(RunArena::is_full) {
+            TaskContext::<K, IdRun>::flush_arena_runs(self);
+        }
+    }
+
+    /// Seal the arena and move `(key, run)` pairs into the emitted
+    /// buffer. Installed as the monomorphic `flush_pending` hook so
+    /// fully generic code (`emit`, `into_parts`) can trigger it.
+    fn flush_arena_runs(ctx: &mut TaskContext<K, IdRun>) {
+        if ctx.pending_keys.is_empty() {
+            return;
+        }
+        let TaskContext {
+            emitted,
+            pending_keys,
+            arena,
+            ..
+        } = ctx;
+        let arena = arena.as_mut().expect("pending keys imply an arena");
+        let mut keys = pending_keys.drain(..);
+        arena.seal(|run| {
+            let key = keys.next().expect("one pending key per arena run");
+            emitted.push((key, run));
+        });
+        debug_assert!(keys.next().is_none(), "one arena run per pending key");
     }
 }
 
@@ -356,6 +848,7 @@ mod tests {
             let run = IdRun::from_sorted(&ids).unwrap();
             assert_eq!(run.decode().unwrap(), ids);
             assert_eq!(run.count(), ids.len() as u64);
+            assert_eq!(run.try_count().unwrap(), ids.len() as u64);
             assert_eq!(run.wire_len(), run.as_bytes().len());
             assert_eq!(run.shuffle_size(), run.wire_len());
         }
@@ -377,26 +870,86 @@ mod tests {
         assert_eq!(IdRun::from_ids(vec![5, 2, 5]).decode().unwrap(), vec![2, 5]);
 
         // Hand-rolled corrupt payloads.
-        let truncated = IdRun {
-            buf: vec![2, 1], // count 2, only one id
-        };
+        let truncated = IdRun::from_encoded_unchecked(vec![2, 1]); // count 2, only one id
         assert_eq!(truncated.decode().unwrap_err(), WireError::Truncated);
-        let trailing = IdRun {
-            buf: vec![1, 1, 9], // count 1, one id, junk byte
-        };
+        let trailing = IdRun::from_encoded_unchecked(vec![1, 1, 9]); // count 1, one id, junk
         assert_eq!(trailing.decode().unwrap_err(), WireError::TrailingBytes);
-        let zero_delta = IdRun {
-            buf: vec![2, 4, 0], // delta 0 ⇒ duplicate id
-        };
+        let zero_delta = IdRun::from_encoded_unchecked(vec![2, 4, 0]); // delta 0 ⇒ duplicate
         assert_eq!(zero_delta.decode().unwrap_err(), WireError::NonMonotonic);
         let mut overflow = Vec::new();
         put_uvarint(&mut overflow, 2);
         put_uvarint(&mut overflow, u64::from(u32::MAX));
         put_uvarint(&mut overflow, 1); // accumulates past u32::MAX
         assert_eq!(
-            IdRun { buf: overflow }.decode().unwrap_err(),
+            IdRun::from_encoded_unchecked(overflow)
+                .decode()
+                .unwrap_err(),
             WireError::IdRange
         );
+    }
+
+    #[test]
+    fn idrun_hostile_count_is_cheap_and_rejected() {
+        // A count prefix claiming u64::MAX ids over a 2-byte payload
+        // must fail fast without a count-sized preallocation.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        buf.push(1);
+        let hostile = IdRun::from_encoded_unchecked(buf);
+        assert_eq!(hostile.decode().unwrap_err(), WireError::Truncated);
+        assert_eq!(hostile.validate().unwrap_err(), WireError::Truncated);
+        assert_eq!(hostile.try_count().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn idrun_delta_accumulation_cannot_wrap() {
+        // first near u64::MAX (already out of u32 range) fails on the
+        // first id; a huge delta after a valid first must fail with
+        // IdRange, not wrap around silently.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 2);
+        put_uvarint(&mut buf, 7);
+        put_uvarint(&mut buf, u64::MAX - 3); // 7 + (u64::MAX - 3) overflows u64
+        assert_eq!(
+            IdRun::from_encoded_unchecked(buf).decode().unwrap_err(),
+            WireError::IdRange
+        );
+    }
+
+    #[test]
+    fn count_sentinel_and_try_count_on_corrupt_prefix() {
+        // Truncated count varint: `count` keeps its documented
+        // sentinel 0, `try_count` surfaces the error.
+        let corrupt = IdRun::from_encoded_unchecked(vec![0x80]);
+        assert_eq!(corrupt.count(), 0);
+        assert_eq!(corrupt.try_count().unwrap_err(), WireError::Truncated);
+        let overflowing = IdRun::from_encoded_unchecked(vec![0xff; 11]);
+        assert_eq!(overflowing.count(), 0);
+        assert_eq!(overflowing.try_count().unwrap_err(), WireError::Overflow);
+    }
+
+    #[test]
+    fn cursor_matches_decode_on_valid_runs() {
+        for ids in [
+            vec![],
+            vec![0u32],
+            vec![3, 4, 5, 900],
+            vec![u32::MAX - 1, u32::MAX],
+        ] {
+            let run = IdRun::from_sorted(&ids).unwrap();
+            let walked: Vec<u32> = run.cursor().unwrap().map(|r| r.unwrap()).collect();
+            assert_eq!(walked, ids);
+            run.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn cursor_fuses_after_error() {
+        let trailing = IdRun::from_encoded_unchecked(vec![1, 1, 9]);
+        let mut cur = trailing.cursor().unwrap();
+        assert_eq!(cur.try_next().unwrap(), Some(1));
+        assert_eq!(cur.try_next().unwrap_err(), WireError::TrailingBytes);
+        assert_eq!(cur.try_next().unwrap(), None, "fused after error");
     }
 
     #[test]
@@ -406,6 +959,141 @@ mod tests {
         let c = IdRun::singleton(5);
         let merged = IdRun::merge(&[a, b, c]).unwrap();
         assert_eq!(merged.decode().unwrap(), vec![1, 2, 5, 9, 10]);
+    }
+
+    #[test]
+    fn merge_short_circuits_are_canonical() {
+        assert_eq!(
+            IdRun::merge(&[]).unwrap().as_bytes(),
+            IdRun::from_sorted(&[]).unwrap().as_bytes()
+        );
+        let single = IdRun::from_sorted(&[4, 9, 1000]).unwrap();
+        let merged = IdRun::merge(std::slice::from_ref(&single)).unwrap();
+        assert_eq!(merged.as_bytes(), single.as_bytes());
+        // A corrupt single run still fails instead of passing through.
+        let corrupt = IdRun::from_encoded_unchecked(vec![2, 1]);
+        assert_eq!(IdRun::merge(&[corrupt]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn streaming_merge_matches_decode_merge() {
+        let cases: Vec<Vec<IdRun>> = vec![
+            vec![],
+            vec![IdRun::from_sorted(&[]).unwrap(); 3],
+            // Disjoint + ordered: splice path.
+            vec![
+                IdRun::from_sorted(&[1, 2, 3]).unwrap(),
+                IdRun::from_sorted(&[10, 11]).unwrap(),
+                IdRun::singleton(40),
+            ],
+            // Adjacent boundary (consecutive ids across runs).
+            vec![
+                IdRun::from_sorted(&[1, 2]).unwrap(),
+                IdRun::from_sorted(&[3, 4]).unwrap(),
+            ],
+            // Overlapping: heap path with dedup.
+            vec![
+                IdRun::from_sorted(&[1, 5, 9]).unwrap(),
+                IdRun::from_sorted(&[2, 5, 10]).unwrap(),
+                IdRun::singleton(5),
+            ],
+            // Ascending firsts but overlapping ranges: splice pre-scan
+            // passes, full pass must fall back.
+            vec![
+                IdRun::from_sorted(&[1, 100]).unwrap(),
+                IdRun::from_sorted(&[50, 200]).unwrap(),
+            ],
+            // Empty runs interleaved.
+            vec![
+                IdRun::from_sorted(&[]).unwrap(),
+                IdRun::singleton(7),
+                IdRun::from_sorted(&[]).unwrap(),
+                IdRun::from_sorted(&[8, 9]).unwrap(),
+            ],
+        ];
+        for runs in cases {
+            let streamed = IdRun::merge_cursors(&runs).unwrap();
+            let legacy = IdRun::merge_via_decode(&runs).unwrap();
+            assert_eq!(streamed.as_bytes(), legacy.as_bytes(), "runs: {runs:?}");
+            assert_eq!(
+                IdRun::merge(&runs).unwrap().as_bytes(),
+                legacy.as_bytes(),
+                "merge() entry point, runs: {runs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_merge_propagates_errors() {
+        let good = IdRun::from_sorted(&[1, 2]).unwrap();
+        let bad = IdRun::from_encoded_unchecked(vec![3, 1, 1]); // count 3, two ids
+        assert_eq!(
+            IdRun::merge_cursors(&[good.clone(), bad.clone()]).unwrap_err(),
+            WireError::Truncated
+        );
+        assert_eq!(
+            IdRun::merge(&[good, bad]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn arena_runs_are_byte_identical_to_singletons() {
+        let mut arena = RunArena::with_chunk_size(16);
+        let ids = [0u32, 7, 300, 1 << 20, u32::MAX];
+        let mut sealed = Vec::new();
+        for &id in &ids {
+            arena.push_singleton(id);
+            if arena.is_full() {
+                arena.seal(|run| sealed.push(run));
+            }
+        }
+        arena.seal(|run| sealed.push(run));
+        assert_eq!(arena.pending(), 0);
+        assert_eq!(sealed.len(), ids.len());
+        for (&id, run) in ids.iter().zip(&sealed) {
+            let direct = IdRun::singleton(id);
+            assert_eq!(run.as_bytes(), direct.as_bytes());
+            assert_eq!(run, &direct, "repr-independent equality");
+            assert_eq!(run.shuffle_size(), direct.shuffle_size());
+        }
+    }
+
+    #[test]
+    fn arena_push_sorted_matches_from_sorted() {
+        let mut arena = RunArena::new();
+        arena.push_sorted(&[2, 9, 10]).unwrap();
+        assert_eq!(
+            arena.push_sorted(&[5, 5]).unwrap_err(),
+            WireError::NonMonotonic
+        );
+        let mut sealed = Vec::new();
+        arena.seal(|run| sealed.push(run));
+        assert_eq!(sealed.len(), 1, "rejected push leaves no run behind");
+        assert_eq!(
+            sealed[0].as_bytes(),
+            IdRun::from_sorted(&[2, 9, 10]).unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn context_arena_emission_matches_plain_emit() {
+        let mut arena_ctx: TaskContext<u64, IdRun> = TaskContext::new();
+        let mut plain_ctx: TaskContext<u64, IdRun> = TaskContext::new();
+        for i in 0..2000u32 {
+            arena_ctx.emit_singleton_run(u64::from(i % 17), i);
+            plain_ctx.emit(u64::from(i % 17), IdRun::singleton(i));
+        }
+        // Interleave a plain emit: pending arena runs must flush first
+        // so global emission order is preserved.
+        arena_ctx.emit(99, IdRun::from_sorted(&[1, 2]).unwrap());
+        plain_ctx.emit(99, IdRun::from_sorted(&[1, 2]).unwrap());
+        arena_ctx.emit_singleton_run(100, 5);
+        plain_ctx.emit(100, IdRun::singleton(5));
+        assert_eq!(arena_ctx.emitted_len(), plain_ctx.emitted_len());
+        let (arena_pairs, _) = arena_ctx.into_parts();
+        let (plain_pairs, _) = plain_ctx.into_parts();
+        assert_eq!(arena_pairs, plain_pairs);
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl Mapper for RunMapper {
     type OutKey = u32;
     type OutValue = IdRun;
     fn map(&self, _k: u32, id: u32, ctx: &mut TaskContext<u32, IdRun>) {
-        ctx.emit(id % self.key_space.max(1), IdRun::singleton(id));
+        // Arena-backed emission: byte-identical to
+        // `ctx.emit(key, IdRun::singleton(id))`, so the pricing replay
+        // below also pins the arena path against the raw plane.
+        ctx.emit_singleton_run(id % self.key_space.max(1), id);
     }
     fn key_wire_size(&self, key: &u32) -> usize {
         uvarint_len(u64::from(*key))
@@ -258,5 +261,88 @@ proptest! {
         sorted.sort_unstable();
         prop_assert_eq!(keys, sorted);
         let _ = partition_of(&0u32, reducers); // default still linked
+    }
+}
+
+/// Walk a run id-by-id through its cursor — the streaming analogue of
+/// `IdRun::decode`, written out independently so the equivalence test
+/// below keeps meaning even if `decode` changes implementation.
+fn cursor_walk(run: &IdRun) -> Result<Vec<u32>, mrmc_mapreduce::WireError> {
+    let mut cur = run.cursor()?;
+    let mut ids = Vec::new();
+    while let Some(id) = cur.try_next()? {
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+proptest! {
+    /// Tentpole contract: the streaming k-way merge produces the exact
+    /// bytes of the legacy decode-concat-sort-reencode merge over
+    /// arbitrary run sets — overlapping, disjoint, empty and singleton
+    /// runs alike — and so does the dispatching `IdRun::merge`.
+    #[test]
+    fn streaming_merge_matches_decode_merge_oracle(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u32..5_000, 0..60), 0..7)
+    ) {
+        let runs: Vec<IdRun> = parts.iter().map(|p| IdRun::from_ids(p.clone())).collect();
+        let legacy = IdRun::merge_via_decode(&runs).expect("oracle merge");
+        let streamed = IdRun::merge_cursors(&runs).expect("streaming merge");
+        prop_assert_eq!(streamed.as_bytes(), legacy.as_bytes());
+        prop_assert_eq!(IdRun::merge(&runs).expect("merge").as_bytes(), legacy.as_bytes());
+
+        // Re-split the union into consecutive slices: disjoint ordered
+        // runs, the splice fast path's shape. Bytes must still match.
+        let mut union: Vec<u32> = parts.concat();
+        union.sort_unstable();
+        union.dedup();
+        let splits: Vec<IdRun> = union
+            .chunks(7)
+            .map(|c| IdRun::from_sorted(c).expect("sorted slice"))
+            .collect();
+        let spliced = IdRun::merge_cursors(&splits).expect("splice merge");
+        prop_assert_eq!(
+            spliced.as_bytes(),
+            IdRun::from_sorted(&union).expect("sorted union").as_bytes()
+        );
+    }
+
+    /// `IdRunCursor` is id-for-id equivalent to `decode()` on valid
+    /// runs and error-for-error equivalent on corrupt payloads: any
+    /// byte buffer whatsoever — random bytes, or a valid encoding with
+    /// a mutation — yields the same `Result` from both paths.
+    #[test]
+    fn cursor_equivalent_to_decode_on_any_bytes(
+        ids in proptest::collection::vec(any::<u32>(), 0..40),
+        mutation in 0usize..4,
+        at_sel in any::<usize>(),
+        byte in any::<u8>(),
+        random in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        let mut bytes = IdRun::from_ids(ids).as_bytes().to_vec();
+        match mutation {
+            0 => {} // pristine
+            1 => {
+                bytes.truncate(at_sel % (bytes.len() + 1));
+            }
+            2 => {
+                let at = at_sel % bytes.len().max(1);
+                if !bytes.is_empty() {
+                    bytes[at] = byte;
+                }
+            }
+            _ => bytes = random, // arbitrary garbage
+        }
+        let run = IdRun::from_encoded_unchecked(bytes);
+        prop_assert_eq!(cursor_walk(&run), run.decode());
+        // `validate` agrees on the error too.
+        prop_assert_eq!(run.validate().err(), run.decode().err());
+        // `try_count` errors exactly when the count prefix is the
+        // culprit, and `count` falls back to the documented sentinel.
+        match run.try_count() {
+            Ok(c) => prop_assert_eq!(run.count(), c),
+            Err(_) => prop_assert_eq!(run.count(), 0),
+        }
     }
 }

@@ -190,7 +190,10 @@ impl Mapper for CompactBandMapper<'_> {
         let values = self.sketches[key].values();
         for band in 0..self.scheme.bands {
             let sig = self.scheme.signature(band, values);
-            ctx.emit(self.codec.pack(band as u32, sig), IdRun::singleton(id));
+            // Arena-backed: the singleton run is a bump-pointer write
+            // into the task's shared chunk, byte-identical to
+            // `IdRun::singleton(id)`.
+            ctx.emit_singleton_run(self.codec.pack(band as u32, sig), id);
         }
         ctx.count("BAND_SIGNATURES", self.scheme.bands as u64);
     }
@@ -252,10 +255,14 @@ impl Reducer for CompactBucketReducer {
 
     fn reduce(&self, _key: u64, runs: Vec<IdRun>, ctx: &mut TaskContext<(u32, u32), ()>) {
         let merged = IdRun::merge(&runs).expect("shuffled runs decode");
-        let ids = merged.decode().expect("merged run decodes");
+        // Triangular pair expansion over nested cursors: the inner
+        // cursor clones the outer's position, so the merged run is
+        // walked in place and never decoded into a `Vec<u32>`.
         let mut pairs = 0u64;
-        for (a, &i) in ids.iter().enumerate() {
-            for &j in &ids[a + 1..] {
+        let mut outer = merged.cursor().expect("merged run is canonical");
+        while let Some(i) = outer.try_next().expect("merged run decodes") {
+            let mut inner = outer.clone();
+            while let Some(j) = inner.try_next().expect("merged run decodes") {
                 ctx.emit((i, j), ());
                 pairs += 1;
             }
@@ -279,7 +286,7 @@ impl Mapper for NeighborRunMapper {
     type OutValue = IdRun;
 
     fn map(&self, (i, j): (u32, u32), _v: (), ctx: &mut TaskContext<u32, IdRun>) {
-        ctx.emit(i, IdRun::singleton(j));
+        ctx.emit_singleton_run(i, j);
     }
 
     fn key_wire_size(&self, key: &u32) -> usize {
@@ -311,14 +318,19 @@ impl Reducer for NeighborDedupReducer {
     type OutValue = ();
 
     fn reduce(&self, i: u32, runs: Vec<IdRun>, ctx: &mut TaskContext<(u32, u32), ()>) {
-        let total: u64 = runs.iter().map(IdRun::count).sum();
-        let partners = IdRun::merge(&runs)
-            .expect("shuffled runs decode")
-            .decode()
-            .expect("merged run decodes");
-        ctx.count("CANDIDATES_EMITTED", partners.len() as u64);
-        ctx.count("CANDIDATE_DUPLICATES", total - partners.len() as u64);
-        for j in partners {
+        let total: u64 = runs
+            .iter()
+            .map(|r| r.try_count().expect("run count prefix decodes"))
+            .sum();
+        let merged = IdRun::merge(&runs).expect("shuffled runs decode");
+        // The merged run is canonical, so its count prefix is exact:
+        // no decode needed for the duplicate accounting, and the
+        // partner walk streams over the encoded bytes in place.
+        let partners = merged.try_count().expect("merged run is canonical");
+        ctx.count("CANDIDATES_EMITTED", partners);
+        ctx.count("CANDIDATE_DUPLICATES", total - partners);
+        let mut cur = merged.cursor().expect("merged run is canonical");
+        while let Some(j) = cur.try_next().expect("merged run decodes") {
             ctx.emit((i, j), ());
         }
     }
