@@ -12,10 +12,12 @@
 //! Each cell records: did the run complete, is its output identical to
 //! the fault-free baseline, the wall-clock overhead ratio, and the
 //! recovery ledger. A determinism probe re-runs a seeded random plan
-//! and demands identical counters. The JSON matrix goes to stdout
-//! (and, with `--json <path>`, to a file); any unrecovered cell or a
-//! non-deterministic ledger makes the process exit non-zero, which is
-//! what the CI `chaos-smoke` step checks.
+//! and demands identical counters *and* a byte-identical metrics
+//! snapshot (`Pipeline::export_metrics` rendered as text). The JSON
+//! matrix — including the probe's full `engine.*` snapshot — goes to
+//! stdout (and, with `--json <path>`, to a file); any unrecovered
+//! cell or a non-deterministic ledger/snapshot makes the process exit
+//! non-zero, which is what the CI `chaos-smoke` step checks.
 //!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin chaos_report -- --seed 7
@@ -525,11 +527,26 @@ fn main() {
         &reads,
         &clean,
         clean_secs,
-        plan,
+        plan.clone(),
     );
     let deterministic = a.recovery == b.recovery && a.recovered() && b.recovered();
     cells.push(a);
     cells.push(b);
+
+    // The same probe through the metrics plane: exporting the seeded
+    // plan's pipeline into a registry twice must render byte-identical
+    // snapshots (engine keys carry no wall-clock, so a fixed plan
+    // pins every counter and histogram bucket).
+    let snapshot_of = |plan: FaultPlan| {
+        let run = MrMcMinH::new(mrmc_config())
+            .run_with_injector(&reads, &plan.injector())
+            .expect("seeded chaos run for metrics snapshot");
+        let registry = mrmc_obs::MetricsRegistry::new();
+        run.pipeline.export_metrics(&registry);
+        registry.snapshot()
+    };
+    let snapshot = snapshot_of(plan.clone());
+    let snapshots_identical = snapshot.render_text() == snapshot_of(plan).render_text();
 
     // Human-readable matrix on stderr.
     eprintln!(
@@ -552,6 +569,14 @@ fn main() {
         "\nledger determinism across identical plans: {}",
         if deterministic { "OK" } else { "VIOLATED" }
     );
+    eprintln!(
+        "metrics-snapshot determinism across identical plans: {}",
+        if snapshots_identical {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
 
     // JSON matrix on stdout.
     let all_recovered = cells.iter().all(Cell::recovered);
@@ -559,8 +584,10 @@ fn main() {
         ("seed", Json::from(args.seed)),
         ("reads", num_reads.into()),
         ("deterministic", deterministic.into()),
+        ("metrics_deterministic", snapshots_identical.into()),
         ("all_recovered", all_recovered.into()),
         ("cells", Json::arr(cells.iter().map(Cell::to_json))),
+        ("metrics", snapshot.to_json()),
     ]);
     println!("{}", doc.pretty());
     if let Some(path) = &args.json {
@@ -590,8 +617,11 @@ fn main() {
         eprintln!("wrote Chrome trace of the combined-fault run to {path}");
     }
 
-    if !all_recovered || !deterministic {
-        eprintln!("chaos_report: FAILURE — some faults were not recovered bit-identically");
+    if !all_recovered || !deterministic || !snapshots_identical {
+        eprintln!(
+            "chaos_report: FAILURE — faults not recovered bit-identically \
+             or a seeded plan produced diverging ledgers/snapshots"
+        );
         std::process::exit(1);
     }
     eprintln!("chaos_report: all injected faults recovered with identical output");

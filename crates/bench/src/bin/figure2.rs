@@ -9,7 +9,8 @@
 //! engine-injected stragglers and speculative execution enabled, then
 //! re-schedules the measured tasks — including the recovery work the
 //! engine actually performed — onto the same virtual cluster, showing
-//! what Figure 2 looks like on a flaky cluster.
+//! what Figure 2 looks like on a flaky cluster. The straggler run's
+//! `engine.*` metrics snapshot prints alongside its counter dump.
 //!
 //! `--json <path>` emits the full grid machine-readably; `--trace
 //! <path>` additionally writes a Chrome trace of the straggler run's
@@ -263,6 +264,18 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel, args: &HarnessArgs) -> J
          list schedule as real tasks)."
     );
 
+    // The same counters through the metrics plane: the straggler run's
+    // pipeline exported as an `engine.*` snapshot (recovery events
+    // included), printed alongside the raw counter dump and carried in
+    // the `--json` artifact.
+    let registry = mrmc_obs::MetricsRegistry::new();
+    chaotic.pipeline.export_metrics(&registry);
+    let snapshot = registry.snapshot();
+    println!(
+        "\nmetrics snapshot (straggler run):\n{}",
+        snapshot.render_text()
+    );
+
     // With `--trace`, dump the straggler run's simulated 6-node
     // schedule (the recovery work visible as Recovery-category spans).
     if let Some(path) = &args.trace {
@@ -274,5 +287,5 @@ fn chaos_section(nodes: &[usize], model: &JobCostModel, args: &HarnessArgs) -> J
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote simulated 6-node Chrome trace of the straggler run to {path}");
     }
-    Json::Arr(rows)
+    Json::obj([("rows", Json::Arr(rows)), ("metrics", snapshot.to_json())])
 }

@@ -10,10 +10,20 @@
 //! exercises both admission refusals (`Busy`, `QuotaExceeded`).
 //!
 //! The JSON report carries per-session admission counters and
-//! micro-batch latency (p50 / max). Any oracle deviation, counter
-//! mismatch or hung drain exits non-zero — the CI `server-smoke` step
-//! checks exactly that, under a watchdog so a wedged drain fails
-//! instead of hanging the job.
+//! micro-batch latency percentiles (p50 / p95 / p99 / max) pulled
+//! from the daemon's own metrics registry over `Request::ServerStats`,
+//! cross-checked against the client-side stopwatch. A third daemon
+//! runs the same traffic with `metrics: false` and must produce
+//! byte-identical labels, and a registry micro-benchmark prices the
+//! per-request metric recording as a percentage of the p50 submit
+//! latency (gated by `--max-metrics-overhead-pct`). Any oracle
+//! deviation, counter mismatch or hung drain exits non-zero — the CI
+//! `server-smoke` step checks exactly that, under a watchdog so a
+//! wedged drain fails instead of hanging the job.
+//!
+//! Artifacts land under `results/`: the report as
+//! `results/BENCH_server.json` and the raw daemon snapshot as
+//! `results/STATS_snapshot.json`.
 //!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin server_report -- --seed 7
@@ -26,7 +36,7 @@ use std::time::{Duration, Instant};
 use mrmc::{IncrementalClusterer, MrMcMinH};
 use mrmc_bench::json::Json;
 use mrmc_bench::HarnessArgs;
-use mrmc_obs::{Category, Tracer};
+use mrmc_obs::{Category, MetricsRegistry, Tracer};
 use mrmc_seqio::SeqRecord;
 use mrmc_server::{
     AdmissionLimits, Client, SeedConfig, Server, ServerConfig, SessionStats, SubmitOutcome,
@@ -157,9 +167,115 @@ fn main() {
         "ledger holds serve spans only (no MR jobs on the request path)",
         &mut failures,
     );
+    // The daemon's own metrics plane, pulled over the wire. The
+    // latency histogram must carry one sample per submitted batch
+    // with ordered percentiles, and the admission counters must agree
+    // with the counters the session-stats response already reports.
+    let snap = client.server_stats().expect("server stats snapshot");
+    let batches = latencies_us.len() as u64;
+    let lat = snap
+        .histogram("serve.tenant.smoke.latency_us")
+        .cloned()
+        .unwrap_or_default();
+    check(
+        lat.count() == batches,
+        "latency histogram carries one sample per batch",
+        &mut failures,
+    );
+    let (h50, h95, h99) = (
+        lat.percentile(50.0),
+        lat.percentile(95.0),
+        lat.percentile(99.0),
+    );
+    let hmax = lat.max().unwrap_or(0);
+    check(
+        h50 <= h95 && h95 <= h99 && h99 <= hmax,
+        "registry percentiles ordered p50 <= p95 <= p99 <= max",
+        &mut failures,
+    );
+    check(
+        snap.counter("serve.tenant.smoke.reads_admitted") == Some(stats.reads_admitted)
+            && snap.counter("serve.tenant.smoke.batches_admitted") == Some(stats.batches_admitted),
+        "registry admission counters match session stats",
+        &mut failures,
+    );
     let drained = client.shutdown().expect("shutdown ack");
     handle.join();
     check(drained == 0, "drain found an empty backlog", &mut failures);
+
+    // Same traffic against a metrics-off daemon: clustering output
+    // must be byte-identical (the plane is passive) and the snapshot
+    // must come back empty.
+    let dark = Server::spawn(
+        &ServerConfig {
+            metrics: false,
+            ..ServerConfig::default()
+        },
+        Arc::new(Tracer::new()),
+    )
+    .expect("bind metrics-off daemon");
+    let mut unobserved = Client::connect(dark.addr(), "smoke").expect("connect");
+    unobserved.seed_from_batch(&cfg, batch).expect("seed");
+    let mut dark_got: Vec<u64> = Vec::new();
+    for chunk in streamed.chunks(8) {
+        dark_got.extend(unobserved.submit_labels(chunk).expect("submit"));
+    }
+    check(
+        dark_got == got,
+        "labels identical with metrics disabled",
+        &mut failures,
+    );
+    check(
+        unobserved
+            .server_stats()
+            .expect("metrics-off snapshot")
+            .is_empty(),
+        "metrics-off daemon answers an empty snapshot",
+        &mut failures,
+    );
+    unobserved.shutdown().expect("shutdown metrics-off daemon");
+    dark.join();
+
+    // Price the metrics plane: one submit records one request counter,
+    // three admission counters, and three observations into formatted
+    // per-tenant keys. Replay that op mix against a fresh registry and
+    // express the per-request cost as a percentage of the p50 submit
+    // latency the daemon just measured.
+    latencies_us.sort_unstable();
+    let p50 = latencies_us
+        .get(latencies_us.len() / 2)
+        .copied()
+        .unwrap_or(0);
+    let max = latencies_us.last().copied().unwrap_or(0);
+    let bench_registry = MetricsRegistry::new();
+    let rounds: u64 = 10_000;
+    let t0 = Instant::now();
+    for i in 0..rounds {
+        bench_registry.counter_add("serve.requests.submit", 1);
+        bench_registry.counter_add("serve.tenant.smoke.batches_admitted", 1);
+        bench_registry.counter_add("serve.tenant.smoke.reads_admitted", 8);
+        bench_registry.counter_add("serve.tenant.smoke.bytes_admitted", 3_200);
+        bench_registry.observe("serve.tenant.smoke.batch_reads", 8);
+        bench_registry.observe("serve.tenant.smoke.queue_us", 40 + i % 13);
+        bench_registry.observe("serve.tenant.smoke.latency_us", 900 + i % 97);
+    }
+    let per_request_ns = t0.elapsed().as_nanos() as f64 / rounds as f64;
+    let overhead_pct = if p50 > 0 {
+        per_request_ns / (p50 as f64 * 1_000.0) * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "server_report: metrics overhead {per_request_ns:.0} ns/request \
+         = {overhead_pct:.4}% of p50 submit latency ({p50} us)"
+    );
+    if let Some(limit) = args.max_metrics_overhead_pct {
+        check(
+            overhead_pct <= limit,
+            &format!("metrics overhead {overhead_pct:.4}% within gate {limit}%"),
+            &mut failures,
+        );
+    }
 
     // Daemon two: hostile limits exercise both refusal paths. A tiny
     // byte quota rejects the big batch permanently; a zero-depth
@@ -202,13 +318,6 @@ fn main() {
     hostile.shutdown().expect("shutdown refusal daemon");
     refusals.join();
 
-    latencies_us.sort_unstable();
-    let p50 = latencies_us
-        .get(latencies_us.len() / 2)
-        .copied()
-        .unwrap_or(0);
-    let max = latencies_us.last().copied().unwrap_or(0);
-
     let doc = Json::obj([
         ("seed", Json::UInt(args.seed)),
         ("reads_total", Json::UInt(reads.len() as u64)),
@@ -220,12 +329,41 @@ fn main() {
             Json::obj([("p50", Json::UInt(p50)), ("max", Json::UInt(max))]),
         ),
         (
+            "registry_latency_us",
+            Json::obj([
+                ("p50", Json::UInt(h50)),
+                ("p95", Json::UInt(h95)),
+                ("p99", Json::UInt(h99)),
+                ("max", Json::UInt(hmax)),
+                ("samples", Json::UInt(lat.count())),
+            ]),
+        ),
+        (
+            "metrics_overhead",
+            Json::obj([
+                ("ns_per_request", Json::F64(per_request_ns)),
+                ("pct_of_p50", Json::F64(overhead_pct)),
+                (
+                    "gate_pct",
+                    args.max_metrics_overhead_pct
+                        .map(Json::F64)
+                        .unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+        (
             "sessions",
             Json::arr([stats_json(&stats), stats_json(&hostile_stats)]),
         ),
         ("failures", Json::UInt(failures as u64)),
     ]);
     println!("{}", doc.pretty());
+    std::fs::create_dir_all("results").expect("creating results/");
+    std::fs::write("results/BENCH_server.json", doc.pretty())
+        .expect("writing results/BENCH_server.json");
+    std::fs::write("results/STATS_snapshot.json", snap.to_json().pretty())
+        .expect("writing results/STATS_snapshot.json");
+    eprintln!("server_report: wrote results/BENCH_server.json and results/STATS_snapshot.json");
     if let Some(path) = &args.json {
         std::fs::write(path, doc.pretty()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("server_report: wrote {path}");

@@ -30,6 +30,12 @@
 //! a CI gate: the process exits non-zero if compaction regresses
 //! below `r`.
 //!
+//! The banded section also prices the metrics plane: the engine
+//! records nothing during a run, so its entire cost is one post-run
+//! `Pipeline::export_metrics` — timed, asserted deterministic
+//! (byte-identical snapshots across two exports) and gated as a
+//! percentage of the run with `--max-metrics-overhead-pct`.
+//!
 //! ```sh
 //! cargo run -p mrmc-bench --release --bin shuffle_bench -- --json BENCH_shuffle.json
 //! ```
@@ -390,6 +396,12 @@ struct BandedWire {
     compact_bytes: u64,
     raw_secs: f64,
     compact_secs: f64,
+    /// Wall-clock for one post-run `Pipeline::export_metrics` +
+    /// snapshot over the compact pipeline — the *entire* cost the
+    /// metrics plane adds to an engine run.
+    metrics_export_secs: f64,
+    /// Keys the export produced (counters + histograms).
+    metrics_keys: usize,
 }
 
 impl BandedWire {
@@ -437,6 +449,26 @@ fn banded_wire_comparison(scale: f64, seed: u64) -> BandedWire {
         compact_bytes += c;
         stages.push((name.to_string(), r, c));
     }
+
+    // The engine's metrics plane is passive: nothing is recorded while
+    // the job runs (the clusterings above were produced with no
+    // registry in sight), and the whole cost of lighting it up is one
+    // post-run export. Price that export, and pin its determinism —
+    // two exports of the same pipeline must render byte-identically.
+    let registry = mrmc_obs::MetricsRegistry::new();
+    let t = Instant::now();
+    compact.pipeline.export_metrics(&registry);
+    let snap = registry.snapshot();
+    let metrics_export_secs = t.elapsed().as_secs_f64();
+    let again = mrmc_obs::MetricsRegistry::new();
+    compact.pipeline.export_metrics(&again);
+    assert_eq!(
+        snap.render_text(),
+        again.snapshot().render_text(),
+        "metrics export must be deterministic for a fixed pipeline"
+    );
+    let metrics_keys = snap.counters.len() + snap.histograms.len();
+
     BandedWire {
         reads: reads.len(),
         stages,
@@ -444,6 +476,8 @@ fn banded_wire_comparison(scale: f64, seed: u64) -> BandedWire {
         compact_bytes,
         raw_secs,
         compact_secs,
+        metrics_export_secs,
+        metrics_keys,
     }
 }
 
@@ -547,6 +581,13 @@ fn main() {
         banded.compact_secs,
     );
 
+    let metrics_overhead_pct = banded.metrics_export_secs / banded.compact_secs.max(1e-12) * 100.0;
+    println!(
+        "\nmetrics plane: post-run export of {} engine keys in {:.6}s \
+         = {:.4}% of the {:.2}s compact run (snapshots deterministic)",
+        banded.metrics_keys, banded.metrics_export_secs, metrics_overhead_pct, banded.compact_secs
+    );
+
     let banded_json = Json::obj([
         ("reads", banded.reads.into()),
         ("raw_bytes", banded.raw_bytes.into()),
@@ -621,6 +662,15 @@ fn main() {
             ]),
         ),
         ("banded_wire", banded_json),
+        (
+            "metrics_overhead",
+            Json::obj([
+                ("export_secs", Json::fixed(banded.metrics_export_secs, 6)),
+                ("engine_keys", banded.metrics_keys.into()),
+                ("pct_of_run", Json::fixed(metrics_overhead_pct, 4)),
+                ("deterministic", true.into()),
+            ]),
+        ),
     ]);
     println!("\n{}", doc.pretty());
     if let Some(path) = &args.json {
@@ -655,6 +705,20 @@ fn main() {
         eprintln!(
             "merge-path allocations within the {cap:.4}/run cap \
              (reduction {merge_alloc_reduction:.1}x) — gate passed"
+        );
+    }
+
+    if let Some(limit) = args.max_metrics_overhead_pct {
+        if metrics_overhead_pct > limit {
+            eprintln!(
+                "FAIL: post-run metrics export cost {metrics_overhead_pct:.4}% of the \
+                 compact run, above the --max-metrics-overhead-pct cap {limit:.4}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "metrics export {metrics_overhead_pct:.4}% of run within the {limit:.4}% cap \
+             — gate passed"
         );
     }
 }

@@ -54,6 +54,10 @@ pub struct HarnessArgs {
     /// streaming merge path performs more than this many allocations
     /// per input run (fractional; the legacy decode-merge costs ≥ 1).
     pub max_merge_allocs_per_run: Option<f64>,
+    /// Regression gate for the metrics plane (`server_report`,
+    /// `shuffle_bench`): exit non-zero if keeping the metrics registry
+    /// fed costs more than this percentage of the instrumented work.
+    pub max_metrics_overhead_pct: Option<f64>,
 }
 
 impl HarnessArgs {
@@ -68,6 +72,7 @@ impl HarnessArgs {
             min_banded_ratio: None,
             min_speedup: None,
             max_merge_allocs_per_run: None,
+            max_metrics_overhead_pct: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -129,10 +134,19 @@ impl HarnessArgs {
                     );
                     i += 2;
                 }
+                "--max-metrics-overhead-pct" => {
+                    args.max_metrics_overhead_pct = Some(
+                        argv.get(i + 1)
+                            .and_then(|s| s.parse().ok())
+                            .expect("--max-metrics-overhead-pct needs a number"),
+                    );
+                    i += 2;
+                }
                 other => panic!(
                     "unknown argument {other:?} \
                      (supported: --scale, --seed, --samples, --json, --trace, \
-                     --min-banded-ratio, --min-speedup, --max-merge-allocs-per-run)"
+                     --min-banded-ratio, --min-speedup, --max-merge-allocs-per-run, \
+                     --max-metrics-overhead-pct)"
                 ),
             }
         }
@@ -462,6 +476,7 @@ mod tests {
             min_banded_ratio: None,
             min_speedup: None,
             max_merge_allocs_per_run: None,
+            max_metrics_overhead_pct: None,
         };
         assert!(args.wants("S1"));
         assert!(!args.wants("S2"));

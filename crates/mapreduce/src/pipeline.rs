@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mrmc_chaos::{FaultInjector, NoFaults, RecoveryCounters};
-use mrmc_obs::Tracer;
+use mrmc_obs::{MetricsRegistry, Tracer};
 
 use crate::engine::{
     run_job_with_combiner_and_faults, run_job_with_faults, run_map_only_with_faults,
@@ -439,6 +439,74 @@ impl Pipeline {
             .iter()
             .map(|r| r.total())
             .sum()
+    }
+
+    /// Export every stage's accounting into `metrics` under the
+    /// `engine.*` key family (see DESIGN.md §6 for the glossary).
+    ///
+    /// This is the metrics plane's engine instrumentation: it runs
+    /// once per pipeline, *after* execution, off every hot path — the
+    /// per-record code keeps its existing task-local [`Counters`] and
+    /// this method folds the already-aggregated [`StageReport`]s into
+    /// the registry. Everything exported is derived from record
+    /// counts, shuffle volumes and recovery actions, never from
+    /// wall-clock, so a fixed seed (and fixed chaos plan) makes the
+    /// resulting snapshot byte-identical across runs.
+    ///
+    /// [`Counters`]: crate::job::Counters
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        for stage in &self.stages {
+            export_stage_metrics(metrics, stage);
+        }
+    }
+}
+
+/// Fold one [`StageReport`] into the registry (the per-stage half of
+/// [`Pipeline::export_metrics`]). The ad-hoc counter keys the stages
+/// already carry (`SHUFFLED_PAIRS`, `PAIRS_COMPUTED`, …) surface
+/// unchanged under `engine.counter.<NAME>`, so every existing report
+/// key is reachable through the one registry namespace.
+pub fn export_stage_metrics(metrics: &MetricsRegistry, stage: &StageReport) {
+    metrics.counter_add("engine.stages", 1);
+    metrics.counter_add("engine.map.tasks", stage.map_stats.len() as u64);
+    metrics.counter_add("engine.reduce.tasks", stage.reduce_stats.len() as u64);
+    metrics.counter_add("engine.shuffle.pairs", stage.shuffled_pairs);
+    metrics.counter_add("engine.shuffle.bytes", stage.shuffled_bytes);
+    metrics.counter_add("engine.shuffle.runs", stage.shuffle_runs);
+    for (name, value) in &stage.counters {
+        metrics.counter_add(&format!("engine.counter.{name}"), *value);
+    }
+    let r = &stage.recovery;
+    for (key, value) in [
+        ("engine.recovery.tasks_retried", r.tasks_retried),
+        (
+            "engine.recovery.maps_reexecuted_node_loss",
+            r.maps_reexecuted_node_loss,
+        ),
+        (
+            "engine.recovery.maps_reexecuted_fetch_fail",
+            r.maps_reexecuted_fetch_fail,
+        ),
+        ("engine.recovery.speculative_wins", r.speculative_wins),
+        (
+            "engine.recovery.shuffle_fetch_retries",
+            r.shuffle_fetch_retries,
+        ),
+        ("engine.recovery.blocks_rereplicated", r.blocks_rereplicated),
+        (
+            "engine.recovery.corrupt_replicas_detected",
+            r.corrupt_replicas_detected,
+        ),
+    ] {
+        metrics.counter_add(key, value);
+    }
+    for t in &stage.map_stats {
+        metrics.observe("engine.map.records_in", t.records_in);
+        metrics.observe("engine.map.records_out", t.records_out);
+    }
+    for t in &stage.reduce_stats {
+        metrics.observe("engine.reduce.records_in", t.records_in);
+        metrics.observe("engine.reduce.records_out", t.records_out);
     }
 }
 

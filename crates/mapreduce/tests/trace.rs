@@ -152,6 +152,42 @@ fn ledger_signature_stable_across_worker_counts_under_faults() {
     assert!(sig.contains("panic"));
 }
 
+/// Two runs of the *same seeded chaos plan* must export byte-identical
+/// metrics snapshots: the `engine.*` keys are derived from record
+/// counts, shuffle volumes and recovery counters — never wall-clock —
+/// so a fixed plan pins every counter and histogram bucket.
+#[test]
+fn seeded_chaos_plan_pins_the_metrics_snapshot() {
+    hush_injected_panics();
+    let snapshot_text = |seed: u64| {
+        let plan = FaultPlan::random(seed, &mrmc_chaos::ChaosProfile::default());
+        let mut pipeline = Pipeline::new("chaos-metrics");
+        pipeline
+            .run_stage_with_faults(
+                input(),
+                5,
+                &Tokenize,
+                &Sum,
+                &JobConfig::named("wc-metrics")
+                    .reducers(3)
+                    .nodes(6)
+                    .attempts(4),
+                &plan.injector(),
+            )
+            .unwrap();
+        let metrics = mrmc_obs::MetricsRegistry::new();
+        pipeline.export_metrics(&metrics);
+        metrics.snapshot().render_text()
+    };
+    let first = snapshot_text(7);
+    assert_eq!(first, snapshot_text(7), "seeded plan must pin the snapshot");
+    assert!(first.contains("engine.recovery."));
+    assert!(first.contains("histogram engine.map.records_in"));
+    // A different seed is allowed to differ — and with this profile the
+    // fault mix does, via the recovery counters.
+    assert_ne!(first, snapshot_text(8), "distinct seeds diverge");
+}
+
 #[test]
 fn repeated_chaotic_runs_yield_identical_ledgers() {
     hush_injected_panics();

@@ -5,9 +5,14 @@
 //!   seed   --fasta F [--kmer K] [--num-hashes N] [--theta X] [--greedy] [--seed S]
 //!   submit --fasta F
 //!   query  --id ID
-//!   stats
+//!   stats  [--server] [--dashboard] [--width W]
 //!   shutdown
 //! ```
+//!
+//! `stats` alone prints the tenant session's counters; `--server`
+//! pulls the daemon-wide metrics snapshot (all tenants) and renders it
+//! as text, `--dashboard` renders the same snapshot as an ASCII
+//! dashboard with bucket bars.
 
 use std::process::ExitCode;
 
@@ -21,7 +26,7 @@ fn usage() -> ! {
          \x20 seed   --fasta F [--kmer K] [--num-hashes N] [--theta X] [--greedy] [--seed S]\n\
          \x20 submit --fasta F\n\
          \x20 query  --id ID\n\
-         \x20 stats\n\
+         \x20 stats  [--server] [--dashboard] [--width W]\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -40,6 +45,9 @@ fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut fasta: Option<String> = None;
     let mut id: Option<String> = None;
+    let mut server_wide = false;
+    let mut dashboard = false;
+    let mut width: usize = 80;
     let mut config = SeedConfig {
         kmer: 5,
         num_hashes: 64,
@@ -62,6 +70,9 @@ fn main() -> ExitCode {
             }
             "--theta" => config.theta = need(args.next(), "--theta").parse().unwrap_or(0.9),
             "--seed" => config.seed = need(args.next(), "--seed").parse().unwrap_or(7),
+            "--server" => server_wide = true,
+            "--dashboard" => dashboard = true,
+            "--width" => width = need(args.next(), "--width").parse().unwrap_or(80),
             "--greedy" => config.greedy = true,
             "--hierarchical" => config.greedy = false,
             "--canonical" => config.canonical = true,
@@ -123,6 +134,13 @@ fn main() -> ExitCode {
                 None => println!("{id}\t(unknown)"),
             })
         }
+        "stats" if server_wide || dashboard => client.server_stats().map(|snap| {
+            if dashboard {
+                print!("{}", mrmc_obs::render_dashboard(&snap, width));
+            } else {
+                print!("{}", snap.render_text());
+            }
+        }),
         "stats" => client.stats().map(|s| {
             println!(
                 "tenant={} clusters={} (seeded {}) admitted={} reads / {} batches / {} bytes \

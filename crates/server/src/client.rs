@@ -9,6 +9,7 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use mrmc_obs::MetricsSnapshot;
 use mrmc_seqio::SeqRecord;
 
 use crate::protocol::{
@@ -175,6 +176,17 @@ impl Client {
         }
     }
 
+    /// The daemon-wide metrics snapshot (all tenants): counters,
+    /// gauges and latency/size histograms. Empty when the daemon runs
+    /// with metrics disabled.
+    pub fn server_stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let resp = self.call(&Request::ServerStats)?;
+        match resp {
+            Response::ServerStats(snap) => Ok(snap),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Drain and stop the daemon; returns the backlog drained.
     pub fn shutdown(&mut self) -> Result<u64, ClientError> {
         let resp = self.call(&Request::Shutdown)?;
@@ -193,6 +205,7 @@ fn unexpected(resp: Response) -> ClientError {
         Response::Labels { .. } => ClientError::Unexpected("Labels"),
         Response::QueryResult { .. } => ClientError::Unexpected("QueryResult"),
         Response::Stats(_) => ClientError::Unexpected("Stats"),
+        Response::ServerStats(_) => ClientError::Unexpected("ServerStats"),
         Response::Busy { .. } => ClientError::Unexpected("Busy"),
         Response::QuotaExceeded { .. } => ClientError::Unexpected("QuotaExceeded"),
         Response::ShutdownAck { .. } => ClientError::Unexpected("ShutdownAck"),

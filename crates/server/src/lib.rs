@@ -19,7 +19,10 @@
 //!   index, admission ledger.
 //! * [`server`] — the daemon: accept loop, worker pool, concurrent
 //!   multi-session scheduling, graceful drain, `serve`-category spans
-//!   into an [`mrmc_obs::Tracer`].
+//!   into an [`mrmc_obs::Tracer`], and live `serve.*` metrics
+//!   (per-tenant latency/batch-size histograms, admission counters,
+//!   queue gauges) into an [`mrmc_obs::MetricsRegistry`] a client
+//!   snapshots with `Request::ServerStats`.
 //! * [`client`] — the thin blocking client the `mrmc-client` binary
 //!   and the tests drive.
 //!

@@ -21,6 +21,7 @@ use std::io::{self, Read, Write};
 
 use mrmc::{Mode, MrMcConfig};
 use mrmc_mapreduce::wire::{get_uvarint, put_uvarint, WireError};
+use mrmc_obs::metrics::{Histogram, MetricsSnapshot};
 use mrmc_seqio::SeqRecord;
 
 /// Protocol version spoken by this build. The handshake (`Hello` /
@@ -319,6 +320,9 @@ pub enum Request {
     },
     /// Fetch the session's counters.
     ClusterStats,
+    /// Fetch the daemon-wide metrics snapshot (all tenants): counters,
+    /// gauges and latency/size histograms from the live registry.
+    ServerStats,
     /// Drain the admission queue and stop the daemon.
     Shutdown,
 }
@@ -348,6 +352,10 @@ pub enum Response {
     },
     /// Answer to `ClusterStats`.
     Stats(SessionStats),
+    /// Answer to `ServerStats`: a point-in-time copy of the daemon's
+    /// metrics registry. Empty when the daemon runs with metrics
+    /// disabled.
+    ServerStats(MetricsSnapshot),
     /// Admission refused: the session's bounded queue is full. Retry
     /// after in-flight work drains; nothing was recorded.
     Busy {
@@ -567,6 +575,94 @@ fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, ProtocolError> {
     })
 }
 
+// Gauges are the protocol's only signed field; they travel zigzag-
+// mapped through the shared unsigned varint, so small magnitudes of
+// either sign stay short on the wire.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn put_snapshot(buf: &mut Vec<u8>, snap: &MetricsSnapshot) {
+    put_uvarint(buf, snap.counters.len() as u64);
+    for (name, v) in &snap.counters {
+        put_str(buf, name);
+        put_uvarint(buf, *v);
+    }
+    put_uvarint(buf, snap.gauges.len() as u64);
+    for (name, v) in &snap.gauges {
+        put_str(buf, name);
+        put_uvarint(buf, zigzag(*v));
+    }
+    put_uvarint(buf, snap.histograms.len() as u64);
+    for (name, h) in &snap.histograms {
+        put_str(buf, name);
+        put_uvarint(buf, h.count());
+        put_uvarint(buf, h.sum());
+        // Raw bounds (u64::MAX / 0 when empty), so decode rebuilds the
+        // exact in-memory state and roundtrips bit-for-bit.
+        put_uvarint(buf, h.min().unwrap_or(u64::MAX));
+        put_uvarint(buf, h.max().unwrap_or(0));
+        let sparse: Vec<(usize, u64)> = h.nonempty_buckets().collect();
+        put_uvarint(buf, sparse.len() as u64);
+        for (i, c) in sparse {
+            put_uvarint(buf, i as u64);
+            put_uvarint(buf, c);
+        }
+    }
+}
+
+fn get_snapshot(r: &mut Reader<'_>) -> Result<MetricsSnapshot, ProtocolError> {
+    // Every entry costs ≥ 2 body bytes, so the (frame-capped) body
+    // length bounds any honest count — same hostile-count discipline
+    // as `Reader::reads`.
+    let checked_count = |r: &mut Reader<'_>| -> Result<u64, ProtocolError> {
+        let count = r.u64()?;
+        if count > (r.buf.len() as u64) {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(count)
+    };
+    let n = checked_count(r)?;
+    let mut counters = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        counters.push((r.string()?, r.u64()?));
+    }
+    let n = checked_count(r)?;
+    let mut gauges = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        gauges.push((r.string()?, unzigzag(r.u64()?)));
+    }
+    let n = checked_count(r)?;
+    let mut histograms = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = r.string()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let buckets = checked_count(r)?;
+        let mut sparse = Vec::with_capacity(buckets as usize);
+        for _ in 0..buckets {
+            let i = r.u64()?;
+            let i = usize::try_from(i)
+                .map_err(|_| ProtocolError::BadPayload(format!("bucket index {i}")))?;
+            sparse.push((i, r.u64()?));
+        }
+        let h = Histogram::from_parts(count, sum, min, max, sparse)
+            .ok_or_else(|| ProtocolError::BadPayload(format!("histogram {name}")))?;
+        histograms.push((name, h));
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 // Request tags occupy 0x01–0x7f, response tags 0x81–0xff, so a frame
 // read from the wrong direction fails as UnknownTag instead of
 // decoding to nonsense.
@@ -576,6 +672,7 @@ const TAG_SUBMIT: u8 = 0x03;
 const TAG_QUERY: u8 = 0x04;
 const TAG_STATS_REQ: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_SERVER_STATS_REQ: u8 = 0x07;
 
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_SEEDED: u8 = 0x82;
@@ -586,6 +683,7 @@ const TAG_BUSY: u8 = 0x86;
 const TAG_QUOTA: u8 = 0x87;
 const TAG_ERROR: u8 = 0x88;
 const TAG_SHUTDOWN_ACK: u8 = 0x89;
+const TAG_SERVER_STATS: u8 = 0x8a;
 
 impl Request {
     /// Encode to a frame body (tag + fields, no length prefix).
@@ -611,6 +709,7 @@ impl Request {
                 put_str(&mut buf, id);
             }
             Request::ClusterStats => buf.push(TAG_STATS_REQ),
+            Request::ServerStats => buf.push(TAG_SERVER_STATS_REQ),
             Request::Shutdown => buf.push(TAG_SHUTDOWN),
         }
         buf
@@ -632,6 +731,7 @@ impl Request {
             TAG_SUBMIT => Request::SubmitReads { reads: r.reads()? },
             TAG_QUERY => Request::Query { id: r.string()? },
             TAG_STATS_REQ => Request::ClusterStats,
+            TAG_SERVER_STATS_REQ => Request::ServerStats,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtocolError::UnknownTag(other)),
         };
@@ -673,6 +773,10 @@ impl Response {
             Response::Stats(stats) => {
                 buf.push(TAG_STATS);
                 put_stats(&mut buf, stats);
+            }
+            Response::ServerStats(snap) => {
+                buf.push(TAG_SERVER_STATS);
+                put_snapshot(&mut buf, snap);
             }
             Response::Busy { queue_depth, limit } => {
                 buf.push(TAG_BUSY);
@@ -722,6 +826,7 @@ impl Response {
                 },
             },
             TAG_STATS => Response::Stats(get_stats(&mut r)?),
+            TAG_SERVER_STATS => Response::ServerStats(get_snapshot(&mut r)?),
             TAG_BUSY => Response::Busy {
                 queue_depth: r.u64()?,
                 limit: r.u64()?,

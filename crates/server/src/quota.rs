@@ -143,6 +143,19 @@ impl AdmissionLedger {
         self.queue_depth = self.queue_depth.saturating_sub(1);
         self.queued_bytes = self.queued_bytes.saturating_sub(bytes);
     }
+
+    /// Publish the ledger's live admission state as gauges under
+    /// `prefix` (the additive admitted/rejected tallies are recorded
+    /// at event time by the daemon, so re-publishing here cannot
+    /// double-count — gauges are set, not added).
+    pub fn export_gauges(&self, metrics: &mrmc_obs::MetricsRegistry, prefix: &str) {
+        metrics.gauge_set(&format!("{prefix}.queue_depth"), self.queue_depth as i64);
+        metrics.gauge_set(&format!("{prefix}.queued_bytes"), self.queued_bytes as i64);
+        metrics.gauge_set(
+            &format!("{prefix}.max_queue_depth"),
+            self.max_queue_depth_seen as i64,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use mrmc_obs::{Category, SpanDraft, Tracer};
+use mrmc_obs::{Category, MetricsRegistry, MetricsSnapshot, SpanDraft, Tracer};
 use mrmc_seqio::SeqRecord;
 
 use crate::protocol::{
@@ -57,6 +57,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission limits applied to every session.
     pub limits: AdmissionLimits,
+    /// Record into the live metrics registry (`ServerStats` answers an
+    /// empty snapshot when off). On by default; the registry is
+    /// passive enough that turning it off is a benchmarking control,
+    /// not an operational one.
+    pub metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             limits: AdmissionLimits::default(),
+            metrics: true,
         }
     }
 }
@@ -86,6 +92,10 @@ struct QueueState {
 
 struct Shared {
     tracer: Arc<Tracer>,
+    /// Live metrics registry; `None` when the daemon runs with
+    /// metrics disabled (the on/off overhead control in
+    /// `server_report`).
+    metrics: Option<Arc<MetricsRegistry>>,
     limits: AdmissionLimits,
     addr: Mutex<Option<SocketAddr>>,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
@@ -105,7 +115,19 @@ impl Shared {
         let job = self.tracer.begin_job(&format!("session:{tenant}"));
         let s = Arc::new(Mutex::new(Session::new(tenant, self.limits, job)));
         sessions.insert(tenant.to_string(), Arc::clone(&s));
+        if let Some(m) = &self.metrics {
+            m.gauge_set("serve.sessions", sessions.len() as i64);
+        }
         s
+    }
+
+    /// Refresh the daemon-wide queue gauges from the queue state
+    /// (callers hold the queue lock, so the values are consistent).
+    fn queue_gauges(&self, q: &QueueState) {
+        if let Some(m) = &self.metrics {
+            m.gauge_set("serve.queue_depth", q.items.len() as i64);
+            m.gauge_set("serve.in_flight", q.in_flight as i64);
+        }
     }
 
     /// Enqueue an admitted batch unless the drain already began.
@@ -116,6 +138,7 @@ impl Shared {
             return Err(item);
         }
         q.items.push_back(item);
+        self.queue_gauges(&q);
         self.queue_cv.notify_one();
         Ok(())
     }
@@ -152,6 +175,7 @@ fn worker_loop(shared: Arc<Shared>) {
             loop {
                 if let Some(item) = q.items.pop_front() {
                     q.in_flight += 1;
+                    shared.queue_gauges(&q);
                     break item;
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -187,11 +211,23 @@ fn worker_loop(shared: Arc<Shared>) {
                         },
                     ),
             );
+            if let Some(m) = &shared.metrics {
+                let t = s.tenant();
+                m.observe(
+                    &format!("serve.tenant.{t}.queue_us"),
+                    dequeued_ns.saturating_sub(item.enqueued_ns) / 1_000,
+                );
+                m.observe(
+                    &format!("serve.tenant.{t}.latency_us"),
+                    done_ns.saturating_sub(item.enqueued_ns) / 1_000,
+                );
+            }
             result
         };
         let _ = item.reply.send(result);
         let mut q = shared.queue.lock().expect("queue lock");
         q.in_flight -= 1;
+        shared.queue_gauges(&q);
         if q.items.is_empty() && q.in_flight == 0 {
             shared.drained_cv.notify_all();
         }
@@ -269,6 +305,9 @@ fn handshake(shared: &Shared, stream: &mut TcpStream) -> Option<Arc<Mutex<Sessio
                 None
             } else {
                 let session = shared.session(&tenant);
+                if let Some(m) = &shared.metrics {
+                    m.counter_add("serve.requests.hello", 1);
+                }
                 if send(
                     stream,
                     &Response::HelloAck {
@@ -319,6 +358,9 @@ fn handle_submit(
     let records: Vec<SeqRecord> = reads.into_iter().map(SeqRecord::from).collect();
     let rx = {
         let mut s = session.lock().expect("session lock");
+        if let Some(m) = &shared.metrics {
+            m.counter_add("serve.requests.submit", 1);
+        }
         if !s.is_seeded() {
             return error_response(&SessionError::NotSeeded);
         }
@@ -333,6 +375,14 @@ fn handle_submit(
                         ("reads".into(), records.len().to_string()),
                     ],
                 );
+                if let Some(m) = &shared.metrics {
+                    let t = s.tenant();
+                    m.counter_add(&format!("serve.tenant.{t}.busy_rejections"), 1);
+                    m.counter_add(
+                        &format!("serve.tenant.{t}.reads_rejected"),
+                        records.len() as u64,
+                    );
+                }
                 return Response::Busy { queue_depth, limit };
             }
             Err(AdmissionReject::QuotaExceeded { would_use, quota }) => {
@@ -345,9 +395,30 @@ fn handle_submit(
                         ("reads".into(), records.len().to_string()),
                     ],
                 );
+                if let Some(m) = &shared.metrics {
+                    let t = s.tenant();
+                    m.counter_add(&format!("serve.tenant.{t}.quota_rejections"), 1);
+                    m.counter_add(
+                        &format!("serve.tenant.{t}.reads_rejected"),
+                        records.len() as u64,
+                    );
+                }
                 return Response::QuotaExceeded { would_use, quota };
             }
             Ok(()) => {
+                if let Some(m) = &shared.metrics {
+                    let t = s.tenant();
+                    m.counter_add(&format!("serve.tenant.{t}.batches_admitted"), 1);
+                    m.counter_add(
+                        &format!("serve.tenant.{t}.reads_admitted"),
+                        records.len() as u64,
+                    );
+                    m.counter_add(&format!("serve.tenant.{t}.bytes_admitted"), bytes as u64);
+                    m.observe(
+                        &format!("serve.tenant.{t}.batch_reads"),
+                        records.len() as u64,
+                    );
+                }
                 let (tx, rx) = mpsc::channel();
                 let item = WorkItem {
                     session: Arc::clone(session),
@@ -430,6 +501,9 @@ fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
                     let records: Vec<SeqRecord> = reads.into_iter().map(SeqRecord::from).collect();
                     let start_ns = shared.tracer.now_ns();
                     let mut s = session.lock().expect("session lock");
+                    if let Some(m) = &shared.metrics {
+                        m.counter_add("serve.requests.seed", 1);
+                    }
                     match s.seed_from_batch(&config, &records) {
                         Ok(clusters) => {
                             let done_ns = shared.tracer.now_ns();
@@ -439,6 +513,12 @@ fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
                                     .meta("reads", records.len())
                                     .meta("clusters", clusters),
                             );
+                            if let Some(m) = &shared.metrics {
+                                m.observe(
+                                    &format!("serve.tenant.{}.seed_us", s.tenant()),
+                                    done_ns.saturating_sub(start_ns) / 1_000,
+                                );
+                            }
                             Response::Seeded { clusters }
                         }
                         Err(e) => error_response(&e),
@@ -447,15 +527,38 @@ fn handle_conn(shared: Arc<Shared>, mut stream: TcpStream) {
             }
             Ok(Request::SubmitReads { reads }) => handle_submit(&shared, &session, reads),
             Ok(Request::Query { id }) => {
+                if let Some(m) = &shared.metrics {
+                    m.counter_add("serve.requests.query", 1);
+                }
                 let s = session.lock().expect("session lock");
                 Response::QueryResult {
                     label: s.query(&id),
                 }
             }
             Ok(Request::ClusterStats) => {
+                if let Some(m) = &shared.metrics {
+                    m.counter_add("serve.requests.cluster_stats", 1);
+                }
                 let s = session.lock().expect("session lock");
                 Response::Stats(s.stats())
             }
+            Ok(Request::ServerStats) => match &shared.metrics {
+                Some(m) => {
+                    m.counter_add("serve.requests.server_stats", 1);
+                    // Refresh every session's live gauges so the
+                    // snapshot reflects the daemon *now*, not as of
+                    // the last submission. Lock order matches the
+                    // handshake path: sessions map, then one session
+                    // at a time.
+                    let sessions = shared.sessions.lock().expect("sessions lock");
+                    for s in sessions.values() {
+                        s.lock().expect("session lock").export_metrics(m);
+                    }
+                    drop(sessions);
+                    Response::ServerStats(m.snapshot())
+                }
+                None => Response::ServerStats(MetricsSnapshot::default()),
+            },
             Ok(Request::Shutdown) => {
                 let drained = shared.drain();
                 let resp = Response::ShutdownAck { drained };
@@ -496,6 +599,7 @@ impl Server {
         );
         let shared = Arc::new(Shared {
             tracer,
+            metrics: config.metrics.then(|| Arc::new(MetricsRegistry::new())),
             limits: config.limits,
             addr: Mutex::new(Some(addr)),
             sessions: Mutex::new(HashMap::new()),
@@ -532,6 +636,11 @@ impl Server {
         Arc::clone(&self.shared.tracer)
     }
 
+    /// The live metrics registry (`None` when disabled by config).
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.shared.metrics.as_ref().map(Arc::clone)
+    }
+
     /// Serve until a client's `Shutdown` drains the daemon. Joins the
     /// worker pool and every connection thread before returning, so
     /// when this returns every admitted batch has been answered.
@@ -566,10 +675,16 @@ impl Server {
         let server = Server::bind(config, tracer)?;
         let addr = server.local_addr();
         let tracer = server.tracer();
+        let metrics = server.metrics();
         let join = thread::Builder::new()
             .name("mrmc-server".to_string())
             .spawn(move || server.run())?;
-        Ok(ServerHandle { addr, tracer, join })
+        Ok(ServerHandle {
+            addr,
+            tracer,
+            metrics,
+            join,
+        })
     }
 }
 
@@ -577,6 +692,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     tracer: Arc<Tracer>,
+    metrics: Option<Arc<MetricsRegistry>>,
     join: JoinHandle<()>,
 }
 
@@ -589,6 +705,11 @@ impl ServerHandle {
     /// The daemon's tracer (shared; snapshot with `ledger()`).
     pub fn tracer(&self) -> Arc<Tracer> {
         Arc::clone(&self.tracer)
+    }
+
+    /// The daemon's live metrics registry (`None` when disabled).
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(Arc::clone)
     }
 
     /// Wait for the daemon to drain and exit.

@@ -146,6 +146,32 @@ impl Session {
         self.ledger.queue_depth
     }
 
+    /// The tenant this session serves (metric key component).
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Refresh this session's live gauges in the daemon registry under
+    /// `serve.tenant.<tenant>.*`: clustering state plus the admission
+    /// ledger's queue occupancy. Called on demand (each `ServerStats`
+    /// request), not per submission — histograms and additive counters
+    /// are recorded at event time by the daemon instead.
+    pub fn export_metrics(&self, metrics: &mrmc_obs::MetricsRegistry) {
+        let prefix = format!("serve.tenant.{}", self.tenant);
+        metrics.gauge_set(
+            &format!("{prefix}.clusters"),
+            self.clusterer
+                .as_ref()
+                .map(|c| c.num_clusters() as i64)
+                .unwrap_or(0),
+        );
+        metrics.gauge_set(
+            &format!("{prefix}.seeded_clusters"),
+            self.seeded_clusters as i64,
+        );
+        self.ledger.export_gauges(metrics, &prefix);
+    }
+
     /// Snapshot every counter the protocol's `Stats` response carries.
     pub fn stats(&self) -> SessionStats {
         SessionStats {

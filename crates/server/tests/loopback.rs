@@ -61,6 +61,7 @@ fn spawn_server(limits: AdmissionLimits) -> ServerHandle {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         limits,
+        metrics: true,
     };
     Server::spawn(&config, Arc::new(Tracer::new())).expect("bind loopback")
 }
@@ -143,6 +144,59 @@ fn concurrent_sessions_match_oracle_and_ledger_is_all_serve() {
         "assignment spans present"
     );
 
+    // The live metrics plane saw the same traffic: per-tenant
+    // admission counters match the session ledgers and the latency
+    // histograms carry one sample per admitted batch with ordered
+    // percentiles.
+    let mut observer = Client::connect(addr, "alpha").expect("connect for metrics");
+    let snap = observer.server_stats().expect("server stats");
+    for tenant in ["alpha", "beta"] {
+        let batches = 20usize.div_ceil(7) as u64;
+        assert_eq!(
+            snap.counter(&format!("serve.tenant.{tenant}.reads_admitted")),
+            Some(20),
+            "{tenant}: admitted-read counter"
+        );
+        assert_eq!(
+            snap.counter(&format!("serve.tenant.{tenant}.batches_admitted")),
+            Some(batches)
+        );
+        let lat = snap
+            .histogram(&format!("serve.tenant.{tenant}.latency_us"))
+            .expect("latency histogram present");
+        assert_eq!(lat.count(), batches);
+        let (p50, p95, p99) = (
+            lat.percentile(50.0),
+            lat.percentile(95.0),
+            lat.percentile(99.0),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "percentiles ordered");
+        assert!(p99 <= lat.max().unwrap_or(0));
+        let sizes = snap
+            .histogram(&format!("serve.tenant.{tenant}.batch_reads"))
+            .expect("batch-size histogram present");
+        assert_eq!(sizes.sum(), 20, "batch-size samples cover every read");
+        assert_eq!(
+            snap.gauge(&format!("serve.tenant.{tenant}.queue_depth")),
+            Some(0),
+            "{tenant}: live queue gauge drained"
+        );
+    }
+    // The worker sends each reply *before* re-taking the queue lock to
+    // decrement `in_flight` (drain must answer every admitted batch
+    // before acking), so a client that just received its labels may
+    // still observe the previous gauge value — bounded by the number
+    // of already-answered batches, never a phantom queue item.
+    let in_flight = snap
+        .gauge("serve.in_flight")
+        .expect("in-flight gauge present");
+    assert!(
+        (0..=2).contains(&in_flight),
+        "in-flight gauge bounded by answered batches: {in_flight}"
+    );
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0));
+    assert_eq!(snap.gauge("serve.sessions"), Some(2));
+
     // Graceful drain: shutdown acks, the daemon thread exits, and a
     // late connection is refused or dropped without an answer.
     let mut closer = Client::connect(addr, "alpha").expect("connect for shutdown");
@@ -204,6 +258,44 @@ fn byte_quota_refusals_are_permanent() {
     assert_eq!(stats.bytes_admitted, 0);
     client.shutdown().expect("shutdown");
     handle.join();
+}
+
+/// Metrics are passive: a daemon with the registry disabled answers
+/// `ServerStats` with an empty snapshot and assigns the exact same
+/// labels as a metrics-enabled daemon over the same traffic.
+#[test]
+fn metrics_off_daemon_is_label_identical_and_snapshot_empty() {
+    let reads = corpus(30, 9);
+    let (batch, streamed) = reads.split_at(20);
+    let mut labels = Vec::new();
+    for metrics in [true, false] {
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            limits: AdmissionLimits::default(),
+            metrics,
+        };
+        let handle = Server::spawn(&config, Arc::new(Tracer::new())).expect("bind");
+        let mut client = Client::connect(handle.addr(), "t").expect("connect");
+        client.seed_from_batch(&seed_cfg(), batch).expect("seed");
+        let mut got = Vec::new();
+        for chunk in streamed.chunks(4) {
+            got.extend(client.submit_labels(chunk).expect("submit"));
+        }
+        let snap = client.server_stats().expect("server stats");
+        if metrics {
+            assert!(
+                snap.counter("serve.tenant.t.reads_admitted").is_some(),
+                "metrics-on daemon records admissions"
+            );
+        } else {
+            assert!(snap.is_empty(), "metrics-off snapshot is empty");
+        }
+        labels.push(got);
+        client.shutdown().expect("shutdown");
+        handle.join();
+    }
+    assert_eq!(labels[0], labels[1], "labels identical with metrics on/off");
 }
 
 #[test]

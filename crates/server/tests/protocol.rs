@@ -9,6 +9,7 @@ use std::io::Cursor;
 use proptest::prelude::*;
 use proptest::TestRng;
 
+use mrmc_obs::metrics::{Histogram, MetricsSnapshot};
 use mrmc_server::protocol::{
     read_frame, write_frame, ErrorCode, ProtocolError, Request, Response, SeedConfig, SessionStats,
     WireRead, MAX_FRAME_LEN,
@@ -70,6 +71,42 @@ impl Strategy for StatsStrategy {
     }
 }
 
+struct SnapshotStrategy;
+
+impl Strategy for SnapshotStrategy {
+    type Value = MetricsSnapshot;
+    fn generate(&self, rng: &mut TestRng) -> MetricsSnapshot {
+        let name = "[a-z0-9_.]{1,12}";
+        let counters = proptest::collection::vec(any::<u64>(), 0..6)
+            .generate(rng)
+            .into_iter()
+            .map(|v| (name.generate(rng), v))
+            .collect();
+        let gauges = proptest::collection::vec(any::<i64>(), 0..4)
+            .generate(rng)
+            .into_iter()
+            .map(|v| (name.generate(rng), v))
+            .collect();
+        let histograms =
+            proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..24), 0..3)
+                .generate(rng)
+                .into_iter()
+                .map(|values| {
+                    let mut h = Histogram::new();
+                    for v in values {
+                        h.record(v);
+                    }
+                    (name.generate(rng), h)
+                })
+                .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
 /// Every strict prefix of a valid body must fail to decode (message
 /// layouts are length-prefixed throughout, so truncation is always
 /// detectable), and appending junk must fail with `TrailingBytes`.
@@ -109,6 +146,7 @@ proptest! {
             Request::SubmitReads { reads },
             Request::Query { id },
             Request::ClusterStats,
+            Request::ServerStats,
             Request::Shutdown,
         ];
         for req in requests {
@@ -127,6 +165,7 @@ proptest! {
         label in proptest::strategy::any::<u64>(),
         has_label in any::<bool>(),
         stats in StatsStrategy,
+        snapshot in SnapshotStrategy,
         a in any::<u64>(),
         b in any::<u64>(),
         message in "[ -~]{0,40}",
@@ -137,6 +176,7 @@ proptest! {
             Response::Labels { labels },
             Response::QueryResult { label: has_label.then_some(label) },
             Response::Stats(stats),
+            Response::ServerStats(snapshot),
             Response::Busy { queue_depth: a, limit: b },
             Response::QuotaExceeded { would_use: a, quota: b },
             Response::Error { code: ErrorCode::NotSeeded, message: message.clone() },
@@ -183,8 +223,8 @@ proptest! {
 #[test]
 fn unknown_tags_are_typed_errors_not_panics() {
     for tag in 0u8..=255 {
-        let known_req = matches!(tag, 0x01..=0x06);
-        let known_resp = matches!(tag, 0x81..=0x89);
+        let known_req = matches!(tag, 0x01..=0x07);
+        let known_resp = matches!(tag, 0x81..=0x8a);
         match Request::decode(&[tag]) {
             Err(ProtocolError::UnknownTag(t)) => {
                 assert_eq!(t, tag);
@@ -259,4 +299,31 @@ fn hostile_counts_refused() {
     let mut body = vec![0x83]; // Labels tag
     mrmc_mapreduce::wire::put_uvarint(&mut body, u64::MAX);
     assert!(Response::decode(&body).is_err());
+
+    let mut body = vec![0x8a]; // ServerStats tag
+    mrmc_mapreduce::wire::put_uvarint(&mut body, u64::MAX);
+    assert!(Response::decode(&body).is_err());
+}
+
+/// A histogram whose sparse form names a bucket past the last log2
+/// bucket must decode to a typed payload error, not an index panic.
+#[test]
+fn out_of_range_bucket_index_rejected() {
+    let mut h = Histogram::new();
+    h.record(9);
+    let snap = MetricsSnapshot {
+        counters: vec![],
+        gauges: vec![],
+        histograms: vec![("h".into(), h)],
+    };
+    let mut body = Response::ServerStats(snap).encode();
+    // The final two varints are (bucket_index=4, count=1); bump the
+    // index far out of range.
+    let n = body.len();
+    assert_eq!(body[n - 2], 4);
+    body[n - 2] = 120;
+    assert!(matches!(
+        Response::decode(&body),
+        Err(ProtocolError::BadPayload(_))
+    ));
 }
